@@ -1,0 +1,175 @@
+(** The [dcir] command-line driver.
+
+    {v
+    dcir compile FILE.c --entry f [--pipeline dcir] [--emit mlir|sdfg-dialect|sdfg]
+    dcir run FILE.c --entry f [--pipeline dcir] [--size N]
+    dcir bench WORKLOAD            # one of the paper's workloads, all pipelines
+    dcir list                      # available workloads
+    v}
+
+    [run] executes the compiled program on the simulated machine with
+    synthetic inputs (arrays filled with a deterministic pattern, scalars set
+    to [--size]/1.5) and reports metrics. *)
+
+open Cmdliner
+module Pipelines = Dcir_core.Pipelines
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let pipeline_conv =
+  Arg.enum
+    [ ("gcc", Pipelines.Gcc); ("clang", Pipelines.Clang);
+      ("mlir", Pipelines.Mlir); ("dace", Pipelines.Dace);
+      ("dcir", Pipelines.Dcir) ]
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C source file")
+
+let entry_arg =
+  Arg.(value & opt (some string) None & info [ "entry" ] ~docv:"NAME"
+         ~doc:"Entry function (default: the first function in the file)")
+
+let pipeline_arg =
+  Arg.(value & opt pipeline_conv Pipelines.Dcir
+       & info [ "pipeline"; "p" ] ~docv:"PIPELINE"
+           ~doc:"One of gcc, clang, mlir, dace, dcir")
+
+let emit_arg =
+  Arg.(value & opt (enum [ ("mlir", `Mlir); ("sdfg-dialect", `Dialect);
+                           ("sdfg", `Sdfg) ]) `Sdfg
+       & info [ "emit" ] ~docv:"FORM" ~doc:"IR to print: mlir, sdfg-dialect, sdfg")
+
+let default_entry src entry =
+  match entry with
+  | Some e -> e
+  | None ->
+      let prog = Dcir_cfront.C_parser.parse_program src in
+      (List.hd prog.funcs).name
+
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let doc = "Compile a C file and print the requested IR." in
+  let run file entry pipeline emit =
+    let src = read_file file in
+    let entry = default_entry src entry in
+    (match (pipeline, emit) with
+    | (Pipelines.Gcc | Clang | Mlir), _ | _, `Mlir ->
+        let m = Dcir_cfront.Polygeist.compile src in
+        ignore
+          (Dcir_mlir.Pass.run_to_fixpoint (Pipelines.control_passes pipeline) m);
+        print_string (Dcir_mlir.Printer.module_to_string m)
+    | Pipelines.Dcir, `Dialect ->
+        let m = Dcir_cfront.Polygeist.compile src in
+        ignore
+          (Dcir_mlir.Pass.run_to_fixpoint (Pipelines.control_passes pipeline) m);
+        let converted = Dcir_core.Converter.convert_module m in
+        print_string (Dcir_mlir.Printer.module_to_string converted)
+    | (Pipelines.Dcir | Dace), _ -> (
+        match Pipelines.compile pipeline ~src ~entry with
+        | Pipelines.CSdfg sdfg ->
+            print_string (Dcir_sdfg.Printer.to_string sdfg)
+        | Pipelines.CMlir m ->
+            print_string (Dcir_mlir.Printer.module_to_string m)));
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(ret (const run $ file_arg $ entry_arg $ pipeline_arg $ emit_arg))
+
+(* Build synthetic arguments from the entry function's C signature. *)
+let synth_args (src : string) (entry : string) (scale : float) :
+    Pipelines.arg list =
+  let prog = Dcir_cfront.C_sema.check (Dcir_cfront.C_parser.parse_program src) in
+  let f = List.find (fun (f : Dcir_cfront.C_ast.func_def) -> f.name = entry) prog.funcs in
+  List.map
+    (fun ((_, ty) : string * Dcir_cfront.C_ast.cty) ->
+      match ty with
+      | Dcir_cfront.C_ast.TArr (elem, dims) ->
+          let elems = List.fold_left ( * ) 1 dims in
+          if Dcir_cfront.C_ast.is_float_ty elem then
+            Pipelines.AFloatArr
+              ( Array.init elems (fun i -> Dcir_workloads.Workload.frand i),
+                Array.of_list dims )
+          else
+            Pipelines.AIntArr
+              (Array.init elems (fun i -> (i * 7) mod 13), Array.of_list dims)
+      | Dcir_cfront.C_ast.TPtr elem ->
+          if Dcir_cfront.C_ast.is_float_ty elem then
+            Pipelines.AFloatArr
+              (Array.init 256 (fun i -> Dcir_workloads.Workload.frand i), [| 256 |])
+          else Pipelines.AIntArr (Array.init 256 (fun i -> i mod 13), [| 256 |])
+      | Dcir_cfront.C_ast.TInt -> Pipelines.AInt (int_of_float scale)
+      | Dcir_cfront.C_ast.TFloat | Dcir_cfront.C_ast.TDouble ->
+          Pipelines.AFloat 1.5
+      | Dcir_cfront.C_ast.TVoid -> Pipelines.AInt 0)
+    f.params
+
+let run_cmd =
+  let doc = "Compile and execute on the simulated machine; print metrics." in
+  let size_arg =
+    Arg.(value & opt float 16.0
+         & info [ "size" ] ~docv:"N" ~doc:"Value for scalar int arguments")
+  in
+  let run file entry pipeline size =
+    let src = read_file file in
+    let entry = default_entry src entry in
+    let compiled = Pipelines.compile pipeline ~src ~entry in
+    let r = Pipelines.run compiled ~entry (synth_args src entry size) in
+    (match r.return_value with
+    | Some v ->
+        Format.printf "return value: %s@." (Dcir_machine.Value.to_string v)
+    | None -> ());
+    Format.printf "%a@." Dcir_machine.Metrics.pp r.metrics;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run $ file_arg $ entry_arg $ pipeline_arg $ size_arg))
+
+let workloads () = Dcir_workloads.Polybench.all @ Dcir_workloads.Case_studies.all
+
+let bench_cmd =
+  let doc = "Run one of the paper's workloads under all five pipelines." in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let run name =
+    match
+      List.find_opt
+        (fun (w : Dcir_workloads.Workload.t) -> w.name = name)
+        (workloads ())
+    with
+    | None -> `Error (false, "unknown workload " ^ name ^ "; see `dcir list`")
+    | Some w ->
+        Format.printf "%s: %s@.@." w.name w.description;
+        Format.printf "  %-8s %14s %10s %10s %8s  %s@." "pipeline" "cycles"
+          "loads" "stores" "allocs" "correct";
+        List.iter
+          (fun (m : Pipelines.measurement) ->
+            Format.printf "  %-8s %14.0f %10d %10d %8d  %b@." m.pipeline
+              m.cycles m.metrics.loads m.metrics.stores m.metrics.heap_allocs
+              m.correct)
+          (Pipelines.compare_pipelines ~src:w.src ~entry:w.entry (w.args ()));
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(ret (const run $ name_arg))
+
+let list_cmd =
+  let doc = "List the available workloads." in
+  let run () =
+    List.iter
+      (fun (w : Dcir_workloads.Workload.t) ->
+        Format.printf "  %-16s %s@." w.name w.description)
+      (workloads ());
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(ret (const run $ const ()))
+
+let () =
+  let doc = "DCIR: bridging control-centric and data-centric optimization" in
+  let info = Cmd.info "dcir" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; list_cmd ]))

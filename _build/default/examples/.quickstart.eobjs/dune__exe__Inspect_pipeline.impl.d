@@ -1,0 +1,1 @@
+examples/inspect_pipeline.ml: Array Converter Dcir_cfront Dcir_core Dcir_dace_passes Dcir_machine Dcir_mlir Dcir_sdfg Format Pipelines Translator

@@ -1,0 +1,1 @@
+examples/loop_elision.ml: Converter Dcir_cfront Dcir_core Dcir_dace_passes Dcir_machine Dcir_mlir Dcir_sdfg Dcir_workloads Format Hashtbl List Pipelines String Translator

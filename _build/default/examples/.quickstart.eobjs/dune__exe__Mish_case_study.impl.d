@@ -1,0 +1,1 @@
+examples/mish_case_study.ml: Case_studies Dcir_cfront Dcir_core Dcir_machine Dcir_sdfg Dcir_workloads Format List Pipelines Workload

@@ -1,0 +1,1 @@
+examples/mish_case_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dcir_core Format List Pipelines

@@ -1,0 +1,1 @@
+examples/symbolic_verification.ml: Dcir_sdfg Dcir_symbolic Expr Format List Parse Range Sdfg Validate

@@ -1,0 +1,43 @@
+(** Inspect every stage of the DCIR bridge on a tiny function (the Fig 5
+    walk-through).
+
+    Run with: [dune exec examples/inspect_pipeline.exe] *)
+
+open Dcir_core
+module Pass = Dcir_mlir.Pass
+
+let src =
+  {|
+double fname(double A[16], double B[16]) {
+  return A[0] + B[0];
+}
+|}
+
+let () =
+  Format.printf "== C source ==@.%s@." src;
+  let m = Dcir_cfront.Polygeist.compile src in
+  Format.printf "== Polygeist-generated MLIR (Fig 5b) ==@.%s@."
+    (Dcir_mlir.Printer.module_to_string m);
+  ignore (Pass.run_to_fixpoint (Pipelines.control_passes Dcir) m);
+  Format.printf "== After control-centric passes ==@.%s@."
+    (Dcir_mlir.Printer.module_to_string m);
+  let converted = Converter.convert_module m in
+  Format.printf "== sdfg dialect (Fig 5c) ==@.%s@."
+    (Dcir_mlir.Printer.module_to_string converted);
+  let sdfg = Translator.translate_module converted ~entry:"fname" in
+  Format.printf "== Translated SDFG (Fig 5d) ==@.%s@."
+    (Dcir_sdfg.Printer.to_string sdfg);
+  Dcir_dace_passes.Driver.optimize sdfg;
+  Format.printf "== Optimized SDFG ==@.%s@." (Dcir_sdfg.Printer.to_string sdfg);
+  (* Execute it. *)
+  let args =
+    [
+      Pipelines.AFloatArr (Array.init 16 float_of_int, [| 16 |]);
+      Pipelines.AFloatArr (Array.init 16 (fun i -> 100.0 +. float_of_int i), [| 16 |]);
+    ]
+  in
+  let r = Pipelines.run (CSdfg sdfg) ~entry:"fname" args in
+  Format.printf "result: %s (expected 100)@."
+    (match r.return_value with
+    | Some v -> Dcir_machine.Value.to_string v
+    | None -> "-")

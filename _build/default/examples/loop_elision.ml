@@ -1,0 +1,61 @@
+(** The Fig 2 motivating example, stage by stage.
+
+    Run with: [dune exec examples/loop_elision.exe]
+
+    Shows each compilation stage of the DCIR pipeline on the paper's opening
+    example: the Polygeist-style MLIR, the control-centric-optimized MLIR,
+    the converted sdfg dialect, the trivially-translated SDFG, and the fully
+    optimized SDFG — which has no loops left at all. *)
+
+open Dcir_core
+module Pass = Dcir_mlir.Pass
+
+let src = (List.hd Dcir_workloads.Case_studies.all).src (* fig2-example *)
+
+let banner title = Format.printf "@.======== %s ========@." title
+
+let () =
+  banner "C source (Fig 2a, REPRO sizes)";
+  print_string src;
+
+  let m = Dcir_cfront.Polygeist.compile src in
+  banner "Polygeist-style MLIR (truncated)";
+  let txt = Dcir_mlir.Printer.module_to_string m in
+  print_string (String.sub txt 0 (min 1600 (String.length txt)));
+  Format.printf "@.... (%d chars total)@." (String.length txt);
+
+  ignore (Pass.run_to_fixpoint (Pipelines.control_passes Dcir) m);
+  banner "After control-centric passes (LICM, store forwarding, CSE, DCE)";
+  Format.printf "(loops remain: the false dependency through A is invisible \
+                 to a control-centric view)@.";
+
+  let converted = Converter.convert_module m in
+  banner "sdfg dialect (excerpt)";
+  let txt = Dcir_mlir.Printer.module_to_string converted in
+  print_string (String.sub txt 0 (min 1600 (String.length txt)));
+  Format.printf "@.... (%d chars total)@." (String.length txt);
+
+  let sdfg = Translator.translate_module converted ~entry:"example" in
+  banner "Trivially translated SDFG";
+  Format.printf "states: %d, containers: %d@."
+    (List.length sdfg.states)
+    (Hashtbl.length sdfg.containers);
+
+  Dcir_dace_passes.Driver.optimize sdfg;
+  banner "After the data-centric pipeline";
+  print_string (Dcir_sdfg.Printer.to_string sdfg);
+
+  banner "Execution";
+  let r = Pipelines.run (CSdfg sdfg) ~entry:"example" [] in
+  let baseline = Pipelines.run (Pipelines.compile Gcc ~src ~entry:"example") ~entry:"example" [] in
+  Format.printf "dcir:  %8.0f cycles, result = %s@." r.metrics.cycles
+    (match r.return_value with
+    | Some v -> Dcir_machine.Value.to_string v
+    | None -> "-");
+  Format.printf "gcc:   %8.0f cycles, result = %s@." baseline.metrics.cycles
+    (match baseline.return_value with
+    | Some v -> Dcir_machine.Value.to_string v
+    | None -> "-");
+  Format.printf
+    "@.All loops and both allocations were elided; the function reduced to \
+     a single constant (paper §1).@."

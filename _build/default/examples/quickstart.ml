@@ -1,0 +1,52 @@
+(** Quickstart: compile a C kernel with every pipeline and compare.
+
+    Run with: [dune exec examples/quickstart.exe]
+
+    This is the 60-second tour of the public API:
+    {ol
+    {- write a kernel in the supported C subset;}
+    {- [Pipelines.compile] it as one of the five compiler products
+       (gcc/clang proxies, the Polygeist+MLIR pipeline, the DaCe C frontend,
+       or DCIR — the paper's bridge);}
+    {- [Pipelines.run] executes it on the simulated Xeon and returns outputs
+       plus cycle/traffic metrics;}
+    {- [Pipelines.compare_pipelines] does all five at once and verifies every
+       output against an unoptimized reference interpretation.}} *)
+
+open Dcir_core
+
+let src =
+  {|
+void saxpy_then_sum(double x[256], double y[256], double out[1], double a) {
+  double *tmp = (double*)malloc(256 * sizeof(double));
+  for (int i = 0; i < 256; i++)
+    tmp[i] = a * x[i] + y[i];
+  double s = 0.0;
+  for (int i = 0; i < 256; i++)
+    s += tmp[i];
+  out[0] = s;
+  free(tmp);
+}
+|}
+
+let () =
+  let args () =
+    [
+      Pipelines.AFloatArr (Array.init 256 float_of_int, [| 256 |]);
+      Pipelines.AFloatArr (Array.make 256 1.0, [| 256 |]);
+      Pipelines.AFloatArr (Array.make 1 0.0, [| 1 |]);
+      Pipelines.AFloat 2.0;
+    ]
+  in
+  Format.printf "Compiling and running under all five pipelines...@.@.";
+  Format.printf "  %-8s %12s %9s %9s %7s  %s@." "pipeline" "cycles" "loads"
+    "stores" "allocs" "output ok?";
+  List.iter
+    (fun (m : Pipelines.measurement) ->
+      Format.printf "  %-8s %12.0f %9d %9d %7d  %b@." m.pipeline m.cycles
+        m.metrics.loads m.metrics.stores m.metrics.heap_allocs m.correct)
+    (Pipelines.compare_pipelines ~src ~entry:"saxpy_then_sum" (args ()));
+  Format.printf
+    "@.DCIR fuses the two loops, shrinks the intermediate array to a \
+     register scalar,@.and removes the heap allocation — the data-centric \
+     optimizations of the paper.@."

@@ -1,0 +1,87 @@
+(** Parametric size verification — the paper's Fig 3.
+
+    Run with: [dune exec examples/symbolic_verification.exe]
+
+    A [memref<?xf32>] hides its size, so MLIR cannot statically check a copy
+    between two arbitrarily-sized memrefs. The sdfg dialect's symbolic sizes
+    ([!sdfg.array<sym("N")xf32>]) restore that information: the validator
+    proves size compatibility or rejects the program at compile time. *)
+
+open Dcir_sdfg
+open Dcir_symbolic
+
+let build_copy ~(src_size : Expr.t) ~(dst_size : Expr.t) : Sdfg.t =
+  let sdfg = Sdfg.create "copy_func" in
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ src_size ] "src");
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ dst_size ] "dst");
+  sdfg.arg_symbols <- [ "N"; "M" ];
+  let st = Sdfg.add_state sdfg "copy" in
+  let s = Sdfg.add_node st.s_graph (Sdfg.Access "src") in
+  let d = Sdfg.add_node st.s_graph (Sdfg.Access "dst") in
+  ignore
+    (Sdfg.add_edge st.s_graph
+       ~memlet:
+         {
+           Sdfg.data = "src";
+           subset = [ Range.full src_size ];
+           wcr = None;
+           other = Some [ Range.full dst_size ];
+         }
+       s d);
+  sdfg
+
+let show label sdfg =
+  Format.printf "%s@." label;
+  (match Validate.errors sdfg with
+  | [] -> Format.printf "  validation: OK@."
+  | errs ->
+      List.iter
+        (fun d -> Format.printf "  validation: %a@." Validate.pp_diagnostic d)
+        errs);
+  Format.printf "@."
+
+let () =
+  Format.printf
+    "Fig 3: with symbolic sizes, copies between parametric arrays are \
+     checkable at compile time.@.@.";
+  (* memref<?xf32> -> memref<?xf32>: the sdfg dialect assigns each '?' its
+     own symbol, making the mismatch visible. *)
+  show "copy(src: array<sym(\"N\")xf64>, dst: array<sym(\"M\")xf64>):"
+    (build_copy ~src_size:(Expr.sym "N") ~dst_size:(Expr.sym "M"));
+  show "copy(src: array<sym(\"N\")xf64>, dst: array<sym(\"N\")xf64>):"
+    (build_copy ~src_size:(Expr.sym "N") ~dst_size:(Expr.sym "N"));
+  (* Sizes that are provably compatible even though they differ textually. *)
+  show "copy(src: array<sym(\"N\")xf64>, dst: array<sym(\"N+0\")xf64>):"
+    (build_copy
+       ~src_size:(Expr.sym "N")
+       ~dst_size:(Parse.expr "N + 1 - 1"));
+  (* Out-of-bounds subsets on constant sizes are rejected too. *)
+  let oob = Sdfg.create "oob" in
+  ignore
+    (Sdfg.add_container oob ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.int 8 ] "a");
+  let st = Sdfg.add_state oob "s" in
+  let a = Sdfg.add_node st.s_graph (Sdfg.Access "a") in
+  let t =
+    Sdfg.add_node st.s_graph
+      (Sdfg.TaskletN
+         {
+           Sdfg.tname = "t";
+           t_inputs = [ "_in" ];
+           t_outputs = [];
+           t_syms = [];
+           code = Sdfg.Native [];
+           t_overhead = 0.0;
+         })
+  in
+  ignore
+    (Sdfg.add_edge st.s_graph ~dst_conn:"_in"
+       ~memlet:
+         { Sdfg.data = "a"; subset = [ Range.index (Expr.int 12) ]; wcr = None;
+           other = None }
+       a t);
+  show "read a[12] with a: array<8xf64>:" oob

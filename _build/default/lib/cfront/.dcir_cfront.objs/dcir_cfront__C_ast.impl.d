@@ -1,0 +1,1 @@
+lib/cfront/c_ast.ml: Fmt Format

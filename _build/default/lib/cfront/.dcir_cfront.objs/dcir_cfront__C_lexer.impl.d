@@ -1,0 +1,1 @@
+lib/cfront/c_lexer.ml: Array Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/cfront/c_parser.ml: Array C_ast C_lexer Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/cfront/c_sema.ml: C_ast Fmt Hashtbl List String

@@ -1,0 +1,1 @@
+lib/cfront/polygeist.ml: Arith C_ast C_parser C_sema Dcir_mlir Fmt Func_d Ir List Math_d Memref_d Option Scf_d String Types Verifier

@@ -1,0 +1,85 @@
+(** AST for the C subset.
+
+    The subset is what Polybench/C and the paper's case-study snippets need:
+    [int]/[float]/[double] scalars, statically-sized multi-dimensional
+    arrays, [malloc]/[free] pointers, canonical [for] loops (ascending and
+    descending), [while], [if]/[else], assignments (including compound
+    [+=]-style), calls to libm and user functions, and [#define]-style
+    integer constants (handled in the lexer). *)
+
+type cty =
+  | TVoid
+  | TInt
+  | TFloat
+  | TDouble
+  | TPtr of cty  (** malloc'd buffer of element type *)
+  | TArr of cty * int list  (** statically-sized (multi-dim) array *)
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr
+
+type assign_op = OpAssign | OpAddAssign | OpSubAssign | OpMulAssign | OpDivAssign
+
+type expr =
+  | EInt of int
+  | EFloat of float
+  | EVar of string
+  | EIndex of expr * expr list  (** [base[i][j]]; base is EVar *)
+  | EUnop of unop * expr
+  | EBinop of binop * expr * expr
+  | ECond of expr * expr * expr  (** ternary [c ? a : b] *)
+  | ECall of string * expr list
+  | ECast of cty * expr
+  | EMalloc of cty * expr  (** cast-malloc of [n] elements of the type *)
+
+type stmt =
+  | SDecl of cty * string * expr option
+  | SAssign of expr * assign_op * expr  (** lhs must be EVar or EIndex *)
+  | SExpr of expr  (** expression statement (function call) *)
+  | SIf of expr * stmt list * stmt list
+  | SFor of for_header * stmt list
+  | SWhile of expr * stmt list
+  | SReturn of expr option
+  | SFree of string  (** [free(p)] *)
+  | SBlock of stmt list
+
+(** Canonical C for-loop header: [for (var = init; var <cmp> bound; update)].
+    [step] is the signed increment; descending loops have negative [step]. *)
+and for_header = {
+  var : string;
+  init : expr;
+  cmp : binop;  (** Lt, Le, Gt or Ge *)
+  bound : expr;
+  step : int;
+}
+
+type func_def = {
+  name : string;
+  ret : cty;
+  params : (string * cty) list;
+  body : stmt list;
+}
+
+type program = { funcs : func_def list }
+
+let rec pp_cty (ppf : Format.formatter) (t : cty) : unit =
+  match t with
+  | TVoid -> Fmt.string ppf "void"
+  | TInt -> Fmt.string ppf "int"
+  | TFloat -> Fmt.string ppf "float"
+  | TDouble -> Fmt.string ppf "double"
+  | TPtr t -> Fmt.pf ppf "%a*" pp_cty t
+  | TArr (t, dims) ->
+      Fmt.pf ppf "%a%a" pp_cty t
+        (Fmt.list ~sep:Fmt.nop (fun ppf d -> Fmt.pf ppf "[%d]" d))
+        dims
+
+let rec elem_cty = function TPtr t | TArr (t, _) -> elem_cty t | t -> t
+
+let is_float_ty = function
+  | TFloat | TDouble -> true
+  | TVoid | TInt | TPtr _ | TArr _ -> false

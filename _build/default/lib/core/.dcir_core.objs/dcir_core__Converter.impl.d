@@ -1,0 +1,1 @@
+lib/core/converter.ml: Attr Bexpr Dcir_mlir Dcir_support Dcir_symbolic Expr Fmt Hashtbl Ir List Math_d Memref_d Option Printer Range Scf_d Sdfg_d String Types

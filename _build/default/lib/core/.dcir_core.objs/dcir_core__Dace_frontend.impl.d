@@ -1,0 +1,1 @@
+lib/core/dace_frontend.ml: Bexpr Dcir_cfront Dcir_mlir Dcir_sdfg Dcir_support Dcir_symbolic Expr Fmt Hashtbl List Option Printf Range Sdfg String

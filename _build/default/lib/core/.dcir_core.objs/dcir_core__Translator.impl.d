@@ -1,0 +1,1 @@
+lib/core/translator.ml: Attr Dcir_mlir Dcir_sdfg Dcir_symbolic Expr Fmt Hashtbl Ir List Math_d Memref_d Option Printf Range Sdfg Sdfg_d String Texpr Types

@@ -1,0 +1,281 @@
+(** The five compiler products of the evaluation (§7.1), as pass pipelines
+    over the shared substrates:
+
+    - [Gcc], [Clang]: production-compiler proxies — full control-centric
+      optimization on the MLIR form (mem2reg, canonicalize, CSE, DCE,
+      inlining, LICM, adjacent-loop fusion, register promotion; Clang
+      additionally forwards stores to loads across straight-line code);
+    - [Mlir]: the Polygeist + mlir-opt pipeline — control-centric passes
+      only, {e without} loop fusion or register promotion (the
+      memref-conservatism gap §7.2 measures);
+    - [Dace]: the DaCe C frontend baseline — no control-centric passes,
+      opaque per-statement tasklets, full data-centric pipeline;
+    - [Dcir]: the paper's contribution — the MLIR pipeline, then conversion
+      to the sdfg dialect, translation to the SDFG IR, and the full
+      data-centric pipeline.
+
+    All products execute on the same simulated machine; an optional
+    cost-model override selects the ICC/SLEEF vector-math variant (§7.3). *)
+
+open Dcir_mlir
+open Dcir_machine
+module P = Dcir_mlir_passes
+module Sdfg = Dcir_sdfg.Sdfg
+
+type kind = Gcc | Clang | Mlir | Dace | Dcir
+
+let kind_name = function
+  | Gcc -> "gcc"
+  | Clang -> "clang"
+  | Mlir -> "mlir"
+  | Dace -> "dace"
+  | Dcir -> "dcir"
+
+let all_kinds = [ Gcc; Clang; Mlir; Dace; Dcir ]
+
+type compiled =
+  | CMlir of Ir.modul
+  | CSdfg of Sdfg.t
+
+exception Pipeline_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Compilation *)
+
+let base_passes : Pass.t list =
+  [ P.Mem2reg.pass; P.Canonicalize.pass; P.Cse.pass; P.Dce.pass ]
+
+let control_passes (kind : kind) : Pass.t list =
+  match kind with
+  | Gcc ->
+      base_passes
+      @ [ P.Inline.pass; P.Licm.pass; P.Loop_fusion.pass; P.Reg_promote.pass ]
+  | Clang ->
+      base_passes
+      @ [
+          P.Inline.pass; P.Licm.pass; P.Store_forward.pass; P.Loop_fusion.pass;
+          P.Reg_promote.pass;
+        ]
+  | Mlir | Dcir ->
+      (* loop-invariant code motion, DCE, CSE, inlining (§4) — no fusion or
+         register promotion at the memref level. *)
+      base_passes @ [ P.Inline.pass; P.Licm.pass; P.Store_forward.pass ]
+  | Dace -> []
+
+let compile ?(optimize_sdfg = true) ?(disable = []) (kind : kind)
+    ~(src : string) ~(entry : string) : compiled =
+  match kind with
+  | Gcc | Clang | Mlir ->
+      let m = Dcir_cfront.Polygeist.compile src in
+      ignore (Pass.run_to_fixpoint (control_passes kind) m);
+      Verifier.verify_exn m;
+      CMlir m
+  | Dace ->
+      let sdfg = Dace_frontend.compile src ~entry in
+      if optimize_sdfg then Dcir_dace_passes.Driver.optimize ~disable sdfg;
+      CSdfg sdfg
+  | Dcir ->
+      let m = Dcir_cfront.Polygeist.compile src in
+      ignore (Pass.run_to_fixpoint (control_passes kind) m);
+      let converted = Converter.convert_module m in
+      let sdfg = Translator.translate_module converted ~entry in
+      if optimize_sdfg then Dcir_dace_passes.Driver.optimize ~disable sdfg;
+      CSdfg sdfg
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+type arg =
+  | AFloatArr of float array * int array  (** data, dims *)
+  | AIntArr of int array * int array
+  | AInt of int
+  | AFloat of float
+
+type run_result = {
+  return_value : Value.t option;
+  outputs : (int * Value.t array) list;
+      (** arg position -> final contents, for array args *)
+  metrics : Metrics.t;
+}
+
+let reset_metrics (m : Metrics.t) : unit =
+  m.cycles <- 0.0;
+  m.loads <- 0;
+  m.stores <- 0;
+  m.bytes_loaded <- 0;
+  m.bytes_stored <- 0;
+  m.int_ops <- 0;
+  m.fp_ops <- 0;
+  m.math_calls <- 0;
+  m.branches <- 0;
+  m.heap_allocs <- 0;
+  m.heap_frees <- 0;
+  m.heap_bytes <- 0;
+  m.stack_allocs <- 0;
+  m.l1_misses <- 0;
+  m.l2_misses <- 0;
+  m.l3_misses <- 0;
+  m.l1_accesses <- 0
+
+(* Materialize argument buffers (uncharged: the harness owns them, like
+   Polybench's pre-allocated arrays). *)
+let make_buffers (machine : Machine.t) (args : arg list) :
+    (arg * Machine.buffer option) list =
+  let bufs =
+    List.map
+      (fun a ->
+        match a with
+        | AFloatArr (data, _) ->
+            let b =
+              Machine.alloc machine ~storage:Machine.Heap
+                ~elems:(Array.length data) ~elem_bytes:8
+                ~zero_init:(Value.VFloat 0.0)
+            in
+            Array.iteri (fun i v -> Machine.poke b i (Value.VFloat v)) data;
+            (a, Some b)
+        | AIntArr (data, _) ->
+            let b =
+              Machine.alloc machine ~storage:Machine.Heap
+                ~elems:(Array.length data) ~elem_bytes:8
+                ~zero_init:(Value.VInt 0)
+            in
+            Array.iteri (fun i v -> Machine.poke b i (Value.VInt v)) data;
+            (a, Some b)
+        | AInt _ | AFloat _ -> (a, None))
+      args
+  in
+  reset_metrics (Machine.metrics machine);
+  bufs
+
+let snapshot_outputs (bufs : (arg * Machine.buffer option) list) :
+    (int * Value.t array) list =
+  List.filteri (fun _ (_, b) -> b <> None) (List.mapi (fun i x -> (i, x)) bufs
+                                            |> List.map (fun (i, (a, b)) -> ((i, a), b)))
+  |> List.map (fun ((i, _), b) -> (i, Machine.snapshot (Option.get b)))
+
+let run ?(cfg = Cost.default) (compiled : compiled) ~(entry : string)
+    (args : arg list) : run_result =
+  let machine = Machine.create ~cfg () in
+  let bufs = make_buffers machine args in
+  match compiled with
+  | CMlir m ->
+      let rt_args =
+        List.map
+          (fun (a, b) ->
+            match (a, b) with
+            | AFloatArr (_, dims), Some buf | AIntArr (_, dims), Some buf ->
+                Interp.Buf { buf; dims }
+            | AInt n, None -> Interp.Scalar (Value.VInt n)
+            | AFloat f, None -> Interp.Scalar (Value.VFloat f)
+            | _ -> assert false)
+          bufs
+      in
+      let results, _ = Interp.run ~machine m ~entry rt_args in
+      {
+        return_value = (match results with v :: _ -> Some v | [] -> None);
+        outputs = snapshot_outputs bufs;
+        metrics = Machine.metrics machine;
+      }
+  | CSdfg sdfg ->
+      if List.length sdfg.param_order <> List.length args then
+        raise
+          (Pipeline_error
+             (Printf.sprintf "@%s expects %d arguments, got %d" entry
+                (List.length sdfg.param_order)
+                (List.length args)));
+      let buffers = ref [] in
+      let symbols = ref [] in
+      List.iter2
+        (fun pname (a, b) ->
+          match (a, b) with
+          | (AFloatArr (_, dims) | AIntArr (_, dims)), Some buf ->
+              if Hashtbl.mem sdfg.containers pname then begin
+                buffers := (pname, buf, dims) :: !buffers;
+                (* Bind free size symbols from the concrete dims. *)
+                let c = Sdfg.container sdfg pname in
+                List.iteri
+                  (fun i dim_expr ->
+                    match dim_expr with
+                    | Dcir_symbolic.Expr.Sym s
+                      when not (List.mem_assoc s !symbols) ->
+                        symbols := (s, dims.(i)) :: !symbols
+                    | _ -> ())
+                  c.shape
+              end
+          | AInt n, None ->
+              if Hashtbl.mem sdfg.containers pname then begin
+                let buf =
+                  Machine.alloc machine ~storage:Machine.Register ~elems:1
+                    ~elem_bytes:8 ~zero_init:(Value.VInt n)
+                in
+                Machine.poke buf 0 (Value.VInt n);
+                buffers := (pname, buf, [||]) :: !buffers
+              end;
+              symbols := (pname, n) :: !symbols
+          | AFloat f, None ->
+              if Hashtbl.mem sdfg.containers pname then begin
+                let buf =
+                  Machine.alloc machine ~storage:Machine.Register ~elems:1
+                    ~elem_bytes:8 ~zero_init:(Value.VFloat f)
+                in
+                Machine.poke buf 0 (Value.VFloat f);
+                buffers := (pname, buf, [||]) :: !buffers
+              end
+          | _ -> assert false)
+        sdfg.param_order bufs;
+      let res =
+        Dcir_sdfg.Interp.run ~machine sdfg ~buffers:!buffers ~symbols:!symbols
+          ()
+      in
+      {
+        return_value = res.return_value;
+        outputs = snapshot_outputs bufs;
+        metrics = Machine.metrics machine;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-benchmark helper: compile once, run, verify against a reference. *)
+
+type measurement = {
+  pipeline : string;
+  cycles : float;
+  metrics : Metrics.t;
+  correct : bool;
+}
+
+(** Run a workload through every pipeline; correctness is checked against
+    the unoptimized MLIR interpretation (return value and array outputs,
+    within floating-point reassociation tolerance). *)
+let compare_pipelines ?(kinds = all_kinds) ?(cfg = Cost.default)
+    ~(src : string) ~(entry : string) (args : arg list) : measurement list =
+  (* Reference: direct lowering, no optimization at all. *)
+  let reference =
+    let m = Dcir_cfront.Polygeist.compile src in
+    run ~cfg (CMlir m) ~entry args
+  in
+  let close_arrays (a : (int * Value.t array) list)
+      (b : (int * Value.t array) list) : bool =
+    List.for_all2
+      (fun (_, x) (_, y) ->
+        Array.length x = Array.length y
+        && Array.for_all2 (fun u v -> Value.close ~rtol:1e-6 u v) x y)
+      a b
+  in
+  List.map
+    (fun kind ->
+      let compiled = compile kind ~src ~entry in
+      let r = run ~cfg compiled ~entry args in
+      let correct =
+        (match (r.return_value, reference.return_value) with
+        | Some a, Some b -> Value.close ~rtol:1e-6 a b
+        | None, None -> true
+        | _ -> false)
+        && close_arrays r.outputs reference.outputs
+      in
+      {
+        pipeline = kind_name kind;
+        cycles = r.metrics.cycles;
+        metrics = r.metrics;
+        correct;
+      })
+    kinds

@@ -1,0 +1,1 @@
+lib/dace_passes/alloc_opt.ml: Dcir_sdfg Dcir_symbolic Hashtbl List Loop_analysis Option Sdfg

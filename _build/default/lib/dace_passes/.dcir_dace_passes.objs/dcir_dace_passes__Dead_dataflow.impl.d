@@ -1,0 +1,1 @@
+lib/dace_passes/dead_dataflow.ml: Dcir_sdfg Graph_util Hashtbl List Sdfg

@@ -1,0 +1,1 @@
+lib/dace_passes/dead_state.ml: Array Bexpr Dcir_sdfg Dcir_support Dcir_symbolic Hashtbl List Option Sdfg String

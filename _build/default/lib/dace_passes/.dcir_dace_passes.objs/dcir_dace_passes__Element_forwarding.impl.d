@@ -1,0 +1,1 @@
+lib/dace_passes/element_forwarding.ml: Dcir_sdfg Dcir_symbolic Graph_util Hashtbl List Option Range Sdfg String

@@ -1,0 +1,1 @@
+lib/dace_passes/graph_util.ml: Dcir_sdfg Dcir_symbolic Expr Hashtbl List Range Sdfg String

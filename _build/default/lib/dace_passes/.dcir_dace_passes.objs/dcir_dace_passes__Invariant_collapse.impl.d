@@ -1,0 +1,1 @@
+lib/dace_passes/invariant_collapse.ml: Bexpr Dcir_sdfg Dcir_symbolic Expr Graph_util Hashtbl List Loop_analysis Option Range Sdfg Set String

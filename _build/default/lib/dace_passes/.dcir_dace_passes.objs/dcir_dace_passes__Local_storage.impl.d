@@ -1,0 +1,1 @@
+lib/dace_passes/local_storage.ml: Dcir_sdfg Dcir_symbolic Graph_util Hashtbl List Loop_analysis Range Sdfg Set String

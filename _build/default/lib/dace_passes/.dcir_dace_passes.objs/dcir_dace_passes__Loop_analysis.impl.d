@@ -1,0 +1,1 @@
+lib/dace_passes/loop_analysis.ml: Array Bexpr Dcir_sdfg Dcir_support Dcir_symbolic Expr Fun Hashtbl List Queue Sdfg String

@@ -1,0 +1,1 @@
+lib/dace_passes/loop_fusion.ml: Bexpr Dcir_sdfg Dcir_symbolic Expr Graph_util Hashtbl List Loop_analysis Option Range Sdfg Set String Texpr

@@ -1,0 +1,1 @@
+lib/dace_passes/memlet_consolidation.ml: Dcir_sdfg Dcir_symbolic Hashtbl List Option Range Sdfg String

@@ -1,0 +1,1 @@
+lib/dace_passes/scalar_forwarding.ml: Dcir_sdfg Graph_util Hashtbl List Sdfg String

@@ -1,0 +1,1 @@
+lib/dace_passes/scalar_to_symbol.ml: Dcir_sdfg Dcir_symbolic Expr Graph_util Hashtbl List Logs Option Sdfg String Texpr

@@ -1,0 +1,1 @@
+lib/dace_passes/shrink_scalar.ml: Dcir_sdfg Dcir_symbolic Graph_util Hashtbl List Range Sdfg String

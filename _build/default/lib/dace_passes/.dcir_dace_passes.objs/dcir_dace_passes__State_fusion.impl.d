@@ -1,0 +1,1 @@
+lib/dace_passes/state_fusion.ml: Dcir_sdfg Dcir_symbolic Graph_util Hashtbl List Option Sdfg Set String

@@ -1,0 +1,1 @@
+lib/dace_passes/symbol_propagation.ml: Bexpr Dcir_sdfg Dcir_symbolic Expr Hashtbl List Option Range Sdfg Texpr

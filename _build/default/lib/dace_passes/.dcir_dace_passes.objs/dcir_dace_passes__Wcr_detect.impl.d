@@ -1,0 +1,1 @@
+lib/dace_passes/wcr_detect.ml: Dcir_sdfg Dcir_symbolic Graph_util List Option Sdfg String Texpr

@@ -1,0 +1,109 @@
+(** Memory (pre-)allocation heuristics (§6.3).
+
+    Two passes:
+    - {b stack allocation}: a transient container with a static shape small
+      enough for the stack (and scalars, which go to registers) stops being
+      heap-allocated — removing the [malloc] call and improving locality;
+    - {b allocation hoisting}: a container allocated inside a loop (its
+      allocation cost recurring every iteration) is hoisted to the outermost
+      scope when no data races occur — for transients this holds whenever
+      the container does not need to persist across iterations, which is
+      exactly the case for converter-generated in-loop allocations (each
+      iteration fully overwrites before reading: we verify there is no read
+      in a state executing before any write, conservatively by requiring the
+      container to be written in the same state as, or before, every read
+      within the loop body; failing that, the hoist is skipped). *)
+
+open Dcir_sdfg
+
+(* 256 KiB: small enough to be safe on a typical 8 MiB stack even with a few
+   live containers, large enough to catch Polybench vectors (the gesummv
+   case the paper describes). *)
+let stack_limit_bytes = 256 * 1024
+
+let static_bytes (c : Sdfg.container) : int option =
+  let rec go acc = function
+    | [] -> Some acc
+    | d :: rest -> (
+        match Dcir_symbolic.Expr.is_constant d with
+        | Some n when n >= 0 -> go (acc * n) rest
+        | _ -> None)
+  in
+  Option.map (fun elems -> elems * Sdfg.elem_bytes c) (go 1 c.shape)
+
+let stack_allocation (sdfg : Sdfg.t) : bool =
+  let changed = ref false in
+  Hashtbl.iter
+    (fun _ (c : Sdfg.container) ->
+      if c.transient && c.storage = Sdfg.Heap then
+        match static_bytes c with
+        | Some bytes when bytes <= stack_limit_bytes ->
+            c.storage <- (if Sdfg.is_scalar c then Sdfg.Register else Sdfg.Stack);
+            c.alloc_state <- None;
+            c.alloc_in_loop <- false;
+            changed := true
+        | _ -> ())
+    sdfg.containers;
+  !changed
+
+(* Within the loop body states, is every read of [name] preceded (in every
+   execution of one iteration) by a write? Conservative check: the first
+   body state (in state-machine order) touching [name] must write it, and
+   no state reads it without writing it earlier in the same state-sequence.
+   We approximate with: no body state reads [name] unless some body state
+   writes it, and the container is not live-in (not read before written
+   within the fused body state, which holds when the state's own graph
+   writes it). *)
+let overwritten_each_iteration (sdfg : Sdfg.t) (l : Loop_analysis.loop)
+    (name : string) : bool =
+  let body_states =
+    List.filter
+      (fun (s : Sdfg.state) -> List.mem s.s_label l.body)
+      sdfg.states
+  in
+  (* Find first body state touching the container along the body order. *)
+  let touching =
+    List.filter
+      (fun (s : Sdfg.state) ->
+        List.mem name (Sdfg.read_containers s.s_graph)
+        || List.mem name (Sdfg.written_containers s.s_graph))
+      body_states
+  in
+  match touching with
+  | [] -> true
+  | first :: _ ->
+      (* The first touching state must write before (or without) reading:
+         sound approximation — it writes it and either does not read it, or
+         reads only what it wrote (same-state read-after-write is ordered by
+         the fusion dependency edges). *)
+      List.mem name (Sdfg.written_containers first.s_graph)
+
+let allocation_hoisting (sdfg : Sdfg.t) : bool =
+  let changed = ref false in
+  let loops = Loop_analysis.find_loops sdfg in
+  Hashtbl.iter
+    (fun _ (c : Sdfg.container) ->
+      if c.transient && c.alloc_in_loop then begin
+        let alloc_in_body (l : Loop_analysis.loop) =
+          match c.alloc_state with
+          | Some s -> List.mem s l.body
+          | None -> false
+        in
+        let enclosing = List.filter alloc_in_body loops in
+        if
+          enclosing <> []
+          && List.for_all
+               (fun l -> overwritten_each_iteration sdfg l c.cname)
+               enclosing
+        then begin
+          c.alloc_in_loop <- false;
+          changed := true
+        end
+      end)
+    sdfg.containers;
+  !changed
+
+let run (sdfg : Sdfg.t) : bool =
+  let a = allocation_hoisting sdfg in
+  let b = stack_allocation sdfg in
+  a || b

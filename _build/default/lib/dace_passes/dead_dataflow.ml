@@ -1,0 +1,202 @@
+(** Dead dataflow elimination (§6.2, second half of the extended DCE).
+
+    Computes a {e usefulness} fixpoint over containers and dataflow nodes:
+
+    - useful containers: non-transients (outputs), the return value, and
+      containers read symbolically (conditions, subsets, shapes);
+    - a node is useful when it writes a useful container (directly or
+      through a value edge into a useful node);
+    - everything a useful node reads is useful.
+
+    All writes into useless containers and all useless computations are
+    removed, iterating to a fixpoint. Self-sustaining cycles ([A[j] = A[i]]
+    with [A] never otherwise read — the Fig 2 pattern) are dead because
+    usefulness is a least fixpoint. Containers left with no accesses are
+    dropped entirely, removing their allocations; the count feeds the §7.3
+    "63 arrays and scalars eliminated" statistic. *)
+
+open Dcir_sdfg
+
+let eliminated_counter = ref 0
+
+(* Usefulness analysis over one SDFG. *)
+let compute_useful (sdfg : Sdfg.t) : (string, unit) Hashtbl.t =
+  let useful : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let referenced = Graph_util.symbolically_referenced sdfg in
+  Hashtbl.iter
+    (fun name (c : Sdfg.container) ->
+      if not c.transient then Hashtbl.replace useful name ())
+    sdfg.containers;
+  Hashtbl.iter (fun name () -> Hashtbl.replace useful name ()) referenced;
+  (match sdfg.return_scalar with
+  | Some r -> Hashtbl.replace useful r ()
+  | None -> ());
+  (* Node-level usefulness per graph, re-evaluated to a global fixpoint. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let mark name =
+      if not (Hashtbl.mem useful name) then begin
+        Hashtbl.replace useful name ();
+        changed := true
+      end
+    in
+    let rec process (g : Sdfg.graph) =
+      (* Per-graph node usefulness fixpoint (value-edge chains). *)
+      let node_useful : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+      let local_changed = ref true in
+      while !local_changed do
+        local_changed := false;
+        List.iter
+          (fun (e : Sdfg.edge) ->
+            let dst = Sdfg.node_by_id g e.e_dst in
+            let writes_useful =
+              match (dst.kind, e.e_memlet) with
+              | Sdfg.Access n, Some _ -> Hashtbl.mem useful n
+              | _, None -> (
+                  (* value or dependency edge: usefulness flows from a
+                     useful consumer node only for value edges *)
+                  match e.e_dst_conn with
+                  | Some _ -> Hashtbl.mem node_useful dst.nid
+                  | None -> false)
+              | _ -> false
+            in
+            if writes_useful && not (Hashtbl.mem node_useful e.e_src) then begin
+              Hashtbl.replace node_useful e.e_src ();
+              local_changed := true
+            end)
+          g.edges;
+        (* Maps: useful if their body writes a useful container. *)
+        List.iter
+          (fun (n : Sdfg.node) ->
+            match n.kind with
+            | Sdfg.MapN mn
+              when (not (Hashtbl.mem node_useful n.nid))
+                   && List.exists (Hashtbl.mem useful)
+                        (Sdfg.written_containers mn.m_body) ->
+                Hashtbl.replace node_useful n.nid ();
+                local_changed := true
+            | _ -> ())
+          g.nodes
+      done;
+      (* Everything a useful node reads is a useful container. *)
+      List.iter
+        (fun (e : Sdfg.edge) ->
+          match ((Sdfg.node_by_id g e.e_src).kind, e.e_memlet) with
+          | Sdfg.Access n, Some _ when Hashtbl.mem node_useful e.e_dst ->
+              mark n
+          | _ -> ())
+        g.edges;
+      (* Copies into useful containers read their source. *)
+      List.iter
+        (fun (e : Sdfg.edge) ->
+          match
+            ((Sdfg.node_by_id g e.e_src).kind, (Sdfg.node_by_id g e.e_dst).kind,
+             e.e_memlet)
+          with
+          | Sdfg.Access src, Sdfg.Access dst, Some _
+            when Hashtbl.mem useful dst ->
+              mark src
+          | _ -> ())
+        g.edges;
+      List.iter
+        (fun (n : Sdfg.node) ->
+          match n.kind with
+          | Sdfg.MapN mn ->
+              if List.exists (Hashtbl.mem useful) (Sdfg.written_containers mn.m_body)
+              then
+                List.iter mark (Sdfg.read_containers mn.m_body);
+              process mn.m_body
+          | _ -> ())
+        g.nodes
+    in
+    List.iter (fun (st : Sdfg.state) -> process st.s_graph) sdfg.states
+  done;
+  useful
+
+let run (sdfg : Sdfg.t) : bool =
+  let changed = ref false in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let useful = compute_useful sdfg in
+    (* Remove writes into useless containers, then useless computations. *)
+    let rec clean (g : Sdfg.graph) =
+      let dead_write (e : Sdfg.edge) : bool =
+        match ((Sdfg.node_by_id g e.e_dst).kind, e.e_memlet) with
+        | Sdfg.Access name, Some _ -> not (Hashtbl.mem useful name)
+        | _ -> false
+      in
+      let before = List.length g.edges in
+      g.edges <- List.filter (fun e -> not (dead_write e)) g.edges;
+      if List.length g.edges <> before then begin
+        changed := true;
+        progress := true
+      end;
+      List.iter
+        (fun (n : Sdfg.node) ->
+          match n.kind with Sdfg.MapN mn -> clean mn.m_body | _ -> ())
+        g.nodes;
+      (* Remove tasklets with no outputs and maps with no effect. *)
+      let continue_ = ref true in
+      while !continue_ do
+        continue_ := false;
+        let dead_nodes =
+          List.filter
+            (fun (n : Sdfg.node) ->
+              match n.kind with
+              | Sdfg.TaskletN _ -> Sdfg.node_out_edges g n = []
+              | Sdfg.MapN mn -> Sdfg.written_containers mn.m_body = []
+              | Sdfg.Access _ -> false)
+            g.nodes
+        in
+        if dead_nodes <> [] then begin
+          Graph_util.remove_nodes g
+            (List.map (fun (n : Sdfg.node) -> n.nid) dead_nodes);
+          changed := true;
+          progress := true;
+          continue_ := true
+        end
+      done;
+      Graph_util.prune_isolated_access g
+    in
+    List.iter (fun (st : Sdfg.state) -> clean st.s_graph) sdfg.states;
+    (* Containers with no accesses at all disappear. *)
+    let referenced = Graph_util.symbolically_referenced sdfg in
+    let to_remove =
+      Hashtbl.fold
+        (fun name (c : Sdfg.container) acc ->
+          if
+            c.transient
+            && (not (Hashtbl.mem referenced name))
+            && sdfg.return_scalar <> Some name
+            && Graph_util.all_reader_edges sdfg name = []
+            && Graph_util.all_writer_edges sdfg name = []
+          then name :: acc
+          else acc)
+        sdfg.containers []
+    in
+    List.iter
+      (fun name ->
+        Sdfg.remove_container sdfg name;
+        (* Drop leftover access nodes (kept alive by dependency edges),
+           bridging their ordering edges. *)
+        List.iter
+          (fun (st : Sdfg.state) ->
+            let rec clean_nodes (g : Sdfg.graph) =
+              Graph_util.remove_access_nodes_of g name;
+              List.iter
+                (fun (n : Sdfg.node) ->
+                  match n.kind with
+                  | Sdfg.MapN mn -> clean_nodes mn.m_body
+                  | _ -> ())
+                g.nodes
+            in
+            clean_nodes st.s_graph)
+          sdfg.states;
+        incr eliminated_counter;
+        changed := true;
+        progress := true)
+      to_remove
+  done;
+  !changed

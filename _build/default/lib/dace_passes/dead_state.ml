@@ -1,0 +1,104 @@
+(** Dead state elimination (§6.2, first half of the extended DCE).
+
+    Uses propagated symbols to decide edge conditions: edges whose condition
+    is provably false are deleted, then states unreachable from the start
+    state are removed (together with their interstate edges). Empty states
+    with a single unconditional successor are short-circuited. *)
+
+open Dcir_sdfg
+open Dcir_symbolic
+
+let run (sdfg : Sdfg.t) : bool =
+  let changed = ref false in
+  (* Drop provably-false edges. *)
+  let before = List.length sdfg.istate_edges in
+  sdfg.istate_edges <-
+    List.filter
+      (fun (e : Sdfg.istate_edge) ->
+        Bexpr.decide e.ie_cond <> Some false)
+      sdfg.istate_edges;
+  if List.length sdfg.istate_edges <> before then changed := true;
+  (* Remove unreachable states. *)
+  let labels = List.map (fun (s : Sdfg.state) -> s.s_label) sdfg.states in
+  let index_of = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace index_of l i) labels;
+  let n = List.length labels in
+  if n > 0 then begin
+    let dg =
+      Dcir_support.Digraph.create ~n
+        (List.filter_map
+           (fun (e : Sdfg.istate_edge) ->
+             match
+               (Hashtbl.find_opt index_of e.ie_src,
+                Hashtbl.find_opt index_of e.ie_dst)
+             with
+             | Some a, Some b -> Some (a, b)
+             | _ -> None)
+           sdfg.istate_edges)
+    in
+    let start =
+      Option.value ~default:0 (Hashtbl.find_opt index_of sdfg.start_state)
+    in
+    let reachable = Dcir_support.Digraph.reachable dg ~roots:[ start ] in
+    let dead =
+      List.filteri (fun i _ -> not reachable.(i)) labels
+    in
+    if dead <> [] then begin
+      changed := true;
+      sdfg.states <-
+        List.filter
+          (fun (s : Sdfg.state) -> not (List.mem s.s_label dead))
+          sdfg.states;
+      sdfg.istate_edges <-
+        List.filter
+          (fun (e : Sdfg.istate_edge) ->
+            (not (List.mem e.ie_src dead)) && not (List.mem e.ie_dst dead))
+          sdfg.istate_edges
+    end
+  end;
+  (* Short-circuit empty pass-through states: empty graph, exactly one
+     unconditional assignment-free out-edge, at least one in-edge, not the
+     start state, no alloc charge attached. *)
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let charged = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun _ (c : Sdfg.container) ->
+        match c.alloc_state with
+        | Some s -> Hashtbl.replace charged s ()
+        | None -> ())
+      sdfg.containers;
+    let removable =
+      List.find_opt
+        (fun (s : Sdfg.state) ->
+          s.s_graph.nodes = []
+          && (not (String.equal s.s_label sdfg.start_state))
+          && (not (Hashtbl.mem charged s.s_label))
+          &&
+          match Sdfg.out_edges sdfg s.s_label with
+          | [ o ] ->
+              o.ie_cond = Bexpr.Bool true && o.ie_assign = []
+              && (not (String.equal o.ie_dst s.s_label))
+              && Sdfg.in_edges sdfg s.s_label <> []
+          | _ -> false)
+        sdfg.states
+    in
+    match removable with
+    | Some s ->
+        let out = List.hd (Sdfg.out_edges sdfg s.s_label) in
+        sdfg.istate_edges <-
+          List.filter_map
+            (fun (e : Sdfg.istate_edge) ->
+              if e == out then None
+              else if String.equal e.ie_dst s.s_label then
+                Some { e with ie_dst = out.ie_dst }
+              else Some e)
+            sdfg.istate_edges;
+        sdfg.states <-
+          List.filter (fun (x : Sdfg.state) -> not (x == s)) sdfg.states;
+        changed := true;
+        continue_ := true
+    | None -> ()
+  done;
+  !changed

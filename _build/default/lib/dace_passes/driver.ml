@@ -1,0 +1,98 @@
+(** Pass pipeline drivers mirroring the paper's stages (§6).
+
+    - {!inference}: scalar-to-symbol promotion, symbol propagation, update
+      (WCR) detection — recovers analyzable symbolic dataflow (§6.1);
+    - {!simplify}: the idempotent simplification fixpoint — state fusion,
+      scalar forwarding, plus re-running inference as containers disappear
+      (the DaCe [sdfg.simplify()] equivalent, "-O1 in compilers");
+    - {!reduce_data_movement} (-O1): extended DCE (dead states, dead
+      dataflow), array elimination, memlet consolidation (§6.2);
+    - {!memory_scheduling} (-O2): allocation hoisting + stack allocation,
+      memory-reducing loop fusion, local-storage promotion, invariant loop
+      collapsing / write narrowing (§6.3).
+
+    {!optimize} runs the full data-centric pipeline and returns statistics. *)
+
+type stats = {
+  mutable eliminated_containers : int;
+  mutable promoted_symbols : int;
+  mutable fused_states : int;
+}
+
+let fixpoint ?(max_rounds = 30) (passes : (string * (Dcir_sdfg.Sdfg.t -> bool)) list)
+    (sdfg : Dcir_sdfg.Sdfg.t) : bool =
+  let changed = ref false in
+  let progress = ref true in
+  let rounds = ref 0 in
+  while !progress && !rounds < max_rounds do
+    incr rounds;
+    progress := false;
+    List.iter
+      (fun (_, p) ->
+        if p sdfg then begin
+          progress := true;
+          changed := true
+        end)
+      passes
+  done;
+  !changed
+
+let inference : (string * (Dcir_sdfg.Sdfg.t -> bool)) list =
+  [
+    ("scalar-to-symbol", Scalar_to_symbol.run);
+    ("symbol-propagation", Symbol_propagation.run);
+    ("wcr-detection", Wcr_detect.run);
+  ]
+
+let simplify_passes : (string * (Dcir_sdfg.Sdfg.t -> bool)) list =
+  inference
+  @ [
+      ("state-fusion", State_fusion.run);
+      ("scalar-forwarding", Scalar_forwarding.run);
+      ("element-forwarding", Element_forwarding.run);
+      ("dead-state", Dead_state.run);
+    ]
+
+let o1_passes : (string * (Dcir_sdfg.Sdfg.t -> bool)) list =
+  [
+    ("dead-dataflow", Dead_dataflow.run);
+    ("memlet-consolidation", Memlet_consolidation.run);
+  ]
+
+let o2_passes : (string * (Dcir_sdfg.Sdfg.t -> bool)) list =
+  [
+    ("alloc-opt", Alloc_opt.run);
+    ("loop-fusion", Loop_fusion.run);
+    ("shrink-to-scalar", Shrink_scalar.run);
+    ("local-storage", Local_storage.run);
+    ("invariant-collapse", Invariant_collapse.run);
+  ]
+
+(** DaCe's [sdfg.simplify()]: inference + fusion to a fixpoint. *)
+let simplify (sdfg : Dcir_sdfg.Sdfg.t) : bool = fixpoint simplify_passes sdfg
+
+(** Full pipeline: simplify, then -O1 data movement reduction, then -O2
+    memory scheduling, re-simplifying after each stage (passes expose new
+    opportunities to each other). [disable] names passes to skip — the
+    ablation hook used by the benchmark harness. *)
+let optimize ?(o1 = true) ?(o2 = true) ?(disable = [])
+    (sdfg : Dcir_sdfg.Sdfg.t) : unit =
+  let keep passes =
+    List.filter (fun (n, _) -> not (List.mem n disable)) passes
+  in
+  ignore (fixpoint (keep simplify_passes) sdfg);
+  if o1 then ignore (fixpoint (keep (simplify_passes @ o1_passes)) sdfg);
+  if o2 then
+    ignore (fixpoint (keep (simplify_passes @ o1_passes @ o2_passes)) sdfg)
+
+let all_pass_names : string list =
+  List.map fst (simplify_passes @ o1_passes @ o2_passes)
+
+(* Containers removed outright plus arrays demoted to register scalars —
+   both stop existing in memory. *)
+let eliminated_containers () : int =
+  !Dead_dataflow.eliminated_counter + !Shrink_scalar.counter
+
+let reset_counters () : unit =
+  Dead_dataflow.eliminated_counter := 0;
+  Shrink_scalar.counter := 0

@@ -1,0 +1,201 @@
+(** Shared queries over SDFG graphs used by the data-centric passes. *)
+
+open Dcir_sdfg
+open Dcir_symbolic
+
+(** True symbols: bound by the caller or assigned on interstate edges.
+    Everything else appearing in expressions is a scalar-container
+    pseudo-symbol whose value changes over time — subsets mentioning those
+    are not yet analyzable (§5.1's "set equal to the outer region"). *)
+let true_symbols (sdfg : Sdfg.t) : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace tbl s ()) sdfg.arg_symbols;
+  List.iter
+    (fun (e : Sdfg.istate_edge) ->
+      List.iter (fun (s, _) -> Hashtbl.replace tbl s ()) e.ie_assign)
+    sdfg.istate_edges;
+  tbl
+
+let expr_analyzable (syms : (string, unit) Hashtbl.t) (e : Expr.t) : bool =
+  List.for_all (fun s -> Hashtbl.mem syms s) (Expr.free_syms e)
+
+let subset_analyzable (syms : (string, unit) Hashtbl.t) (r : Range.t) : bool =
+  List.for_all (fun s -> Hashtbl.mem syms s) (Range.free_syms r)
+
+(** Edges writing into access nodes of [name] in graph [g] (recursively,
+    maps included), with the graph they live in. *)
+let rec writer_edges (g : Sdfg.graph) (name : string) :
+    (Sdfg.graph * Sdfg.edge) list =
+  let here =
+    List.filter
+      (fun (e : Sdfg.edge) ->
+        match ((Sdfg.node_by_id g e.e_dst).kind, e.e_memlet) with
+        | Sdfg.Access n, Some m ->
+            String.equal n name
+            && (String.equal m.data name || m.other <> None)
+        | _ -> false)
+      g.edges
+    |> List.map (fun e -> (g, e))
+  in
+  here
+  @ List.concat_map
+      (fun (n : Sdfg.node) ->
+        match n.kind with
+        | Sdfg.MapN mn -> writer_edges mn.m_body name
+        | _ -> [])
+      g.nodes
+
+(** Edges reading from access nodes of [name] (recursively). *)
+let rec reader_edges (g : Sdfg.graph) (name : string) :
+    (Sdfg.graph * Sdfg.edge) list =
+  let here =
+    List.filter
+      (fun (e : Sdfg.edge) ->
+        match ((Sdfg.node_by_id g e.e_src).kind, e.e_memlet) with
+        | Sdfg.Access n, Some m -> String.equal n name && String.equal m.data name
+        | _ -> false)
+      g.edges
+    |> List.map (fun e -> (g, e))
+  in
+  here
+  @ List.concat_map
+      (fun (n : Sdfg.node) ->
+        match n.kind with
+        | Sdfg.MapN mn -> reader_edges mn.m_body name
+        | _ -> [])
+      g.nodes
+
+let all_writer_edges (sdfg : Sdfg.t) (name : string) :
+    (Sdfg.state * Sdfg.graph * Sdfg.edge) list =
+  List.concat_map
+    (fun (st : Sdfg.state) ->
+      List.map (fun (g, e) -> (st, g, e)) (writer_edges st.s_graph name))
+    sdfg.states
+
+let all_reader_edges (sdfg : Sdfg.t) (name : string) :
+    (Sdfg.state * Sdfg.graph * Sdfg.edge) list =
+  List.concat_map
+    (fun (st : Sdfg.state) ->
+      List.map (fun (g, e) -> (st, g, e)) (reader_edges st.s_graph name))
+    sdfg.states
+
+(** Container names referenced as pseudo-symbols anywhere (subsets, tasklet
+    code, conditions, assignments, shapes): these cannot be removed or
+    forwarded until promoted. *)
+let symbolically_referenced (sdfg : Sdfg.t) : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s -> if Hashtbl.mem sdfg.containers s then Hashtbl.replace tbl s ())
+    (Sdfg.free_syms sdfg);
+  tbl
+
+(** Remove nodes by id and every edge touching them. *)
+let remove_nodes (g : Sdfg.graph) (ids : int list) : unit =
+  g.nodes <- List.filter (fun (n : Sdfg.node) -> not (List.mem n.nid ids)) g.nodes;
+  g.edges <-
+    List.filter
+      (fun (e : Sdfg.edge) ->
+        (not (List.mem e.e_src ids)) && not (List.mem e.e_dst ids))
+      g.edges
+
+(** Drop access nodes with no remaining edges. *)
+let prune_isolated_access (g : Sdfg.graph) : unit =
+  let touched = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Sdfg.edge) ->
+      Hashtbl.replace touched e.e_src ();
+      Hashtbl.replace touched e.e_dst ())
+    g.edges;
+  g.nodes <-
+    List.filter
+      (fun (n : Sdfg.node) ->
+        match n.kind with
+        | Sdfg.Access _ -> Hashtbl.mem touched n.nid
+        | _ -> true)
+      g.nodes
+
+(** Event nodes touching container [name]: nodes whose execution actually
+    moves [name]'s data (tasklets with a memlet on it, access nodes sourcing
+    a copy of/into it, maps containing such an event). Used by state fusion
+    to sequence conflicting accesses. *)
+let rec event_nodes (g : Sdfg.graph) (name : string) :
+    (Sdfg.node * [ `Read | `Write ]) list =
+  List.concat_map
+    (fun (e : Sdfg.edge) ->
+      match e.e_memlet with
+      | None -> []
+      | Some m ->
+          let src = Sdfg.node_by_id g e.e_src
+          and dst = Sdfg.node_by_id g e.e_dst in
+          let acc = ref [] in
+          (match (src.kind, dst.kind) with
+          | Sdfg.Access a, Sdfg.Access b ->
+              (* Copy: event at the source access node. *)
+              if String.equal a name then acc := (src, `Read) :: !acc;
+              if String.equal b name then acc := (src, `Write) :: !acc;
+              ignore m
+          | Sdfg.Access a, _ ->
+              if String.equal a name && String.equal m.data name then
+                acc := (dst, `Read) :: !acc
+          | _, Sdfg.Access b ->
+              if String.equal b name && String.equal m.data name then
+                acc := (src, `Write) :: !acc
+          | _ -> ());
+          !acc)
+    g.edges
+  @ List.concat_map
+      (fun (n : Sdfg.node) ->
+        match n.kind with
+        | Sdfg.MapN mn ->
+            let inner = event_nodes mn.m_body name in
+            List.map (fun (_, rw) -> (n, rw)) inner
+        | _ -> [])
+      g.nodes
+
+(** Remove every access node of [name] from [g], bridging dependency
+    ordering: each predecessor of a removed node gets a dep edge to each of
+    its successors. Used after a container is eliminated while ordering
+    edges through its access nodes still matter. *)
+let remove_access_nodes_of (g : Sdfg.graph) (name : string) : unit =
+  let victims =
+    List.filter
+      (fun (n : Sdfg.node) ->
+        match n.kind with
+        | Sdfg.Access c -> String.equal c name
+        | _ -> false)
+      g.nodes
+  in
+  List.iter
+    (fun (v : Sdfg.node) ->
+      let preds = Sdfg.node_in_edges g v in
+      let succs = Sdfg.node_out_edges g v in
+      let bridges =
+        List.concat_map
+          (fun (p : Sdfg.edge) ->
+            List.filter_map
+              (fun (q : Sdfg.edge) ->
+                if p.e_src <> q.e_dst then Some (p.e_src, q.e_dst) else None)
+              succs)
+          preds
+      in
+      g.edges <-
+        List.filter
+          (fun (e : Sdfg.edge) -> e.e_src <> v.nid && e.e_dst <> v.nid)
+          g.edges;
+      List.iter
+        (fun (a, b) ->
+          if
+            not
+              (List.exists
+                 (fun (e : Sdfg.edge) ->
+                   e.e_src = a && e.e_dst = b && e.e_memlet = None)
+                 g.edges)
+          then
+            g.edges <-
+              g.edges
+              @ [ { Sdfg.e_src = a; e_src_conn = None; e_dst = b;
+                    e_dst_conn = None; e_memlet = None } ])
+        bridges;
+      g.nodes <-
+        List.filter (fun (n : Sdfg.node) -> n.nid <> v.nid) g.nodes)
+    victims

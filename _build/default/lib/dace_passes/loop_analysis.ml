@@ -1,0 +1,203 @@
+(** Structural detection of guard-pattern loops in the SDFG state machine.
+
+    The converter (and the DaCe C frontend baseline) emit loops as:
+
+    {v
+         pred --[i := init]--> guard
+         guard --[cond]-->  body...  --[i := i + step]--> guard
+         guard --[!cond]--> exit
+    v}
+
+    Several data-centric passes need this structure back: allocation
+    hoisting, memory-reducing loop fusion, local-storage promotion, and
+    invariant loop collapsing. Loops are re-detected on demand (never cached)
+    so passes cannot observe stale structure. *)
+
+open Dcir_symbolic
+open Dcir_sdfg
+
+type loop = {
+  guard : string;
+  body : string list;  (** states strictly inside the loop (excl. guard) *)
+  exit_state : string;
+  sym : string;  (** induction symbol *)
+  init : Expr.t;  (** from the entry edge assignment *)
+  step : Expr.t;  (** from the back edge: i := i + step *)
+  cond : Bexpr.t;  (** continue condition on the guard->body edge *)
+  entry_edge : Sdfg.istate_edge;  (** into guard, carries the init *)
+  back_edge : Sdfg.istate_edge;
+  continue_edge : Sdfg.istate_edge;
+  exit_edge : Sdfg.istate_edge;
+}
+
+(* Extract `i := i + step` form. *)
+let step_of (sym : string) (assigns : (string * Expr.t) list) : Expr.t option =
+  match List.assoc_opt sym assigns with
+  | Some rhs ->
+      let step = Expr.sub rhs (Expr.sym sym) in
+      if List.mem sym (Expr.free_syms step) then None else Some step
+  | None -> None
+
+(** Detect all guard-pattern loops. *)
+let find_loops (sdfg : Sdfg.t) : loop list =
+  let labels = List.map (fun (s : Sdfg.state) -> s.s_label) sdfg.states in
+  let index_of = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace index_of l i) labels;
+  let idx l = Hashtbl.find_opt index_of l in
+  let n = List.length labels in
+  let dg =
+    Dcir_support.Digraph.create ~n
+      (List.filter_map
+         (fun (e : Sdfg.istate_edge) ->
+           match (idx e.ie_src, idx e.ie_dst) with
+           | Some a, Some b -> Some (a, b)
+           | _ -> None)
+         sdfg.istate_edges)
+  in
+  let start =
+    match idx sdfg.start_state with Some i -> i | None -> 0
+  in
+  let doms = Dcir_support.Digraph.idom dg ~root:start in
+  let dominates a b =
+    (* a dominates b *)
+    let rec up x = if x = a then true else if x = doms.(x) || doms.(x) = -1 then false else up doms.(x) in
+    if doms.(b) = -1 then false else up b
+  in
+  let label_arr = Array.of_list labels in
+  List.filter_map
+    (fun (back : Sdfg.istate_edge) ->
+      match (idx back.ie_src, idx back.ie_dst) with
+      | Some latch, Some guard_i when dominates guard_i latch -> (
+          let guard = label_arr.(guard_i) in
+          let outs = Sdfg.out_edges sdfg guard in
+          match outs with
+          | [ e1; e2 ] -> (
+              (* One edge continues into the loop (reaches the latch without
+                 passing through guard), the other exits. *)
+              let reaches_latch (e : Sdfg.istate_edge) =
+                match idx e.ie_dst with
+                | None -> false
+                | Some d ->
+                    if d = latch then true
+                    else
+                      (* BFS avoiding guard *)
+                      let visited = Array.make n false in
+                      let q = Queue.create () in
+                      Queue.add d q;
+                      let found = ref false in
+                      while not (Queue.is_empty q) do
+                        let x = Queue.pop q in
+                        if (not visited.(x)) && x <> guard_i then begin
+                          visited.(x) <- true;
+                          if x = latch then found := true
+                          else
+                            List.iter (fun y -> Queue.add y q)
+                              (Dcir_support.Digraph.succ dg x)
+                        end
+                      done;
+                      !found
+              in
+              let cont, exit_e =
+                if reaches_latch e1 then (e1, e2)
+                else if reaches_latch e2 then (e2, e1)
+                else (e1, e2)
+              in
+              if not (reaches_latch cont) then None
+              else
+                (* Induction symbol: assigned on the back edge as i := i+c. *)
+                let sym_candidates =
+                  List.filter_map
+                    (fun (s, _) ->
+                      match step_of s back.ie_assign with
+                      | Some st -> Some (s, st)
+                      | None -> None)
+                    back.ie_assign
+                in
+                match sym_candidates with
+                | (sym, step) :: _ -> (
+                    (* Entry edges: into guard, not the back edge, assigning
+                       sym. *)
+                    let entries =
+                      List.filter
+                        (fun (e : Sdfg.istate_edge) ->
+                          String.equal e.ie_dst guard
+                          && not (e == back)
+                          && List.mem_assoc sym e.ie_assign)
+                        sdfg.istate_edges
+                    in
+                    match entries with
+                    | [ entry ] ->
+                        let init = List.assoc sym entry.ie_assign in
+                        (* Body: states dominated by guard that can reach the
+                           latch without leaving through exit. *)
+                        let body =
+                          List.init n Fun.id
+                          |> List.filter
+                            (fun i ->
+                              i <> guard_i && doms.(i) <> -1
+                              && dominates guard_i i
+                              &&
+                              (* can reach latch avoiding guard *)
+                              let visited = Array.make n false in
+                              let q = Queue.create () in
+                              Queue.add i q;
+                              let found = ref false in
+                              while not (Queue.is_empty q) do
+                                let x = Queue.pop q in
+                                if (not visited.(x)) && x <> guard_i then begin
+                                  visited.(x) <- true;
+                                  if x = latch then found := true
+                                  else
+                                    List.iter (fun y -> Queue.add y q)
+                                      (Dcir_support.Digraph.succ dg x)
+                                end
+                              done;
+                              !found)
+                          |> List.map (fun i -> label_arr.(i))
+                        in
+                        Some
+                          {
+                            guard;
+                            body;
+                            exit_state = exit_e.ie_dst;
+                            sym;
+                            init;
+                            step;
+                            cond = cont.ie_cond;
+                            entry_edge = entry;
+                            back_edge = back;
+                            continue_edge = cont;
+                            exit_edge = exit_e;
+                          }
+                    | _ -> None)
+                | [] -> None)
+          | _ -> None)
+      | _ -> None)
+    sdfg.istate_edges
+
+(** Symbolic trip count of a loop, when derivable: requires condition
+    [i < ub] (or [i <= ub]) and positive constant step, or the descending
+    forms. *)
+let trip_count (l : loop) : Expr.t option =
+  match (l.cond, Expr.is_constant l.step) with
+  | Bexpr.Cmp (op, Expr.Sym s, ub), Some c
+    when String.equal s l.sym && c <> 0 -> (
+      match (op, c > 0) with
+      | Bexpr.Lt, true ->
+          Some (Expr.div (Expr.add (Expr.sub ub l.init) (Expr.int (c - 1))) (Expr.int c))
+      | Bexpr.Le, true ->
+          Some (Expr.div (Expr.add (Expr.sub ub l.init) (Expr.int c)) (Expr.int c))
+      | Bexpr.Gt, false ->
+          let c = -c in
+          Some (Expr.div (Expr.add (Expr.sub l.init ub) (Expr.int (c - 1))) (Expr.int c))
+      | Bexpr.Ge, false ->
+          let c = -c in
+          Some (Expr.div (Expr.add (Expr.sub l.init ub) (Expr.int c)) (Expr.int c))
+      | _ -> None)
+  | _ -> None
+
+(** Loops whose body is exactly one state, keyed for fusion. *)
+let single_state_body (sdfg : Sdfg.t) (l : loop) : Sdfg.state option =
+  match l.body with
+  | [ b ] -> Sdfg.find_state sdfg b
+  | _ -> None

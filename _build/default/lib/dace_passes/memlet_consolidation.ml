@@ -1,0 +1,92 @@
+(** Memlet consolidation (§6.2): unions memlets that refer to the same
+    container within the same scope into a bounding-box memlet — the "data
+    movement common denominator" for a stencil reading [A[i]] and [A[i+1]].
+
+    The consolidation applies to {e map} external edges (where several
+    per-element edges from the surrounding scope can merge into one) — for
+    plain tasklet inputs the individual element memlets are the actual
+    movement and stay. The pass therefore primarily serves analyses
+    (volume estimates, fusion legality) and the map-based tests; it also
+    dedups exactly-equal memlets between the same endpoints. *)
+
+open Dcir_sdfg
+open Dcir_symbolic
+
+let run (sdfg : Sdfg.t) : bool =
+  let changed = ref false in
+  let rec process (g : Sdfg.graph) =
+    (* Dedup identical parallel memlet edges (same endpoints, connectors,
+       data, equal subsets). *)
+    let rec dedup (seen : Sdfg.edge list) = function
+      | [] -> List.rev seen
+      | (e : Sdfg.edge) :: rest ->
+          let duplicate =
+            List.exists
+              (fun (x : Sdfg.edge) ->
+                x.e_src = e.e_src && x.e_dst = e.e_dst
+                && x.e_src_conn = e.e_src_conn && x.e_dst_conn = e.e_dst_conn
+                &&
+                match (x.e_memlet, e.e_memlet) with
+                | Some a, Some b ->
+                    String.equal a.data b.data
+                    && Range.equal a.subset b.subset
+                    && a.wcr = b.wcr
+                | None, None -> true
+                | _ -> false)
+              seen
+          in
+          if duplicate then begin
+            changed := true;
+            dedup seen rest
+          end
+          else dedup (e :: seen) rest
+    in
+    g.edges <- dedup [] g.edges;
+    (* Union map-node external input memlets per container. *)
+    List.iter
+      (fun (n : Sdfg.node) ->
+        match n.kind with
+        | Sdfg.MapN mn ->
+            process mn.m_body;
+            let ins = Sdfg.node_in_edges g n in
+            let groups : (string, Sdfg.edge list) Hashtbl.t = Hashtbl.create 8 in
+            List.iter
+              (fun (e : Sdfg.edge) ->
+                match e.e_memlet with
+                | Some m when m.wcr = None && e.e_dst_conn = None ->
+                    Hashtbl.replace groups m.data
+                      (e :: Option.value ~default:[] (Hashtbl.find_opt groups m.data))
+                | _ -> ())
+              ins;
+            Hashtbl.iter
+              (fun _ (edges : Sdfg.edge list) ->
+                match edges with
+                | (first : Sdfg.edge) :: (_ :: _ as rest) ->
+                    let union_subset =
+                      List.fold_left
+                        (fun acc (e : Sdfg.edge) ->
+                          match e.e_memlet with
+                          | Some m -> Range.union acc m.subset
+                          | None -> acc)
+                        (match first.Sdfg.e_memlet with
+                        | Some m -> m.subset
+                        | None -> [])
+                        rest
+                    in
+                    (match first.Sdfg.e_memlet with
+                    | Some m ->
+                        first.Sdfg.e_memlet <- Some { m with subset = union_subset }
+                    | None -> ());
+                    g.edges <-
+                      List.filter
+                        (fun (x : Sdfg.edge) ->
+                          not (List.memq x rest))
+                        g.edges;
+                    changed := true
+                | _ -> ())
+              groups
+        | _ -> ())
+      g.nodes
+  in
+  List.iter (fun (st : Sdfg.state) -> process st.s_graph) sdfg.states;
+  !changed

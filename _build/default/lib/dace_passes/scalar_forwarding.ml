@@ -1,0 +1,188 @@
+(** Redundant scalar elimination (part of the paper's Array Elimination,
+    §6.2): recovers direct dataflow from the converter's
+    one-scalar-per-SSA-value output.
+
+    Within a fused state, a transient scalar that is written exactly once
+    and only read within the same state disappears:
+
+    - written by a tasklet output → readers get {e direct value edges} from
+      that output connector (pure SSA dataflow, no memory traffic);
+    - written by a copy from another container's element → readers read that
+      element directly (the copy's memlet moves to the reader).
+
+    Scalars referenced as pseudo-symbols anywhere (unpromoted indices) are
+    left untouched; scalar-to-symbol owns those. *)
+
+open Dcir_sdfg
+
+(* Ordering dependencies anchored on the scalar's access nodes must survive
+   its removal: re-anchor every pure-dependency edge incident to an access
+   node of [name] onto [anchor], the node whose visit now performs the
+   forwarded movement. *)
+let reanchor_deps (g : Sdfg.graph) (name : string) (anchor : int) : unit =
+  let victim (nid : int) =
+    match (Sdfg.node_by_id g nid).kind with
+    | Sdfg.Access c -> String.equal c name
+    | _ -> false
+  in
+  g.edges <-
+    List.filter_map
+      (fun (e : Sdfg.edge) ->
+        if e.e_memlet <> None then Some e
+        else
+          let src_v = victim e.e_src and dst_v = victim e.e_dst in
+          if not (src_v || dst_v) then Some e
+          else
+            let ns = if src_v then anchor else e.e_src in
+            let nd = if dst_v then anchor else e.e_dst in
+            if ns = nd then None
+            else Some { e with e_src = ns; e_dst = nd })
+      g.edges
+
+let run (sdfg : Sdfg.t) : bool =
+  let changed = ref false in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let referenced = Graph_util.symbolically_referenced sdfg in
+    let scalars =
+      Hashtbl.fold
+        (fun name (c : Sdfg.container) acc ->
+          if
+            c.transient && Sdfg.is_scalar c
+            && not (Hashtbl.mem referenced name)
+            && sdfg.return_scalar <> Some name
+          then name :: acc
+          else acc)
+        sdfg.containers []
+      |> List.sort compare
+    in
+    List.iter
+      (fun name ->
+        match
+          (Graph_util.all_writer_edges sdfg name,
+           Graph_util.all_reader_edges sdfg name)
+        with
+        | [ (wst, wg, we) ], readers
+          when List.for_all
+                 (fun ((rst, rg, _) : Sdfg.state * Sdfg.graph * Sdfg.edge) ->
+                   rst == wst && rg == wg)
+                 readers -> (
+            let g = wg in
+            let src = Sdfg.node_by_id g we.e_src in
+            match (src.kind, we.e_src_conn, we.e_memlet) with
+            | Sdfg.TaskletN _, Some out_conn, Some m when m.wcr = None ->
+                (* Tasklet-defined: value edges to every reader. *)
+                List.iter
+                  (fun ((_, _, re) : Sdfg.state * Sdfg.graph * Sdfg.edge) ->
+                    g.edges <-
+                      List.map
+                        (fun (x : Sdfg.edge) ->
+                          if x == re then
+                            match (Sdfg.node_by_id g x.e_dst).kind with
+                            | Sdfg.Access dst_name ->
+                                (* Old copy scalar->dst becomes a direct
+                                   tasklet write into dst. *)
+                                let dst_subset =
+                                  match x.e_memlet with
+                                  | Some { other = Some o; _ } -> o
+                                  | _ -> []
+                                in
+                                {
+                                  x with
+                                  e_src = src.nid;
+                                  e_src_conn = Some out_conn;
+                                  e_memlet =
+                                    Some
+                                      {
+                                        Sdfg.data = dst_name;
+                                        subset = dst_subset;
+                                        wcr =
+                                          (match x.e_memlet with
+                                          | Some xm -> xm.wcr
+                                          | None -> None);
+                                        other = None;
+                                      };
+                                }
+                            | _ ->
+                                {
+                                  x with
+                                  e_src = src.nid;
+                                  e_src_conn = Some out_conn;
+                                  e_memlet = None;
+                                }
+                          else x)
+                        g.edges)
+                  readers;
+                g.edges <- List.filter (fun (x : Sdfg.edge) -> x != we) g.edges;
+                reanchor_deps g name src.nid;
+                Graph_util.remove_access_nodes_of g name;
+                Graph_util.prune_isolated_access g;
+                Sdfg.remove_container sdfg name;
+                changed := true;
+                progress := true
+            | Sdfg.Access _, None, Some m
+              when m.wcr = None
+                   && (not (String.equal m.data name))
+                   (* forward loads only when the source container is not
+                      written in this state: the reader would otherwise
+                      observe a later value than the original copy did *)
+                   && not (List.mem m.data (Sdfg.written_containers g)) ->
+                let forward_subset = m.subset in
+                let src_access = we.e_src in
+                List.iter
+                  (fun ((_, _, re) : Sdfg.state * Sdfg.graph * Sdfg.edge) ->
+                    g.edges <-
+                      List.map
+                        (fun (x : Sdfg.edge) ->
+                          if x == re then
+                            {
+                              x with
+                              e_src = src_access;
+                              e_memlet =
+                                Some
+                                  {
+                                    Sdfg.data = m.data;
+                                    subset = forward_subset;
+                                    wcr =
+                                      (match x.e_memlet with
+                                      | Some xm -> xm.wcr
+                                      | None -> None);
+                                    other =
+                                      (match
+                                         ( (Sdfg.node_by_id g x.e_dst).kind,
+                                           x.e_memlet )
+                                       with
+                                      | Sdfg.Access _, Some xm ->
+                                          (* reader was itself a copy out of
+                                             the scalar: preserve its
+                                             destination subset *)
+                                          (match xm.other with
+                                          | Some o -> Some o
+                                          | None -> Some xm.subset)
+                                      | _ -> None);
+                                  };
+                            }
+                          else x)
+                        g.edges)
+                  readers;
+                g.edges <- List.filter (fun (x : Sdfg.edge) -> x != we) g.edges;
+                reanchor_deps g name src_access;
+                Graph_util.remove_access_nodes_of g name;
+                Graph_util.prune_isolated_access g;
+                (* Re-anchoring onto a shared event node can in principle
+                   close a cycle; refuse (and fail loudly) rather than run
+                   out of order. *)
+                (try ignore (Sdfg.topo_order g)
+                 with Invalid_argument _ ->
+                   failwith
+                     ("scalar forwarding created a cyclic state while \
+                       removing " ^ name));
+                Sdfg.remove_container sdfg name;
+                changed := true;
+                progress := true
+            | _ -> ())
+        | _ -> ())
+      scalars
+  done;
+  !changed

@@ -1,0 +1,103 @@
+(** State fusion — the core of SDFG simplification (§6.1).
+
+    Two states connected by a single unconditional, assignment-free edge
+    (where the first has exactly one successor and the second exactly one
+    predecessor) merge into one dataflow graph. Conflicting accesses to the
+    same container are sequenced by dependency edges between the {e event
+    nodes} (the nodes whose execution actually performs the data movement),
+    so the merged graph stays race-free — the paper's "data dependencies can
+    be expressed in one acyclic graph without introducing data races".
+
+    Fusing the converter's one-op-per-state output repeatedly enlarges pure
+    dataflow regions, as in Fig 5d → §6.1. *)
+
+open Dcir_sdfg
+
+let fusable (sdfg : Sdfg.t) (e : Sdfg.istate_edge) : bool =
+  e.ie_cond = Dcir_symbolic.Bexpr.Bool true
+  && e.ie_assign = []
+  && (not (String.equal e.ie_src e.ie_dst))
+  && List.length (Sdfg.out_edges sdfg e.ie_src) = 1
+  && List.length (Sdfg.in_edges sdfg e.ie_dst) = 1
+
+let fuse_pair (sdfg : Sdfg.t) (e : Sdfg.istate_edge) : unit =
+  let s1 = Option.get (Sdfg.find_state sdfg e.ie_src) in
+  let s2 = Option.get (Sdfg.find_state sdfg e.ie_dst) in
+  let g1 = s1.s_graph and g2 = s2.s_graph in
+  (* Containers touched in both states need sequencing edges. *)
+  let touched g =
+    let module S = Set.Make (String) in
+    S.of_list (Sdfg.read_containers g @ Sdfg.written_containers g)
+  in
+  let module S = Set.Make (String) in
+  let common = S.inter (touched g1) (touched g2) in
+  let writes1 = S.of_list (Sdfg.written_containers g1) in
+  let writes2 = S.of_list (Sdfg.written_containers g2) in
+  let dep_edges =
+    S.fold
+      (fun c acc ->
+        (* read-read needs no ordering *)
+        if (not (S.mem c writes1)) && not (S.mem c writes2) then acc
+        else
+          let ev1 = Graph_util.event_nodes g1 c in
+          let ev2 = Graph_util.event_nodes g2 c in
+          List.concat_map
+            (fun ((n1, rw1) : Sdfg.node * _) ->
+              List.filter_map
+                (fun ((n2, rw2) : Sdfg.node * _) ->
+                  if rw1 = `Read && rw2 = `Read then None
+                  else Some (n1.nid, n2.nid))
+                ev2)
+            ev1
+          @ acc)
+      common []
+  in
+  (* Merge. *)
+  g1.nodes <- g1.nodes @ g2.nodes;
+  g1.edges <- g1.edges @ g2.edges;
+  List.iter
+    (fun (a, b) ->
+      if a <> b
+         && not
+              (List.exists
+                 (fun (x : Sdfg.edge) ->
+                   x.e_src = a && x.e_dst = b && x.e_memlet = None)
+                 g1.edges)
+      then
+        g1.edges <-
+          g1.edges
+          @ [ { e_src = a; e_src_conn = None; e_dst = b; e_dst_conn = None;
+                e_memlet = None } ])
+    dep_edges;
+  (* Rewire the state machine: s2's outgoing edges now leave s1. *)
+  sdfg.istate_edges <-
+    List.filter_map
+      (fun (x : Sdfg.istate_edge) ->
+        if x == e then None
+        else if String.equal x.ie_src s2.s_label then
+          Some { x with ie_src = s1.s_label }
+        else if String.equal x.ie_dst s2.s_label then
+          Some { x with ie_dst = s1.s_label }
+        else Some x)
+      sdfg.istate_edges;
+  sdfg.states <-
+    List.filter (fun (s : Sdfg.state) -> not (s == s2)) sdfg.states;
+  (* Move alloc-state ownership to the fused state. *)
+  Hashtbl.iter
+    (fun _ (c : Sdfg.container) ->
+      if c.alloc_state = Some s2.s_label then c.alloc_state <- Some s1.s_label)
+    sdfg.containers
+
+let run (sdfg : Sdfg.t) : bool =
+  let changed = ref false in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    match List.find_opt (fusable sdfg) sdfg.istate_edges with
+    | Some e ->
+        fuse_pair sdfg e;
+        changed := true;
+        progress := true
+    | None -> ()
+  done;
+  !changed

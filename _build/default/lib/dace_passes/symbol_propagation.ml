@@ -1,0 +1,141 @@
+(** Symbol propagation (§6.1, ⑤) — the symbolic analogue of constant
+    propagation.
+
+    A symbol assigned on exactly one interstate edge is replaced by its
+    (simplified) value everywhere: memlet subsets, tasklet code, interstate
+    conditions and assignments, container shapes, map ranges, and the return
+    expression. Iterates to a fixpoint so chains ([_const := 0],
+    [idx := _const + 1]) collapse fully, turning [_arg0[_const]] into
+    [_arg0[0]] as in Fig 5.
+
+    Safety: single-static-assignment provenance (the converter produces one
+    assignment site per promoted SSA scalar, and uses are always reached
+    after the assignment within the same iteration), so substituting the RHS
+    at use sites preserves values even when the edge re-executes in a loop.
+    Symbols assigned on multiple edges (loop induction variables,
+    loop-carried state) are never propagated. *)
+
+open Dcir_sdfg
+open Dcir_symbolic
+
+let subst_everywhere (sdfg : Sdfg.t) (lookup : string -> Expr.t option) : unit
+    =
+  let subst_range r = Range.subst lookup r in
+  let rec subst_graph (g : Sdfg.graph) =
+    List.iter
+      (fun (e : Sdfg.edge) ->
+        match e.e_memlet with
+        | Some m ->
+            e.e_memlet <-
+              Some
+                {
+                  m with
+                  subset = subst_range m.subset;
+                  other = Option.map subst_range m.other;
+                }
+        | None -> ())
+      g.edges;
+    g.nodes <-
+      List.map
+        (fun (n : Sdfg.node) ->
+          match n.kind with
+          | Sdfg.TaskletN ({ code = Native assigns; _ } as t) ->
+              {
+                n with
+                kind =
+                  Sdfg.TaskletN
+                    {
+                      t with
+                      code =
+                        Sdfg.Native
+                          (List.map
+                             (fun (o, e) -> (o, Texpr.subst_syms lookup e))
+                             assigns);
+                    };
+              }
+          | Sdfg.MapN mn ->
+              mn.m_ranges <- subst_range mn.m_ranges;
+              subst_graph mn.m_body;
+              n
+          | _ -> n)
+        g.nodes
+  in
+  List.iter (fun (st : Sdfg.state) -> subst_graph st.s_graph) sdfg.states;
+  List.iter
+    (fun (e : Sdfg.istate_edge) ->
+      e.ie_cond <- Bexpr.simplify (Bexpr.subst lookup e.ie_cond);
+      e.ie_assign <-
+        List.map (fun (s, ex) -> (s, Expr.subst lookup ex)) e.ie_assign)
+    sdfg.istate_edges;
+  Hashtbl.iter
+    (fun _ (c : Sdfg.container) ->
+      c.shape <- List.map (Expr.subst lookup) c.shape)
+    sdfg.containers;
+  sdfg.return_expr <- Option.map (Expr.subst lookup) sdfg.return_expr
+
+(* mutable shape: containers' shape field must be mutable. *)
+
+let run (sdfg : Sdfg.t) : bool =
+  let changed = ref false in
+  let progress = ref true in
+  let rounds = ref 0 in
+  while !progress && !rounds < 20 do
+    incr rounds;
+    progress := false;
+    (* Count assignments per symbol. *)
+    let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let rhs : (string, Expr.t) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Sdfg.istate_edge) ->
+        List.iter
+          (fun (s, ex) ->
+            Hashtbl.replace counts s
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts s));
+            Hashtbl.replace rhs s ex)
+          e.ie_assign)
+      sdfg.istate_edges;
+    (* Propagatable: assigned exactly once, not self-referential, and the
+       RHS does not mention a multiply-assigned symbol... unless provenance
+       guarantees same-iteration use (converter output); we accept RHS
+       symbols that are single-assigned, argument symbols, or loop
+       variables, rejecting only direct self-reference. *)
+    let single s = Hashtbl.find_opt counts s = Some 1 in
+    let candidates =
+      Hashtbl.fold
+        (fun s ex acc ->
+          if single s && not (List.mem s (Expr.free_syms ex)) then
+            (s, ex) :: acc
+          else acc)
+        rhs []
+    in
+    if candidates <> [] then begin
+      let lookup name = List.assoc_opt name candidates in
+      (* Resolve candidate RHSs against each other to a bounded depth so
+         chains collapse in one substitution round. *)
+      let rec resolve depth e =
+        if depth = 0 then e
+        else
+          let e' = Expr.subst lookup e in
+          if Expr.equal e' e then e else resolve (depth - 1) e'
+      in
+      let resolved = List.map (fun (s, e) -> (s, resolve 8 e)) candidates in
+      let lookup name = List.assoc_opt name resolved in
+      subst_everywhere sdfg lookup;
+      (* Drop the now-dead assignments (their symbols are no longer read —
+         unless still referenced, e.g. cyclic chains kept above). *)
+      let still_used = Sdfg.free_syms sdfg in
+      List.iter
+        (fun (e : Sdfg.istate_edge) ->
+          let before = List.length e.ie_assign in
+          e.ie_assign <-
+            List.filter
+              (fun (s, _) ->
+                (not (List.mem_assoc s resolved)) || List.mem s still_used)
+              e.ie_assign;
+          if List.length e.ie_assign <> before then changed := true)
+        sdfg.istate_edges;
+      changed := true;
+      progress := true
+    end
+  done;
+  !changed

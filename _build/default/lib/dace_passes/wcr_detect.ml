@@ -1,0 +1,126 @@
+(** Update detection — the AugAssignToWCR transformation (§6.1).
+
+    A tasklet that reads [A[s]], combines it with an associative binary
+    operation, and writes the result back to the same [A[s]] becomes an
+    {e update}: the read edge disappears and the write memlet carries a
+    write-conflict-resolution function. Distinguishing updates from writes
+    enables parallelization-safe reductions and wait-free operations (and,
+    here, later local-storage promotion of accumulators). *)
+
+open Dcir_sdfg
+
+let assoc_wcr : Texpr.binop -> Sdfg.wcr option = function
+  | Texpr.BAdd -> Some Sdfg.WcrSum
+  | Texpr.BMul -> Some Sdfg.WcrProd
+  | Texpr.BMax -> Some Sdfg.WcrMax
+  | Texpr.BMin -> Some Sdfg.WcrMin
+  | Texpr.BSub | Texpr.BDiv | Texpr.BMod -> None
+
+let run (sdfg : Sdfg.t) : bool =
+  let changed = ref false in
+  let rec process_graph (g : Sdfg.graph) =
+    List.iter
+      (fun (n : Sdfg.node) ->
+        match n.kind with
+        | Sdfg.MapN mn -> process_graph mn.m_body
+        | Sdfg.TaskletN ({ code = Native [ (out, expr) ]; _ } as t) -> (
+            (* The output may feed exactly one memlet write and nothing
+               else: a value edge to another tasklet carries the full
+               pre-update expression, which the rewrite would destroy.
+               Pure ordering (connector-less) edges are fine. *)
+            let all_outs = Sdfg.node_out_edges g n in
+            let outs =
+              List.filter (fun (e : Sdfg.edge) -> e.e_memlet <> None) all_outs
+            in
+            let has_value_consumer =
+              List.exists
+                (fun (e : Sdfg.edge) ->
+                  e.e_memlet = None && e.e_src_conn <> None)
+                all_outs
+            in
+            if has_value_consumer then ()
+            else
+            let ins = Sdfg.node_in_edges g n in
+            match outs with
+            | [ oe ] -> (
+                match oe.e_memlet with
+                | Some om when om.wcr = None -> (
+                    (* Find a read of the same container+subset feeding a
+                       top-level associative op — either directly, or through
+                       one intermediate scalar copy (the converter's
+                       load-into-scalar pattern). *)
+                    let reads_target (ie : Sdfg.edge) : bool =
+                      match (ie.e_dst_conn, ie.e_memlet) with
+                      | Some _, Some im when im.wcr = None ->
+                          (String.equal im.data om.data
+                          && Dcir_symbolic.Range.equal im.subset om.subset)
+                          || im.subset = []
+                             && (match
+                                   Graph_util.writer_edges g im.data
+                                 with
+                                | [ (_, we) ] -> (
+                                    match
+                                      ((Sdfg.node_by_id g we.e_src).kind,
+                                       we.e_memlet)
+                                    with
+                                    | Sdfg.Access src, Some wm ->
+                                        String.equal src om.data
+                                        && String.equal wm.data om.data
+                                        && Dcir_symbolic.Range.equal wm.subset
+                                             om.subset
+                                    | _ -> false)
+                                | _ -> false)
+                      | _ -> false
+                    in
+                    let matching_in = List.find_opt reads_target ins in
+                    match matching_in with
+                    | Some ie -> (
+                        let conn = Option.get ie.e_dst_conn in
+                        let rest =
+                          match expr with
+                          | Texpr.TBin (op, Texpr.TIn c, rhs)
+                            when String.equal c conn
+                                 && not (List.mem conn (Texpr.free_inputs rhs))
+                            ->
+                              Option.map (fun w -> (w, rhs)) (assoc_wcr op)
+                          | Texpr.TBin (op, lhs, Texpr.TIn c)
+                            when String.equal c conn
+                                 && not (List.mem conn (Texpr.free_inputs lhs))
+                            ->
+                              Option.map (fun w -> (w, lhs)) (assoc_wcr op)
+                          | _ -> None
+                        in
+                        match rest with
+                        | Some (w, rhs) ->
+                            let t' =
+                              {
+                                t with
+                                t_inputs =
+                                  List.filter
+                                    (fun c -> not (String.equal c conn))
+                                    t.t_inputs;
+                                code = Sdfg.Native [ (out, rhs) ];
+                              }
+                            in
+                            g.nodes <-
+                              List.map
+                                (fun (x : Sdfg.node) ->
+                                  if x.nid = n.nid then
+                                    { x with kind = Sdfg.TaskletN t' }
+                                  else x)
+                                g.nodes;
+                            oe.e_memlet <- Some { om with wcr = Some w };
+                            g.edges <-
+                              List.filter (fun (x : Sdfg.edge) -> x != ie)
+                                g.edges;
+                            Graph_util.prune_isolated_access g;
+                            changed := true
+                        | None -> ())
+                    | None -> ())
+                | _ -> ())
+            | _ -> ())
+        | _ -> ())
+      g.nodes
+  in
+  List.iter (fun (st : Sdfg.state) -> process_graph st.s_graph) sdfg.states;
+  !changed

@@ -1,0 +1,79 @@
+(** A single level of set-associative cache with LRU replacement.
+
+    Together with {!Hierarchy} this substitutes for the paper's Xeon Gold
+    6130 testbed and PAPI counters: the paper explains the deriche result
+    via L2/L3 miss ratios, so the model must expose per-level miss counts
+    that respond to access-order changes (e.g. Polygeist's loop inversion). *)
+
+type t = {
+  name : string;
+  sets : int;
+  assoc : int;
+  line_bytes : int;
+  tags : int array;  (** sets * assoc; -1 = invalid *)
+  stamps : int array;  (** LRU timestamps, parallel to [tags] *)
+  mutable tick : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ~(name : string) ~(size_bytes : int) ~(assoc : int)
+    ~(line_bytes : int) : t =
+  let lines = size_bytes / line_bytes in
+  let sets = max 1 (lines / assoc) in
+  {
+    name;
+    sets;
+    assoc;
+    line_bytes;
+    tags = Array.make (sets * assoc) (-1);
+    stamps = Array.make (sets * assoc) 0;
+    tick = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+(** [access c addr] touches the line containing byte address [addr];
+    returns [true] on hit. On miss the line is installed, evicting LRU. *)
+let access (c : t) (addr : int) : bool =
+  c.tick <- c.tick + 1;
+  c.accesses <- c.accesses + 1;
+  let line = addr / c.line_bytes in
+  let set = line mod c.sets in
+  let base = set * c.assoc in
+  let hit_way = ref (-1) in
+  for w = 0 to c.assoc - 1 do
+    if c.tags.(base + w) = line then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    c.stamps.(base + !hit_way) <- c.tick;
+    true
+  end
+  else begin
+    c.misses <- c.misses + 1;
+    (* Evict least-recently-used way. *)
+    let victim = ref 0 in
+    for w = 1 to c.assoc - 1 do
+      if c.stamps.(base + w) < c.stamps.(base + !victim) then victim := w
+    done;
+    c.tags.(base + !victim) <- line;
+    c.stamps.(base + !victim) <- c.tick;
+    false
+  end
+
+(** Invalidate lines intersecting [addr, addr+bytes) — used when freed heap
+    memory is recycled, so a new allocation does not inherit stale hits. *)
+let invalidate_range (c : t) ~(addr : int) ~(bytes : int) : unit =
+  let first = addr / c.line_bytes and last = (addr + bytes - 1) / c.line_bytes in
+  Array.iteri
+    (fun i tag -> if tag >= first && tag <= last then c.tags.(i) <- -1)
+    c.tags
+
+let reset (c : t) : unit =
+  Array.fill c.tags 0 (Array.length c.tags) (-1);
+  c.tick <- 0;
+  c.accesses <- 0;
+  c.misses <- 0
+
+let miss_rate (c : t) : float =
+  if c.accesses = 0 then 0.0 else float_of_int c.misses /. float_of_int c.accesses

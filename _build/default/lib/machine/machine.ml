@@ -1,0 +1,182 @@
+(** The execution substrate: simulated memory + cost charging.
+
+    Both interpreters (MLIR and SDFG) execute real programs on real data
+    through this module, so outputs can be verified across pipelines while
+    cycle estimates accumulate. Memory is a bump allocator over a virtual
+    byte address space; every load/store walks a three-level cache hierarchy
+    modeled after the paper's Xeon Gold 6130 (32 KiB L1 / 1 MiB L2 /
+    22 MiB shared L3, 64-byte lines). *)
+
+type storage =
+  | Heap  (** malloc'd; allocation/free cost charged *)
+  | Stack  (** alloca-style; free placement, no allocation call cost *)
+  | Register
+      (** promoted scalar: no memory traffic at all — the payoff of
+          scalar-to-register promotion and DaCe's stack/register heuristic *)
+
+type buffer = {
+  id : int;
+  base : int;
+  elem_bytes : int;
+  size : int;
+  data : Value.t array;
+  storage : storage;
+  mutable freed : bool;
+}
+
+type t = {
+  cfg : Cost.config;
+  metrics : Metrics.t;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  mutable brk : int;
+  mutable stack_top : int;
+  mutable next_id : int;
+}
+
+exception Fault of string
+
+let fault fmt = Fmt.kstr (fun s -> raise (Fault s)) fmt
+
+let line_bytes = 64
+let page_bytes = 4096
+
+let create ?(cfg = Cost.default) () : t =
+  {
+    cfg;
+    metrics = Metrics.create ();
+    l1 = Cache.create ~name:"L1" ~size_bytes:(32 * 1024) ~assoc:8 ~line_bytes;
+    l2 = Cache.create ~name:"L2" ~size_bytes:(1024 * 1024) ~assoc:16 ~line_bytes;
+    l3 =
+      Cache.create ~name:"L3" ~size_bytes:(22 * 1024 * 1024) ~assoc:11
+        ~line_bytes;
+    (* Heap grows up from 1 GiB; stack occupies a disjoint window so heap and
+       stack lines never alias. *)
+    brk = 0x4000_0000;
+    stack_top = 0x1000_0000;
+    next_id = 0;
+  }
+
+let metrics (m : t) : Metrics.t = m.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Cost charging *)
+
+let charge (m : t) (cycles : float) : unit =
+  m.metrics.cycles <- m.metrics.cycles +. cycles
+
+let charge_op (m : t) (cls : Cost.op_class) : unit =
+  charge m (Cost.op_cost m.cfg cls);
+  let mt = m.metrics in
+  match cls with
+  | Int_alu | Int_mul | Int_div | Move -> mt.int_ops <- mt.int_ops + 1
+  | Fp_add | Fp_mul | Fp_div | Fp_sqrt -> mt.fp_ops <- mt.fp_ops + 1
+  | Math_call -> mt.math_calls <- mt.math_calls + 1
+  | Branch -> mt.branches <- mt.branches + 1
+
+(* One cache-hierarchy probe for the line containing [addr]. *)
+let probe_line (m : t) (addr : int) : float =
+  let mt = m.metrics in
+  mt.l1_accesses <- mt.l1_accesses + 1;
+  if Cache.access m.l1 addr then m.cfg.l1_hit
+  else begin
+    mt.l1_misses <- mt.l1_misses + 1;
+    if Cache.access m.l2 addr then m.cfg.l2_hit
+    else begin
+      mt.l2_misses <- mt.l2_misses + 1;
+      if Cache.access m.l3 addr then m.cfg.l3_hit
+      else begin
+        mt.l3_misses <- mt.l3_misses + 1;
+        m.cfg.dram
+      end
+    end
+  end
+
+let mem_access (m : t) ~(addr : int) ~(bytes : int) : unit =
+  let first = addr / line_bytes and last = (addr + bytes - 1) / line_bytes in
+  for line = first to last do
+    charge m (probe_line m (line * line_bytes))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Allocation *)
+
+let round_up v align = (v + align - 1) / align * align
+
+let alloc (m : t) ~(storage : storage) ~(elems : int) ~(elem_bytes : int)
+    ~(zero_init : Value.t) : buffer =
+  if elems < 0 then fault "negative allocation size (%d elems)" elems;
+  let id = m.next_id in
+  m.next_id <- id + 1;
+  let bytes = max 1 (elems * elem_bytes) in
+  let base =
+    match storage with
+    | Heap ->
+        let b = m.brk in
+        m.brk <- round_up (m.brk + bytes) line_bytes;
+        let pages = (bytes + page_bytes - 1) / page_bytes in
+        charge m (m.cfg.malloc_cost +. (m.cfg.malloc_per_page *. float_of_int pages));
+        m.metrics.heap_allocs <- m.metrics.heap_allocs + 1;
+        m.metrics.heap_bytes <- m.metrics.heap_bytes + bytes;
+        b
+    | Stack ->
+        let b = m.stack_top in
+        m.stack_top <- round_up (m.stack_top + bytes) 16;
+        m.metrics.stack_allocs <- m.metrics.stack_allocs + 1;
+        b
+    | Register -> -1
+  in
+  { id; base; elem_bytes; size = elems; data = Array.make (max elems 1) zero_init;
+    storage; freed = false }
+
+let free (m : t) (b : buffer) : unit =
+  match b.storage with
+  | Heap ->
+      if b.freed then fault "double free of buffer %d" b.id;
+      b.freed <- true;
+      charge m m.cfg.free_cost;
+      m.metrics.heap_frees <- m.metrics.heap_frees + 1
+  | Stack | Register -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Loads and stores *)
+
+let check (b : buffer) (idx : int) (what : string) : unit =
+  if b.freed then fault "%s on freed buffer %d" what b.id;
+  if idx < 0 || idx >= b.size then
+    fault "%s out of bounds: index %d, size %d (buffer %d)" what idx b.size b.id
+
+let load (m : t) (b : buffer) (idx : int) : Value.t =
+  check b idx "load";
+  (match b.storage with
+  | Register -> () (* register reads are free, like SSA values *)
+  | Heap | Stack ->
+      m.metrics.loads <- m.metrics.loads + 1;
+      m.metrics.bytes_loaded <- m.metrics.bytes_loaded + b.elem_bytes;
+      mem_access m ~addr:(b.base + (idx * b.elem_bytes)) ~bytes:b.elem_bytes);
+  b.data.(idx)
+
+let store (m : t) (b : buffer) (idx : int) (v : Value.t) : unit =
+  check b idx "store";
+  (match b.storage with
+  | Register -> ()
+  | Heap | Stack ->
+      m.metrics.stores <- m.metrics.stores + 1;
+      m.metrics.bytes_stored <- m.metrics.bytes_stored + b.elem_bytes;
+      mem_access m ~addr:(b.base + (idx * b.elem_bytes)) ~bytes:b.elem_bytes);
+  b.data.(idx) <- v
+
+(** Read without charging — for output verification after a run. *)
+let peek (b : buffer) (idx : int) : Value.t =
+  if idx < 0 || idx >= b.size then
+    fault "peek out of bounds: index %d, size %d" idx b.size;
+  b.data.(idx)
+
+(** Write without charging — for input initialization before a run. *)
+let poke (b : buffer) (idx : int) (v : Value.t) : unit =
+  if idx < 0 || idx >= b.size then
+    fault "poke out of bounds: index %d, size %d" idx b.size;
+  b.data.(idx) <- v
+
+let snapshot (b : buffer) : Value.t array = Array.copy b.data

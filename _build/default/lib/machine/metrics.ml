@@ -1,0 +1,59 @@
+(** Execution counters — the PAPI substitute.
+
+    One record per program run; the benchmark harness reports [cycles] as the
+    "runtime" and the cache-miss counters when explaining results (as the
+    paper does for deriche's L2/L3 misses). *)
+
+type t = {
+  mutable cycles : float;
+  mutable loads : int;
+  mutable stores : int;
+  mutable bytes_loaded : int;
+  mutable bytes_stored : int;
+  mutable int_ops : int;
+  mutable fp_ops : int;
+  mutable math_calls : int;
+  mutable branches : int;
+  mutable heap_allocs : int;
+  mutable heap_frees : int;
+  mutable heap_bytes : int;
+  mutable stack_allocs : int;
+  mutable l1_misses : int;
+  mutable l2_misses : int;
+  mutable l3_misses : int;
+  mutable l1_accesses : int;
+}
+
+let create () : t =
+  {
+    cycles = 0.0;
+    loads = 0;
+    stores = 0;
+    bytes_loaded = 0;
+    bytes_stored = 0;
+    int_ops = 0;
+    fp_ops = 0;
+    math_calls = 0;
+    branches = 0;
+    heap_allocs = 0;
+    heap_frees = 0;
+    heap_bytes = 0;
+    stack_allocs = 0;
+    l1_misses = 0;
+    l2_misses = 0;
+    l3_misses = 0;
+    l1_accesses = 0;
+  }
+
+let bytes_moved (m : t) : int = m.bytes_loaded + m.bytes_stored
+
+let pp (ppf : Format.formatter) (m : t) : unit =
+  Fmt.pf ppf
+    "@[<v>cycles       %12.0f@,loads        %12d@,stores       %12d@,\
+     bytes moved  %12d@,int ops      %12d@,fp ops       %12d@,\
+     math calls   %12d@,branches     %12d@,heap allocs  %12d (%d bytes)@,\
+     heap frees   %12d@,L1 miss      %12d / %d@,L2 miss      %12d@,\
+     L3 miss      %12d@]"
+    m.cycles m.loads m.stores (bytes_moved m) m.int_ops m.fp_ops m.math_calls
+    m.branches m.heap_allocs m.heap_bytes m.heap_frees m.l1_misses
+    m.l1_accesses m.l2_misses m.l3_misses

@@ -1,0 +1,41 @@
+(** Runtime values shared by the MLIR and SDFG interpreters.
+
+    The C subset we execute only manipulates integers (of any width; all
+    modeled as OCaml [int]) and IEEE doubles/floats (modeled as OCaml
+    [float]). Booleans are [VInt 0]/[VInt 1], matching MLIR's [i1]. *)
+
+type t = VInt of int | VFloat of float
+
+let as_int = function
+  | VInt n -> n
+  | VFloat _ -> invalid_arg "Value.as_int: float value"
+
+let as_float = function VFloat f -> f | VInt n -> float_of_int n
+let as_bool v = as_int v <> 0
+let of_bool b = VInt (if b then 1 else 0)
+let is_float = function VFloat _ -> true | VInt _ -> false
+
+let equal (a : t) (b : t) : bool =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y ->
+      (* Bit-for-bit, like the paper's output checking; NaN equals NaN. *)
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> false
+
+(** Approximate equality for cross-pipeline output comparison: optimization
+    legally reassociates some floating-point reductions, so outputs are
+    compared to a relative tolerance (the paper raises print precision and
+    compares text; we compare numerically). *)
+let close ?(rtol = 1e-9) (a : t) (b : t) : bool =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y ->
+      (x <> x && y <> y)
+      || Float.abs (x -. y) <= rtol *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+  | _ -> false
+
+let pp (ppf : Format.formatter) (v : t) : unit =
+  match v with VInt n -> Fmt.int ppf n | VFloat f -> Fmt.pf ppf "%.17g" f
+
+let to_string (v : t) : string = Fmt.str "%a" pp v

@@ -1,0 +1,1 @@
+lib/mlir/arith.ml: Attr Dcir_machine Ir String Types

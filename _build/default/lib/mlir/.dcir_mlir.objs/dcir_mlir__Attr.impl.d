@@ -1,0 +1,1 @@
+lib/mlir/attr.ml: Dcir_symbolic Fmt Format Types

@@ -1,0 +1,1 @@
+lib/mlir/func_d.ml: Attr Ir List Types

@@ -1,0 +1,1 @@
+lib/mlir/interp.ml: Arith Array Attr Dcir_machine Float Fmt Func_d Hashtbl Ir List Machine Math_d Memref_d Option Printer Scf_d String Types Value

@@ -1,0 +1,1 @@
+lib/mlir/ir.ml: Attr Dcir_support Hashtbl Int List Map Option Printf String Types

@@ -1,0 +1,1 @@
+lib/mlir/math_d.ml: Dcir_machine Ir Stdlib String

@@ -1,0 +1,1 @@
+lib/mlir/memref_d.ml: Attr Ir List Types

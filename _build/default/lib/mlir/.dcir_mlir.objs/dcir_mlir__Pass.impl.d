@@ -1,0 +1,1 @@
+lib/mlir/pass.ml: Ir List Logs

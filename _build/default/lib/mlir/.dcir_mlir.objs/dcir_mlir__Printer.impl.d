@@ -1,0 +1,1 @@
+lib/mlir/printer.ml: Attr Fmt Format Ir List Printf String Types

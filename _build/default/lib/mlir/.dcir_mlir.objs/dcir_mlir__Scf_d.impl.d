@@ -1,0 +1,1 @@
+lib/mlir/scf_d.ml: Ir List Types

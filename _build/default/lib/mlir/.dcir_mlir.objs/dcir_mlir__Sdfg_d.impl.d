@@ -1,0 +1,1 @@
+lib/mlir/sdfg_d.ml: Attr Bexpr Dcir_symbolic Expr Ir List Option Range String Types

@@ -1,0 +1,1 @@
+lib/mlir/types.ml: Dcir_symbolic Fmt Format List

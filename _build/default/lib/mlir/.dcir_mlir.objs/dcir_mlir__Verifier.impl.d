@@ -1,0 +1,1 @@
+lib/mlir/verifier.ml: Bexpr Dcir_symbolic Expr Fmt Format Hashtbl Ir List Printer Sdfg_d String Types

@@ -1,0 +1,33 @@
+(** Operation attributes — compile-time constants attached to ops.
+
+    Symbolic expressions appear as first-class attribute payloads; this is
+    how the sdfg dialect threads [sym("...")] strings through the IR without
+    extending MLIR's syntax (§3.1). *)
+
+type t =
+  | AInt of int
+  | AFloat of float
+  | ABool of bool
+  | AStr of string
+  | AType of Types.t
+  | AExpr of Dcir_symbolic.Expr.t
+  | ACond of Dcir_symbolic.Bexpr.t
+  | ARange of Dcir_symbolic.Range.t
+  | AList of t list
+
+let rec pp (ppf : Format.formatter) (a : t) : unit =
+  match a with
+  | AInt n -> Fmt.int ppf n
+  | AFloat f -> Fmt.pf ppf "%h" f
+  | ABool b -> Fmt.bool ppf b
+  | AStr s -> Fmt.pf ppf "%S" s
+  | AType t -> Types.pp ppf t
+  | AExpr e -> Fmt.pf ppf "sym(\"%a\")" Dcir_symbolic.Expr.pp e
+  | ACond b -> Fmt.pf ppf "cond(\"%a\")" Dcir_symbolic.Bexpr.pp b
+  | ARange r -> Dcir_symbolic.Range.pp ppf r
+  | AList l -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ", ") pp) l
+
+let as_int = function AInt n -> Some n | _ -> None
+let as_float = function AFloat f -> Some f | _ -> None
+let as_str = function AStr s -> Some s | _ -> None
+let as_expr = function AExpr e -> Some e | _ -> None

@@ -1,0 +1,27 @@
+(** The [func] dialect: functions, calls, returns. *)
+
+let return_ (vals : Ir.value list) : Ir.op =
+  Ir.new_op "func.return" ~operands:vals
+
+let call (callee : string) (args : Ir.value list) (result_tys : Types.t list)
+    : Ir.op =
+  Ir.new_op "func.call" ~operands:args
+    ~results:(List.map Ir.new_value result_tys)
+    ~attrs:[ ("callee", Attr.AStr callee) ]
+
+let callee (o : Ir.op) : string option = Ir.str_attr o "callee"
+
+let make_func ~(name : string) ~(params : (string * Types.t) list)
+    ~(ret : Types.t list) (body_builder : Ir.value list -> Ir.op list) :
+    Ir.func =
+  let param_vals =
+    List.map (fun (hint, ty) -> Ir.new_value ~hint ty) params
+  in
+  let ops = body_builder param_vals in
+  {
+    Ir.fname = name;
+    fparams = param_vals;
+    fret = ret;
+    fbody = Some (Ir.new_region ~args:param_vals ~ops ());
+    fattrs = [];
+  }

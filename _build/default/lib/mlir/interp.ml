@@ -1,0 +1,360 @@
+(** MLIR interpreter over the simulated machine.
+
+    Executes the core dialects ([func], [scf], [arith], [math], [memref])
+    against {!Dcir_machine.Machine}, charging the cost model for every
+    operation and memory access. This is how "compiled binaries" run in this
+    reproduction: each compiler proxy optimizes the IR with its own pass set
+    and then executes here, so cycle counts reflect exactly the work its IR
+    still performs.
+
+    Semantics notes:
+    - [arith.divsi]/[remsi] truncate toward zero (C semantics, matching what
+      Polygeist emits for C division);
+    - integer widths are not modeled (OCaml [int] everywhere) — the C subset
+      used by the benchmarks never relies on wraparound. *)
+
+open Dcir_machine
+
+type bufinfo = { buf : Machine.buffer; dims : int array }
+type rtval = Scalar of Value.t | Buf of bufinfo
+
+exception Trap of string
+
+let trap fmt = Fmt.kstr (fun s -> raise (Trap s)) fmt
+
+type env = {
+  machine : Machine.t;
+  modul : Ir.modul;
+  bindings : (int, rtval) Hashtbl.t;  (** vid -> runtime value *)
+  mutable call_depth : int;
+}
+
+let bind (env : env) (v : Ir.value) (rv : rtval) : unit =
+  Hashtbl.replace env.bindings v.vid rv
+
+let lookup (env : env) (v : Ir.value) : rtval =
+  match Hashtbl.find_opt env.bindings v.vid with
+  | Some rv -> rv
+  | None -> trap "unbound SSA value %s" (Printer.value_name v)
+
+let scalar (env : env) (v : Ir.value) : Value.t =
+  match lookup env v with
+  | Scalar s -> s
+  | Buf _ -> trap "expected scalar, got memref (%s)" (Printer.value_name v)
+
+let int_of (env : env) (v : Ir.value) : int = Value.as_int (scalar env v)
+let float_of (env : env) (v : Ir.value) : float = Value.as_float (scalar env v)
+
+let buffer (env : env) (v : Ir.value) : bufinfo =
+  match lookup env v with
+  | Buf b -> b
+  | Scalar _ -> trap "expected memref, got scalar (%s)" (Printer.value_name v)
+
+(* Row-major linearization; charges (ndims-1) fused index ops, matching what
+   compiled addressing would execute. *)
+let linearize (env : env) (b : bufinfo) (indices : int list) : int =
+  let n = Array.length b.dims in
+  if List.length indices <> n then
+    trap "index count %d does not match rank %d" (List.length indices) n;
+  let lin = ref 0 in
+  List.iteri
+    (fun k idx ->
+      if k > 0 then Machine.charge_op env.machine Int_alu;
+      lin := (!lin * b.dims.(k)) + idx)
+    indices;
+  !lin
+
+let zero_of (ty : Types.t) : Value.t =
+  if Types.is_float ty then Value.VFloat 0.0 else Value.VInt 0
+
+(* ------------------------------------------------------------------ *)
+(* arith evaluation *)
+
+let eval_cmpi (pred : string) (x : int) (y : int) : bool =
+  match pred with
+  | "eq" -> x = y
+  | "ne" -> x <> y
+  | "slt" | "ult" -> x < y
+  | "sle" | "ule" -> x <= y
+  | "sgt" | "ugt" -> x > y
+  | "sge" | "uge" -> x >= y
+  | p -> trap "unknown cmpi predicate %s" p
+
+let eval_cmpf (pred : string) (x : float) (y : float) : bool =
+  match pred with
+  | "oeq" | "ueq" -> x = y
+  | "one" | "une" -> x <> y
+  | "olt" | "ult" -> x < y
+  | "ole" | "ule" -> x <= y
+  | "ogt" | "ugt" -> x > y
+  | "oge" | "uge" -> x >= y
+  | p -> trap "unknown cmpf predicate %s" p
+
+(* ------------------------------------------------------------------ *)
+
+let rec exec_ops (env : env) (ops : Ir.op list) : Value.t list option =
+  (* Returns [Some vals] when a terminator produced function results. *)
+  match ops with
+  | [] -> None
+  | o :: rest -> (
+      match exec_op env o with
+      | `Return vals -> Some vals
+      | `Continue -> exec_ops env rest)
+
+and exec_op (env : env) (o : Ir.op) : [ `Return of Value.t list | `Continue ]
+    =
+  let m = env.machine in
+  let charge_class () =
+    match Arith.cost_class o.name with
+    | Some c -> Machine.charge_op m c
+    | None -> (
+        match Math_d.cost_class o.name with
+        | Some c -> Machine.charge_op m c
+        | None -> ())
+  in
+  match o.name with
+  | "func.return" -> `Return (List.map (scalar_or_unit env) o.operands)
+  | "arith.constant" ->
+      (match Ir.attr o "value" with
+      | Some (Attr.AInt n) -> bind env (Ir.result o) (Scalar (VInt n))
+      | Some (Attr.AFloat f) -> bind env (Ir.result o) (Scalar (VFloat f))
+      | _ -> trap "arith.constant without value attr");
+      `Continue
+  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divsi" | "arith.remsi"
+  | "arith.andi" | "arith.ori" | "arith.xori" | "arith.maxsi" | "arith.minsi"
+    ->
+      charge_class ();
+      let x = int_of env (List.nth o.operands 0)
+      and y = int_of env (List.nth o.operands 1) in
+      let r =
+        match o.name with
+        | "arith.addi" -> x + y
+        | "arith.subi" -> x - y
+        | "arith.muli" -> x * y
+        | "arith.divsi" ->
+            if y = 0 then trap "integer division by zero" else x / y
+        | "arith.remsi" ->
+            if y = 0 then trap "integer remainder by zero" else x mod y
+        | "arith.andi" -> x land y
+        | "arith.ori" -> x lor y
+        | "arith.xori" -> x lxor y
+        | "arith.maxsi" -> max x y
+        | _ -> min x y
+      in
+      bind env (Ir.result o) (Scalar (VInt r));
+      `Continue
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.maxf"
+  | "arith.minf" ->
+      charge_class ();
+      let x = float_of env (List.nth o.operands 0)
+      and y = float_of env (List.nth o.operands 1) in
+      let r =
+        match o.name with
+        | "arith.addf" -> x +. y
+        | "arith.subf" -> x -. y
+        | "arith.mulf" -> x *. y
+        | "arith.divf" -> x /. y
+        | "arith.maxf" -> Float.max x y
+        | _ -> Float.min x y
+      in
+      bind env (Ir.result o) (Scalar (VFloat r));
+      `Continue
+  | "arith.negf" ->
+      charge_class ();
+      bind env (Ir.result o)
+        (Scalar (VFloat (-.float_of env (List.hd o.operands))));
+      `Continue
+  | "arith.cmpi" ->
+      charge_class ();
+      let pred = Option.value ~default:"eq" (Ir.str_attr o "predicate") in
+      let x = int_of env (List.nth o.operands 0)
+      and y = int_of env (List.nth o.operands 1) in
+      bind env (Ir.result o) (Scalar (Value.of_bool (eval_cmpi pred x y)));
+      `Continue
+  | "arith.cmpf" ->
+      charge_class ();
+      let pred = Option.value ~default:"oeq" (Ir.str_attr o "predicate") in
+      let x = float_of env (List.nth o.operands 0)
+      and y = float_of env (List.nth o.operands 1) in
+      bind env (Ir.result o) (Scalar (Value.of_bool (eval_cmpf pred x y)));
+      `Continue
+  | "arith.select" ->
+      charge_class ();
+      let c = int_of env (List.nth o.operands 0) in
+      let v = lookup env (List.nth o.operands (if c <> 0 then 1 else 2)) in
+      bind env (Ir.result o) v;
+      `Continue
+  | "arith.index_cast" ->
+      charge_class ();
+      bind env (Ir.result o) (lookup env (List.hd o.operands));
+      `Continue
+  | "arith.sitofp" ->
+      charge_class ();
+      bind env (Ir.result o)
+        (Scalar (VFloat (float_of_int (int_of env (List.hd o.operands)))));
+      `Continue
+  | "arith.fptosi" ->
+      charge_class ();
+      bind env (Ir.result o)
+        (Scalar (VInt (int_of_float (float_of env (List.hd o.operands)))));
+      `Continue
+  | "arith.extf" | "arith.truncf" ->
+      charge_class ();
+      bind env (Ir.result o) (lookup env (List.hd o.operands));
+      `Continue
+  | name when Math_d.is_math_op name ->
+      charge_class ();
+      let args = List.map (float_of env) o.operands in
+      bind env (Ir.result o) (Scalar (VFloat (Math_d.eval name args)));
+      `Continue
+  | "memref.alloc" | "memref.alloca" ->
+      let res = Ir.result o in
+      let elem = Types.elem_type res.vty in
+      let dyn = ref (List.map (int_of env) o.operands) in
+      let dims =
+        List.map
+          (function
+            | Types.Static n -> n
+            | Types.Dynamic -> (
+                match !dyn with
+                | d :: rest ->
+                    dyn := rest;
+                    d
+                | [] -> trap "memref.alloc: missing dynamic size")
+            | Types.SymDim _ -> trap "memref.alloc: symbolic dim at runtime")
+          (Types.dims res.vty)
+      in
+      let elems = List.fold_left ( * ) 1 dims in
+      let storage =
+        if String.equal o.name "memref.alloc" then Machine.Heap
+        else Machine.Stack
+      in
+      let buf =
+        Machine.alloc m ~storage ~elems ~elem_bytes:(Types.byte_width elem)
+          ~zero_init:(zero_of elem)
+      in
+      bind env res (Buf { buf; dims = Array.of_list dims });
+      `Continue
+  | "memref.dealloc" ->
+      let b = buffer env (List.hd o.operands) in
+      Machine.free m b.buf;
+      `Continue
+  | "memref.load" ->
+      let mr, idxs = Memref_d.load_parts o in
+      let b = buffer env mr in
+      let lin = linearize env b (List.map (int_of env) idxs) in
+      bind env (Ir.result o) (Scalar (Machine.load m b.buf lin));
+      `Continue
+  | "memref.store" ->
+      let v, mr, idxs = Memref_d.store_parts o in
+      let b = buffer env mr in
+      let lin = linearize env b (List.map (int_of env) idxs) in
+      Machine.store m b.buf lin (scalar env v);
+      `Continue
+  | "memref.dim" ->
+      let b = buffer env (List.hd o.operands) in
+      let k = Option.value ~default:0 (Ir.int_attr o "index") in
+      if k < 0 || k >= Array.length b.dims then trap "memref.dim out of range";
+      bind env (Ir.result o) (Scalar (VInt b.dims.(k)));
+      `Continue
+  | "scf.for" ->
+      let lb, ub, step = Scf_d.loop_bounds o in
+      let lbv = int_of env lb
+      and ubv = int_of env ub
+      and stepv = int_of env step in
+      if stepv <= 0 then trap "scf.for: non-positive step %d" stepv;
+      let body = Scf_d.loop_body o in
+      let iv, carried_args =
+        match body.rargs with
+        | iv :: rest -> (iv, rest)
+        | [] -> trap "scf.for: missing induction variable"
+      in
+      let carried = ref (List.map (lookup env) (Scf_d.loop_iter_inits o)) in
+      let i = ref lbv in
+      while !i < ubv do
+        (* Loop control: induction increment + compare&branch. *)
+        Machine.charge_op m Int_alu;
+        Machine.charge_op m Branch;
+        bind env iv (Scalar (VInt !i));
+        List.iter2 (fun arg v -> bind env arg v) carried_args !carried;
+        (match exec_region_with_yield env body.rops with
+        | Some vals -> carried := vals
+        | None -> if carried_args <> [] then trap "scf.for: missing yield");
+        i := !i + stepv
+      done;
+      List.iter2 (fun res v -> bind env res v) o.results !carried;
+      `Continue
+  | "scf.if" ->
+      Machine.charge_op m Branch;
+      let c = int_of env (List.hd o.operands) in
+      let then_r, else_r = Scf_d.if_regions o in
+      let chosen = if c <> 0 then then_r else else_r in
+      (match exec_region_with_yield env chosen.rops with
+      | Some vals -> List.iter2 (fun res v -> bind env res v) o.results vals
+      | None ->
+          if o.results <> [] then trap "scf.if: branch yielded no values");
+      `Continue
+  | "scf.yield" -> trap "scf.yield outside structured execution"
+  | "func.call" -> (
+      let callee = Option.value ~default:"" (Func_d.callee o) in
+      match Ir.find_func env.modul callee with
+      | None -> trap "call to unknown function @%s" callee
+      | Some f ->
+          (* Call overhead: frame setup + argument moves. *)
+          Machine.charge m 20.0;
+          List.iter (fun _ -> Machine.charge_op m Move) o.operands;
+          let args = List.map (lookup env) o.operands in
+          let results = call_func env f args in
+          List.iter2 (fun res v -> bind env res (Scalar v)) o.results results;
+          `Continue)
+  | name -> trap "interpreter: unsupported operation %s" name
+
+(* Execute ops until an scf.yield; return its operand values. *)
+and exec_region_with_yield (env : env) (ops : Ir.op list) :
+    rtval list option =
+  let rec go = function
+    | [] -> None
+    | o :: rest ->
+        if String.equal o.Ir.name "scf.yield" then
+          Some (List.map (lookup env) o.operands)
+        else (
+          (match exec_op env o with
+          | `Return _ -> trap "func.return inside structured control flow"
+          | `Continue -> ());
+          go rest)
+  in
+  go ops
+
+and scalar_or_unit (env : env) (v : Ir.value) : Value.t =
+  match lookup env v with
+  | Scalar s -> s
+  | Buf _ -> trap "returning a memref from a function is not supported"
+
+and call_func (env : env) (f : Ir.func) (args : rtval list) : Value.t list =
+  if env.call_depth > 256 then trap "call depth exceeded";
+  match f.fbody with
+  | None -> trap "call to external function @%s" f.fname
+  | Some r ->
+      if List.length r.rargs <> List.length args then
+        trap "@%s: argument count mismatch" f.fname;
+      env.call_depth <- env.call_depth + 1;
+      List.iter2 (fun p a -> bind env p a) r.rargs args;
+      let result = exec_ops env r.rops in
+      env.call_depth <- env.call_depth - 1;
+      (match result with Some vals -> vals | None -> [])
+
+(* ------------------------------------------------------------------ *)
+
+(** [run ?machine m ~entry args] executes function [entry] of module [m].
+    Returns the function results and the machine (with metrics). *)
+let run ?(machine : Machine.t option) (m : Ir.modul) ~(entry : string)
+    (args : rtval list) : Value.t list * Machine.t =
+  let machine = match machine with Some x -> x | None -> Machine.create () in
+  match Ir.find_func m entry with
+  | None -> trap "entry function @%s not found" entry
+  | Some f ->
+      let env =
+        { machine; modul = m; bindings = Hashtbl.create 256; call_depth = 0 }
+      in
+      let results = call_func env f args in
+      (results, machine)

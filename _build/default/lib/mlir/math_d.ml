@@ -1,0 +1,43 @@
+(** The [math] dialect: transcendental functions lowered from libm calls.
+
+    These are the calls §7.3 discusses: Clang leaves them as scalar library
+    calls while ICC (via SLEEF-like vector math) vectorizes them — modeled by
+    the [vector_math] cost knob. *)
+
+let unary (opname : string) (v : Ir.value) : Ir.op =
+  Ir.new_op opname ~operands:[ v ] ~results:[ Ir.new_value v.vty ]
+
+let exp v = unary "math.exp" v
+let log v = unary "math.log" v
+let sqrt v = unary "math.sqrt" v
+let tanh v = unary "math.tanh" v
+let fabs v = unary "math.absf" v
+let sin v = unary "math.sin" v
+let cos v = unary "math.cos" v
+
+let powf (base : Ir.value) (expo : Ir.value) : Ir.op =
+  Ir.new_op "math.powf" ~operands:[ base; expo ]
+    ~results:[ Ir.new_value base.vty ]
+
+let is_math_op (name : string) : bool =
+  String.length name > 5 && String.equal (String.sub name 0 5) "math."
+
+(** Evaluate a math op on a float argument list. *)
+let eval (name : string) (args : float list) : float =
+  match (name, args) with
+  | "math.exp", [ x ] -> Stdlib.exp x
+  | "math.log", [ x ] -> Stdlib.log x
+  | "math.sqrt", [ x ] -> Stdlib.sqrt x
+  | "math.tanh", [ x ] -> Stdlib.tanh x
+  | "math.absf", [ x ] -> Stdlib.abs_float x
+  | "math.sin", [ x ] -> Stdlib.sin x
+  | "math.cos", [ x ] -> Stdlib.cos x
+  | "math.powf", [ x; y ] -> Stdlib.( ** ) x y
+  | _ -> invalid_arg ("Math_d.eval: unknown op " ^ name)
+
+(** [math.sqrt] maps to the hardware unit; everything else is a libm call. *)
+let cost_class (name : string) : Dcir_machine.Cost.op_class option =
+  match name with
+  | "math.sqrt" -> Some Fp_sqrt
+  | "math.absf" -> Some Fp_add
+  | _ -> if is_math_op name then Some Math_call else None

@@ -1,0 +1,51 @@
+(** The [memref] dialect: typed multi-dimensional memory references.
+
+    [alloc] is heap allocation (C [malloc]), [alloca] is stack allocation
+    (fixed-size C arrays); the distinction drives the allocation costs that
+    the paper's memory (pre-)allocation passes optimize (§6.3). Dynamic
+    dimensions ([?]) take their sizes from SSA operands, in declaration
+    order — exactly the information DCIR later recovers as symbols. *)
+
+let alloc (elem : Types.t) (dims : Types.dim list) (dyn_sizes : Ir.value list)
+    : Ir.op =
+  let n_dyn =
+    List.length (List.filter (function Types.Dynamic -> true | _ -> false) dims)
+  in
+  if n_dyn <> List.length dyn_sizes then
+    invalid_arg "Memref_d.alloc: dynamic size operand count mismatch";
+  Ir.new_op "memref.alloc" ~operands:dyn_sizes
+    ~results:[ Ir.new_value ~hint:"m" (Types.MemRef (elem, dims)) ]
+
+let alloca (elem : Types.t) (dims : Types.dim list) (dyn_sizes : Ir.value list)
+    : Ir.op =
+  let op = alloc elem dims dyn_sizes in
+  op.name <- "memref.alloca";
+  op
+
+let dealloc (mr : Ir.value) : Ir.op =
+  Ir.new_op "memref.dealloc" ~operands:[ mr ]
+
+let load (mr : Ir.value) (indices : Ir.value list) : Ir.op =
+  let elem = Types.elem_type mr.vty in
+  Ir.new_op "memref.load" ~operands:(mr :: indices)
+    ~results:[ Ir.new_value elem ]
+
+let store (v : Ir.value) (mr : Ir.value) (indices : Ir.value list) : Ir.op =
+  Ir.new_op "memref.store" ~operands:(v :: mr :: indices)
+
+(** [memref.dim %m, k]: runtime extent of dimension [k]. *)
+let dim (mr : Ir.value) (k : int) : Ir.op =
+  Ir.new_op "memref.dim" ~operands:[ mr ]
+    ~results:[ Ir.new_value Types.Index ]
+    ~attrs:[ ("index", Attr.AInt k) ]
+
+(** Split a load/store operand list into (value-stored, memref, indices). *)
+let store_parts (o : Ir.op) : Ir.value * Ir.value * Ir.value list =
+  match o.operands with
+  | v :: mr :: idxs -> (v, mr, idxs)
+  | _ -> invalid_arg "Memref_d.store_parts"
+
+let load_parts (o : Ir.op) : Ir.value * Ir.value list =
+  match o.operands with
+  | mr :: idxs -> (mr, idxs)
+  | _ -> invalid_arg "Memref_d.load_parts"

@@ -1,0 +1,43 @@
+(** Pass management: named module transforms with logging and fixpoint
+    drivers, the homogenized pass infrastructure role MLIR plays in the
+    paper's pipeline. *)
+
+let log_src = Logs.Src.create "dcir.mlir.pass" ~doc:"MLIR pass manager"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  pname : string;
+  run : Ir.modul -> bool;  (** returns whether the IR changed *)
+}
+
+let make (pname : string) (run : Ir.modul -> bool) : t = { pname; run }
+
+(** Run passes in order; returns whether any changed the IR. *)
+let run_pipeline (passes : t list) (m : Ir.modul) : bool =
+  List.fold_left
+    (fun changed p ->
+      let c = p.run m in
+      Log.debug (fun f -> f "pass %s: %s" p.pname (if c then "changed" else "no change"));
+      changed || c)
+    false passes
+
+(** Repeat the pipeline until no pass reports a change (bounded to avoid
+    divergence from a buggy pass). *)
+let run_to_fixpoint ?(max_iters = 20) (passes : t list) (m : Ir.modul) : bool
+    =
+  let changed_once = ref false in
+  let continue_ = ref true in
+  let iters = ref 0 in
+  while !continue_ && !iters < max_iters do
+    incr iters;
+    let c = run_pipeline passes m in
+    changed_once := !changed_once || c;
+    continue_ := c
+  done;
+  !changed_once
+
+(** Lift a per-function transform to a module pass. *)
+let per_function (pname : string) (run_fn : Ir.func -> bool) : t =
+  make pname (fun m ->
+      List.fold_left (fun acc f -> run_fn f || acc) false m.funcs)

@@ -1,0 +1,61 @@
+(** The [scf] dialect: structured control flow.
+
+    [scf.for] iterates [lb] (inclusive) to [ub] (exclusive) by a
+    {e strictly positive} [step] — the inherent limitation footnote 4 of the
+    paper points at, which forces frontends to invert decrement loops and
+    thereby lose memory-order information (the deriche effect).
+
+    Loop-carried values use MLIR's [iter_args] protocol: the region receives
+    [iv :: iter_args], terminates in [scf.yield], and the op returns the
+    final iteration values. *)
+
+let yield (vals : Ir.value list) : Ir.op = Ir.new_op "scf.yield" ~operands:vals
+
+(** [for_ ~lb ~ub ~step ~iter_inits body_builder] creates the loop op.
+    [body_builder iv iter_args] must return the region's op list, ending
+    with an [scf.yield] of the carried values. *)
+let for_ ~(lb : Ir.value) ~(ub : Ir.value) ~(step : Ir.value)
+    ~(iter_inits : Ir.value list)
+    (body_builder : Ir.value -> Ir.value list -> Ir.op list) : Ir.op =
+  let iv = Ir.new_value ~hint:"i" Types.Index in
+  let iter_args =
+    List.map (fun v -> Ir.new_value ~hint:"acc" v.Ir.vty) iter_inits
+  in
+  let body = body_builder iv iter_args in
+  let region = Ir.new_region ~args:(iv :: iter_args) ~ops:body () in
+  Ir.new_op "scf.for"
+    ~operands:(lb :: ub :: step :: iter_inits)
+    ~results:(List.map (fun v -> Ir.new_value v.Ir.vty) iter_inits)
+    ~regions:[ region ]
+
+(** [if_ cond ~result_tys ~then_ops ~else_ops]: both branches must yield
+    values matching [result_tys] (or nothing if no results). *)
+let if_ (cond : Ir.value) ~(result_tys : Types.t list)
+    ~(then_ops : Ir.op list) ~(else_ops : Ir.op list) : Ir.op =
+  Ir.new_op "scf.if" ~operands:[ cond ]
+    ~results:(List.map Ir.new_value result_tys)
+    ~regions:
+      [ Ir.new_region ~ops:then_ops (); Ir.new_region ~ops:else_ops () ]
+
+let loop_bounds (o : Ir.op) : Ir.value * Ir.value * Ir.value =
+  match o.operands with
+  | lb :: ub :: step :: _ -> (lb, ub, step)
+  | _ -> invalid_arg "Scf_d.loop_bounds"
+
+let loop_iter_inits (o : Ir.op) : Ir.value list =
+  match o.operands with
+  | _ :: _ :: _ :: inits -> inits
+  | _ -> invalid_arg "Scf_d.loop_iter_inits"
+
+let loop_body (o : Ir.op) : Ir.region =
+  match o.regions with [ r ] -> r | _ -> invalid_arg "Scf_d.loop_body"
+
+let loop_iv (o : Ir.op) : Ir.value =
+  match (loop_body o).rargs with
+  | iv :: _ -> iv
+  | [] -> invalid_arg "Scf_d.loop_iv"
+
+let if_regions (o : Ir.op) : Ir.region * Ir.region =
+  match o.regions with
+  | [ t; e ] -> (t, e)
+  | _ -> invalid_arg "Scf_d.if_regions"

@@ -1,0 +1,148 @@
+(** The [sdfg] dialect — the paper's central contribution (§3, Table 1).
+
+    Operations mirror Table 1:
+    - [sdfg.tasklet]  encapsulated computation (IsolatedFromAbove region)
+    - [sdfg.load]     load from an array with a symbolic subset
+    - [sdfg.store]    store/update (via the [wcr] attribute)
+    - [sdfg.alloc]    data container allocation (symbolic sizes allowed)
+    - [sdfg.map]      parametric-parallel scope
+    - [sdfg.consume]  stream-consume scope (exists for commutability, §3.2)
+    - [sdfg.state]    dataflow grouping node of the state machine
+    - [sdfg.edge]     state transition with condition + symbolic assignments
+    - [sdfg.sym]      materializes a symbolic expression as an SSA index
+    - [sdfg.return]   tasklet terminator
+
+    Functions converted to this dialect carry the ["sdfg.converted"]
+    attribute; their bodies consist of [sdfg.alloc]s followed by states and
+    edges, the induced finite state machine (§3.2). *)
+
+open Dcir_symbolic
+
+(* Attribute keys. *)
+let k_subset = "subset"
+let k_wcr = "wcr"
+let k_transient = "transient"
+let k_container = "container"
+let k_state_id = "state"
+let k_src = "src"
+let k_dst = "dst"
+let k_condition = "condition"
+let k_assignments = "assignments"
+let k_ranges = "ranges"
+let k_expr = "expr"
+
+let sym (e : Expr.t) : Ir.op =
+  Ir.new_op "sdfg.sym"
+    ~results:[ Ir.new_value ~hint:"sym" Types.Index ]
+    ~attrs:[ (k_expr, Attr.AExpr e) ]
+
+let sym_expr (o : Ir.op) : Expr.t option =
+  if String.equal o.name "sdfg.sym" then
+    Option.bind (Ir.attr o k_expr) Attr.as_expr
+  else None
+
+let alloc ?(transient = true) ~(container : string) (ty : Types.t) : Ir.op =
+  Ir.new_op "sdfg.alloc"
+    ~results:[ Ir.new_value ~hint:container ty ]
+    ~attrs:[ (k_transient, Attr.ABool transient); (k_container, Attr.AStr container) ]
+
+let load ?(subset : Range.t option) (arr : Ir.value) (indices : Ir.value list)
+    : Ir.op =
+  let attrs =
+    match subset with Some s -> [ (k_subset, Attr.ARange s) ] | None -> []
+  in
+  Ir.new_op "sdfg.load" ~operands:(arr :: indices)
+    ~results:[ Ir.new_value (Types.elem_type arr.vty) ]
+    ~attrs
+
+let store ?(subset : Range.t option) ?(wcr : string option) (v : Ir.value)
+    (arr : Ir.value) (indices : Ir.value list) : Ir.op =
+  let attrs =
+    (match subset with Some s -> [ (k_subset, Attr.ARange s) ] | None -> [])
+    @ match wcr with Some w -> [ (k_wcr, Attr.AStr w) ] | None -> []
+  in
+  Ir.new_op "sdfg.store" ~operands:(v :: arr :: indices) ~attrs
+
+(** [tasklet ~inputs ~result_tys builder]: [builder] receives the region
+    arguments (isolated copies of the inputs) and returns the body ops,
+    which must end in [sdfg.return]. *)
+let tasklet ~(inputs : Ir.value list) ~(result_tys : Types.t list)
+    (builder : Ir.value list -> Ir.op list) : Ir.op =
+  let args = List.map (fun v -> Ir.new_value ~hint:v.Ir.hint v.Ir.vty) inputs in
+  let body = builder args in
+  Ir.new_op "sdfg.tasklet" ~operands:inputs
+    ~results:(List.map Ir.new_value result_tys)
+    ~regions:[ Ir.new_region ~args ~ops:body () ]
+
+let return_ (vals : Ir.value list) : Ir.op =
+  Ir.new_op "sdfg.return" ~operands:vals
+
+let state ~(id : string) (ops : Ir.op list) : Ir.op =
+  Ir.new_op "sdfg.state"
+    ~attrs:[ (k_state_id, Attr.AStr id) ]
+    ~regions:[ Ir.new_region ~ops () ]
+
+let edge ?(condition = Bexpr.true_) ?(assignments : (string * Expr.t) list = [])
+    ~(src : string) ~(dst : string) () : Ir.op =
+  let assign_attr =
+    Attr.AList
+      (List.concat_map
+         (fun (s, e) -> [ Attr.AStr s; Attr.AExpr e ])
+         assignments)
+  in
+  Ir.new_op "sdfg.edge"
+    ~attrs:
+      [
+        (k_src, Attr.AStr src);
+        (k_dst, Attr.AStr dst);
+        (k_condition, Attr.ACond condition);
+        (k_assignments, assign_attr);
+      ]
+
+let edge_parts (o : Ir.op) :
+    (string * string * Bexpr.t * (string * Expr.t) list) option =
+  if not (String.equal o.name "sdfg.edge") then None
+  else
+    let src = Option.value ~default:"" (Ir.str_attr o k_src) in
+    let dst = Option.value ~default:"" (Ir.str_attr o k_dst) in
+    let cond =
+      match Ir.attr o k_condition with
+      | Some (Attr.ACond c) -> c
+      | _ -> Bexpr.true_
+    in
+    let rec pairs = function
+      | Attr.AStr s :: Attr.AExpr e :: rest -> (s, e) :: pairs rest
+      | _ -> []
+    in
+    let assigns =
+      match Ir.attr o k_assignments with
+      | Some (Attr.AList l) -> pairs l
+      | _ -> []
+    in
+    Some (src, dst, cond, assigns)
+
+(** [map_ ~ranges builder]: parametric-parallel scope. [builder] receives one
+    region argument per range (the map parameters). *)
+let map_ ~(params : string list) ~(ranges : Range.dim list)
+    (builder : Ir.value list -> Ir.op list) : Ir.op =
+  let args = List.map (fun p -> Ir.new_value ~hint:p Types.Index) params in
+  let body = builder args in
+  Ir.new_op "sdfg.map"
+    ~attrs:[ (k_ranges, Attr.ARange ranges) ]
+    ~regions:[ Ir.new_region ~args ~ops:body () ]
+
+let consume ~(stream : Ir.value) (builder : Ir.value -> Ir.op list) : Ir.op =
+  let elem = Ir.new_value ~hint:"elem" (Types.elem_type stream.Ir.vty) in
+  let body = builder elem in
+  Ir.new_op "sdfg.consume" ~operands:[ stream ]
+    ~regions:[ Ir.new_region ~args:[ elem ] ~ops:body () ]
+
+let stream_push (v : Ir.value) (stream : Ir.value) : Ir.op =
+  Ir.new_op "sdfg.stream_push" ~operands:[ v; stream ]
+
+let stream_pop (stream : Ir.value) : Ir.op =
+  Ir.new_op "sdfg.stream_pop" ~operands:[ stream ]
+    ~results:[ Ir.new_value (Types.elem_type stream.Ir.vty) ]
+
+let is_sdfg_op (name : string) : bool =
+  String.length name > 5 && String.equal (String.sub name 0 5) "sdfg."

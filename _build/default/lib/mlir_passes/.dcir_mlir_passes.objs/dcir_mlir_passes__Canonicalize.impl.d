@@ -1,0 +1,1 @@
+lib/mlir_passes/canonicalize.ml: Arith Attr Dcir_mlir Hashtbl Ir List Pass Scf_d String Types

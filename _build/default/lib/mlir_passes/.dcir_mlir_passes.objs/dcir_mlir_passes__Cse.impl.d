@@ -1,0 +1,1 @@
+lib/mlir_passes/cse.ml: Dcir_mlir Hashtbl Ir List Pass Pass_util

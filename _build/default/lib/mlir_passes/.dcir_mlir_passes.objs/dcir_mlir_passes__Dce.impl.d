@@ -1,0 +1,1 @@
+lib/mlir_passes/dce.ml: Dcir_mlir Hashtbl Ir List Option Pass Pass_util String

@@ -1,0 +1,1 @@
+lib/mlir_passes/inline.ml: Dcir_mlir Func_d Hashtbl Ir List Pass String

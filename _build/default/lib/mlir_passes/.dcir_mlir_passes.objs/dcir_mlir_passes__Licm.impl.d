@@ -1,0 +1,1 @@
+lib/mlir_passes/licm.ml: Dcir_mlir Hashtbl Ir List Pass Pass_util Scf_d String

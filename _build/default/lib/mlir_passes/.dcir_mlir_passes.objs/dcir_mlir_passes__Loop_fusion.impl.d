@@ -1,0 +1,1 @@
+lib/mlir_passes/loop_fusion.ml: Attr Canonicalize Dcir_mlir Hashtbl Ir List Memref_d Pass Pass_util Scf_d String

@@ -1,0 +1,1 @@
+lib/mlir_passes/mem2reg.ml: Arith Dcir_mlir Hashtbl Ir List Pass Scf_d String Types

@@ -1,0 +1,1 @@
+lib/mlir_passes/pass_util.ml: Attr Dcir_mlir Fmt Hashtbl Ir List Math_d Printf String

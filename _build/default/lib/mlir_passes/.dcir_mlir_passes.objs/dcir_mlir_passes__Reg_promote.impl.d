@@ -1,0 +1,1 @@
+lib/mlir_passes/reg_promote.ml: Dcir_mlir Hashtbl Ir List Memref_d Option Pass Pass_util Scf_d String Types

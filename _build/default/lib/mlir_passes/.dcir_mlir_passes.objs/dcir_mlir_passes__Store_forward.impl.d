@@ -1,0 +1,1 @@
+lib/mlir_passes/store_forward.ml: Dce Dcir_mlir Hashtbl Ir List Memref_d Option Pass Printf String

@@ -1,0 +1,53 @@
+(** Common subexpression elimination on pure ops.
+
+    Works scope-wise: a table of available expressions keyed by op signature
+    is threaded down into nested regions (values from enclosing regions
+    dominate the nested ones), and region-local entries are dropped on exit. *)
+
+open Dcir_mlir
+
+let run_on_func (f : Ir.func) : bool =
+  match f.fbody with
+  | None -> false
+  | Some body ->
+      let changed = ref false in
+      (* signature -> canonical result values. The table is scoped with an
+         undo trail per region. *)
+      let table : (string, Ir.value list) Hashtbl.t = Hashtbl.create 64 in
+      let rec process_region (r : Ir.region) =
+        let added = ref [] in
+        let keep =
+          List.filter
+            (fun (o : Ir.op) ->
+              (* First rewrite operands via pending replacements (done eagerly
+                 below), then try to match. *)
+              if Pass_util.is_pure o && o.results <> [] then begin
+                let sg = Pass_util.signature o in
+                match Hashtbl.find_opt table sg with
+                | Some canon ->
+                    (* Replace uses of this op's results everywhere below. *)
+                    List.iter2
+                      (fun (dup : Ir.value) (orig : Ir.value) ->
+                        Ir.replace_uses_in_region body ~from_:dup ~to_:orig)
+                      o.results canon;
+                    changed := true;
+                    false
+                | None ->
+                    Hashtbl.add table sg o.results;
+                    added := sg :: !added;
+                    List.iter process_region o.regions;
+                    true
+              end
+              else begin
+                List.iter process_region o.regions;
+                true
+              end)
+            r.rops
+        in
+        r.rops <- keep;
+        List.iter (fun sg -> Hashtbl.remove table sg) !added
+      in
+      process_region body;
+      !changed
+
+let pass : Pass.t = Pass.per_function "cse" run_on_func

@@ -1,0 +1,69 @@
+(** Dead code elimination: removes side-effect-free ops whose results are
+    never used, iterating to a fixpoint so use-chains collapse. A heap
+    allocation whose only remaining user is its [memref.dealloc] is removed
+    together with the dealloc — the malloc-elision production compilers
+    perform. *)
+
+open Dcir_mlir
+
+let run_on_func (f : Ir.func) : bool =
+  match f.fbody with
+  | None -> false
+  | Some body ->
+      let changed = ref false in
+      let continue_ = ref true in
+      while !continue_ do
+        continue_ := false;
+        (* Count uses of every value in the whole function. *)
+        let uses : (int, int) Hashtbl.t = Hashtbl.create 64 in
+        Ir.walk_region body (fun o ->
+            List.iter
+              (fun (v : Ir.value) ->
+                Hashtbl.replace uses v.vid
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt uses v.vid)))
+              o.operands);
+        let used (v : Ir.value) =
+          Option.value ~default:0 (Hashtbl.find_opt uses v.vid) > 0
+        in
+        (* An alloc used only by deallocs is dead: drop both. *)
+        let dead_allocs : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+        Ir.walk_region body (fun o ->
+            match o.name with
+            | "memref.alloc" | "memref.alloca" ->
+                let res = Ir.result o in
+                let non_dealloc_uses = ref 0 in
+                Ir.walk_region body (fun u ->
+                    if
+                      (not (String.equal u.Ir.name "memref.dealloc"))
+                      && List.exists (fun v -> v.Ir.vid = res.vid) u.operands
+                    then incr non_dealloc_uses);
+                if !non_dealloc_uses = 0 then
+                  Hashtbl.replace dead_allocs res.vid ()
+            | _ -> ());
+        let is_dead (o : Ir.op) =
+          match o.name with
+          | "memref.dealloc" ->
+              List.exists
+                (fun (v : Ir.value) -> Hashtbl.mem dead_allocs v.vid)
+                o.operands
+          | _ ->
+              Pass_util.is_removable_if_unused o
+              && o.results <> []
+              && not (List.exists used o.results)
+        in
+        let rec filter_region (r : Ir.region) =
+          let before = List.length r.rops in
+          r.rops <- List.filter (fun o -> not (is_dead o)) r.rops;
+          if List.length r.rops <> before then begin
+            changed := true;
+            continue_ := true
+          end;
+          List.iter
+            (fun (o : Ir.op) -> List.iter filter_region o.regions)
+            r.rops
+        in
+        filter_region body
+      done;
+      !changed
+
+let pass : Pass.t = Pass.per_function "dce" run_on_func

@@ -1,0 +1,109 @@
+(** Function inlining.
+
+    Every non-recursive call is inlined (the paper's pipeline applies
+    inlining before conversion so the SDFG sees whole-program dataflow,
+    §4). The callee body is cloned with fresh SSA values, parameters are
+    substituted by the call operands, and the trailing [func.return] feeds
+    the call's results. *)
+
+open Dcir_mlir
+
+let calls_in_func (f : Ir.func) : string list =
+  let acc = ref [] in
+  Ir.walk_func f (fun o ->
+      match Func_d.callee o with Some c -> acc := c :: !acc | None -> ());
+  !acc
+
+(* Direct or transitive self-reference makes a function non-inlinable. *)
+let recursive_funcs (m : Ir.modul) : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  let call_graph =
+    List.map (fun f -> (f.Ir.fname, calls_in_func f)) m.funcs
+  in
+  let rec reaches seen src dst =
+    if List.mem src seen then false
+    else
+      match List.assoc_opt src call_graph with
+      | None -> false
+      | Some callees ->
+          List.mem dst callees
+          || List.exists (fun c -> reaches (src :: seen) c dst) callees
+  in
+  List.iter
+    (fun f ->
+      if reaches [] f.Ir.fname f.Ir.fname then Hashtbl.replace tbl f.Ir.fname ())
+    m.funcs;
+  tbl
+
+let inline_call (body : Ir.region) (call : Ir.op) (callee : Ir.func) :
+    Ir.op list =
+  match callee.fbody with
+  | None -> [ call ]
+  | Some callee_body ->
+      (* Map callee params to call operands, then clone the body. *)
+      let vm =
+        List.fold_left2
+          (fun acc (p : Ir.value) (a : Ir.value) -> Ir.IntMap.add p.vid a acc)
+          Ir.IntMap.empty callee_body.rargs call.operands
+      in
+      let cloned, _vm =
+        List.fold_left
+          (fun (ops, vm) o ->
+            let o', vm' = Ir.clone_op vm o in
+            (o' :: ops, vm'))
+          ([], vm) callee_body.rops
+      in
+      let cloned = List.rev cloned in
+      (* The trailing func.return's operands become the call results. *)
+      let rec split acc = function
+        | [] -> (List.rev acc, None)
+        | [ (last : Ir.op) ] when String.equal last.name "func.return" ->
+            (List.rev acc, Some last.operands)
+        | o :: rest -> split (o :: acc) rest
+      in
+      let ops, ret_vals = split [] cloned in
+      (match ret_vals with
+      | Some vals ->
+          List.iter2
+            (fun res v -> Ir.replace_uses_in_region body ~from_:res ~to_:v)
+            call.results vals
+      | None ->
+          if call.results <> [] then
+            failwith "inline: callee has no trailing return");
+      ops
+
+let run (m : Ir.modul) : bool =
+  let recursive = recursive_funcs m in
+  let changed = ref false in
+  let continue_ = ref true in
+  let iterations = ref 0 in
+  while !continue_ && !iterations < 10 do
+    incr iterations;
+    continue_ := false;
+    List.iter
+      (fun (f : Ir.func) ->
+        match f.fbody with
+        | None -> ()
+        | Some body ->
+            let rec process_region (r : Ir.region) =
+              r.rops <-
+                List.concat_map
+                  (fun (o : Ir.op) ->
+                    List.iter process_region o.regions;
+                    match Func_d.callee o with
+                    | Some cname when not (Hashtbl.mem recursive cname) -> (
+                        match Ir.find_func m cname with
+                        | Some callee when callee.fbody <> None ->
+                            changed := true;
+                            continue_ := true;
+                            inline_call body o callee
+                        | _ -> [ o ])
+                    | _ -> [ o ])
+                  r.rops
+            in
+            process_region body)
+      m.funcs
+  done;
+  !changed
+
+let pass : Pass.t = Pass.make "inline" run

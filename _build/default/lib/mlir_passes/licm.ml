@@ -1,0 +1,82 @@
+(** Loop-invariant code motion.
+
+    Hoists out of [scf.for] bodies:
+    - pure ops whose operands are all defined outside the loop;
+    - [memref.load]s with invariant operands, when the loop body contains no
+      store to the same memref and no call (conservative aliasing on memref
+      SSA identity — sound here because the frontend never creates views).
+
+    This is the pass that (together with tasklet raising) fixes the syrk
+    weakness of the DaCe C frontend: hoisting [alpha * A[i][k]] out of the
+    innermost loop (Fig 7). *)
+
+open Dcir_mlir
+
+let run_on_func (f : Ir.func) : bool =
+  match f.fbody with
+  | None -> false
+  | Some body ->
+      let changed = ref false in
+      (* Process innermost-first so multi-level hoisting happens in one
+         sweep per fixpoint iteration. *)
+      let rec process_region (r : Ir.region) =
+        List.iter
+          (fun (o : Ir.op) -> List.iter process_region o.regions)
+          r.rops;
+        (* Hoist from each scf.for at this level. *)
+        r.rops <-
+          List.concat_map
+            (fun (o : Ir.op) ->
+              if String.equal o.name "scf.for" then begin
+                let loop_body = Scf_d.loop_body o in
+                let defined_inside = Hashtbl.create 32 in
+                List.iter
+                  (fun (v : Ir.value) ->
+                    Hashtbl.replace defined_inside v.vid ())
+                  (Ir.defined_values loop_body);
+                let invariant (v : Ir.value) =
+                  not (Hashtbl.mem defined_inside v.vid)
+                in
+                let stores = Pass_util.written_memrefs loop_body in
+                let has_calls = Pass_util.region_has_calls loop_body in
+                let hoisted = ref [] in
+                let rec hoist_ops () =
+                  let moved = ref false in
+                  let keep =
+                    List.filter
+                      (fun (op : Ir.op) ->
+                        let hoistable =
+                          List.for_all invariant op.operands
+                          && (Pass_util.is_pure op
+                             || (Pass_util.is_read_only op && (not has_calls)
+                                &&
+                                match Pass_util.read_memref op with
+                                | Some mr -> not (Hashtbl.mem stores mr.vid)
+                                | None -> false))
+                        in
+                        if hoistable then begin
+                          hoisted := op :: !hoisted;
+                          List.iter
+                            (fun (v : Ir.value) ->
+                              Hashtbl.remove defined_inside v.vid)
+                            op.results;
+                          moved := true;
+                          changed := true;
+                          false
+                        end
+                        else true)
+                      loop_body.rops
+                  in
+                  loop_body.rops <- keep;
+                  if !moved then hoist_ops ()
+                in
+                hoist_ops ();
+                List.rev !hoisted @ [ o ]
+              end
+              else [ o ])
+            r.rops
+      in
+      process_region body;
+      !changed
+
+let pass : Pass.t = Pass.per_function "licm" run_on_func

@@ -1,0 +1,118 @@
+(** Adjacent-loop fusion (the control-centric fusion GCC/LLVM perform on the
+    Fig 2 example).
+
+    Two directly adjacent [scf.for] loops fuse when:
+    - bounds and step are the same SSA values (or equal constants);
+    - neither carries iteration values ([iter_args]);
+    - neither contains calls;
+    - every access (in either loop) to a memref touched by {e both} loops
+      uses the index list [[iv]] exactly — element-wise accesses, for which
+      iteration-wise interleaving preserves the original semantics. *)
+
+open Dcir_mlir
+
+let same_bound (a : Ir.value) (b : Ir.value) (consts : (int, Attr.t) Hashtbl.t)
+    : bool =
+  a.vid = b.vid
+  ||
+  match (Hashtbl.find_opt consts a.vid, Hashtbl.find_opt consts b.vid) with
+  | Some (Attr.AInt x), Some (Attr.AInt y) -> x = y
+  | _ -> false
+
+(* Memrefs accessed in a region, and whether all accesses to a given memref
+   are exactly [iv]. *)
+let access_profile (r : Ir.region) (iv : Ir.value) :
+    (int, [ `Elementwise | `Other ]) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  let note (mr : Ir.value) (idxs : Ir.value list) =
+    let kind =
+      match idxs with
+      | [ i ] when i.Ir.vid = iv.Ir.vid -> `Elementwise
+      | _ -> `Other
+    in
+    match (Hashtbl.find_opt tbl mr.Ir.vid, kind) with
+    | None, k -> Hashtbl.replace tbl mr.Ir.vid k
+    | Some `Other, _ -> ()
+    | Some `Elementwise, `Other -> Hashtbl.replace tbl mr.Ir.vid `Other
+    | Some `Elementwise, `Elementwise -> ()
+  in
+  Ir.walk_region r (fun o ->
+      match o.name with
+      | "memref.load" ->
+          let mr, idxs = Memref_d.load_parts o in
+          note mr idxs
+      | "memref.store" ->
+          let _, mr, idxs = Memref_d.store_parts o in
+          note mr idxs
+      | _ -> ());
+  tbl
+
+let can_fuse (a : Ir.op) (b : Ir.op) (consts : (int, Attr.t) Hashtbl.t) : bool
+    =
+  let lb1, ub1, st1 = Scf_d.loop_bounds a in
+  let lb2, ub2, st2 = Scf_d.loop_bounds b in
+  Scf_d.loop_iter_inits a = []
+  && Scf_d.loop_iter_inits b = []
+  && same_bound lb1 lb2 consts && same_bound ub1 ub2 consts
+  && same_bound st1 st2 consts
+  && (not (Pass_util.region_has_calls (Scf_d.loop_body a)))
+  && (not (Pass_util.region_has_calls (Scf_d.loop_body b)))
+  &&
+  let pa = access_profile (Scf_d.loop_body a) (Scf_d.loop_iv a) in
+  let pb = access_profile (Scf_d.loop_body b) (Scf_d.loop_iv b) in
+  Hashtbl.fold
+    (fun mr kind ok ->
+      ok
+      &&
+      match Hashtbl.find_opt pb mr with
+      | None -> true
+      | Some kb -> kind = `Elementwise && kb = `Elementwise)
+    pa true
+
+let fuse (a : Ir.op) (b : Ir.op) : Ir.op =
+  let body_a = Scf_d.loop_body a and body_b = Scf_d.loop_body b in
+  (* Clone b's body with its iv mapped to a's iv, then append before a's
+     terminator. *)
+  let vm = Ir.IntMap.add (Scf_d.loop_iv b).vid (Scf_d.loop_iv a) Ir.IntMap.empty in
+  let cloned, _ =
+    List.fold_left
+      (fun (ops, vm) o ->
+        let o', vm' = Ir.clone_op vm o in
+        (o' :: ops, vm'))
+      ([], vm) body_b.rops
+  in
+  let cloned =
+    List.rev cloned
+    |> List.filter (fun (o : Ir.op) -> not (String.equal o.name "scf.yield"))
+  in
+  let a_ops_no_yield =
+    List.filter
+      (fun (o : Ir.op) -> not (String.equal o.name "scf.yield"))
+      body_a.rops
+  in
+  body_a.rops <- a_ops_no_yield @ cloned @ [ Scf_d.yield [] ];
+  a
+
+let run_on_func (f : Ir.func) : bool =
+  match f.fbody with
+  | None -> false
+  | Some body ->
+      let changed = ref false in
+      let consts = Canonicalize.build_const_map body in
+      let rec process_region (r : Ir.region) =
+        List.iter (fun (o : Ir.op) -> List.iter process_region o.regions) r.rops;
+        let rec fuse_adjacent = function
+          | (a : Ir.op) :: (b : Ir.op) :: rest
+            when String.equal a.name "scf.for"
+                 && String.equal b.name "scf.for" && can_fuse a b consts ->
+              changed := true;
+              fuse_adjacent (fuse a b :: rest)
+          | o :: rest -> o :: fuse_adjacent rest
+          | [] -> []
+        in
+        r.rops <- fuse_adjacent r.rops
+      in
+      process_region body;
+      !changed
+
+let pass : Pass.t = Pass.per_function "loop-fusion" run_on_func

@@ -1,0 +1,205 @@
+(** Promotion of one-element memref "cells" to SSA values.
+
+    The Polygeist-style frontend lowers every mutable C scalar to a
+    [memref<1xT>] accessed with loads/stores (see {!Dcir_cfront.Polygeist}).
+    This pass performs SSA construction over the structured control flow:
+
+    - straight-line loads forward the last stored value;
+    - [scf.if] branches that store a cell get new result values fed by the
+      branch yields (phi nodes, structured style);
+    - [scf.for] bodies that store a cell get new [iter_args] carrying the
+      value around the loop.
+
+    Production compilers do this as part of -O1 (LLVM's mem2reg / MLIR's
+    mem2reg); all five pipeline proxies run it, so pipeline differences come
+    from the later passes, not from SSA construction. *)
+
+open Dcir_mlir
+
+type cell_info = {
+  cell : Ir.value;
+  elem_ty : Types.t;
+  mutable undef : Ir.value option;  (** lazily materialized entry constant *)
+}
+
+type state = {
+  cells : (int, cell_info) Hashtbl.t;  (** promotable cells by vid *)
+  versions : (int, Ir.value) Hashtbl.t;  (** current SSA value per cell *)
+  mutable entry_consts : Ir.op list;  (** undef constants, prepended at end *)
+}
+
+let is_cell_alloca (o : Ir.op) : bool =
+  String.equal o.name "memref.alloca"
+  &&
+  match (Ir.result o).vty with
+  | Types.MemRef (_, [ Types.Static 1 ]) -> true
+  | _ -> false
+
+(* A cell is promotable when its only uses are loads from it and stores
+   into it (as the destination). *)
+let find_promotable (body : Ir.region) : (int, cell_info) Hashtbl.t =
+  let cells = Hashtbl.create 16 in
+  Ir.walk_region body (fun o ->
+      if is_cell_alloca o then
+        let cell = Ir.result o in
+        Hashtbl.replace cells cell.vid
+          { cell; elem_ty = Types.elem_type cell.vty; undef = None });
+  Ir.walk_region body (fun o ->
+      let disqualify (v : Ir.value) = Hashtbl.remove cells v.vid in
+      match o.name with
+      | "memref.alloca" -> ()
+      | "memref.load" ->
+          (* Index operands must not be cells (they are index-typed anyway). *)
+          List.iteri (fun i v -> if i > 0 then disqualify v) o.operands
+      | "memref.store" ->
+          List.iteri (fun i v -> if i <> 1 then disqualify v) o.operands
+      | _ -> List.iter disqualify o.operands);
+  cells
+
+let cell_of (st : state) (v : Ir.value) : cell_info option =
+  Hashtbl.find_opt st.cells v.vid
+
+let version_of (st : state) (ci : cell_info) : Ir.value =
+  match Hashtbl.find_opt st.versions ci.cell.vid with
+  | Some v -> v
+  | None -> (
+      match ci.undef with
+      | Some u -> u
+      | None ->
+          (* Uninitialized C read: materialize a zero at function entry. *)
+          let c =
+            if Types.is_float ci.elem_ty then Arith.const_float ci.elem_ty 0.0
+            else Arith.const_int ci.elem_ty 0
+          in
+          st.entry_consts <- c :: st.entry_consts;
+          let u = Ir.result c in
+          ci.undef <- Some u;
+          u)
+
+(* Cells stored (recursively) inside region [r]. *)
+let stored_cells (st : state) (r : Ir.region) : cell_info list =
+  let acc = Hashtbl.create 8 in
+  Ir.walk_region r (fun o ->
+      if String.equal o.Ir.name "memref.store" then
+        match o.operands with
+        | _ :: mr :: _ -> (
+            match cell_of st mr with
+            | Some ci -> Hashtbl.replace acc ci.cell.vid ci
+            | None -> ())
+        | _ -> ());
+  Hashtbl.fold (fun _ ci l -> ci :: l) acc []
+  |> List.sort (fun a b -> compare a.cell.vid b.cell.vid)
+
+let append_to_yield (r : Ir.region) (extra : Ir.value list) : unit =
+  match List.rev r.rops with
+  | (last : Ir.op) :: _ when String.equal last.name "scf.yield" ->
+      last.operands <- last.operands @ extra
+  | _ -> failwith "mem2reg: structured region without trailing scf.yield"
+
+let rec process_ops (st : state) (body : Ir.region) (ops : Ir.op list) :
+    Ir.op list =
+  List.concat_map
+    (fun (o : Ir.op) ->
+      match o.name with
+      | "memref.load" -> (
+          match cell_of st (List.hd o.operands) with
+          | Some ci ->
+              let v = version_of st ci in
+              Ir.replace_uses_in_region body ~from_:(Ir.result o) ~to_:v;
+              []
+          | None -> [ o ])
+      | "memref.store" -> (
+          match o.operands with
+          | value :: mr :: _ -> (
+              match cell_of st mr with
+              | Some ci ->
+                  Hashtbl.replace st.versions ci.cell.vid value;
+                  []
+              | None -> [ o ])
+          | _ -> [ o ])
+      | "memref.alloca" when cell_of st (Ir.result o) <> None -> []
+      | "scf.if" ->
+          let then_r, else_r = Scf_d.if_regions o in
+          let merged =
+            (* Cells stored in either branch need a phi. *)
+            let tbl = Hashtbl.create 8 in
+            List.iter
+              (fun ci -> Hashtbl.replace tbl ci.cell.vid ci)
+              (stored_cells st then_r @ stored_cells st else_r);
+            Hashtbl.fold (fun _ ci l -> ci :: l) tbl []
+            |> List.sort (fun a b -> compare a.cell.vid b.cell.vid)
+          in
+          let snapshot = Hashtbl.copy st.versions in
+          then_r.rops <- process_ops st then_r then_r.rops;
+          let then_finals = List.map (version_of st) merged in
+          Hashtbl.reset st.versions;
+          Hashtbl.iter (Hashtbl.replace st.versions) snapshot;
+          else_r.rops <- process_ops st else_r else_r.rops;
+          let else_finals = List.map (version_of st) merged in
+          Hashtbl.reset st.versions;
+          Hashtbl.iter (Hashtbl.replace st.versions) snapshot;
+          if merged <> [] then begin
+            append_to_yield then_r then_finals;
+            append_to_yield else_r else_finals;
+            let new_results =
+              List.map (fun ci -> Ir.new_value ~hint:ci.cell.hint ci.elem_ty) merged
+            in
+            o.results <- o.results @ new_results;
+            List.iter2
+              (fun ci res -> Hashtbl.replace st.versions ci.cell.vid res)
+              merged new_results
+          end;
+          [ o ]
+      | "scf.for" ->
+          let loop_body = Scf_d.loop_body o in
+          let carried = stored_cells st loop_body in
+          let inits = List.map (version_of st) carried in
+          let new_args =
+            List.map
+              (fun ci -> Ir.new_value ~hint:ci.cell.hint ci.elem_ty)
+              carried
+          in
+          (* Bind cells to the loop-carried args while processing the body. *)
+          List.iter2
+            (fun ci arg -> Hashtbl.replace st.versions ci.cell.vid arg)
+            carried new_args;
+          loop_body.rops <- process_ops st loop_body loop_body.rops;
+          let finals = List.map (version_of st) carried in
+          if carried <> [] then begin
+            append_to_yield loop_body finals;
+            loop_body.rargs <- loop_body.rargs @ new_args;
+            o.operands <- o.operands @ inits;
+            let new_results =
+              List.map (fun ci -> Ir.new_value ~hint:ci.cell.hint ci.elem_ty) carried
+            in
+            o.results <- o.results @ new_results;
+            List.iter2
+              (fun ci res -> Hashtbl.replace st.versions ci.cell.vid res)
+              carried new_results
+          end;
+          [ o ]
+      | _ ->
+          (* Other region-bearing ops cannot contain cell accesses: the
+             promotability scan rejected cells used by unknown ops, and
+             loads/stores nested under unknown ops keep their cell operand,
+             which would have disqualified it only if the op itself used the
+             cell. Process their regions for cells anyway, conservatively
+             treating them as straight-line code. *)
+          List.iter (fun r -> r.Ir.rops <- process_ops st r r.Ir.rops) o.regions;
+          [ o ])
+    ops
+
+let run_on_func (f : Ir.func) : bool =
+  match f.fbody with
+  | None -> false
+  | Some body ->
+      let cells = find_promotable body in
+      if Hashtbl.length cells = 0 then false
+      else begin
+        let st = { cells; versions = Hashtbl.create 16; entry_consts = [] } in
+        body.rops <- process_ops st body body.rops;
+        body.rops <- List.rev st.entry_consts @ body.rops;
+        true
+      end
+
+let pass : Pass.t = Pass.per_function "mem2reg" run_on_func

@@ -1,0 +1,77 @@
+(** Shared analyses for the control-centric passes: purity, memory effects,
+    and simple op-signature hashing. *)
+
+open Dcir_mlir
+
+(** Ops with no side effects and no memory reads — safe to CSE, DCE, hoist. *)
+let is_pure (o : Ir.op) : bool =
+  let n = o.Ir.name in
+  (String.length n > 6 && String.equal (String.sub n 0 6) "arith.")
+  || Math_d.is_math_op n
+  || String.equal n "memref.dim"
+  || String.equal n "sdfg.sym"
+
+(** Ops whose only effect is reading memory — removable when unused,
+    hoistable when memory is provably unmodified. *)
+let is_read_only (o : Ir.op) : bool =
+  String.equal o.Ir.name "memref.load" || String.equal o.Ir.name "sdfg.load"
+
+(** Removable when the results are unused (pure or read-only, plus
+    allocations, whose only observable effect here is cost). *)
+let is_removable_if_unused (o : Ir.op) : bool =
+  is_pure o || is_read_only o
+  || String.equal o.Ir.name "memref.alloc"
+  || String.equal o.Ir.name "memref.alloca"
+  || String.equal o.Ir.name "sdfg.alloc"
+
+(** The memref value written by this op, if any. *)
+let written_memref (o : Ir.op) : Ir.value option =
+  match o.Ir.name with
+  | "memref.store" | "sdfg.store" -> (
+      match o.operands with _ :: mr :: _ -> Some mr | _ -> None)
+  | _ -> None
+
+let read_memref (o : Ir.op) : Ir.value option =
+  match o.Ir.name with
+  | "memref.load" | "sdfg.load" -> (
+      match o.operands with mr :: _ -> Some mr | _ -> None)
+  | _ -> None
+
+(** Does the region (recursively) contain an op that may write memory or has
+    unknown effects (calls)? Used as a conservative barrier. *)
+let rec region_has_side_effects (r : Ir.region) : bool =
+  List.exists
+    (fun (o : Ir.op) ->
+      (match o.name with
+      | "memref.store" | "sdfg.store" | "memref.dealloc" | "func.call"
+      | "sdfg.stream_push" ->
+          true
+      | _ -> false)
+      || List.exists region_has_side_effects o.regions)
+    r.rops
+
+(** Memrefs written anywhere inside [r] (recursively), as a vid set. *)
+let written_memrefs (r : Ir.region) : (int, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 8 in
+  Ir.walk_region r (fun o ->
+      match written_memref o with
+      | Some mr -> Hashtbl.replace tbl mr.vid ()
+      | None -> ());
+  tbl
+
+(** Does the region contain any call (unknown effects)? *)
+let region_has_calls (r : Ir.region) : bool =
+  let found = ref false in
+  Ir.walk_region r (fun o ->
+      if String.equal o.Ir.name "func.call" then found := true);
+  !found
+
+(** Structural signature for CSE: name + operand ids + attributes. Two pure
+    ops with equal signatures compute the same value. *)
+let signature (o : Ir.op) : string =
+  let attrs =
+    List.map (fun (k, a) -> k ^ "=" ^ Fmt.str "%a" Attr.pp a) o.attrs
+  in
+  Printf.sprintf "%s(%s){%s}" o.name
+    (String.concat "," (List.map (fun v -> string_of_int v.Ir.vid) o.operands))
+    (String.concat "," attrs)

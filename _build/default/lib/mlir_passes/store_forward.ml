@@ -1,0 +1,67 @@
+(** Store-to-load forwarding.
+
+    Within one region, a load from [A[idx...]] that follows a store to the
+    same memref with the identical index values (and no possibly-aliasing
+    write, call, or nested region in between) yields the stored value. This
+    is the standard GVN-style memory forwarding production compilers apply;
+    on the Fig 2 example it turns [B[j] = A[i]] into [B[j] = 5] after the
+    [A[i] = 5] store, enabling the data-centric side to see the false
+    dependency. *)
+
+open Dcir_mlir
+
+let access_key (mr : Ir.value) (idxs : Ir.value list) : string =
+  Printf.sprintf "%d[%s]" mr.vid
+    (String.concat "," (List.map (fun (v : Ir.value) -> string_of_int v.vid) idxs))
+
+let run_on_func (f : Ir.func) : bool =
+  match f.fbody with
+  | None -> false
+  | Some body ->
+      let changed = ref false in
+      let rec process_region (r : Ir.region) =
+        (* available: access key -> stored value; per-memref key sets allow
+           invalidating a whole memref on an unknown-index store. *)
+        let available : (string, Ir.value) Hashtbl.t = Hashtbl.create 16 in
+        let keys_of_memref : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+        let invalidate_memref (mr : Ir.value) =
+          List.iter (Hashtbl.remove available)
+            (Option.value ~default:[] (Hashtbl.find_opt keys_of_memref mr.vid));
+          Hashtbl.remove keys_of_memref mr.vid
+        in
+        let invalidate_all () =
+          Hashtbl.reset available;
+          Hashtbl.reset keys_of_memref
+        in
+        List.iter
+          (fun (o : Ir.op) ->
+            match o.name with
+            | "memref.store" ->
+                let v, mr, idxs = Memref_d.store_parts o in
+                (* A store with new indices may alias every tracked element
+                   of this memref. *)
+                invalidate_memref mr;
+                let key = access_key mr idxs in
+                Hashtbl.replace available key v;
+                Hashtbl.replace keys_of_memref mr.vid [ key ]
+            | "memref.load" -> (
+                let mr, idxs = Memref_d.load_parts o in
+                match Hashtbl.find_opt available (access_key mr idxs) with
+                | Some v ->
+                    Ir.replace_uses_in_region body ~from_:(Ir.result o) ~to_:v;
+                    changed := true
+                | None -> ())
+            | "func.call" | "memref.dealloc" -> invalidate_all ()
+            | _ ->
+                if o.regions <> [] then begin
+                  (* Nested control flow may write anything. *)
+                  invalidate_all ();
+                  List.iter process_region o.regions
+                end)
+          r.rops
+      in
+      process_region body;
+      if !changed then ignore (Dce.run_on_func f);
+      !changed
+
+let pass : Pass.t = Pass.per_function "store-forward" run_on_func

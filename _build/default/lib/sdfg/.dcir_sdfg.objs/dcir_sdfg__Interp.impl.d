@@ -1,0 +1,1 @@
+lib/sdfg/interp.ml: Array Bexpr Cost Dcir_machine Dcir_mlir Dcir_symbolic Expr Float Fmt Hashtbl List Machine Option Printf Range Sdfg Stdlib Texpr Value

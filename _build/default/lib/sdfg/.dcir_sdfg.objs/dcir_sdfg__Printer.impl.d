@@ -1,0 +1,1 @@
+lib/sdfg/printer.ml: Bexpr Dcir_mlir Dcir_symbolic Expr Fmt Hashtbl List Printf Range Sdfg String Texpr

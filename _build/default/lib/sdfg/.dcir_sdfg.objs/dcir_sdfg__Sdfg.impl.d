@@ -1,0 +1,1 @@
+lib/sdfg/sdfg.ml: Array Bexpr Dcir_mlir Dcir_support Dcir_symbolic Expr Hashtbl List Range Set String Texpr

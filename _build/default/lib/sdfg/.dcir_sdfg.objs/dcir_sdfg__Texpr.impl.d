@@ -1,0 +1,1 @@
+lib/sdfg/texpr.ml: Dcir_symbolic Expr Fmt Format List Option Set String

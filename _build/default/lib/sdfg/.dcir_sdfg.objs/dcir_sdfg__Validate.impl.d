@@ -1,0 +1,1 @@
+lib/sdfg/validate.ml: Bexpr Dcir_symbolic Expr Fmt Hashtbl List Range Sdfg String Texpr

@@ -1,0 +1,626 @@
+(** SDFG interpreter over the simulated machine.
+
+    Executes the state machine: run a state's dataflow graph in topological
+    order, then take the first outgoing interstate edge whose condition
+    holds, applying its symbol assignments. Cost conventions deliberately
+    mirror {!Dcir_mlir.Interp} so cross-pipeline cycle comparisons are fair:
+
+    - memory traffic goes through the same {!Dcir_machine.Machine};
+    - scalar containers default to [Register] storage (DaCe code-generates
+      them as C++ locals), costing a [Move] per access — like post-mem2reg
+      SSA values on the MLIR side;
+    - a conditional state transition costs one [Branch]; unconditional
+      transitions are free (fall-through in generated code); an interstate
+      assignment costs one [Int_alu];
+    - opaque tasklets (MLIR/C units) pay a per-invocation call overhead and
+      execute through the MLIR interpreter — the separate-translation-unit
+      cost §5.2 describes. *)
+
+open Dcir_symbolic
+open Dcir_machine
+
+exception Trap of string
+
+let trap fmt = Fmt.kstr (fun s -> raise (Trap s)) fmt
+
+type runtime = {
+  machine : Machine.t;
+  sdfg : Sdfg.t;
+  buffers : (string, Machine.buffer) Hashtbl.t;
+  dims : (string, int array) Hashtbl.t;
+  symbols : (string, int) Hashtbl.t;
+  topo_cache : (int, Sdfg.node list) Hashtbl.t;
+      (** keyed by the nid of the first node; per-graph order cache *)
+  alloc_charged : (string, unit) Hashtbl.t;
+  last_outputs : (string, Value.t) Hashtbl.t;
+      (** "nid:conn" -> value of the most recent execution, for direct
+          tasklet-to-tasklet value edges created by scalar elimination *)
+  mutable steps : int;
+}
+
+let sym_env (rt : runtime) : string -> int option =
+  fun s ->
+    match Hashtbl.find_opt rt.symbols s with
+    | Some v -> Some v
+    | None -> (
+        (* Interstate conditions may read scalar containers directly
+           (data-dependent control flow before symbol promotion). *)
+        match Hashtbl.find_opt rt.buffers s with
+        | Some b when b.size = 1 ->
+            Machine.charge_op rt.machine Move;
+            Some (Value.as_int (Machine.peek b 0))
+        | _ -> None)
+
+let eval_expr (rt : runtime) (e : Expr.t) : int =
+  match Expr.eval (sym_env rt) e with
+  | v -> v
+  | exception Expr.Unbound_symbol s -> trap "unbound symbol '%s'" s
+
+let eval_range_dim (rt : runtime) (d : Range.dim) : int * int * int =
+  (eval_expr rt d.lo, eval_expr rt d.hi, eval_expr rt d.step)
+
+let storage_of : Sdfg.storage -> Machine.storage = function
+  | Sdfg.Heap -> Machine.Heap
+  | Sdfg.Stack -> Machine.Stack
+  | Sdfg.Register -> Machine.Register
+
+let zero_of (c : Sdfg.container) : Value.t =
+  match c.dtype with Sdfg.DInt -> Value.VInt 0 | Sdfg.DFloat -> Value.VFloat 0.0
+
+(* Forward declaration: set below, after lazy allocation is defined. *)
+let dims_ref : (runtime -> string -> int array) ref =
+  ref (fun _ _ -> assert false)
+
+(* Linearize an index tuple; mirrors Mlir.Interp cost (one Int_alu per extra
+   dimension). *)
+let linearize (rt : runtime) (name : string) (indices : int list) : int =
+  let dims = !dims_ref rt name in
+  if List.length indices <> Array.length dims then
+    trap "container '%s': %d indices for rank %d" name (List.length indices)
+      (Array.length dims);
+  let lin = ref 0 in
+  List.iteri
+    (fun k idx ->
+      if k > 0 then Machine.charge_op rt.machine Int_alu;
+      lin := (!lin * dims.(k)) + idx)
+    indices;
+  !lin
+
+(* Transients are allocated lazily at first access: their symbolic sizes may
+   reference scalar containers whose values only exist once execution reaches
+   the allocation point (e.g. malloc sizes flowing through scalars). *)
+let rec buffer_of (rt : runtime) (name : string) : Machine.buffer =
+  match Hashtbl.find_opt rt.buffers name with
+  | Some b -> b
+  | None -> (
+      match Hashtbl.find_opt rt.sdfg.containers name with
+      | Some c when c.transient ->
+          let dims = Array.of_list (List.map (eval_expr rt) c.shape) in
+          let elems = Array.fold_left ( * ) 1 dims in
+          let charge_alloc = (not c.alloc_in_loop) && c.alloc_state = None in
+          let saved = (Machine.metrics rt.machine).cycles in
+          let saved_allocs = (Machine.metrics rt.machine).heap_allocs in
+          let b =
+            Machine.alloc rt.machine ~storage:(storage_of c.storage) ~elems
+              ~elem_bytes:(Sdfg.elem_bytes c) ~zero_init:(zero_of c)
+          in
+          if not charge_alloc then begin
+            (* Recurring cost is charged per execution of the allocating
+               state instead. *)
+            (Machine.metrics rt.machine).cycles <- saved;
+            (Machine.metrics rt.machine).heap_allocs <- saved_allocs
+          end;
+          Hashtbl.replace rt.buffers name b;
+          Hashtbl.replace rt.dims name dims;
+          b
+      | Some _ -> trap "argument container '%s' has no buffer" name
+      | None -> trap "container '%s' does not exist" name)
+
+and dims_of (rt : runtime) (name : string) : int array =
+  ignore (buffer_of rt name);
+  match Hashtbl.find_opt rt.dims name with
+  | Some d -> d
+  | None -> trap "no dims for container '%s'" name
+
+let () = dims_ref := dims_of
+
+let read_element (rt : runtime) (m : Sdfg.memlet) (indices : int list) :
+    Value.t =
+  Machine.load rt.machine (buffer_of rt m.data) (linearize rt m.data indices)
+
+let apply_wcr (rt : runtime) (w : Sdfg.wcr) (old_v : Value.t) (v : Value.t) :
+    Value.t =
+  let is_f = Value.is_float old_v || Value.is_float v in
+  let charge_cls : Cost.op_class = if is_f then Fp_add else Int_alu in
+  Machine.charge_op rt.machine charge_cls;
+  match (w, is_f) with
+  | Sdfg.WcrSum, true -> Value.VFloat (Value.as_float old_v +. Value.as_float v)
+  | Sdfg.WcrSum, false -> Value.VInt (Value.as_int old_v + Value.as_int v)
+  | Sdfg.WcrProd, true -> Value.VFloat (Value.as_float old_v *. Value.as_float v)
+  | Sdfg.WcrProd, false -> Value.VInt (Value.as_int old_v * Value.as_int v)
+  | Sdfg.WcrMax, true -> Value.VFloat (Float.max (Value.as_float old_v) (Value.as_float v))
+  | Sdfg.WcrMax, false -> Value.VInt (max (Value.as_int old_v) (Value.as_int v))
+  | Sdfg.WcrMin, true -> Value.VFloat (Float.min (Value.as_float old_v) (Value.as_float v))
+  | Sdfg.WcrMin, false -> Value.VInt (min (Value.as_int old_v) (Value.as_int v))
+
+let write_element (rt : runtime) (m : Sdfg.memlet) (indices : int list)
+    (v : Value.t) : unit =
+  let buf = buffer_of rt m.data in
+  let lin = linearize rt m.data indices in
+  match m.wcr with
+  | None -> Machine.store rt.machine buf lin v
+  | Some w ->
+      let old_v = Machine.load rt.machine buf lin in
+      Machine.store rt.machine buf lin (apply_wcr rt w old_v v)
+
+(* Evaluate the concrete index tuple of a single-element subset. *)
+let subset_indices (rt : runtime) (s : Range.t) : int list option =
+  if List.for_all Range.is_index s then
+    Some (List.map (fun (d : Range.dim) -> eval_expr rt d.lo) s)
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Tasklet evaluation *)
+
+type conn_value =
+  | CScalar of Value.t
+  | CArray of string  (** whole-container binding for indirect access *)
+
+let rec eval_texpr (rt : runtime) (env : (string * conn_value) list)
+    (e : Texpr.t) : Value.t =
+  let m = rt.machine in
+  match e with
+  | Texpr.TFloat f -> VFloat f
+  | Texpr.TInt n -> VInt n
+  | Texpr.TSym s -> (
+      match sym_env rt s with
+      | Some v -> VInt v
+      | None -> trap "tasklet references unbound symbol '%s'" s)
+  | Texpr.TIn c -> (
+      match List.assoc_opt c env with
+      | Some (CScalar v) -> v
+      | Some (CArray _) -> trap "connector '%s' is an array, not a scalar" c
+      | None -> trap "unbound input connector '%s'" c)
+  | Texpr.TIndex (c, idxs) -> (
+      match List.assoc_opt c env with
+      | Some (CArray data) ->
+          let indices =
+            List.map (fun i -> Value.as_int (eval_texpr rt env i)) idxs
+          in
+          Machine.load m (buffer_of rt data) (linearize rt data indices)
+      | Some (CScalar _) -> trap "connector '%s' is scalar; cannot index" c
+      | None -> trap "unbound input connector '%s'" c)
+  | Texpr.TBin (op, a, b) -> (
+      let va = eval_texpr rt env a and vb = eval_texpr rt env b in
+      let is_f = Value.is_float va || Value.is_float vb in
+      (match (op, is_f) with
+      | (Texpr.BAdd | Texpr.BSub | Texpr.BMin | Texpr.BMax), true ->
+          Machine.charge_op m Fp_add
+      | Texpr.BMul, true -> Machine.charge_op m Fp_mul
+      | Texpr.BDiv, true -> Machine.charge_op m Fp_div
+      | (Texpr.BAdd | Texpr.BSub | Texpr.BMin | Texpr.BMax), false ->
+          Machine.charge_op m Int_alu
+      | Texpr.BMul, false -> Machine.charge_op m Int_mul
+      | (Texpr.BDiv | Texpr.BMod), false -> Machine.charge_op m Int_div
+      | Texpr.BMod, true -> Machine.charge_op m Fp_div);
+      if is_f then
+        let x = Value.as_float va and y = Value.as_float vb in
+        VFloat
+          (match op with
+          | Texpr.BAdd -> x +. y
+          | Texpr.BSub -> x -. y
+          | Texpr.BMul -> x *. y
+          | Texpr.BDiv -> x /. y
+          | Texpr.BMod -> Float.rem x y
+          | Texpr.BMin -> Float.min x y
+          | Texpr.BMax -> Float.max x y)
+      else
+        let x = Value.as_int va and y = Value.as_int vb in
+        VInt
+          (match op with
+          | Texpr.BAdd -> x + y
+          | Texpr.BSub -> x - y
+          | Texpr.BMul -> x * y
+          | Texpr.BDiv ->
+              if y = 0 then trap "division by zero in tasklet" else x / y
+          | Texpr.BMod ->
+              if y = 0 then trap "modulo by zero in tasklet" else x mod y
+          | Texpr.BMin -> min x y
+          | Texpr.BMax -> max x y))
+  | Texpr.TCmp (op, a, b) ->
+      let va = eval_texpr rt env a and vb = eval_texpr rt env b in
+      Machine.charge_op m Int_alu;
+      let r =
+        if Value.is_float va || Value.is_float vb then
+          let x = Value.as_float va and y = Value.as_float vb in
+          match op with
+          | Texpr.CEq -> x = y
+          | Texpr.CNe -> x <> y
+          | Texpr.CLt -> x < y
+          | Texpr.CLe -> x <= y
+          | Texpr.CGt -> x > y
+          | Texpr.CGe -> x >= y
+        else
+          let x = Value.as_int va and y = Value.as_int vb in
+          match op with
+          | Texpr.CEq -> x = y
+          | Texpr.CNe -> x <> y
+          | Texpr.CLt -> x < y
+          | Texpr.CLe -> x <= y
+          | Texpr.CGt -> x > y
+          | Texpr.CGe -> x >= y
+      in
+      Value.of_bool r
+  | Texpr.TSelect (c, a, b) ->
+      Machine.charge_op m Int_alu;
+      if Value.as_bool (eval_texpr rt env c) then eval_texpr rt env a
+      else eval_texpr rt env b
+  | Texpr.TUn (`Neg, a) -> (
+      match eval_texpr rt env a with
+      | VFloat f ->
+          Machine.charge_op m Fp_add;
+          VFloat (-.f)
+      | VInt n ->
+          Machine.charge_op m Int_alu;
+          VInt (-n))
+  | Texpr.TUn (`Not, a) ->
+      Machine.charge_op m Int_alu;
+      Value.of_bool (not (Value.as_bool (eval_texpr rt env a)))
+  | Texpr.TUn (`ToFloat, a) ->
+      Machine.charge_op m Move;
+      VFloat (Value.as_float (eval_texpr rt env a))
+  | Texpr.TUn (`ToInt, a) ->
+      Machine.charge_op m Move;
+      VInt
+        (match eval_texpr rt env a with
+        | VFloat f -> int_of_float f
+        | VInt n -> n)
+  | Texpr.TCall (fname, args) ->
+      let vargs = List.map (fun a -> Value.as_float (eval_texpr rt env a)) args in
+      (match fname with
+      | "sqrt" -> Machine.charge_op m Fp_sqrt
+      | _ -> Machine.charge_op m Math_call);
+      VFloat
+        (match (fname, vargs) with
+        | "exp", [ x ] -> Stdlib.exp x
+        | "log", [ x ] -> Stdlib.log x
+        | "sqrt", [ x ] -> Stdlib.sqrt x
+        | "tanh", [ x ] -> Stdlib.tanh x
+        | "fabs", [ x ] -> Stdlib.abs_float x
+        | "sin", [ x ] -> Stdlib.sin x
+        | "cos", [ x ] -> Stdlib.cos x
+        | "pow", [ x; y ] -> Stdlib.( ** ) x y
+        | _ -> trap "unknown math call '%s'" fname)
+
+(* ------------------------------------------------------------------ *)
+(* Node execution *)
+
+let topo_of (rt : runtime) (g : Sdfg.graph) : Sdfg.node list =
+  match g.nodes with
+  | [] -> []
+  | first :: _ -> (
+      match Hashtbl.find_opt rt.topo_cache first.nid with
+      | Some order when List.length order = List.length g.nodes -> order
+      | _ ->
+          let order = Sdfg.topo_order g in
+          Hashtbl.replace rt.topo_cache first.nid order;
+          order)
+
+let rec exec_graph (rt : runtime) (g : Sdfg.graph) : unit =
+  rt.steps <- rt.steps + 1;
+  if rt.steps > 200_000_000 then trap "execution step limit exceeded";
+  List.iter
+    (fun (n : Sdfg.node) ->
+      match n.kind with
+      | Sdfg.Access _ -> exec_access_copies rt g n
+      | Sdfg.TaskletN t -> exec_tasklet rt g n t
+      | Sdfg.MapN mn -> exec_map rt mn)
+    (topo_of rt g)
+
+(* Copies: Access -> Access edges with a memlet move subset-many elements. *)
+and exec_access_copies (rt : runtime) (g : Sdfg.graph) (n : Sdfg.node) : unit =
+  List.iter
+    (fun (e : Sdfg.edge) ->
+      match ((Sdfg.node_by_id g e.e_dst).kind, e.e_memlet) with
+      | Sdfg.Access dst_name, Some m ->
+          let src_buf = buffer_of rt m.data in
+          let dst_buf = buffer_of rt dst_name in
+          let dst_subset =
+            match m.other with
+            | Some o -> o
+            | None -> m.subset (* same-region copy *)
+          in
+          let write_one dst_indices v =
+            let lin = linearize rt dst_name dst_indices in
+            match m.wcr with
+            | None -> Machine.store rt.machine dst_buf lin v
+            | Some w ->
+                let old_v = Machine.load rt.machine dst_buf lin in
+                Machine.store rt.machine dst_buf lin (apply_wcr rt w old_v v)
+          in
+          let src_dims = List.map (eval_range_dim rt) m.subset in
+          let dst_dims = List.map (eval_range_dim rt) dst_subset in
+          let single ds = List.for_all (fun (lo, hi, _) -> lo = hi) ds in
+          if single src_dims && single dst_dims then begin
+            (* Element or scalar copy — the common converter-generated case;
+               subset ranks may differ (array element <-> scalar). *)
+            let src_idx = List.map (fun (lo, _, _) -> lo) src_dims in
+            let dst_idx = List.map (fun (lo, _, _) -> lo) dst_dims in
+            let v =
+              Machine.load rt.machine src_buf (linearize rt m.data src_idx)
+            in
+            write_one dst_idx v
+          end
+          else begin
+            (* Region copy: iterate the source subset row-major and map
+               offsets into the destination subset. *)
+            if List.length src_dims <> List.length dst_dims then
+              trap "copy %s -> %s: subset rank mismatch" m.data dst_name;
+            let rec iter src_prefix dst_prefix = function
+              | [] ->
+                  let v =
+                    Machine.load rt.machine src_buf
+                      (linearize rt m.data (List.rev src_prefix))
+                  in
+                  write_one (List.rev dst_prefix) v
+              | ((lo, hi, step), (dlo, _, dstep)) :: rest ->
+                  let i = ref lo and k = ref 0 in
+                  while !i <= hi do
+                    iter (!i :: src_prefix) ((dlo + (!k * dstep)) :: dst_prefix) rest;
+                    i := !i + step;
+                    incr k
+                  done
+            in
+            iter [] [] (List.combine src_dims dst_dims)
+          end
+      | _ -> ())
+    (Sdfg.node_out_edges g n)
+
+and exec_tasklet (rt : runtime) (g : Sdfg.graph) (n : Sdfg.node)
+    (t : Sdfg.tasklet) : unit =
+  (* A connector is array-valued when the code indexes into it (native) or
+     the corresponding parameter is a memref (opaque). *)
+  let array_conns =
+    match t.code with
+    | Sdfg.Native assigns ->
+        let rec collect acc (e : Texpr.t) =
+          match e with
+          | Texpr.TIndex (c, idxs) -> List.fold_left collect (c :: acc) idxs
+          | Texpr.TBin (_, a, b) | Texpr.TCmp (_, a, b) ->
+              collect (collect acc a) b
+          | Texpr.TSelect (a, b, c) -> collect (collect (collect acc a) b) c
+          | Texpr.TUn (_, a) -> collect acc a
+          | Texpr.TCall (_, args) -> List.fold_left collect acc args
+          | Texpr.TFloat _ | Texpr.TInt _ | Texpr.TIn _ | Texpr.TSym _ -> acc
+        in
+        List.fold_left (fun acc (_, e) -> collect acc e) [] assigns
+    | Sdfg.Opaque f ->
+        (* fparams = symbol args first, then input connectors. *)
+        let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r in
+        let conn_params = drop (List.length t.t_syms) f.Dcir_mlir.Ir.fparams in
+        List.filter_map
+          (fun (conn, (p : Dcir_mlir.Ir.value)) ->
+            match p.vty with
+            | Dcir_mlir.Types.MemRef _ -> Some conn
+            | _ -> None)
+          (try List.combine t.t_inputs conn_params with Invalid_argument _ -> [])
+  in
+  let env =
+    List.filter_map
+      (fun (e : Sdfg.edge) ->
+        match (e.e_dst_conn, e.e_memlet) with
+        | Some conn, Some m ->
+            if List.mem conn array_conns then Some (conn, CArray m.data)
+            else (
+              match subset_indices rt m.subset with
+              | Some idxs -> Some (conn, CScalar (read_element rt m idxs))
+              | None ->
+                  trap "tasklet '%s': scalar connector '%s' with non-index \
+                        subset %s"
+                    t.tname conn (Range.to_string m.subset))
+        | Some conn, None -> (
+            (* Direct value edge from another tasklet's output. *)
+            match e.e_src_conn with
+            | Some src_conn -> (
+                let key = Printf.sprintf "%d:%s" e.e_src src_conn in
+                match Hashtbl.find_opt rt.last_outputs key with
+                | Some v -> Some (conn, CScalar v)
+                | None ->
+                    trap "tasklet '%s': value edge source %s not yet executed"
+                      t.tname key)
+            | None -> None)
+        | _ -> None)
+      (Sdfg.node_in_edges g n)
+  in
+  match t.code with
+  | Sdfg.Native assigns ->
+      let outs =
+        List.map (fun (out, expr) -> (out, eval_texpr rt env expr)) assigns
+      in
+      write_outputs rt g n outs
+  | Sdfg.Opaque f ->
+      (* Run via the MLIR interpreter on the same machine; separately
+         compiled units additionally pay their per-invocation overhead. *)
+      Machine.charge rt.machine t.t_overhead;
+      let modul = Dcir_mlir.Ir.new_module () in
+      modul.funcs <- [ f ];
+      let sym_args =
+        List.map
+          (fun s ->
+            match sym_env rt s with
+            | Some v -> Dcir_mlir.Interp.Scalar (Value.VInt v)
+            | None -> trap "opaque tasklet '%s': unbound symbol '%s'" t.tname s)
+          t.t_syms
+      in
+      let args =
+        List.map
+          (fun (conn : string) ->
+            match List.assoc_opt conn env with
+            | Some (CScalar v) -> Dcir_mlir.Interp.Scalar v
+            | Some (CArray data) ->
+                Dcir_mlir.Interp.Buf
+                  { buf = buffer_of rt data; dims = dims_of rt data }
+            | None -> trap "opaque tasklet '%s': unbound connector '%s'" t.tname conn)
+          t.t_inputs
+      in
+      let results, _ =
+        Dcir_mlir.Interp.run ~machine:rt.machine modul ~entry:f.Dcir_mlir.Ir.fname
+          (sym_args @ args)
+      in
+      let outs = List.map2 (fun c v -> (c, v)) t.t_outputs results in
+      write_outputs rt g n outs
+
+and write_outputs (rt : runtime) (g : Sdfg.graph) (n : Sdfg.node)
+    (outs : (string * Value.t) list) : unit =
+  List.iter
+    (fun (conn, v) ->
+      Hashtbl.replace rt.last_outputs (Printf.sprintf "%d:%s" n.nid conn) v)
+    outs;
+  List.iter
+    (fun (e : Sdfg.edge) ->
+      match (e.e_src_conn, e.e_memlet) with
+      | Some conn, Some m -> (
+          match List.assoc_opt conn outs with
+          | Some v -> (
+              match subset_indices rt m.subset with
+              | Some idxs -> write_element rt m idxs v
+              | None -> trap "write memlet must be a single element (%s)" m.data)
+          | None -> trap "no value computed for output connector '%s'" conn)
+      | _ -> ())
+    (Sdfg.node_out_edges g n)
+
+and exec_map (rt : runtime) (mn : Sdfg.map_node) : unit =
+  let dims = List.map (eval_range_dim rt) mn.m_ranges in
+  let saved =
+    List.map (fun p -> (p, Hashtbl.find_opt rt.symbols p)) mn.m_params
+  in
+  let rec iter params dims =
+    match (params, dims) with
+    | [], [] -> exec_graph rt mn.m_body
+    | p :: ps, (lo, hi, step) :: ds ->
+        let i = ref lo in
+        while !i <= hi do
+          Machine.charge_op rt.machine Int_alu;
+          Machine.charge_op rt.machine Branch;
+          Hashtbl.replace rt.symbols p !i;
+          iter ps ds;
+          i := !i + step
+        done
+    | _ -> trap "map params/ranges mismatch"
+  in
+  iter mn.m_params dims;
+  List.iter
+    (fun (p, old) ->
+      match old with
+      | Some v -> Hashtbl.replace rt.symbols p v
+      | None -> Hashtbl.remove rt.symbols p)
+    saved
+
+(* ------------------------------------------------------------------ *)
+(* State machine execution *)
+
+let exec_state (rt : runtime) (s : Sdfg.state) : unit =
+  (* Allocation cost is charged when execution reaches the container's
+     allocation state: once for top-level allocations, on every execution
+     while [alloc_in_loop] holds (until the §6.3 hoisting pass clears it). *)
+  Hashtbl.iter
+    (fun _ (c : Sdfg.container) ->
+      if
+        c.alloc_state = Some s.s_label
+        && c.storage = Sdfg.Heap
+        && (c.alloc_in_loop || not (Hashtbl.mem rt.alloc_charged c.cname))
+      then begin
+        Hashtbl.replace rt.alloc_charged c.cname ();
+        let bytes =
+          List.fold_left (fun acc d -> acc * max 1 (eval_expr rt d)) 1 c.shape
+          * Sdfg.elem_bytes c
+        in
+        let pages = (bytes + 4095) / 4096 in
+        Machine.charge rt.machine
+          (rt.machine.cfg.malloc_cost
+          +. (rt.machine.cfg.malloc_per_page *. float_of_int pages)
+          +. if c.alloc_in_loop then rt.machine.cfg.free_cost else 0.0);
+        (Machine.metrics rt.machine).heap_allocs <-
+          (Machine.metrics rt.machine).heap_allocs + 1
+      end)
+    rt.sdfg.containers;
+  exec_graph rt s.s_graph
+
+type result = {
+  return_value : Value.t option;
+  machine : Machine.t;
+}
+
+(** [run sdfg ~machine ~buffers ~symbols] executes the SDFG. [buffers] must
+    provide every non-transient container; [symbols] binds [arg_symbols]
+    (sizes and promoted scalar parameters). *)
+let run ?(machine : Machine.t option) (sdfg : Sdfg.t)
+    ~(buffers : (string * Machine.buffer * int array) list)
+    ~(symbols : (string * int) list) () : result =
+  let machine = match machine with Some m -> m | None -> Machine.create () in
+  let rt =
+    {
+      machine;
+      sdfg;
+      buffers = Hashtbl.create 32;
+      dims = Hashtbl.create 32;
+      symbols = Hashtbl.create 32;
+      topo_cache = Hashtbl.create 32;
+      alloc_charged = Hashtbl.create 16;
+      last_outputs = Hashtbl.create 32;
+      steps = 0;
+    }
+  in
+  List.iter (fun (s, v) -> Hashtbl.replace rt.symbols s v) symbols;
+  List.iter
+    (fun (name, buf, dims) ->
+      Hashtbl.replace rt.buffers name buf;
+      Hashtbl.replace rt.dims name dims)
+    buffers;
+  (* Argument buffers must all be present; transients allocate lazily at
+     first access (see [buffer_of]). *)
+  Hashtbl.iter
+    (fun name (c : Sdfg.container) ->
+      if (not c.transient) && not (Hashtbl.mem rt.buffers name) then
+        trap "missing buffer for argument '%s'" name)
+    sdfg.containers;
+  (* Walk the state machine. *)
+  let cur = ref (Sdfg.find_state sdfg sdfg.start_state) in
+  let transitions = ref 0 in
+  while !cur <> None do
+    incr transitions;
+    if !transitions > 100_000_000 then trap "state machine did not terminate";
+    let s = Option.get !cur in
+    exec_state rt s;
+    let outs = Sdfg.out_edges sdfg s.s_label in
+    if List.length outs > 1 then Machine.charge_op machine Branch;
+    let taken =
+      List.find_opt
+        (fun (e : Sdfg.istate_edge) ->
+          match Bexpr.eval (sym_env rt) e.ie_cond with
+          | v -> v
+          | exception Expr.Unbound_symbol sym ->
+              trap "condition on edge %s->%s reads unbound symbol '%s'"
+                e.ie_src e.ie_dst sym)
+        outs
+    in
+    match taken with
+    | None -> cur := None
+    | Some e ->
+        (* Evaluate all RHS with pre-assignment values, then commit. *)
+        let values =
+          List.map (fun (sym, ex) ->
+              Machine.charge_op machine Int_alu;
+              (sym, eval_expr rt ex))
+            e.ie_assign
+        in
+        List.iter (fun (sym, v) -> Hashtbl.replace rt.symbols sym v) values;
+        cur := Sdfg.find_state sdfg e.ie_dst
+  done;
+  let return_value =
+    match (sdfg.return_scalar, sdfg.return_expr) with
+    | Some name, _ -> Some (Machine.peek (buffer_of rt name) 0)
+    | None, Some e -> Some (Value.VInt (eval_expr rt e))
+    | None, None -> None
+  in
+  { return_value; machine }

@@ -1,0 +1,103 @@
+(** Textual dump of an SDFG — the debugging/teaching view used by examples
+    and the CLI ([dcir compile --emit sdfg]). *)
+
+open Dcir_symbolic
+
+let pp_dtype ppf = function
+  | Sdfg.DInt -> Fmt.string ppf "int"
+  | Sdfg.DFloat -> Fmt.string ppf "float"
+
+let pp_storage ppf = function
+  | Sdfg.Heap -> Fmt.string ppf "heap"
+  | Sdfg.Stack -> Fmt.string ppf "stack"
+  | Sdfg.Register -> Fmt.string ppf "register"
+
+let pp_container ppf (c : Sdfg.container) =
+  Fmt.pf ppf "%s%s: %a%a @@%a%s" c.cname
+    (if c.transient then " (transient)" else "")
+    pp_dtype c.dtype
+    (fun ppf shape ->
+      if shape <> [] then
+        Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ", ") Expr.pp) shape)
+    c.shape pp_storage c.storage
+    (if c.alloc_in_loop then " (alloc in loop)" else "")
+
+let pp_memlet ppf (m : Sdfg.memlet) =
+  Fmt.pf ppf "%s%a%s" m.data Range.pp m.subset
+    (match m.wcr with
+    | Some w -> " (wcr: " ^ Sdfg.wcr_to_string w ^ ")"
+    | None -> "")
+
+let node_label (n : Sdfg.node) : string =
+  match n.kind with
+  | Sdfg.Access name -> Printf.sprintf "access(%s)#%d" name n.nid
+  | Sdfg.TaskletN t -> Printf.sprintf "tasklet(%s)#%d" t.tname n.nid
+  | Sdfg.MapN mn ->
+      Printf.sprintf "map[%s]#%d" (String.concat "," mn.m_params) n.nid
+
+let rec pp_graph ?(indent = "  ") ppf (g : Sdfg.graph) =
+  List.iter
+    (fun (n : Sdfg.node) ->
+      match n.kind with
+      | Sdfg.TaskletN { code = Native assigns; _ } ->
+          Fmt.pf ppf "%s%s:@." indent (node_label n);
+          List.iter
+            (fun (out, e) ->
+              Fmt.pf ppf "%s    %s = %a@." indent out Texpr.pp e)
+            assigns
+      | Sdfg.TaskletN { code = Opaque f; _ } ->
+          Fmt.pf ppf "%s%s: <opaque unit @%s>@." indent (node_label n)
+            f.Dcir_mlir.Ir.fname
+      | Sdfg.MapN mn ->
+          Fmt.pf ppf "%s%s ranges %a:@." indent (node_label n) Range.pp
+            mn.m_ranges;
+          pp_graph ~indent:(indent ^ "  ") ppf mn.m_body
+      | Sdfg.Access _ -> ())
+    g.nodes;
+  List.iter
+    (fun (e : Sdfg.edge) ->
+      let conn = function Some c -> ":" ^ c | None -> "" in
+      Fmt.pf ppf "%s%s%s -> %s%s%s@." indent
+        (node_label (Sdfg.node_by_id g e.e_src))
+        (conn e.e_src_conn)
+        (node_label (Sdfg.node_by_id g e.e_dst))
+        (conn e.e_dst_conn)
+        (match e.e_memlet with
+        | Some m -> Fmt.str "  [%a]" pp_memlet m
+        | None -> "  [dep]"))
+    g.edges
+
+let pp ppf (sdfg : Sdfg.t) =
+  Fmt.pf ppf "sdfg %s (args: %s; symbols: %s)@." sdfg.name
+    (String.concat ", " sdfg.arg_order)
+    (String.concat ", " sdfg.arg_symbols);
+  let containers =
+    Hashtbl.fold (fun _ c acc -> c :: acc) sdfg.containers []
+    |> List.sort (fun (a : Sdfg.container) b -> compare a.cname b.cname)
+  in
+  List.iter (fun c -> Fmt.pf ppf "  container %a@." pp_container c) containers;
+  List.iter
+    (fun (s : Sdfg.state) ->
+      Fmt.pf ppf "  state %s%s:@." s.s_label
+        (if String.equal s.s_label sdfg.start_state then " (start)" else "");
+      pp_graph ~indent:"    " ppf s.s_graph)
+    sdfg.states;
+  List.iter
+    (fun (e : Sdfg.istate_edge) ->
+      Fmt.pf ppf "  edge %s -> %s" e.ie_src e.ie_dst;
+      (match e.ie_cond with
+      | Bexpr.Bool true -> ()
+      | c -> Fmt.pf ppf " if (%a)" Bexpr.pp c);
+      if e.ie_assign <> [] then
+        Fmt.pf ppf " {%a}"
+          (Fmt.list ~sep:(Fmt.any "; ") (fun ppf (s, ex) ->
+               Fmt.pf ppf "%s = %a" s Expr.pp ex))
+          e.ie_assign;
+      Fmt.pf ppf "@.")
+    sdfg.istate_edges;
+  (match (sdfg.return_scalar, sdfg.return_expr) with
+  | Some c, _ -> Fmt.pf ppf "  return %s@." c
+  | None, Some e -> Fmt.pf ppf "  return %a@." Expr.pp e
+  | None, None -> ())
+
+let to_string (sdfg : Sdfg.t) : string = Fmt.str "%a" pp sdfg

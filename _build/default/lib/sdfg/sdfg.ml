@@ -1,0 +1,374 @@
+(** The Stateful Dataflow multiGraph IR (Ben-Nun et al., SC'19), as used by
+    the paper.
+
+    An SDFG is a state machine whose nodes (states) hold acyclic dataflow
+    graphs. Data containers are declared globally; access nodes inside states
+    name them, and edges between nodes carry {e memlets}: symbolic subsets of
+    moved data. Interstate edges carry a symbolic condition and symbol
+    assignments — loops appear as guard-pattern cycles whose induction
+    variable is a symbol.
+
+    One deliberate simplification versus DaCe: a parametric-parallel map is a
+    single node holding a nested dataflow graph, instead of matched
+    entry/exit nodes in a flat multigraph. External edges of the map node
+    carry the aggregated memlets (what the analyses consume); the nested
+    graph uses per-iteration subsets over the map parameters. The paper's
+    pipeline never emits maps here (auto-parallelization is disabled in the
+    evaluation, §7.1); maps are exercised by dedicated tests and examples. *)
+
+open Dcir_symbolic
+
+type dtype = DInt | DFloat
+
+type storage =
+  | Heap  (** malloc'd; allocation cost on every (re-)allocation *)
+  | Stack  (** cheap allocation *)
+  | Register  (** no memory traffic; scalars and tiny promoted buffers *)
+
+type container = {
+  cname : string;
+  dtype : dtype;
+  mutable shape : Expr.t list;  (** [[]] = scalar *)
+  mutable transient : bool;  (** lifetime managed by the SDFG *)
+  mutable storage : storage;
+  mutable alloc_in_loop : bool;
+      (** came from an allocation inside a loop: allocation cost recurs on
+          every execution of the allocating state until hoisted (§6.3) *)
+  mutable alloc_state : string option;
+      (** the state whose execution pays the allocation when
+          [alloc_in_loop] is set *)
+}
+
+let elem_bytes (c : container) : int =
+  match c.dtype with DInt -> 8 | DFloat -> 8
+
+let is_scalar (c : container) : bool = c.shape = []
+
+type wcr = WcrSum | WcrProd | WcrMax | WcrMin
+
+let wcr_of_string = function
+  | "add" | "sum" -> Some WcrSum
+  | "mul" | "prod" -> Some WcrProd
+  | "max" -> Some WcrMax
+  | "min" -> Some WcrMin
+  | _ -> None
+
+let wcr_to_string = function
+  | WcrSum -> "add"
+  | WcrProd -> "mul"
+  | WcrMax -> "max"
+  | WcrMin -> "min"
+
+type memlet = {
+  data : string;  (** container name *)
+  subset : Range.t;
+  wcr : wcr option;  (** write-conflict resolution: store becomes update *)
+  other : Range.t option;
+      (** for Access-to-Access copy edges: the destination subset (the
+          source subset is [subset]); [None] everywhere else *)
+}
+
+type tasklet_code =
+  | Native of Texpr.code
+      (** analyzable assignments [out_conn := expr] (raised tasklets) *)
+  | Opaque of Dcir_mlir.Ir.func
+      (** black-box unit compiled separately (MLIR/C tasklets): executed via
+          the MLIR interpreter with link-time overhead, invisible to
+          data-centric analysis *)
+
+type tasklet = {
+  tname : string;
+  t_inputs : string list;  (** input connector names *)
+  t_outputs : string list;
+  t_syms : string list;
+      (** symbols the tasklet reads (read-only, freely accessible §3.2);
+          opaque bodies receive them as leading parameters *)
+  code : tasklet_code;
+  t_overhead : float;
+      (** per-invocation cycle cost: 0 for raised/inlined tasklets, positive
+          for separately-compiled MLIR tasklets that rely on LTO (§5.2) *)
+}
+
+type node_kind =
+  | Access of string  (** of a container *)
+  | TaskletN of tasklet
+  | MapN of map_node
+
+and map_node = {
+  m_params : string list;
+  mutable m_ranges : Range.dim list;
+  m_body : graph;
+}
+
+and node = { nid : int; kind : node_kind }
+
+and edge = {
+  e_src : int;
+  e_src_conn : string option;  (** tasklet output connector, if any *)
+  e_dst : int;
+  e_dst_conn : string option;
+  mutable e_memlet : memlet option;  (** [None] = pure dependency edge *)
+}
+
+and graph = { mutable nodes : node list; mutable edges : edge list }
+
+type state = { s_label : string; s_graph : graph }
+
+type istate_edge = {
+  ie_src : string;
+  ie_dst : string;
+  mutable ie_cond : Bexpr.t;
+  mutable ie_assign : (string * Expr.t) list;
+}
+
+type t = {
+  name : string;
+  containers : (string, container) Hashtbl.t;
+  mutable arg_order : string list;
+      (** non-transient containers in parameter order *)
+  mutable param_order : string list;
+      (** original function parameter names (container names at creation);
+          a promoted scalar parameter stays here but moves to
+          [arg_symbols] — runners bind positionally through this list *)
+  mutable arg_symbols : string list;
+      (** free symbols bound by the caller (sizes, promoted scalar params) *)
+  mutable states : state list;
+  mutable istate_edges : istate_edge list;
+  mutable start_state : string;
+  mutable return_expr : Expr.t option;
+      (** symbolic return value, if the function returns through a symbol *)
+  mutable return_scalar : string option;
+      (** or the scalar container holding the return value *)
+  gen : Dcir_support.Id_gen.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let create (name : string) : t =
+  {
+    name;
+    containers = Hashtbl.create 16;
+    arg_order = [];
+    param_order = [];
+    arg_symbols = [];
+    states = [];
+    istate_edges = [];
+    start_state = "";
+    return_expr = None;
+    return_scalar = None;
+    gen = Dcir_support.Id_gen.create ();
+  }
+
+let add_container (sdfg : t) ?(transient = true) ?(storage = Heap)
+    ?(alloc_in_loop = false) ~(dtype : dtype) ~(shape : Expr.t list)
+    (cname : string) : container =
+  if Hashtbl.mem sdfg.containers cname then
+    invalid_arg ("Sdfg.add_container: duplicate " ^ cname);
+  let c =
+    { cname; dtype; shape; transient; storage; alloc_in_loop; alloc_state = None }
+  in
+  Hashtbl.replace sdfg.containers cname c;
+  if not transient then sdfg.arg_order <- sdfg.arg_order @ [ cname ];
+  c
+
+let container (sdfg : t) (name : string) : container =
+  match Hashtbl.find_opt sdfg.containers name with
+  | Some c -> c
+  | None -> invalid_arg ("Sdfg.container: unknown " ^ name)
+
+let remove_container (sdfg : t) (name : string) : unit =
+  Hashtbl.remove sdfg.containers name;
+  sdfg.arg_order <- List.filter (fun n -> not (String.equal n name)) sdfg.arg_order
+
+let fresh_name (sdfg : t) (prefix : string) : string =
+  let rec try_ () =
+    let n = Dcir_support.Id_gen.fresh sdfg.gen prefix in
+    if Hashtbl.mem sdfg.containers n then try_ () else n
+  in
+  try_ ()
+
+let new_graph () : graph = { nodes = []; edges = [] }
+
+let node_counter = ref 0
+
+let add_node (g : graph) (kind : node_kind) : node =
+  incr node_counter;
+  let n = { nid = !node_counter; kind } in
+  g.nodes <- g.nodes @ [ n ];
+  n
+
+let add_edge (g : graph) ?(src_conn : string option)
+    ?(dst_conn : string option) ?(memlet : memlet option) (src : node)
+    (dst : node) : edge =
+  let e =
+    {
+      e_src = src.nid;
+      e_src_conn = src_conn;
+      e_dst = dst.nid;
+      e_dst_conn = dst_conn;
+      e_memlet = memlet;
+    }
+  in
+  g.edges <- g.edges @ [ e ];
+  e
+
+let add_state (sdfg : t) (label : string) : state =
+  let s = { s_label = label; s_graph = new_graph () } in
+  sdfg.states <- sdfg.states @ [ s ];
+  if sdfg.start_state = "" then sdfg.start_state <- label;
+  s
+
+let find_state (sdfg : t) (label : string) : state option =
+  List.find_opt (fun s -> String.equal s.s_label label) sdfg.states
+
+let add_istate_edge (sdfg : t) ?(cond = Bexpr.true_) ?(assign = []) ~(src : string)
+    ~(dst : string) () : unit =
+  sdfg.istate_edges <-
+    sdfg.istate_edges
+    @ [ { ie_src = src; ie_dst = dst; ie_cond = cond; ie_assign = assign } ]
+
+let out_edges (sdfg : t) (label : string) : istate_edge list =
+  List.filter (fun e -> String.equal e.ie_src label) sdfg.istate_edges
+
+let in_edges (sdfg : t) (label : string) : istate_edge list =
+  List.filter (fun e -> String.equal e.ie_dst label) sdfg.istate_edges
+
+(* ------------------------------------------------------------------ *)
+(* Graph queries *)
+
+let node_by_id (g : graph) (nid : int) : node =
+  match List.find_opt (fun n -> n.nid = nid) g.nodes with
+  | Some n -> n
+  | None -> invalid_arg "Sdfg.node_by_id"
+
+let node_in_edges (g : graph) (n : node) : edge list =
+  List.filter (fun e -> e.e_dst = n.nid) g.edges
+
+let node_out_edges (g : graph) (n : node) : edge list =
+  List.filter (fun e -> e.e_src = n.nid) g.edges
+
+(** Topological order of a state's dataflow graph. Raises on cycles (states
+    must be acyclic). *)
+let topo_order (g : graph) : node list =
+  let ids = List.map (fun n -> n.nid) g.nodes in
+  let index_of = Hashtbl.create 16 in
+  List.iteri (fun i nid -> Hashtbl.replace index_of nid i) ids;
+  let dg =
+    Dcir_support.Digraph.create ~n:(List.length ids)
+      (List.filter_map
+         (fun e ->
+           match
+             (Hashtbl.find_opt index_of e.e_src, Hashtbl.find_opt index_of e.e_dst)
+           with
+           | Some a, Some b -> Some (a, b)
+           | _ -> None)
+         g.edges)
+  in
+  let order = Dcir_support.Digraph.topo_sort dg in
+  let arr = Array.of_list g.nodes in
+  List.map (fun i -> arr.(i)) order
+
+(** Containers read (via load memlets into tasklets/maps/copies) in a
+    graph, recursively. *)
+let rec read_containers (g : graph) : string list =
+  let module S = Set.Make (String) in
+  let acc = ref S.empty in
+  List.iter
+    (fun e ->
+      match e.e_memlet with
+      | Some m -> (
+          (* A memlet going out of an Access node is a read of it. *)
+          match (node_by_id g e.e_src).kind with
+          | Access _ -> acc := S.add m.data !acc
+          | _ -> ())
+      | None -> ())
+    g.edges;
+  List.iter
+    (fun n ->
+      match n.kind with
+      | MapN mn -> List.iter (fun c -> acc := S.add c !acc) (read_containers mn.m_body)
+      | _ -> ())
+    g.nodes;
+  S.elements !acc
+
+(** Containers written in a graph, recursively. *)
+let rec written_containers (g : graph) : string list =
+  (* For copy edges the memlet names the source; the written container is
+     the destination access node's. *)
+  let module S = Set.Make (String) in
+  let acc = ref S.empty in
+  List.iter
+    (fun e ->
+      match e.e_memlet with
+      | Some _ -> (
+          match (node_by_id g e.e_dst).kind with
+          | Access n -> acc := S.add n !acc
+          | _ -> ())
+      | None -> ())
+    g.edges;
+  List.iter
+    (fun n ->
+      match n.kind with
+      | MapN mn ->
+          List.iter (fun c -> acc := S.add c !acc) (written_containers mn.m_body)
+      | _ -> ())
+    g.nodes;
+  S.elements !acc
+
+(** Symbols referenced by a graph: memlet subsets, tasklet code, map
+    ranges. *)
+let rec graph_free_syms (g : graph) : string list =
+  let module S = Set.Make (String) in
+  let acc = ref S.empty in
+  let add l = List.iter (fun s -> acc := S.add s !acc) l in
+  List.iter
+    (fun e ->
+      match e.e_memlet with
+      | Some m ->
+          add (Range.free_syms m.subset);
+          (match m.other with
+          | Some o -> add (Range.free_syms o)
+          | None -> ())
+      | None -> ())
+    g.edges;
+  List.iter
+    (fun n ->
+      match n.kind with
+      | TaskletN { code = Native assigns; _ } ->
+          List.iter (fun (_, e) -> add (Texpr.free_syms e)) assigns
+      | TaskletN { code = Opaque f; _ } ->
+          (* MLIR tasklets may read symbols through sdfg.sym ops. *)
+          (match f.Dcir_mlir.Ir.fbody with
+          | Some r ->
+              Dcir_mlir.Ir.walk_region r (fun o ->
+                  match Dcir_mlir.Sdfg_d.sym_expr o with
+                  | Some e -> add (Expr.free_syms e)
+                  | None -> ())
+          | None -> ())
+      | MapN mn ->
+          add (Range.free_syms mn.m_ranges);
+          (* Map params shadow outer symbols. *)
+          let inner = graph_free_syms mn.m_body in
+          add (List.filter (fun s -> not (List.mem s mn.m_params)) inner)
+      | Access _ -> ())
+    g.nodes;
+  S.elements !acc
+
+(** All symbols an SDFG reads anywhere (conditions, assignments, shapes,
+    graphs). *)
+let free_syms (sdfg : t) : string list =
+  let module S = Set.Make (String) in
+  let acc = ref S.empty in
+  let add l = List.iter (fun s -> acc := S.add s !acc) l in
+  List.iter (fun st -> add (graph_free_syms st.s_graph)) sdfg.states;
+  List.iter
+    (fun e ->
+      add (Bexpr.free_syms e.ie_cond);
+      List.iter (fun (_, ex) -> add (Expr.free_syms ex)) e.ie_assign)
+    sdfg.istate_edges;
+  Hashtbl.iter
+    (fun _ c -> List.iter (fun d -> add (Expr.free_syms d)) c.shape)
+    sdfg.containers;
+  (match sdfg.return_expr with Some e -> add (Expr.free_syms e) | None -> ());
+  S.elements !acc

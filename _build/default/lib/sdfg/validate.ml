@@ -1,0 +1,188 @@
+(** SDFG validation, including the paper's parametric size verification
+    (Fig 3): with symbolic shapes, copies between containers of sizes [N]
+    and [M] are rejected at compile time unless the sizes are provably
+    equal, and provably out-of-bounds subsets are flagged. *)
+
+open Dcir_symbolic
+
+type diagnostic = { severity : [ `Error | `Warning ]; message : string }
+
+let error fmt = Fmt.kstr (fun m -> { severity = `Error; message = m }) fmt
+let warning fmt = Fmt.kstr (fun m -> { severity = `Warning; message = m }) fmt
+
+let pp_diagnostic ppf (d : diagnostic) =
+  Fmt.pf ppf "%s: %s"
+    (match d.severity with `Error -> "error" | `Warning -> "warning")
+    d.message
+
+let check_memlet (sdfg : Sdfg.t) ~(where : string) (m : Sdfg.memlet) :
+    diagnostic list =
+  match Hashtbl.find_opt sdfg.containers m.data with
+  | None -> [ error "%s: memlet references unknown container '%s'" where m.data ]
+  | Some c ->
+      let rank = List.length c.shape in
+      if List.length m.subset <> rank then
+        [
+          error "%s: memlet %s%s has rank %d but container has rank %d" where
+            m.data (Range.to_string m.subset) (List.length m.subset) rank;
+        ]
+      else
+        List.concat
+          (List.map2
+             (fun (d : Range.dim) (size : Expr.t) ->
+               let oob =
+                 Bexpr.decide (Bexpr.lt d.lo Expr.zero) = Some true
+                 || Bexpr.decide (Bexpr.ge d.hi size) = Some true
+               in
+               if oob then
+                 [
+                   error
+                     "%s: subset %s of '%s' is out of bounds for size %s"
+                     where (Range.to_string m.subset) m.data
+                     (Expr.to_string size);
+                 ]
+               else [])
+             m.subset c.shape)
+
+(* Copy edges (Access -> Access) must move provably size-matching regions —
+   the Fig 3 property. *)
+let check_copy (sdfg : Sdfg.t) ~(where : string) (src : string) (dst : string)
+    (m : Sdfg.memlet) : diagnostic list =
+  match
+    (Hashtbl.find_opt sdfg.containers src, Hashtbl.find_opt sdfg.containers dst)
+  with
+  | Some src_c, Some dst_c ->
+      let moved = Range.volume m.subset in
+      let dst_cap = Expr.mul_list dst_c.shape in
+      ignore src_c;
+      if Bexpr.decide (Bexpr.le moved dst_cap) = Some true then []
+      else if Bexpr.decide (Bexpr.gt moved dst_cap) = Some true then
+        [
+          error
+            "%s: copy of %s elements from '%s' cannot fit destination '%s' \
+             of size %s"
+            where (Expr.to_string moved) src dst (Expr.to_string dst_cap);
+        ]
+      else
+        [
+          error
+            "%s: cannot prove copy size %s from '%s' fits destination '%s' \
+             of size %s"
+            where (Expr.to_string moved) src dst (Expr.to_string dst_cap);
+        ]
+  | _ -> []
+
+let rec check_graph (sdfg : Sdfg.t) ~(where : string) (g : Sdfg.graph) :
+    diagnostic list =
+  let diags = ref [] in
+  let push d = diags := !diags @ d in
+  (* Acyclicity. *)
+  (try ignore (Sdfg.topo_order g)
+   with Invalid_argument _ ->
+     push [ error "%s: dataflow graph has a cycle" where ]);
+  (* Edge endpoints and memlets. *)
+  List.iter
+    (fun (e : Sdfg.edge) ->
+      let src = Sdfg.node_by_id g e.e_src and dst = Sdfg.node_by_id g e.e_dst in
+      (match e.e_memlet with
+      | Some m -> (
+          push (check_memlet sdfg ~where m);
+          match (src.kind, dst.kind) with
+          | Sdfg.Access a, Sdfg.Access b -> push (check_copy sdfg ~where a b m)
+          | _ -> ())
+      | None -> ());
+      (* Connector discipline: tasklet endpoints need connectors. *)
+      (match (src.kind, e.e_src_conn) with
+      | Sdfg.TaskletN t, Some c ->
+          if not (List.mem c t.t_outputs) then
+            push [ error "%s: tasklet '%s' has no output connector '%s'" where t.tname c ]
+      | Sdfg.TaskletN t, None ->
+          if e.e_memlet <> None then
+            push
+              [ error "%s: dataflow out of tasklet '%s' without a connector" where t.tname ]
+      | _ -> ());
+      match (dst.kind, e.e_dst_conn) with
+      | Sdfg.TaskletN t, Some c ->
+          if not (List.mem c t.t_inputs) then
+            push [ error "%s: tasklet '%s' has no input connector '%s'" where t.tname c ]
+      | Sdfg.TaskletN t, None ->
+          if e.e_memlet <> None then
+            push
+              [ error "%s: dataflow into tasklet '%s' without a connector" where t.tname ]
+      | _ -> ())
+    g.edges;
+  (* Native tasklet code must only use declared connectors. *)
+  List.iter
+    (fun (n : Sdfg.node) ->
+      match n.kind with
+      | Sdfg.TaskletN { code = Native assigns; t_inputs; t_outputs; tname; _ } ->
+          List.iter
+            (fun (out, expr) ->
+              if not (List.mem out t_outputs) then
+                push [ error "%s: tasklet '%s' assigns undeclared output '%s'" where tname out ];
+              List.iter
+                (fun i ->
+                  if not (List.mem i t_inputs) then
+                    push
+                      [ error "%s: tasklet '%s' reads undeclared input '%s'" where tname i ])
+                (Texpr.free_inputs expr))
+            assigns
+      | Sdfg.MapN mn ->
+          if List.length mn.m_params <> List.length mn.m_ranges then
+            push [ error "%s: map has %d params but %d ranges" where
+                     (List.length mn.m_params) (List.length mn.m_ranges) ];
+          push (check_graph sdfg ~where:(where ^ "/map") mn.m_body)
+      | Sdfg.Access name ->
+          if not (Hashtbl.mem sdfg.containers name) then
+            push [ error "%s: access node references unknown container '%s'" where name ]
+      | Sdfg.TaskletN { code = Opaque _; _ } -> ())
+    g.nodes;
+  !diags
+
+let validate (sdfg : Sdfg.t) : diagnostic list =
+  let diags = ref [] in
+  let push d = diags := !diags @ d in
+  (* State labels unique; start state and edge endpoints exist. *)
+  let labels = List.map (fun (s : Sdfg.state) -> s.s_label) sdfg.states in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      if Hashtbl.mem seen l then push [ error "duplicate state label '%s'" l ]
+      else Hashtbl.replace seen l ())
+    labels;
+  if sdfg.states <> [] && not (List.mem sdfg.start_state labels) then
+    push [ error "start state '%s' does not exist" sdfg.start_state ];
+  List.iter
+    (fun (e : Sdfg.istate_edge) ->
+      if not (List.mem e.ie_src labels) then
+        push [ error "interstate edge from unknown state '%s'" e.ie_src ];
+      if not (List.mem e.ie_dst labels) then
+        push [ error "interstate edge to unknown state '%s'" e.ie_dst ])
+    sdfg.istate_edges;
+  (* Per-state dataflow. *)
+  List.iter
+    (fun (s : Sdfg.state) -> push (check_graph sdfg ~where:s.s_label s.s_graph))
+    sdfg.states;
+  (* Warn about symbols that are never bound anywhere. *)
+  let assigned =
+    List.concat_map (fun (e : Sdfg.istate_edge) -> List.map fst e.ie_assign)
+      sdfg.istate_edges
+    @ sdfg.arg_symbols
+  in
+  List.iter
+    (fun s ->
+      if not (List.mem s assigned) then
+        push [ warning "symbol '%s' is read but never assigned" s ])
+    (Sdfg.free_syms sdfg);
+  !diags
+
+let errors (sdfg : Sdfg.t) : diagnostic list =
+  List.filter (fun d -> d.severity = `Error) (validate sdfg)
+
+let validate_exn (sdfg : Sdfg.t) : unit =
+  match errors sdfg with
+  | [] -> ()
+  | errs ->
+      failwith
+        (String.concat "\n"
+           (List.map (fun d -> Fmt.str "%a" pp_diagnostic d) errs))

@@ -1,0 +1,41 @@
+(** Fresh-name generation.
+
+    Compiler passes constantly need unique names: SSA value ids, symbol names
+    for [?] memref dimensions, state labels, temporary containers. A
+    generator owns a per-prefix counter so that names are stable and readable
+    ([s_0], [s_1], ... rather than global serial numbers). *)
+
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+(** [fresh gen prefix] returns ["<prefix>_<n>"] with [n] the number of prior
+    calls for this prefix. *)
+let fresh (gen : t) (prefix : string) : string =
+  let counter =
+    match Hashtbl.find_opt gen prefix with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.add gen prefix c;
+        c
+  in
+  let n = !counter in
+  incr counter;
+  Printf.sprintf "%s_%d" prefix n
+
+(** [reserve gen name] marks [name] as taken so that [fresh] never returns a
+    colliding suffixed name. Used when importing IR that already contains
+    generated-looking names. *)
+let reserve (gen : t) (name : string) : unit =
+  match String.rindex_opt name '_' with
+  | None -> ()
+  | Some i -> (
+      let prefix = String.sub name 0 i in
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      match int_of_string_opt suffix with
+      | None -> ()
+      | Some n -> (
+          match Hashtbl.find_opt gen prefix with
+          | Some c -> if n >= !c then c := n + 1
+          | None -> Hashtbl.add gen prefix (ref (n + 1))))

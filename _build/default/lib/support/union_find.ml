@@ -1,0 +1,41 @@
+(** Union-find with path compression and union by rank.
+
+    Used by memlet consolidation (grouping overlapping memlets) and by the
+    symbolic equation solver (congruence classes of symbols known equal). *)
+
+type t = { parent : int array; rank : int array }
+
+let create (n : int) : t = { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+let rec find (uf : t) (x : int) : int =
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    uf.parent.(x) <- root;
+    root
+  end
+
+let union (uf : t) (x : int) (y : int) : unit =
+  let rx = find uf x and ry = find uf y in
+  if rx <> ry then
+    if uf.rank.(rx) < uf.rank.(ry) then uf.parent.(rx) <- ry
+    else if uf.rank.(rx) > uf.rank.(ry) then uf.parent.(ry) <- rx
+    else begin
+      uf.parent.(ry) <- rx;
+      uf.rank.(rx) <- uf.rank.(rx) + 1
+    end
+
+let same (uf : t) (x : int) (y : int) : bool = find uf x = find uf y
+
+(** Groups of equivalent elements, each group in ascending order. *)
+let groups (uf : t) : int list list =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i _ ->
+      let r = find uf i in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt tbl r) in
+      Hashtbl.replace tbl r (i :: existing))
+    uf.parent;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,1 @@
+lib/symbolic/bexpr.ml: Expr Fmt Format Set String

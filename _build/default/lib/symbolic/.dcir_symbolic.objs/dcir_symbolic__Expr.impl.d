@@ -1,0 +1,1 @@
+lib/symbolic/expr.ml: Fmt Format Hashtbl List Set Stdlib String

@@ -1,0 +1,1 @@
+lib/symbolic/parse.ml: Bexpr Expr List Printf String

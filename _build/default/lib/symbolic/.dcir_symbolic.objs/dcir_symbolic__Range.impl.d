@@ -1,0 +1,1 @@
+lib/symbolic/range.ml: Bexpr Expr Fmt Format List Set String

@@ -1,0 +1,1 @@
+lib/symbolic/solve.ml: Expr Hashtbl List Option String

@@ -1,0 +1,226 @@
+(** Parser for symbolic expression strings.
+
+    The paper's sdfg dialect encodes symbolic expressions as strings
+    ([sym("N + 1")]) because MLIR disallows arbitrary syntax inside types
+    (§3.1). This module parses that string language:
+
+    {v
+      expr   ::= cmp (("and" | "or") cmp)*  | "not" expr
+      cmp    ::= sum (("==" | "!=" | "<" | "<=" | ">" | ">=") sum)?
+      sum    ::= term (("+" | "-") term)*
+      term   ::= unary (("*" | "/" | "%") unary)*
+      unary  ::= "-" unary | atom
+      atom   ::= int | ident | "min" "(" expr "," expr ")"
+               | "max" "(" expr "," expr ")" | "(" expr ")"
+    v} *)
+
+exception Parse_error of string
+
+type token =
+  | TInt of int
+  | TIdent of string
+  | TOp of string
+  | TLParen
+  | TRParen
+  | TComma
+
+let tokenize (s : string) : token list =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      push (TInt (int_of_string (String.sub s start (!i - start))))
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = s.[!i] in
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_'
+      do
+        incr i
+      done;
+      push (TIdent (String.sub s start (!i - start)))
+    end
+    else
+      match c with
+      | '(' ->
+          push TLParen;
+          incr i
+      | ')' ->
+          push TRParen;
+          incr i
+      | ',' ->
+          push TComma;
+          incr i
+      | '+' | '-' | '*' | '/' | '%' ->
+          push (TOp (String.make 1 c));
+          incr i
+      | '<' | '>' ->
+          if !i + 1 < n && s.[!i + 1] = '=' then begin
+            push (TOp (String.sub s !i 2));
+            i := !i + 2
+          end
+          else begin
+            push (TOp (String.make 1 c));
+            incr i
+          end
+      | '=' | '!' ->
+          if !i + 1 < n && s.[!i + 1] = '=' then begin
+            push (TOp (String.sub s !i 2));
+            i := !i + 2
+          end
+          else raise (Parse_error (Printf.sprintf "unexpected character %c" c))
+      | _ -> raise (Parse_error (Printf.sprintf "unexpected character %c" c))
+  done;
+  List.rev !tokens
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.toks with [] -> raise (Parse_error "unexpected end") | _ :: r -> st.toks <- r
+
+let expect st t =
+  match st.toks with
+  | x :: r when x = t -> st.toks <- r
+  | _ -> raise (Parse_error "expected token")
+
+let rec parse_bexpr st : Bexpr.t =
+  match peek st with
+  | Some (TIdent "not") ->
+      advance st;
+      Bexpr.Not (parse_bexpr st)
+  | _ ->
+      let lhs = parse_cmp st in
+      parse_bool_rest st lhs
+
+and parse_bool_rest st lhs =
+  match peek st with
+  | Some (TIdent "and") ->
+      advance st;
+      let rhs = parse_cmp st in
+      parse_bool_rest st (Bexpr.And (lhs, rhs))
+  | Some (TIdent "or") ->
+      advance st;
+      let rhs = parse_cmp st in
+      parse_bool_rest st (Bexpr.Or (lhs, rhs))
+  | _ -> lhs
+
+and parse_cmp st : Bexpr.t =
+  let lhs = parse_sum st in
+  match peek st with
+  | Some (TOp (("==" | "!=" | "<" | "<=" | ">" | ">=") as op)) ->
+      advance st;
+      let rhs = parse_sum st in
+      let c =
+        match op with
+        | "==" -> Bexpr.Eq
+        | "!=" -> Bexpr.Ne
+        | "<" -> Bexpr.Lt
+        | "<=" -> Bexpr.Le
+        | ">" -> Bexpr.Gt
+        | _ -> Bexpr.Ge
+      in
+      Bexpr.Cmp (c, lhs, rhs)
+  | _ -> (
+      (* A bare expression used as a condition means "<> 0". As a special
+         case, the identifiers true/false are boolean literals. *)
+      match lhs with
+      | Expr.Sym "true" -> Bexpr.Bool true
+      | Expr.Sym "false" -> Bexpr.Bool false
+      | e -> Bexpr.ne e Expr.zero)
+
+and parse_sum st : Expr.t =
+  let lhs = parse_term st in
+  parse_sum_rest st lhs
+
+and parse_sum_rest st lhs =
+  match peek st with
+  | Some (TOp "+") ->
+      advance st;
+      parse_sum_rest st (Expr.add lhs (parse_term st))
+  | Some (TOp "-") ->
+      advance st;
+      parse_sum_rest st (Expr.sub lhs (parse_term st))
+  | _ -> lhs
+
+and parse_term st : Expr.t =
+  let lhs = parse_unary st in
+  parse_term_rest st lhs
+
+and parse_term_rest st lhs =
+  match peek st with
+  | Some (TOp "*") ->
+      advance st;
+      parse_term_rest st (Expr.mul lhs (parse_unary st))
+  | Some (TOp "/") ->
+      advance st;
+      parse_term_rest st (Expr.div lhs (parse_unary st))
+  | Some (TOp "%") ->
+      advance st;
+      parse_term_rest st (Expr.modulo lhs (parse_unary st))
+  | _ -> lhs
+
+and parse_unary st : Expr.t =
+  match peek st with
+  | Some (TOp "-") ->
+      advance st;
+      Expr.neg (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st : Expr.t =
+  match peek st with
+  | Some (TInt n) ->
+      advance st;
+      Expr.int n
+  | Some (TIdent (("min" | "max") as f)) -> (
+      advance st;
+      match peek st with
+      | Some TLParen ->
+          advance st;
+          let a = parse_sum st in
+          expect st TComma;
+          let b = parse_sum st in
+          expect st TRParen;
+          if f = "min" then Expr.min_ a b else Expr.max_ a b
+      | _ -> Expr.sym f)
+  | Some (TIdent id) ->
+      advance st;
+      Expr.sym id
+  | Some TLParen ->
+      advance st;
+      let e = parse_sum st in
+      expect st TRParen;
+      e
+  | _ -> raise (Parse_error "expected expression atom")
+
+(** Parse an integer expression such as ["2*N + 1"]. *)
+let expr (s : string) : Expr.t =
+  let st = { toks = tokenize s } in
+  let e = parse_sum st in
+  if st.toks <> [] then raise (Parse_error ("trailing tokens in: " ^ s));
+  e
+
+let expr_opt (s : string) : Expr.t option =
+  match expr s with e -> Some e | exception Parse_error _ -> None
+
+(** Parse a boolean condition such as ["i < N and j >= 0"]. *)
+let bexpr (s : string) : Bexpr.t =
+  let st = { toks = tokenize s } in
+  let b = parse_bexpr st in
+  if st.toks <> [] then raise (Parse_error ("trailing tokens in: " ^ s));
+  b

@@ -1,0 +1,100 @@
+(** Solving symbolic equation systems.
+
+    §5.1 / §6.1 of the paper: "on every function call, an attempt is made to
+    reduce symbols by solving a system of equations". When a function with a
+    parameter of size [sym("s_0")] is called with an argument of size [N+1],
+    the equation [s_0 = N + 1] binds [s_0]. Systems arise when a callee has
+    several parametric sizes tied to caller expressions.
+
+    The solver handles equations that are {e linear in the unknowns}:
+    rewriting [lhs - rhs = 0] as [a * x + r = 0] for an unknown [x] whose
+    coefficient [a] is a non-zero integer with [r] independent of [x], and
+    substituting solved bindings into remaining equations to a fixpoint. *)
+
+type equation = Expr.t * Expr.t
+
+(** [isolate x eq] solves a single equation for [x] if it is linear in [x]
+    with exact integer division. *)
+let isolate (x : string) ((lhs, rhs) : equation) : Expr.t option =
+  let diff = Expr.sub lhs rhs in
+  (* Split monomials into those containing x (exactly once, linearly) and
+     the rest. *)
+  let terms = match diff with Expr.Add xs -> xs | Expr.Int 0 -> [] | e -> [ e ] in
+  let exception Nonlinear in
+  try
+    let coeff = ref 0 in
+    let rest = ref [] in
+    List.iter
+      (fun term ->
+        let factors = match term with Expr.Mul fs -> fs | f -> [ f ] in
+        let occurrences =
+          List.filter (fun f -> List.mem x (Expr.free_syms f)) factors
+        in
+        match occurrences with
+        | [] -> rest := term :: !rest
+        | [ Expr.Sym s ] when String.equal s x ->
+            let c =
+              List.fold_left
+                (fun acc f ->
+                  match f with
+                  | Expr.Int n -> acc * n
+                  | Expr.Sym s when String.equal s x -> acc
+                  | _ -> raise Nonlinear)
+                1 factors
+            in
+            coeff := !coeff + c
+        | _ -> raise Nonlinear)
+      terms;
+    if !coeff = 0 then None
+    else
+      let r = Expr.neg (Expr.add_list (List.rev !rest)) in
+      if !coeff = 1 then Some r
+      else
+        (* Require exact division by the coefficient. *)
+        let candidate = Expr.div r (Expr.int !coeff) in
+        if Expr.equal (Expr.mul candidate (Expr.int !coeff)) r then
+          Some candidate
+        else None
+  with Nonlinear -> None
+
+(** [solve ~unknowns eqs] returns bindings for as many unknowns as can be
+    determined. Solved bindings are substituted into the remaining equations
+    and the process iterates to a fixpoint, so chained definitions
+    ([s_0 = s_1 + 1], [s_1 = N]) resolve fully. *)
+let solve ~(unknowns : string list) (eqs : equation list) :
+    (string * Expr.t) list =
+  let bindings = Hashtbl.create 8 in
+  let lookup s = Hashtbl.find_opt bindings s in
+  let remaining = ref unknowns in
+  let eqs = ref eqs in
+  let progress = ref true in
+  while !progress && !remaining <> [] do
+    progress := false;
+    let still_unknown = ref [] in
+    List.iter
+      (fun x ->
+        let solved =
+          List.find_map
+            (fun (l, r) ->
+              let l = Expr.subst lookup l and r = Expr.subst lookup r in
+              match isolate x (l, r) with
+              | Some e
+                when not (List.exists (fun u -> List.mem u (Expr.free_syms e))
+                            !remaining) ->
+                  Some e
+              | _ -> None)
+            !eqs
+        in
+        match solved with
+        | Some e ->
+            Hashtbl.replace bindings x e;
+            progress := true
+        | None -> still_unknown := x :: !still_unknown)
+      !remaining;
+    remaining := List.rev !still_unknown;
+    (* Keep equations substituted for the next round. *)
+    eqs := List.map (fun (l, r) -> (Expr.subst lookup l, Expr.subst lookup r)) !eqs
+  done;
+  List.filter_map
+    (fun x -> Option.map (fun e -> (x, e)) (Hashtbl.find_opt bindings x))
+    unknowns

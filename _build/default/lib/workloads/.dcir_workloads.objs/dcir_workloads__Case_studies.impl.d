@@ -1,0 +1,1 @@
+lib/workloads/case_studies.ml: Workload

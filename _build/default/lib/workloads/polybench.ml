@@ -1,0 +1,899 @@
+(** Polybench/C 4.2.1 kernels (§7.2, Fig 6) rewritten in the supported C
+    subset at REPRO sizes. Loop structure, array shapes and operation mix
+    follow the originals; nussinov is excluded exactly as in the paper
+    (frontend limitation). All kernels are [void] with array parameters so
+    outputs are compared across pipelines. *)
+
+open Workload
+
+(* ------------------------------------------------------------------ *)
+(* linear-algebra / blas *)
+
+let gemm =
+  w "gemm" "matrix multiply C = alpha*A*B + beta*C" "kernel_gemm"
+    {|
+#define NI 36
+#define NJ 36
+#define NK 36
+void kernel_gemm(double C[36][36], double A[36][36], double B[36][36],
+                 double alpha, double beta) {
+  for (int i = 0; i < NI; i++) {
+    for (int j = 0; j < NJ; j++)
+      C[i][j] *= beta;
+    for (int k = 0; k < NK; k++) {
+      for (int j = 0; j < NJ; j++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+    }
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 36 36 (fun i j -> frand ((i * 37) + j));
+        fmatrix 36 36 (fun i j -> frand ((i * 41) + j));
+        fmatrix 36 36 (fun i j -> frand ((i * 43) + j));
+        AFloat 1.5;
+        AFloat 1.2;
+      ])
+
+let syrk =
+  w "syrk" "symmetric rank-k update (Fig 7's kernel)" "kernel_syrk"
+    {|
+#define N 36
+#define M 36
+void kernel_syrk(double C[36][36], double A[36][36], double alpha, double beta) {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (int k = 0; k < M; k++) {
+      for (int j = 0; j <= i; j++)
+        C[i][j] += alpha * A[i][k] * A[j][k];
+    }
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 36 36 (fun i j -> frand ((i * 37) + j));
+        fmatrix 36 36 (fun i j -> frand ((i * 41) + j));
+        AFloat 1.5;
+        AFloat 1.2;
+      ])
+
+let syr2k =
+  w "syr2k" "symmetric rank-2k update" "kernel_syr2k"
+    {|
+#define N 32
+#define M 32
+void kernel_syr2k(double C[32][32], double A[32][32], double B[32][32],
+                  double alpha, double beta) {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j <= i; j++)
+      C[i][j] *= beta;
+    for (int k = 0; k < M; k++) {
+      for (int j = 0; j <= i; j++)
+        C[i][j] += A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+    }
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 32 32 (fun i j -> frand ((i * 37) + j));
+        fmatrix 32 32 (fun i j -> frand ((i * 41) + j));
+        fmatrix 32 32 (fun i j -> frand ((i * 43) + j));
+        AFloat 1.5;
+        AFloat 1.2;
+      ])
+
+let trmm =
+  w "trmm" "triangular matrix multiply" "kernel_trmm"
+    {|
+#define M 36
+#define N 36
+void kernel_trmm(double A[36][36], double B[36][36], double alpha) {
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++) {
+      for (int k = i + 1; k < M; k++)
+        B[i][j] += A[k][i] * B[k][j];
+      B[i][j] = alpha * B[i][j];
+    }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 36 36 (fun i j -> frand ((i * 37) + j));
+        fmatrix 36 36 (fun i j -> frand ((i * 41) + j));
+        AFloat 1.5;
+      ])
+
+let symm =
+  w "symm" "symmetric matrix multiply" "kernel_symm"
+    {|
+#define M 32
+#define N 32
+void kernel_symm(double C[32][32], double A[32][32], double B[32][32],
+                 double alpha, double beta) {
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++) {
+      double temp2 = 0.0;
+      for (int k = 0; k < i; k++) {
+        C[k][j] += alpha * B[i][j] * A[i][k];
+        temp2 += B[k][j] * A[i][k];
+      }
+      C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp2;
+    }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 32 32 (fun i j -> frand ((i * 37) + j));
+        fmatrix 32 32 (fun i j -> frand ((i * 41) + j));
+        fmatrix 32 32 (fun i j -> frand ((i * 43) + j));
+        AFloat 1.5;
+        AFloat 1.2;
+      ])
+
+let gemver =
+  w "gemver" "vector multiplication and matrix addition" "kernel_gemver"
+    {|
+#define N 90
+void kernel_gemver(double A[90][90], double u1[90], double v1[90],
+                   double u2[90], double v2[90], double w[90], double x[90],
+                   double y[90], double z[90], double alpha, double beta) {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+  for (int i = 0; i < N; i++)
+    x[i] = x[i] + z[i];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+}
+|}
+    (fun () ->
+      [
+        fmatrix 90 90 (fun i j -> frand ((i * 91) + j));
+        fvec 90 (fun i -> frand (i + 1));
+        fvec 90 (fun i -> frand (i + 2));
+        fvec 90 (fun i -> frand (i + 3));
+        fvec 90 (fun i -> frand (i + 4));
+        fvec 90 (fun _ -> 0.0);
+        fvec 90 (fun i -> frand (i + 5));
+        fvec 90 (fun i -> frand (i + 6));
+        fvec 90 (fun i -> frand (i + 7));
+        AFloat 1.5;
+        AFloat 1.2;
+      ])
+
+let gesummv =
+  w "gesummv" "scalar, vector and matrix multiplication" "kernel_gesummv"
+    {|
+#define N 90
+void kernel_gesummv(double A[90][90], double B[90][90], double x[90],
+                    double y[90], double alpha, double beta) {
+  double tmp[90];
+  for (int i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (int j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 90 90 (fun i j -> frand ((i * 91) + j));
+        fmatrix 90 90 (fun i j -> frand ((i * 93) + j));
+        fvec 90 (fun i -> frand (i + 1));
+        fvec 90 (fun _ -> 0.0);
+        AFloat 1.5;
+        AFloat 1.2;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* linear-algebra / kernels *)
+
+let mm2 =
+  w "2mm" "two matrix multiplications D = alpha*A*B*C + beta*D" "kernel_2mm"
+    {|
+#define NI 28
+#define NJ 28
+#define NK 28
+#define NL 28
+void kernel_2mm(double tmp[28][28], double A[28][28], double B[28][28],
+                double C[28][28], double D[28][28], double alpha, double beta) {
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NJ; j++) {
+      tmp[i][j] = 0.0;
+      for (int k = 0; k < NK; k++)
+        tmp[i][j] += alpha * A[i][k] * B[k][j];
+    }
+  for (int i = 0; i < NI; i++)
+    for (int j = 0; j < NL; j++) {
+      D[i][j] *= beta;
+      for (int k = 0; k < NJ; k++)
+        D[i][j] += tmp[i][k] * C[k][j];
+    }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 28 28 (fun _ _ -> 0.0);
+        fmatrix 28 28 (fun i j -> frand ((i * 29) + j));
+        fmatrix 28 28 (fun i j -> frand ((i * 31) + j));
+        fmatrix 28 28 (fun i j -> frand ((i * 33) + j));
+        fmatrix 28 28 (fun i j -> frand ((i * 35) + j));
+        AFloat 1.5;
+        AFloat 1.2;
+      ])
+
+let mm3 =
+  w "3mm" "three matrix multiplications G = (A*B)*(C*D)" "kernel_3mm"
+    {|
+#define N 24
+void kernel_3mm(double E[24][24], double A[24][24], double B[24][24],
+                double F[24][24], double C[24][24], double D[24][24],
+                double G[24][24]) {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      E[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        E[i][j] += A[i][k] * B[k][j];
+    }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      F[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        F[i][j] += C[i][k] * D[k][j];
+    }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++) {
+      G[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        G[i][j] += E[i][k] * F[k][j];
+    }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 24 24 (fun _ _ -> 0.0);
+        fmatrix 24 24 (fun i j -> frand ((i * 29) + j));
+        fmatrix 24 24 (fun i j -> frand ((i * 31) + j));
+        fmatrix 24 24 (fun _ _ -> 0.0);
+        fmatrix 24 24 (fun i j -> frand ((i * 33) + j));
+        fmatrix 24 24 (fun i j -> frand ((i * 35) + j));
+        fmatrix 24 24 (fun _ _ -> 0.0);
+      ])
+
+let atax =
+  w "atax" "matrix transpose and vector multiplication y = A^T (A x)"
+    "kernel_atax"
+    {|
+#define M 96
+#define N 96
+void kernel_atax(double A[96][96], double x[96], double y[96], double tmp[96]) {
+  for (int i = 0; i < N; i++)
+    y[i] = 0.0;
+  for (int i = 0; i < M; i++) {
+    tmp[i] = 0.0;
+    for (int j = 0; j < N; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    for (int j = 0; j < N; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 96 96 (fun i j -> frand ((i * 97) + j));
+        fvec 96 (fun i -> frand (i + 1));
+        fvec 96 (fun _ -> 0.0);
+        fvec 96 (fun _ -> 0.0);
+      ])
+
+let bicg =
+  w "bicg" "BiCG sub-kernel of BiCGStab" "kernel_bicg"
+    {|
+#define M 96
+#define N 96
+void kernel_bicg(double A[96][96], double s[96], double q[96], double p[96],
+                 double r[96]) {
+  for (int i = 0; i < M; i++)
+    s[i] = 0.0;
+  for (int i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (int j = 0; j < M; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 96 96 (fun i j -> frand ((i * 97) + j));
+        fvec 96 (fun _ -> 0.0);
+        fvec 96 (fun _ -> 0.0);
+        fvec 96 (fun i -> frand (i + 1));
+        fvec 96 (fun i -> frand (i + 2));
+      ])
+
+let doitgen =
+  w "doitgen" "multi-resolution analysis kernel (MADNESS)" "kernel_doitgen"
+    {|
+#define NR 16
+#define NQ 16
+#define NP 24
+void kernel_doitgen(double A[16][16][24], double C4[24][24], double sum[24]) {
+  for (int r = 0; r < NR; r++)
+    for (int q = 0; q < NQ; q++) {
+      for (int p = 0; p < NP; p++) {
+        sum[p] = 0.0;
+        for (int s = 0; s < NP; s++)
+          sum[p] += A[r][q][s] * C4[s][p];
+      }
+      for (int p = 0; p < NP; p++)
+        A[r][q][p] = sum[p];
+    }
+}
+|}
+    (fun () ->
+      [
+        fcube 16 16 24 (fun r q s -> frand ((r * 391) + (q * 17) + s));
+        fmatrix 24 24 (fun i j -> frand ((i * 25) + j));
+        fvec 24 (fun _ -> 0.0);
+      ])
+
+let mvt =
+  w "mvt" "matrix-vector product and transpose" "kernel_mvt"
+    {|
+#define N 110
+void kernel_mvt(double x1[110], double x2[110], double y1[110], double y2[110],
+                double A[110][110]) {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      x1[i] = x1[i] + A[i][j] * y1[j];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      x2[i] = x2[i] + A[j][i] * y2[j];
+}
+|}
+    (fun () ->
+      [
+        fvec 110 (fun i -> frand (i + 1));
+        fvec 110 (fun i -> frand (i + 2));
+        fvec 110 (fun i -> frand (i + 3));
+        fvec 110 (fun i -> frand (i + 4));
+        fmatrix 110 110 (fun i j -> frand ((i * 111) + j));
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* linear-algebra / solvers *)
+
+let cholesky =
+  w "cholesky" "Cholesky decomposition" "kernel_cholesky"
+    {|
+#define N 48
+void kernel_cholesky(double A[48][48]) {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[j][k];
+      A[i][j] /= A[j][j];
+    }
+    for (int k = 0; k < i; k++)
+      A[i][i] -= A[i][k] * A[i][k];
+    A[i][i] = sqrt(A[i][i]);
+  }
+}
+|}
+    (fun () ->
+      [
+        (* diagonally dominant SPD-ish input *)
+        fmatrix 48 48 (fun i j ->
+            if i = j then 50.0 +. frand i
+            else 0.5 *. frand ((min i j * 49) + max i j));
+      ])
+
+let lu =
+  w "lu" "LU decomposition" "kernel_lu"
+    {|
+#define N 44
+void kernel_lu(double A[44][44]) {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      for (int k = 0; k < j; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+      A[i][j] /= A[j][j];
+    }
+    for (int j = i; j < N; j++)
+      for (int k = 0; k < i; k++)
+        A[i][j] -= A[i][k] * A[k][j];
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 44 44 (fun i j ->
+            if i = j then 44.0 +. frand i
+            else frand ((i * 45) + j) *. 0.5);
+      ])
+
+let ludcmp =
+  w "ludcmp" "LU decomposition followed by forward/backward substitution"
+    "kernel_ludcmp"
+    {|
+#define N 40
+void kernel_ludcmp(double A[40][40], double b[40], double x[40], double y[40]) {
+  for (int i = 0; i < N; i++) {
+    for (int j = 0; j < i; j++) {
+      double w = A[i][j];
+      for (int k = 0; k < j; k++)
+        w -= A[i][k] * A[k][j];
+      A[i][j] = w / A[j][j];
+    }
+    for (int j = i; j < N; j++) {
+      double w = A[i][j];
+      for (int k = 0; k < i; k++)
+        w -= A[i][k] * A[k][j];
+      A[i][j] = w;
+    }
+  }
+  for (int i = 0; i < N; i++) {
+    double w = b[i];
+    for (int j = 0; j < i; j++)
+      w -= A[i][j] * y[j];
+    y[i] = w;
+  }
+  for (int i = N - 1; i >= 0; i--) {
+    double w = y[i];
+    for (int j = i + 1; j < N; j++)
+      w -= A[i][j] * x[j];
+    x[i] = w / A[i][i];
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 40 40 (fun i j ->
+            if i = j then 40.0 +. frand i else frand ((i * 41) + j) *. 0.5);
+        fvec 40 (fun i -> frand (i + 3));
+        fvec 40 (fun _ -> 0.0);
+        fvec 40 (fun _ -> 0.0);
+      ])
+
+let trisolv =
+  w "trisolv" "triangular solver" "kernel_trisolv"
+    {|
+#define N 160
+void kernel_trisolv(double L[160][160], double x[160], double b[160]) {
+  for (int i = 0; i < N; i++) {
+    x[i] = b[i];
+    for (int j = 0; j < i; j++)
+      x[i] -= L[i][j] * x[j];
+    x[i] = x[i] / L[i][i];
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 160 160 (fun i j ->
+            if i = j then 4.0 +. frand i
+            else if j < i then frand ((i * 161) + j) *. 0.01
+            else 0.0);
+        fvec 160 (fun _ -> 0.0);
+        fvec 160 (fun i -> frand (i + 5));
+      ])
+
+let durbin =
+  w "durbin" "Toeplitz system solver (Levinson-Durbin)" "kernel_durbin"
+    {|
+#define N 120
+void kernel_durbin(double r[120], double y[120]) {
+  double z[120];
+  y[0] = -r[0];
+  double beta = 1.0;
+  double alpha = -r[0];
+  for (int k = 1; k < N; k++) {
+    beta = (1.0 - alpha * alpha) * beta;
+    double sum = 0.0;
+    for (int i = 0; i < k; i++)
+      sum += r[k - i - 1] * y[i];
+    alpha = -(r[k] + sum) / beta;
+    for (int i = 0; i < k; i++)
+      z[i] = y[i] + alpha * y[k - i - 1];
+    for (int i = 0; i < k; i++)
+      y[i] = z[i];
+    y[k] = alpha;
+  }
+}
+|}
+    (fun () ->
+      [ fvec 120 (fun i -> 0.5 *. frand (i + 1)); fvec 120 (fun _ -> 0.0) ])
+
+let gramschmidt =
+  w "gramschmidt" "QR decomposition by Gram-Schmidt" "kernel_gramschmidt"
+    {|
+#define M 28
+#define N 28
+void kernel_gramschmidt(double A[28][28], double R[28][28], double Q[28][28]) {
+  for (int k = 0; k < N; k++) {
+    double nrm = 0.0;
+    for (int i = 0; i < M; i++)
+      nrm += A[i][k] * A[i][k];
+    R[k][k] = sqrt(nrm);
+    for (int i = 0; i < M; i++)
+      Q[i][k] = A[i][k] / R[k][k];
+    for (int j = k + 1; j < N; j++) {
+      R[k][j] = 0.0;
+      for (int i = 0; i < M; i++)
+        R[k][j] += Q[i][k] * A[i][j];
+      for (int i = 0; i < M; i++)
+        A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+    }
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 28 28 (fun i j -> 1.0 +. frand ((i * 29) + j));
+        fmatrix 28 28 (fun _ _ -> 0.0);
+        fmatrix 28 28 (fun _ _ -> 0.0);
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* datamining *)
+
+let correlation =
+  w "correlation" "correlation matrix computation" "kernel_correlation"
+    {|
+#define M 32
+#define N 32
+void kernel_correlation(double data[32][32], double corr[32][32],
+                        double mean[32], double stddev[32], double float_n) {
+  double eps = 0.1;
+  for (int j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] /= float_n;
+  }
+  for (int j = 0; j < M; j++) {
+    stddev[j] = 0.0;
+    for (int i = 0; i < N; i++)
+      stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+    stddev[j] /= float_n;
+    stddev[j] = sqrt(stddev[j]);
+    stddev[j] = stddev[j] <= eps ? 1.0 : stddev[j];
+  }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < M; j++) {
+      data[i][j] -= mean[j];
+      data[i][j] /= sqrt(float_n) * stddev[j];
+    }
+  for (int i = 0; i < M - 1; i++) {
+    corr[i][i] = 1.0;
+    for (int j = i + 1; j < M; j++) {
+      corr[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        corr[i][j] += data[k][i] * data[k][j];
+      corr[j][i] = corr[i][j];
+    }
+  }
+  corr[M - 1][M - 1] = 1.0;
+}
+|}
+    (fun () ->
+      [
+        fmatrix 32 32 (fun i j -> frand ((i * 33) + j));
+        fmatrix 32 32 (fun _ _ -> 0.0);
+        fvec 32 (fun _ -> 0.0);
+        fvec 32 (fun _ -> 0.0);
+        AFloat 32.0;
+      ])
+
+let covariance =
+  w "covariance" "covariance matrix computation" "kernel_covariance"
+    {|
+#define M 32
+#define N 32
+void kernel_covariance(double data[32][32], double cov[32][32], double mean[32],
+                       double float_n) {
+  for (int j = 0; j < M; j++) {
+    mean[j] = 0.0;
+    for (int i = 0; i < N; i++)
+      mean[j] += data[i][j];
+    mean[j] /= float_n;
+  }
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < M; j++)
+      data[i][j] -= mean[j];
+  for (int i = 0; i < M; i++)
+    for (int j = i; j < M; j++) {
+      cov[i][j] = 0.0;
+      for (int k = 0; k < N; k++)
+        cov[i][j] += data[k][i] * data[k][j];
+      cov[i][j] /= float_n - 1.0;
+      cov[j][i] = cov[i][j];
+    }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 32 32 (fun i j -> frand ((i * 33) + j));
+        fmatrix 32 32 (fun _ _ -> 0.0);
+        fvec 32 (fun _ -> 0.0);
+        AFloat 32.0;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* medley *)
+
+let deriche =
+  w "deriche" "edge detection filter (descending loops!)" "kernel_deriche"
+    {|
+#define W 64
+#define H 48
+void kernel_deriche(double imgIn[64][48], double imgOut[64][48],
+                    double y1[64][48], double y2[64][48], double alpha) {
+  double k = (1.0 - exp(-alpha)) * (1.0 - exp(-alpha))
+             / (1.0 + 2.0 * alpha * exp(-alpha) - exp(2.0 * alpha));
+  double a1 = k;
+  double a2 = k * exp(-alpha) * (alpha - 1.0);
+  double a3 = k * exp(-alpha) * (alpha + 1.0);
+  double a4 = -k * exp(-2.0 * alpha);
+  double b1 = 2.0 * exp(-alpha);
+  double b2 = -exp(-2.0 * alpha);
+  for (int i = 0; i < W; i++) {
+    double ym1 = 0.0;
+    double ym2 = 0.0;
+    double xm1 = 0.0;
+    for (int j = 0; j < H; j++) {
+      y1[i][j] = a1 * imgIn[i][j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+      xm1 = imgIn[i][j];
+      ym2 = ym1;
+      ym1 = y1[i][j];
+    }
+  }
+  for (int i = 0; i < W; i++) {
+    double yp1 = 0.0;
+    double yp2 = 0.0;
+    double xp1 = 0.0;
+    double xp2 = 0.0;
+    for (int j = H - 1; j >= 0; j--) {
+      y2[i][j] = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+      xp2 = xp1;
+      xp1 = imgIn[i][j];
+      yp2 = yp1;
+      yp1 = y2[i][j];
+    }
+  }
+  for (int i = 0; i < W; i++)
+    for (int j = 0; j < H; j++)
+      imgOut[i][j] = y1[i][j] + y2[i][j];
+}
+|}
+    (fun () ->
+      [
+        fmatrix 64 48 (fun i j -> frand ((i * 49) + j));
+        fmatrix 64 48 (fun _ _ -> 0.0);
+        fmatrix 64 48 (fun _ _ -> 0.0);
+        fmatrix 64 48 (fun _ _ -> 0.0);
+        AFloat 0.25;
+      ])
+
+let floyd_warshall =
+  w "floyd-warshall" "all-pairs shortest paths (integer)" "kernel_fw"
+    {|
+#define N 40
+void kernel_fw(int path[40][40]) {
+  for (int k = 0; k < N; k++)
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        path[i][j] = path[i][j] < path[i][k] + path[k][j]
+                       ? path[i][j]
+                       : path[i][k] + path[k][j];
+}
+|}
+    (fun () ->
+      [
+        imatrix 40 40 (fun i j ->
+            if i = j then 0 else 1 + (((i * 41) + j) mod 97));
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* stencils *)
+
+let jacobi_1d =
+  w "jacobi-1d" "1-D Jacobi stencil" "kernel_jacobi1d"
+    {|
+#define N 400
+#define TSTEPS 20
+void kernel_jacobi1d(double A[400], double B[400]) {
+  for (int t = 0; t < TSTEPS; t++) {
+    for (int i = 1; i < N - 1; i++)
+      B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    for (int i = 1; i < N - 1; i++)
+      A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+  }
+}
+|}
+    (fun () ->
+      [ fvec 400 (fun i -> frand (i + 1)); fvec 400 (fun i -> frand (i + 2)) ])
+
+let jacobi_2d =
+  w "jacobi-2d" "2-D Jacobi stencil" "kernel_jacobi2d"
+    {|
+#define N 40
+#define TSTEPS 10
+void kernel_jacobi2d(double A[40][40], double B[40][40]) {
+  for (int t = 0; t < TSTEPS; t++) {
+    for (int i = 1; i < N - 1; i++)
+      for (int j = 1; j < N - 1; j++)
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+    for (int i = 1; i < N - 1; i++)
+      for (int j = 1; j < N - 1; j++)
+        A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1] + B[i + 1][j] + B[i - 1][j]);
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 40 40 (fun i j -> frand ((i * 41) + j));
+        fmatrix 40 40 (fun i j -> frand ((i * 43) + j));
+      ])
+
+let seidel_2d =
+  w "seidel-2d" "2-D Gauss-Seidel stencil" "kernel_seidel2d"
+    {|
+#define N 40
+#define TSTEPS 6
+void kernel_seidel2d(double A[40][40]) {
+  for (int t = 0; t < TSTEPS; t++)
+    for (int i = 1; i < N - 1; i++)
+      for (int j = 1; j < N - 1; j++)
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+                   + A[i][j - 1] + A[i][j] + A[i][j + 1] + A[i + 1][j - 1]
+                   + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+}
+|}
+    (fun () -> [ fmatrix 40 40 (fun i j -> frand ((i * 41) + j)) ])
+
+let fdtd_2d =
+  w "fdtd-2d" "2-D finite-difference time-domain" "kernel_fdtd2d"
+    {|
+#define NX 40
+#define NY 40
+#define TMAX 8
+void kernel_fdtd2d(double ex[40][40], double ey[40][40], double hz[40][40],
+                   double fict[8]) {
+  for (int t = 0; t < TMAX; t++) {
+    for (int j = 0; j < NY; j++)
+      ey[0][j] = fict[t];
+    for (int i = 1; i < NX; i++)
+      for (int j = 0; j < NY; j++)
+        ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+    for (int i = 0; i < NX; i++)
+      for (int j = 1; j < NY; j++)
+        ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+    for (int i = 0; i < NX - 1; i++)
+      for (int j = 0; j < NY - 1; j++)
+        hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 40 40 (fun i j -> frand ((i * 41) + j));
+        fmatrix 40 40 (fun i j -> frand ((i * 43) + j));
+        fmatrix 40 40 (fun i j -> frand ((i * 45) + j));
+        fvec 8 (fun i -> float_of_int i);
+      ])
+
+let heat_3d =
+  w "heat-3d" "3-D heat equation stencil" "kernel_heat3d"
+    {|
+#define N 12
+#define TSTEPS 6
+void kernel_heat3d(double A[12][12][12], double B[12][12][12]) {
+  for (int t = 1; t <= TSTEPS; t++) {
+    for (int i = 1; i < N - 1; i++)
+      for (int j = 1; j < N - 1; j++)
+        for (int k = 1; k < N - 1; k++)
+          B[i][j][k] = 0.125 * (A[i + 1][j][k] - 2.0 * A[i][j][k] + A[i - 1][j][k])
+                     + 0.125 * (A[i][j + 1][k] - 2.0 * A[i][j][k] + A[i][j - 1][k])
+                     + 0.125 * (A[i][j][k + 1] - 2.0 * A[i][j][k] + A[i][j][k - 1])
+                     + A[i][j][k];
+    for (int i = 1; i < N - 1; i++)
+      for (int j = 1; j < N - 1; j++)
+        for (int k = 1; k < N - 1; k++)
+          A[i][j][k] = 0.125 * (B[i + 1][j][k] - 2.0 * B[i][j][k] + B[i - 1][j][k])
+                     + 0.125 * (B[i][j + 1][k] - 2.0 * B[i][j][k] + B[i][j - 1][k])
+                     + 0.125 * (B[i][j][k + 1] - 2.0 * B[i][j][k] + B[i][j][k - 1])
+                     + B[i][j][k];
+  }
+}
+|}
+    (fun () ->
+      [
+        fcube 12 12 12 (fun i j k -> frand ((i * 145) + (j * 13) + k));
+        fcube 12 12 12 (fun i j k -> frand ((i * 147) + (j * 13) + k));
+      ])
+
+let adi =
+  w "adi" "alternating direction implicit solver" "kernel_adi"
+    {|
+#define N 24
+#define TSTEPS 4
+void kernel_adi(double u[24][24], double v[24][24], double p[24][24],
+                double q[24][24]) {
+  double DX = 1.0 / 24.0;
+  double DY = 1.0 / 24.0;
+  double DT = 1.0 / 4.0;
+  double B1 = 2.0;
+  double B2 = 1.0;
+  double mul1 = B1 * DT / (DX * DX);
+  double mul2 = B2 * DT / (DY * DY);
+  double a = -mul1 / 2.0;
+  double b = 1.0 + mul1;
+  double c = a;
+  double d = -mul2 / 2.0;
+  double e = 1.0 + mul2;
+  double f = d;
+  for (int t = 1; t <= TSTEPS; t++) {
+    for (int i = 1; i < N - 1; i++) {
+      v[0][i] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = v[0][i];
+      for (int j = 1; j < N - 1; j++) {
+        p[i][j] = -c / (a * p[i][j - 1] + b);
+        q[i][j] = (-d * u[j][i - 1] + (1.0 + 2.0 * d) * u[j][i]
+                   - f * u[j][i + 1] - a * q[i][j - 1])
+                  / (a * p[i][j - 1] + b);
+      }
+      v[N - 1][i] = 1.0;
+      for (int j = N - 2; j >= 1; j--)
+        v[j][i] = p[i][j] * v[j + 1][i] + q[i][j];
+    }
+    for (int i = 1; i < N - 1; i++) {
+      u[i][0] = 1.0;
+      p[i][0] = 0.0;
+      q[i][0] = u[i][0];
+      for (int j = 1; j < N - 1; j++) {
+        p[i][j] = -f / (d * p[i][j - 1] + e);
+        q[i][j] = (-a * v[i - 1][j] + (1.0 + 2.0 * a) * v[i][j]
+                   - c * v[i + 1][j] - d * q[i][j - 1])
+                  / (d * p[i][j - 1] + e);
+      }
+      u[i][N - 1] = 1.0;
+      for (int j = N - 2; j >= 1; j--)
+        u[i][j] = p[i][j] * u[i][j + 1] + q[i][j];
+    }
+  }
+}
+|}
+    (fun () ->
+      [
+        fmatrix 24 24 (fun i j -> frand ((i * 25) + j));
+        fmatrix 24 24 (fun _ _ -> 0.0);
+        fmatrix 24 24 (fun _ _ -> 0.0);
+        fmatrix 24 24 (fun _ _ -> 0.0);
+      ])
+
+(** All kernels in the Fig 6 sweep, in the paper's grouping order. *)
+let all : Workload.t list =
+  [
+    correlation; covariance;
+    gemm; gemver; gesummv; symm; syr2k; syrk; trmm;
+    mm2; mm3; atax; bicg; doitgen; mvt;
+    cholesky; durbin; gramschmidt; lu; ludcmp; trisolv;
+    deriche; floyd_warshall;
+    adi; fdtd_2d; heat_3d; jacobi_1d; jacobi_2d; seidel_2d;
+  ]

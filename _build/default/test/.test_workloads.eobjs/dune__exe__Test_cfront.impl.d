@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest C_ast C_lexer C_parser C_sema Dcir_cfront Dcir_machine Dcir_mlir List Machine Polygeist Value

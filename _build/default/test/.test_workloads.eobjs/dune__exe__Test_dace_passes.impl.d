@@ -1,0 +1,1 @@
+test/test_dace_passes.ml: Alcotest Array Converter Dcir_cfront Dcir_core Dcir_dace_passes Dcir_machine Dcir_mlir Dcir_sdfg Dcir_symbolic Dcir_workloads Hashtbl List Pipelines Printf Translator Tutil

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cache Cost Dcir_machine List Machine QCheck2 QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_mlir.ml: Alcotest Arith Dcir_machine Dcir_mlir Dcir_symbolic Expr Func_d Interp Ir List Machine Math_d Memref_d Option Printer Scf_d Tutil Types Value Verifier

@@ -1,0 +1,1 @@
+test/test_sdfg.ml: Alcotest Array Bexpr Dcir_machine Dcir_sdfg Dcir_symbolic Expr Interp List Machine Printer Range Sdfg Texpr Tutil Validate Value

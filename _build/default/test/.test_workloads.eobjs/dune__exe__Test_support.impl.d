@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Dcir_support Digraph Id_gen Int List Option QCheck2 QCheck_alcotest Union_find

@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Bexpr Dcir_symbolic Expr List Parse QCheck2 QCheck_alcotest Range Solve

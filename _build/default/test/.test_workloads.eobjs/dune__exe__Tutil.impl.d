@@ -1,0 +1,1 @@
+test/tutil.ml: Array Dcir_core Dcir_machine List String

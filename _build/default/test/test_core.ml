@@ -1,0 +1,194 @@
+(** Tests for the DCIR bridge itself: the MLIR→sdfg-dialect converter, the
+    dialect→SDFG translator (including tasklet raising), the DaCe C frontend
+    baseline, and the assembled pipelines. *)
+
+open Dcir_core
+open Dcir_mlir
+
+let saxpy_src =
+  {|
+void saxpy(double x[32], double y[32], double a) {
+  for (int i = 0; i < 32; i++)
+    y[i] = a * x[i] + y[i];
+}
+|}
+
+let convert src =
+  let m = Dcir_cfront.Polygeist.compile src in
+  ignore (Pass.run_to_fixpoint (Pipelines.control_passes Dcir) m);
+  Converter.convert_module m
+
+let test_converter_emits_dialect () =
+  let converted = convert saxpy_src in
+  let txt = Printer.module_to_string converted in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (frag ^ " emitted") true (Tutil.contains txt frag))
+    [ "sdfg.state"; "sdfg.edge"; "sdfg.tasklet"; "sdfg.alloc"; "sdfg.load";
+      "sdfg.store"; "sdfg.converted" ];
+  Verifier.verify_exn converted
+
+let test_converter_one_op_per_state () =
+  (* §5.1: every computation in its own state; states only contain
+     sdfg.* operations. *)
+  let converted = convert saxpy_src in
+  Ir.walk_module converted (fun o ->
+      if String.equal o.Ir.name "sdfg.state" then
+        List.iter
+          (fun (inner : Ir.op) ->
+            Alcotest.(check bool)
+              ("state op is sdfg.*: " ^ inner.name)
+              true
+              (Sdfg_d.is_sdfg_op inner.name))
+          (List.hd o.regions).rops)
+
+let test_converter_rejects_calls () =
+  let m =
+    Dcir_cfront.Polygeist.compile
+      "double g(double x) { return x; }\ndouble f(double x) { return g(x); }"
+  in
+  (* Without inlining, func.call reaches the converter and is rejected. *)
+  Alcotest.(check bool) "calls rejected" true
+    (try
+       ignore (Converter.convert_module m);
+       false
+     with Converter.Conversion_error _ -> true)
+
+let test_translator_raises_tasklets () =
+  let converted = convert saxpy_src in
+  let sdfg = Translator.translate_module converted ~entry:"saxpy" in
+  (* All converter-generated tasklets raise to native code (no opaque MLIR
+     tasklets with their LTO overhead). *)
+  let opaque = ref 0 and native = ref 0 in
+  List.iter
+    (fun (st : Dcir_sdfg.Sdfg.state) ->
+      List.iter
+        (fun (n : Dcir_sdfg.Sdfg.node) ->
+          match n.kind with
+          | Dcir_sdfg.Sdfg.TaskletN { code = Native _; _ } -> incr native
+          | Dcir_sdfg.Sdfg.TaskletN { code = Opaque _; _ } -> incr opaque
+          | _ -> ())
+        st.s_graph.nodes)
+    sdfg.states;
+  Alcotest.(check int) "no opaque tasklets" 0 !opaque;
+  Alcotest.(check bool) "has native tasklets" true (!native > 0)
+
+let test_translator_metadata () =
+  let converted = convert saxpy_src in
+  let sdfg = Translator.translate_module converted ~entry:"saxpy" in
+  Alcotest.(check int) "three parameters" 3 (List.length sdfg.param_order);
+  Alcotest.(check bool) "x is an argument container" true
+    (List.mem "_x" sdfg.arg_order);
+  Alcotest.(check bool) "validates" true
+    (Dcir_sdfg.Validate.errors sdfg = [])
+
+let test_dace_frontend_opaque () =
+  let sdfg = Dace_frontend.compile saxpy_src ~entry:"saxpy" in
+  (* The DaCe C frontend creates indivisible (opaque) statement tasklets. *)
+  let opaque = ref 0 in
+  List.iter
+    (fun (st : Dcir_sdfg.Sdfg.state) ->
+      List.iter
+        (fun (n : Dcir_sdfg.Sdfg.node) ->
+          match n.kind with
+          | Dcir_sdfg.Sdfg.TaskletN { code = Opaque _; _ } -> incr opaque
+          | _ -> ())
+        st.s_graph.nodes)
+    sdfg.states;
+  Alcotest.(check bool) "opaque statement tasklets" true (!opaque > 0)
+
+let test_dace_frontend_descending () =
+  (* Descending loops are preserved as descending state-machine loops. *)
+  let src =
+    {|
+void rev(double a[8]) {
+  for (int i = 7; i >= 0; i--)
+    a[i] = 1.0 * i;
+}
+|}
+  in
+  let sdfg = Dace_frontend.compile src ~entry:"rev" in
+  let has_negative_step =
+    List.exists
+      (fun (e : Dcir_sdfg.Sdfg.istate_edge) ->
+        List.exists
+          (fun (s, ex) ->
+            let step =
+              Dcir_symbolic.Expr.sub ex (Dcir_symbolic.Expr.sym s)
+            in
+            Dcir_symbolic.Expr.is_constant step = Some (-1))
+          e.ie_assign)
+      sdfg.istate_edges
+  in
+  Alcotest.(check bool) "negative-step loop kept" true has_negative_step
+
+let test_pipelines_agree_on_saxpy () =
+  let args () =
+    [
+      Pipelines.AFloatArr (Array.init 32 float_of_int, [| 32 |]);
+      Pipelines.AFloatArr (Array.make 32 1.0, [| 32 |]);
+      Pipelines.AFloat 2.0;
+    ]
+  in
+  let ms = Pipelines.compare_pipelines ~src:saxpy_src ~entry:"saxpy" (args ()) in
+  Alcotest.(check int) "five pipelines" 5 (List.length ms);
+  List.iter
+    (fun (m : Pipelines.measurement) ->
+      Alcotest.(check bool) (m.pipeline ^ " correct") true m.correct)
+    ms
+
+let test_dcir_not_slower_than_mlir () =
+  (* Paper observation 1: DCIR is never (meaningfully) slower than MLIR. *)
+  let checks =
+    [ Dcir_workloads.Polybench.gesummv; Dcir_workloads.Polybench.atax;
+      Dcir_workloads.Case_studies.mish_eager ]
+  in
+  List.iter
+    (fun (w : Dcir_workloads.Workload.t) ->
+      let ms =
+        Pipelines.compare_pipelines ~src:w.src ~entry:w.entry (w.args ())
+      in
+      let c p =
+        (List.find (fun (m : Pipelines.measurement) -> m.pipeline = p) ms).cycles
+      in
+      Alcotest.(check bool)
+        (w.name ^ ": dcir <= 1.02 * mlir")
+        true
+        (c "dcir" <= 1.02 *. c "mlir"))
+    checks
+
+let test_icc_vector_math_faster () =
+  let w = Dcir_workloads.Case_studies.mish_eager in
+  let compiled = Pipelines.compile Dcir ~src:w.src ~entry:w.entry in
+  let base = (Pipelines.run compiled ~entry:w.entry (w.args ())).metrics.cycles in
+  let icc =
+    (Pipelines.run
+       ~cfg:(Dcir_machine.Cost.with_vector_math Dcir_machine.Cost.default)
+       compiled ~entry:w.entry (w.args ()))
+      .metrics
+      .cycles
+  in
+  Alcotest.(check bool) "vector math wins on Mish" true (icc < base)
+
+let suite =
+  ( "core",
+    [
+      Alcotest.test_case "converter emits the sdfg dialect" `Quick
+        test_converter_emits_dialect;
+      Alcotest.test_case "converter: one op per state" `Quick
+        test_converter_one_op_per_state;
+      Alcotest.test_case "converter rejects calls" `Quick
+        test_converter_rejects_calls;
+      Alcotest.test_case "translator raises tasklets" `Quick
+        test_translator_raises_tasklets;
+      Alcotest.test_case "translator metadata" `Quick test_translator_metadata;
+      Alcotest.test_case "dace frontend: opaque tasklets" `Quick
+        test_dace_frontend_opaque;
+      Alcotest.test_case "dace frontend: descending loops" `Quick
+        test_dace_frontend_descending;
+      Alcotest.test_case "pipelines agree (saxpy)" `Quick
+        test_pipelines_agree_on_saxpy;
+      Alcotest.test_case "dcir never slower than mlir" `Slow
+        test_dcir_not_slower_than_mlir;
+      Alcotest.test_case "ICC vector math" `Quick test_icc_vector_math_faster;
+    ] )

@@ -1,0 +1,346 @@
+(** Tests for the SDFG IR: construction, validation (including Fig 3's
+    parametric size checks), and the interpreter (tasklets, copies, WCR
+    updates, state-machine loops, parametric maps). *)
+
+open Dcir_sdfg
+open Dcir_symbolic
+open Dcir_machine
+
+let mk_tasklet ?(syms = []) name ins outs code =
+  {
+    Sdfg.tname = name;
+    t_inputs = ins;
+    t_outputs = outs;
+    t_syms = syms;
+    code = Sdfg.Native code;
+    t_overhead = 0.0;
+  }
+
+let memlet ?wcr ?other data subset = { Sdfg.data; subset; wcr; other }
+
+(* y[i] = 2*x[i] over a state-machine loop with symbol i. *)
+let scale_sdfg () : Sdfg.t =
+  let sdfg = Sdfg.create "scale" in
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.sym "N" ] "x");
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.sym "N" ] "y");
+  sdfg.arg_symbols <- [ "N" ];
+  sdfg.param_order <- [ "x"; "y" ];
+  let init = Sdfg.add_state sdfg "init" in
+  ignore init;
+  let guard = Sdfg.add_state sdfg "guard" in
+  let body = Sdfg.add_state sdfg "body" in
+  let exit_s = Sdfg.add_state sdfg "exit" in
+  let g = body.s_graph in
+  let x = Sdfg.add_node g (Sdfg.Access "x") in
+  let y = Sdfg.add_node g (Sdfg.Access "y") in
+  let t =
+    Sdfg.add_node g
+      (Sdfg.TaskletN
+         (mk_tasklet "t" [ "_in" ] [ "_out" ]
+            [ ("_out", Texpr.TBin (Texpr.BMul, TFloat 2.0, TIn "_in")) ]))
+  in
+  ignore
+    (Sdfg.add_edge g ~dst_conn:"_in"
+       ~memlet:(memlet "x" [ Range.index (Expr.sym "i") ])
+       x t);
+  ignore
+    (Sdfg.add_edge g ~src_conn:"_out"
+       ~memlet:(memlet "y" [ Range.index (Expr.sym "i") ])
+       t y);
+  Sdfg.add_istate_edge sdfg ~assign:[ ("i", Expr.zero) ] ~src:"init"
+    ~dst:"guard" ();
+  Sdfg.add_istate_edge sdfg
+    ~cond:(Bexpr.lt (Expr.sym "i") (Expr.sym "N"))
+    ~src:"guard" ~dst:"body" ();
+  Sdfg.add_istate_edge sdfg
+    ~assign:[ ("i", Expr.add (Expr.sym "i") Expr.one) ]
+    ~src:"body" ~dst:"guard" ();
+  Sdfg.add_istate_edge sdfg
+    ~cond:(Bexpr.ge (Expr.sym "i") (Expr.sym "N"))
+    ~src:"guard" ~dst:"exit" ();
+  Sdfg.find_state sdfg "exit" |> ignore;
+  sdfg.start_state <- "init";
+  ignore exit_s;
+  ignore guard;
+  sdfg
+
+let run_scale n =
+  let sdfg = scale_sdfg () in
+  Validate.validate_exn sdfg;
+  let machine = Machine.create () in
+  let x =
+    Machine.alloc machine ~storage:Machine.Heap ~elems:n ~elem_bytes:8
+      ~zero_init:(Value.VFloat 0.0)
+  in
+  let y =
+    Machine.alloc machine ~storage:Machine.Heap ~elems:n ~elem_bytes:8
+      ~zero_init:(Value.VFloat 0.0)
+  in
+  for i = 0 to n - 1 do
+    Machine.poke x i (Value.VFloat (float_of_int i))
+  done;
+  let _ =
+    Interp.run ~machine sdfg
+      ~buffers:[ ("x", x, [| n |]); ("y", y, [| n |]) ]
+      ~symbols:[ ("N", n) ] ()
+  in
+  Array.init n (fun i -> Value.as_float (Machine.peek y i))
+
+let test_loop_execution () =
+  let y = run_scale 8 in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-9)) "2*i" (2.0 *. float_of_int i) v)
+    y
+
+let test_wcr_update () =
+  (* acc += x[i] via a WCR store. *)
+  let sdfg = Sdfg.create "reduce" in
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.int 8 ] "x");
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat ~shape:[]
+       "acc");
+  sdfg.param_order <- [ "x"; "acc" ];
+  let body = Sdfg.add_state sdfg "body" in
+  let g = body.s_graph in
+  let x = Sdfg.add_node g (Sdfg.Access "x") in
+  let acc = Sdfg.add_node g (Sdfg.Access "acc") in
+  let t =
+    Sdfg.add_node g
+      (Sdfg.TaskletN (mk_tasklet "t" [ "_in" ] [ "_out" ] [ ("_out", Texpr.TIn "_in") ]))
+  in
+  ignore
+    (Sdfg.add_edge g ~dst_conn:"_in"
+       ~memlet:(memlet "x" [ Range.index (Expr.sym "i") ])
+       x t);
+  ignore
+    (Sdfg.add_edge g ~src_conn:"_out"
+       ~memlet:(memlet ~wcr:Sdfg.WcrSum "acc" [])
+       t acc);
+  Sdfg.add_istate_edge sdfg ~assign:[ ("i", Expr.zero) ] ~src:"body" ~dst:"body"
+    ~cond:(Bexpr.lt (Expr.sym "i") (Expr.int (-1)))
+    ();
+  (* Simpler: run the single state 8 times through a guard loop. *)
+  let sdfg2 = Sdfg.create "reduce2" in
+  ignore
+    (Sdfg.add_container sdfg2 ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.int 8 ] "x");
+  ignore
+    (Sdfg.add_container sdfg2 ~transient:false ~dtype:Sdfg.DFloat ~shape:[]
+       "acc");
+  sdfg2.param_order <- [ "x"; "acc" ];
+  let init = Sdfg.add_state sdfg2 "init" in
+  let guard = Sdfg.add_state sdfg2 "guard" in
+  let body2 = Sdfg.add_state sdfg2 "body" in
+  let exit_s = Sdfg.add_state sdfg2 "exit" in
+  ignore (init, guard, exit_s);
+  let g2 = body2.s_graph in
+  let x2 = Sdfg.add_node g2 (Sdfg.Access "x") in
+  let acc2 = Sdfg.add_node g2 (Sdfg.Access "acc") in
+  let t2 =
+    Sdfg.add_node g2
+      (Sdfg.TaskletN (mk_tasklet "t" [ "_in" ] [ "_out" ] [ ("_out", Texpr.TIn "_in") ]))
+  in
+  ignore
+    (Sdfg.add_edge g2 ~dst_conn:"_in"
+       ~memlet:(memlet "x" [ Range.index (Expr.sym "i") ])
+       x2 t2);
+  ignore
+    (Sdfg.add_edge g2 ~src_conn:"_out"
+       ~memlet:(memlet ~wcr:Sdfg.WcrSum "acc" [])
+       t2 acc2);
+  Sdfg.add_istate_edge sdfg2 ~assign:[ ("i", Expr.zero) ] ~src:"init" ~dst:"guard" ();
+  Sdfg.add_istate_edge sdfg2
+    ~cond:(Bexpr.lt (Expr.sym "i") (Expr.int 8))
+    ~src:"guard" ~dst:"body" ();
+  Sdfg.add_istate_edge sdfg2
+    ~assign:[ ("i", Expr.add (Expr.sym "i") Expr.one) ]
+    ~src:"body" ~dst:"guard" ();
+  Sdfg.add_istate_edge sdfg2
+    ~cond:(Bexpr.ge (Expr.sym "i") (Expr.int 8))
+    ~src:"guard" ~dst:"exit" ();
+  sdfg2.start_state <- "init";
+  ignore sdfg;
+  let machine = Machine.create () in
+  let x =
+    Machine.alloc machine ~storage:Machine.Heap ~elems:8 ~elem_bytes:8
+      ~zero_init:(Value.VFloat 0.0)
+  in
+  let acc =
+    Machine.alloc machine ~storage:Machine.Register ~elems:1 ~elem_bytes:8
+      ~zero_init:(Value.VFloat 0.0)
+  in
+  for i = 0 to 7 do
+    Machine.poke x i (Value.VFloat (float_of_int (i + 1)))
+  done;
+  let _ =
+    Interp.run ~machine sdfg2
+      ~buffers:[ ("x", x, [| 8 |]); ("acc", acc, [||]) ]
+      ~symbols:[] ()
+  in
+  Alcotest.(check (float 1e-9)) "wcr sum 1..8" 36.0
+    (Value.as_float (Machine.peek acc 0))
+
+let test_map_execution () =
+  (* Parametric-parallel map: y[i] = x[i] + 1 for i in [0, N). *)
+  let sdfg = Sdfg.create "mapped" in
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.sym "N" ] "x");
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.sym "N" ] "y");
+  sdfg.arg_symbols <- [ "N" ];
+  sdfg.param_order <- [ "x"; "y" ];
+  let st = Sdfg.add_state sdfg "s" in
+  let body = Sdfg.new_graph () in
+  let x = Sdfg.add_node body (Sdfg.Access "x") in
+  let y = Sdfg.add_node body (Sdfg.Access "y") in
+  let t =
+    Sdfg.add_node body
+      (Sdfg.TaskletN
+         (mk_tasklet "t" [ "_in" ] [ "_out" ]
+            [ ("_out", Texpr.TBin (Texpr.BAdd, TIn "_in", TFloat 1.0)) ]))
+  in
+  ignore
+    (Sdfg.add_edge body ~dst_conn:"_in"
+       ~memlet:(memlet "x" [ Range.index (Expr.sym "i") ])
+       x t);
+  ignore
+    (Sdfg.add_edge body ~src_conn:"_out"
+       ~memlet:(memlet "y" [ Range.index (Expr.sym "i") ])
+       t y);
+  let map_node =
+    Sdfg.add_node st.s_graph
+      (Sdfg.MapN
+         { m_params = [ "i" ]; m_ranges = [ Range.full (Expr.sym "N") ];
+           m_body = body })
+  in
+  ignore map_node;
+  Validate.validate_exn sdfg;
+  let machine = Machine.create () in
+  let x_buf =
+    Machine.alloc machine ~storage:Machine.Heap ~elems:5 ~elem_bytes:8
+      ~zero_init:(Value.VFloat 0.0)
+  in
+  let y_buf =
+    Machine.alloc machine ~storage:Machine.Heap ~elems:5 ~elem_bytes:8
+      ~zero_init:(Value.VFloat 0.0)
+  in
+  for i = 0 to 4 do
+    Machine.poke x_buf i (Value.VFloat (float_of_int (10 * i)))
+  done;
+  let _ =
+    Interp.run ~machine sdfg
+      ~buffers:[ ("x", x_buf, [| 5 |]); ("y", y_buf, [| 5 |]) ]
+      ~symbols:[ ("N", 5) ] ()
+  in
+  for i = 0 to 4 do
+    Alcotest.(check (float 1e-9)) "map result"
+      (float_of_int (10 * i) +. 1.0)
+      (Value.as_float (Machine.peek y_buf i))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let test_validate_size_mismatch () =
+  (* Fig 3: full copy of x (size N) into z (size M) cannot be proven. *)
+  let sdfg = Sdfg.create "copy" in
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.sym "N" ] "x");
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.sym "M" ] "z");
+  sdfg.arg_symbols <- [ "N"; "M" ];
+  let st = Sdfg.add_state sdfg "s" in
+  let x = Sdfg.add_node st.s_graph (Sdfg.Access "x") in
+  let z = Sdfg.add_node st.s_graph (Sdfg.Access "z") in
+  ignore
+    (Sdfg.add_edge st.s_graph
+       ~memlet:
+         (memlet
+            ~other:[ Range.full (Expr.sym "M") ]
+            "x"
+            [ Range.full (Expr.sym "N") ])
+       x z);
+  Alcotest.(check bool) "size mismatch reported" true
+    (Validate.errors sdfg <> []);
+  (* The same copy with matching sizes validates. *)
+  let ok = Sdfg.create "copy_ok" in
+  ignore
+    (Sdfg.add_container ok ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.sym "N" ] "x");
+  ignore
+    (Sdfg.add_container ok ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.sym "N" ] "z");
+  ok.arg_symbols <- [ "N" ];
+  let st = Sdfg.add_state ok "s" in
+  let x = Sdfg.add_node st.s_graph (Sdfg.Access "x") in
+  let z = Sdfg.add_node st.s_graph (Sdfg.Access "z") in
+  ignore
+    (Sdfg.add_edge st.s_graph
+       ~memlet:
+         (memlet ~other:[ Range.full (Expr.sym "N") ] "x"
+            [ Range.full (Expr.sym "N") ])
+       x z);
+  Alcotest.(check int) "matching sizes accepted" 0
+    (List.length (Validate.errors ok))
+
+let test_validate_oob () =
+  let sdfg = Sdfg.create "oob" in
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.int 4 ] "x");
+  let st = Sdfg.add_state sdfg "s" in
+  let x = Sdfg.add_node st.s_graph (Sdfg.Access "x") in
+  let t =
+    Sdfg.add_node st.s_graph
+      (Sdfg.TaskletN (mk_tasklet "t" [ "_in" ] [] []))
+  in
+  ignore
+    (Sdfg.add_edge st.s_graph ~dst_conn:"_in"
+       ~memlet:(memlet "x" [ Range.index (Expr.int 7) ])
+       x t);
+  Alcotest.(check bool) "out-of-bounds subset reported" true
+    (Validate.errors sdfg <> [])
+
+let test_validate_structural () =
+  let sdfg = Sdfg.create "bad" in
+  let st = Sdfg.add_state sdfg "s" in
+  let t =
+    Sdfg.add_node st.s_graph
+      (Sdfg.TaskletN (mk_tasklet "t" [] [ "_out" ] [ ("_out", Texpr.TIn "_nope") ]))
+  in
+  ignore t;
+  Alcotest.(check bool) "undeclared connector reported" true
+    (Validate.errors sdfg <> []);
+  let sdfg2 = Sdfg.create "bad2" in
+  Sdfg.add_istate_edge sdfg2 ~src:"ghost" ~dst:"ghost2" ();
+  Alcotest.(check bool) "dangling edge reported" true
+    (Validate.errors sdfg2 <> [])
+
+let test_printer_smoke () =
+  let s = Printer.to_string (scale_sdfg ()) in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) (frag ^ " printed") true (Tutil.contains s frag))
+    [ "sdfg scale"; "state body"; "edge guard -> body"; "x[i]" ]
+
+let suite =
+  ( "sdfg",
+    [
+      Alcotest.test_case "state-machine loop" `Quick test_loop_execution;
+      Alcotest.test_case "WCR update" `Quick test_wcr_update;
+      Alcotest.test_case "parametric map" `Quick test_map_execution;
+      Alcotest.test_case "validate: Fig 3 sizes" `Quick test_validate_size_mismatch;
+      Alcotest.test_case "validate: out of bounds" `Quick test_validate_oob;
+      Alcotest.test_case "validate: structure" `Quick test_validate_structural;
+      Alcotest.test_case "printer" `Quick test_printer_smoke;
+    ] )

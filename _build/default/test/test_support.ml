@@ -1,0 +1,82 @@
+(** Tests for the shared graph/id utilities underpinning both IRs. *)
+
+open Dcir_support
+
+let test_fresh_names () =
+  let g = Id_gen.create () in
+  Alcotest.(check string) "first" "s_0" (Id_gen.fresh g "s");
+  Alcotest.(check string) "second" "s_1" (Id_gen.fresh g "s");
+  Alcotest.(check string) "other prefix" "t_0" (Id_gen.fresh g "t");
+  Id_gen.reserve g "s_9";
+  Alcotest.(check string) "reserve skips" "s_10" (Id_gen.fresh g "s")
+
+let test_topo_sort () =
+  let g = Digraph.create ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let order = Digraph.topo_sort g in
+  let pos x = Option.get (List.find_index (Int.equal x) order) in
+  Alcotest.(check bool) "0 before 1" true (pos 0 < pos 1);
+  Alcotest.(check bool) "1 before 3" true (pos 1 < pos 3);
+  Alcotest.(check bool) "2 before 3" true (pos 2 < pos 3);
+  let cyclic = Digraph.create ~n:2 [ (0, 1); (1, 0) ] in
+  Alcotest.(check bool) "cycle raises" true
+    (try
+       ignore (Digraph.topo_sort cyclic);
+       false
+     with Invalid_argument _ -> true)
+
+let test_reachability () =
+  let g = Digraph.create ~n:5 [ (0, 1); (1, 2); (3, 4) ] in
+  let r = Digraph.reachable g ~roots:[ 0 ] in
+  Alcotest.(check bool) "2 reachable" true r.(2);
+  Alcotest.(check bool) "4 not" false r.(4);
+  let co = Digraph.co_reachable g ~roots:[ 2 ] in
+  Alcotest.(check bool) "0 co-reaches 2" true co.(0);
+  Alcotest.(check bool) "3 does not" false co.(3)
+
+let test_scc () =
+  let g = Digraph.create ~n:4 [ (0, 1); (1, 0); (1, 2); (2, 3) ] in
+  let comps = List.map (List.sort compare) (Digraph.scc g) in
+  Alcotest.(check bool) "cycle grouped" true (List.mem [ 0; 1 ] comps);
+  Alcotest.(check bool) "singletons split" true
+    (List.mem [ 2 ] comps && List.mem [ 3 ] comps)
+
+let test_idom () =
+  (* Diamond: 0 -> {1,2} -> 3; idom(3) = 0. *)
+  let g = Digraph.create ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let doms = Digraph.idom g ~root:0 in
+  Alcotest.(check int) "idom 1" 0 doms.(1);
+  Alcotest.(check int) "idom 3" 0 doms.(3);
+  (* Loop shape: 0 -> 1 -> 2 -> 1; 1 dominates 2. *)
+  let l = Digraph.create ~n:3 [ (0, 1); (1, 2); (2, 1) ] in
+  let doms = Digraph.idom l ~root:0 in
+  Alcotest.(check int) "loop body dominated by header" 1 doms.(2)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 2;
+  Union_find.union uf 4 5;
+  Alcotest.(check bool) "0~2" true (Union_find.same uf 0 2);
+  Alcotest.(check bool) "0!~4" false (Union_find.same uf 0 4);
+  Alcotest.(check int) "three groups" 3 (List.length (Union_find.groups uf))
+
+let prop_rpo_starts_at_root =
+  QCheck2.Test.make ~count:100 ~name:"reverse postorder starts at root"
+    QCheck2.Gen.(list_size (int_range 0 30) (tup2 (int_range 0 9) (int_range 0 9)))
+    (fun edges ->
+      let g = Dcir_support.Digraph.create ~n:10 edges in
+      match Dcir_support.Digraph.reverse_postorder g ~root:0 with
+      | first :: _ -> first = 0
+      | [] -> false)
+
+let suite =
+  ( "support",
+    [
+      Alcotest.test_case "fresh names" `Quick test_fresh_names;
+      Alcotest.test_case "topological sort" `Quick test_topo_sort;
+      Alcotest.test_case "reachability" `Quick test_reachability;
+      Alcotest.test_case "strongly connected components" `Quick test_scc;
+      Alcotest.test_case "immediate dominators" `Quick test_idom;
+      Alcotest.test_case "union-find" `Quick test_union_find;
+      QCheck_alcotest.to_alcotest prop_rpo_starts_at_root;
+    ] )

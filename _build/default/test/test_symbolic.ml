@@ -1,0 +1,213 @@
+(** Tests for the symbolic engine: canonicalization laws, parser round
+    trips, comparison deciding, ranges, and the equation solver. Property
+    tests check simplification against concrete evaluation on random
+    expressions. *)
+
+open Dcir_symbolic
+
+let expr = Alcotest.testable Expr.pp Expr.equal
+
+let e s = Parse.expr s
+
+(* ------------------------------------------------------------------ *)
+(* Expr unit tests *)
+
+let test_simplify_basic () =
+  Alcotest.check expr "N+N = 2N" (e "2*N") (e "N + N");
+  Alcotest.check expr "const fold" (Expr.int 7) (e "3 + 4");
+  Alcotest.check expr "x*0" Expr.zero (Expr.mul (Expr.sym "x") Expr.zero);
+  Alcotest.check expr "x*1" (Expr.sym "x") (Expr.mul (Expr.sym "x") Expr.one);
+  Alcotest.check expr "distribute" (e "N*N - 1") (e "(N+1)*(N-1)");
+  Alcotest.check expr "cancel" Expr.zero (Expr.sub (e "2*N + 3") (e "N + N + 3"))
+
+let test_simplify_div_mod () =
+  Alcotest.check expr "x/1" (Expr.sym "x") (Expr.div (Expr.sym "x") Expr.one);
+  Alcotest.check expr "x/x" Expr.one (Expr.div (Expr.sym "x") (Expr.sym "x"));
+  Alcotest.check expr "(4N)/2" (e "2*N") (Expr.div (e "4*N") (Expr.int 2));
+  Alcotest.check expr "x mod x" Expr.zero
+    (Expr.modulo (Expr.sym "x") (Expr.sym "x"));
+  Alcotest.check expr "(6N) mod 3" Expr.zero (Expr.modulo (e "6*N") (Expr.int 3));
+  Alcotest.(check int) "floor div" (-2) (Expr.eval (fun _ -> None) (Expr.div (Expr.int (-3)) (Expr.int 2)))
+
+let test_min_max () =
+  Alcotest.check expr "min consts" (Expr.int 2) (Expr.min_ (Expr.int 5) (Expr.int 2));
+  Alcotest.check expr "max consts" (Expr.int 5) (Expr.max_ (Expr.int 5) (Expr.int 2));
+  Alcotest.check expr "min self" (Expr.sym "a") (Expr.min_ (Expr.sym "a") (Expr.sym "a"))
+
+let test_subst () =
+  let r = Expr.subst_one "N" (e "M + 1") (e "2*N + N*N") in
+  Alcotest.check expr "subst" (e "M*M + 4*M + 3") r
+
+let test_free_syms () =
+  Alcotest.(check (list string))
+    "free syms" [ "M"; "N" ]
+    (Expr.free_syms (e "N*M + N - 3"))
+
+let test_eval_unbound () =
+  Alcotest.check_raises "unbound" (Expr.Unbound_symbol "Q") (fun () ->
+      ignore (Expr.eval (fun _ -> None) (Expr.sym "Q")))
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_precedence () =
+  Alcotest.check expr "mul before add" (e "a + b*c")
+    (Expr.add (Expr.sym "a") (Expr.mul (Expr.sym "b") (Expr.sym "c")));
+  Alcotest.check expr "parens" (Expr.mul (e "a + b") (Expr.sym "c")) (e "(a+b)*c");
+  Alcotest.check expr "unary minus" (Expr.sub (Expr.int 0) (e "2*a")) (e "-2*a");
+  Alcotest.check expr "min fn" (Expr.min_ (Expr.sym "a") (e "b+1")) (e "min(a, b+1)")
+
+let test_parse_errors () =
+  Alcotest.(check bool) "garbage" true (Parse.expr_opt "a +* b" = None);
+  Alcotest.(check bool) "trailing" true (Parse.expr_opt "a b" = None);
+  Alcotest.(check bool) "ok" true (Parse.expr_opt "a*b - 3" <> None)
+
+let test_parse_bexpr () =
+  let b = Parse.bexpr "i < N and j >= 0" in
+  match b with
+  | Bexpr.And (Bexpr.Cmp (Bexpr.Lt, _, _), Bexpr.Cmp (Bexpr.Ge, _, _)) -> ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+(* ------------------------------------------------------------------ *)
+(* Bexpr deciding *)
+
+let test_decide () =
+  Alcotest.(check (option bool)) "const true" (Some true)
+    (Bexpr.decide (Parse.bexpr "3 < 4"));
+  Alcotest.(check (option bool)) "const false" (Some false)
+    (Bexpr.decide (Parse.bexpr "4 <= 3"));
+  Alcotest.(check (option bool)) "i+1 > i" (Some true)
+    (Bexpr.decide (Bexpr.gt (e "i+1") (e "i")));
+  (* No sign assumption on symbols: j >= 0 must stay dynamic. *)
+  Alcotest.(check (option bool)) "sym undecided" None
+    (Bexpr.decide (Bexpr.ge (Expr.sym "j") Expr.zero));
+  Alcotest.(check (option bool)) "and short-circuit" (Some false)
+    (Bexpr.decide (Bexpr.And (Bexpr.Bool false, Bexpr.ge (Expr.sym "j") Expr.zero)))
+
+let test_simplify_not () =
+  match Bexpr.simplify (Bexpr.Not (Bexpr.lt (Expr.sym "i") (Expr.sym "N"))) with
+  | Bexpr.Cmp (Bexpr.Ge, _, _) -> ()
+  | b -> Alcotest.failf "expected >=, got %s" (Bexpr.to_string b)
+
+(* ------------------------------------------------------------------ *)
+(* Ranges *)
+
+let test_range_volume () =
+  let r = [ Range.full (Expr.sym "N"); Range.index (e "i") ] in
+  Alcotest.check expr "volume" (Expr.sym "N") (Range.volume r)
+
+let test_range_union () =
+  let a = [ Range.index (e "i") ] and b = [ Range.index (e "i+1") ] in
+  let u = Range.union a b in
+  Alcotest.check expr "lo" (Expr.min_ (e "i") (e "i+1")) (List.hd u).lo;
+  Alcotest.check expr "hi" (Expr.max_ (e "i") (e "i+1")) (List.hd u).hi
+
+let test_range_covers_disjoint () =
+  let full = [ Range.dim (Expr.int 0) (Expr.int 9) ] in
+  let inner = [ Range.dim (Expr.int 2) (Expr.int 5) ] in
+  Alcotest.(check bool) "covers" true (Range.covers full inner);
+  Alcotest.(check bool) "not covers" false (Range.covers inner full);
+  let a = [ Range.dim (Expr.int 0) (Expr.int 3) ] in
+  let b = [ Range.dim (Expr.int 5) (Expr.int 9) ] in
+  Alcotest.(check bool) "disjoint" true (Range.disjoint a b);
+  Alcotest.(check bool) "overlap" false (Range.disjoint full inner)
+
+(* ------------------------------------------------------------------ *)
+(* Solver *)
+
+let test_solve_simple () =
+  let sol = Solve.solve ~unknowns:[ "s_0" ] [ (e "s_0", e "N + 1") ] in
+  Alcotest.check expr "s_0" (e "N+1") (List.assoc "s_0" sol)
+
+let test_solve_linear () =
+  let sol = Solve.solve ~unknowns:[ "x" ] [ (e "2*x + 4", e "10") ] in
+  Alcotest.check expr "x=3" (Expr.int 3) (List.assoc "x" sol)
+
+let test_solve_chain () =
+  let sol =
+    Solve.solve ~unknowns:[ "a"; "b" ] [ (e "a", e "b + 1"); (e "b", e "N") ]
+  in
+  Alcotest.check expr "b" (Expr.sym "N") (List.assoc "b" sol);
+  Alcotest.check expr "a" (e "N+1") (List.assoc "a" sol)
+
+let test_solve_nonlinear_skipped () =
+  let sol = Solve.solve ~unknowns:[ "x" ] [ (e "x*x", e "9") ] in
+  Alcotest.(check bool) "no solution" true (List.assoc_opt "x" sol = None)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let gen_expr : Expr.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [ map Expr.int (int_range (-20) 20);
+                map Expr.sym (oneofl [ "a"; "b"; "c" ]) ]
+          else
+            let sub = self (n / 2) in
+            oneof
+              [
+                map2 Expr.add sub sub;
+                map2 Expr.sub sub sub;
+                map2 Expr.mul sub sub;
+                map2 Expr.min_ sub sub;
+                map2 Expr.max_ sub sub;
+                map Expr.int (int_range (-20) 20);
+                map Expr.sym (oneofl [ "a"; "b"; "c" ]);
+              ])
+        (min n 6))
+
+let env_of (a, b, c) s =
+  match s with "a" -> Some a | "b" -> Some b | "c" -> Some c | _ -> None
+
+let prop_simplify_preserves_eval =
+  QCheck2.Test.make ~count:500 ~name:"simplify preserves evaluation"
+    QCheck2.Gen.(tup2 gen_expr (tup3 (int_range (-50) 50) (int_range (-50) 50) (int_range (-50) 50)))
+    (fun (ex, env) ->
+      Expr.eval (env_of env) ex = Expr.eval (env_of env) (Expr.simplify ex))
+
+let prop_parse_print_roundtrip =
+  QCheck2.Test.make ~count:300 ~name:"print/parse round trip"
+    gen_expr
+    (fun ex ->
+      let s = Expr.to_string (Expr.simplify ex) in
+      match Parse.expr_opt s with
+      | Some back -> Expr.equal back ex
+      | None -> false)
+
+let prop_decide_sound =
+  QCheck2.Test.make ~count:300 ~name:"decide_cmp is sound"
+    QCheck2.Gen.(tup3 gen_expr gen_expr (tup3 (int_range (-9) 9) (int_range (-9) 9) (int_range (-9) 9)))
+    (fun (x, y, env) ->
+      match Bexpr.decide (Bexpr.lt x y) with
+      | Some v -> v = (Expr.eval (env_of env) x < Expr.eval (env_of env) y)
+      | None -> true)
+
+let suite =
+  ( "symbolic",
+    [
+      Alcotest.test_case "simplify basics" `Quick test_simplify_basic;
+      Alcotest.test_case "div and mod" `Quick test_simplify_div_mod;
+      Alcotest.test_case "min/max" `Quick test_min_max;
+      Alcotest.test_case "substitution" `Quick test_subst;
+      Alcotest.test_case "free symbols" `Quick test_free_syms;
+      Alcotest.test_case "eval unbound raises" `Quick test_eval_unbound;
+      Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse bexpr" `Quick test_parse_bexpr;
+      Alcotest.test_case "decide comparisons" `Quick test_decide;
+      Alcotest.test_case "simplify not" `Quick test_simplify_not;
+      Alcotest.test_case "range volume" `Quick test_range_volume;
+      Alcotest.test_case "range union" `Quick test_range_union;
+      Alcotest.test_case "range covers/disjoint" `Quick test_range_covers_disjoint;
+      Alcotest.test_case "solve simple" `Quick test_solve_simple;
+      Alcotest.test_case "solve linear" `Quick test_solve_linear;
+      Alcotest.test_case "solve chain" `Quick test_solve_chain;
+      Alcotest.test_case "solve nonlinear skipped" `Quick test_solve_nonlinear_skipped;
+      QCheck_alcotest.to_alcotest prop_simplify_preserves_eval;
+      QCheck_alcotest.to_alcotest prop_parse_print_roundtrip;
+      QCheck_alcotest.to_alcotest prop_decide_sound;
+    ] )

@@ -1,0 +1,90 @@
+(** Integration tests over the paper's workloads: a representative subset of
+    Polybench kernels plus the case studies run through every pipeline with
+    output verification, and the headline shapes of the evaluation hold. *)
+
+open Dcir_core
+open Dcir_workloads
+
+let cycles ms p =
+  (List.find (fun (m : Pipelines.measurement) -> m.pipeline = p) ms).cycles
+
+let run (w : Workload.t) =
+  Pipelines.compare_pipelines ~src:w.src ~entry:w.entry (w.args ())
+
+let check_correct (w : Workload.t) () =
+  List.iter
+    (fun (m : Pipelines.measurement) ->
+      Alcotest.(check bool) (w.name ^ "/" ^ m.pipeline) true m.correct)
+    (run w)
+
+let test_fig2_shape () =
+  let ms = run Case_studies.fig2_example in
+  List.iter
+    (fun (m : Pipelines.measurement) ->
+      Alcotest.(check bool) m.pipeline true m.correct)
+    ms;
+  Alcotest.(check bool) "DCIR elides everything (>=100x)" true
+    (cycles ms "gcc" /. Float.max (cycles ms "dcir") 1.0 > 100.0)
+
+let test_syrk_shape () =
+  (* Fig 7: the DaCe frontend's opaque tasklets lose to DCIR on syrk. *)
+  let ms = run Polybench.syrk in
+  Alcotest.(check bool) "dace slower than dcir on syrk" true
+    (cycles ms "dace" > 1.1 *. cycles ms "dcir")
+
+let test_milc_shape () =
+  let ms = run Case_studies.milc in
+  Alcotest.(check bool) "dcir >= 2x over gcc on milc" true
+    (cycles ms "gcc" > 2.0 *. cycles ms "dcir")
+
+let test_mlir_gap_on_accumulators () =
+  (* Fig 6 mechanism: the MLIR pipeline misses register promotion, so
+     accumulator kernels pay extra memory traffic; DCIR recovers it. *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let ms = run w in
+      Alcotest.(check bool)
+        (w.name ^ ": mlir slower than dcir")
+        true
+        (cycles ms "mlir" > 1.05 *. cycles ms "dcir"))
+    [ Polybench.atax; Polybench.mvt; Polybench.mm2 ]
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "gemm all pipelines correct" `Slow
+        (check_correct Polybench.gemm);
+      Alcotest.test_case "gesummv all pipelines correct" `Quick
+        (check_correct Polybench.gesummv);
+      Alcotest.test_case "trisolv all pipelines correct" `Quick
+        (check_correct Polybench.trisolv);
+      Alcotest.test_case "durbin all pipelines correct" `Quick
+        (check_correct Polybench.durbin);
+      Alcotest.test_case "deriche all pipelines correct" `Slow
+        (check_correct Polybench.deriche);
+      Alcotest.test_case "jacobi-1d all pipelines correct" `Quick
+        (check_correct Polybench.jacobi_1d);
+      Alcotest.test_case "floyd-warshall all pipelines correct" `Slow
+        (check_correct Polybench.floyd_warshall);
+      Alcotest.test_case "bandwidth all pipelines correct" `Slow
+        (check_correct Case_studies.bandwidth);
+      Alcotest.test_case "fig2 shape" `Quick test_fig2_shape;
+      Alcotest.test_case "fig7 (syrk) shape" `Slow test_syrk_shape;
+      Alcotest.test_case "fig9 (milc) shape" `Slow test_milc_shape;
+      Alcotest.test_case "fig6 mechanism" `Slow test_mlir_gap_on_accumulators;
+    ] )
+
+let () =
+  Alcotest.run "dcir"
+    [
+      Test_support.suite;
+      Test_symbolic.suite;
+      Test_machine.suite;
+      Test_mlir.suite;
+      Test_cfront.suite;
+      Test_mlir_passes.suite;
+      Test_sdfg.suite;
+      Test_dace_passes.suite;
+      Test_core.suite;
+      suite;
+    ]
