@@ -3,22 +3,92 @@
     machine, and times the compiler pipeline itself with Bechamel.
 
     Usage: [bench/main.exe [fig2|fig6|fig7|fig8|fig9|fig10|eliminated|
-    ablate|timings|all]] (default: all). Output is the same rows/series the
-    paper reports: per-benchmark runtimes per compiler and the headline
-    speedup ratios. The simulator is deterministic, so one repetition is
-    exact; the paper's median-of-10 protocol is unnecessary (EXPERIMENTS.md). *)
+    ablate|timings|all] [--json FILE]] (default: all). Output is the same
+    rows/series the paper reports: per-benchmark runtimes per compiler and
+    the headline speedup ratios. The simulator is deterministic, so one
+    repetition is exact; the paper's median-of-10 protocol is unnecessary
+    (EXPERIMENTS.md).
+
+    [--json FILE] additionally writes everything that ran as a
+    machine-readable report (schema [dcir-bench-report/1]: per-workload,
+    per-pipeline cycles/metrics/correctness, plus ablations, eliminated
+    container counts, and compile timings when those parts ran) — the
+    canonical diffable record of the perf trajectory across PRs. *)
 
 open Dcir_workloads
 module Pipelines = Dcir_core.Pipelines
 module Driver = Dcir_dace_passes.Driver
+module Json = Dcir_obs.Json
 
 let pr fmt = Format.printf fmt
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable report accumulation: every figure that runs appends
+   rows; [--json] serializes whatever was collected. *)
+
+let report_rows : Json.t list ref = ref []
+
+let add_row ~(fig : string) ~(workload : string) (pipelines : Json.t list) :
+    unit =
+  report_rows :=
+    Json.Obj
+      [
+        ("figure", Json.Str fig);
+        ("workload", Json.Str workload);
+        ("pipelines", Json.List pipelines);
+      ]
+    :: !report_rows
+
+let eliminated_rows : (string * int) list ref = ref []
+let ablation_rows : Json.t list ref = ref []
+let timing_rows : (string * float) list ref = ref []
+
+let write_report (path : string) : unit =
+  let sections =
+    [
+      ("schema", Json.Str "dcir-bench-report/1");
+      ("results", Json.List (List.rev !report_rows));
+    ]
+    @ (if !ablation_rows = [] then []
+       else [ ("ablations", Json.List (List.rev !ablation_rows)) ])
+    @ (if !eliminated_rows = [] then []
+       else
+         [
+           ( "eliminated_containers",
+             Json.Obj
+               (List.rev_map (fun (k, v) -> (k, Json.Int v)) !eliminated_rows)
+           );
+         ])
+    @
+    if !timing_rows = [] then []
+    else
+      [
+        ( "compile_timings_ms",
+          Json.Obj
+            (List.rev_map (fun (k, v) -> (k, Json.Float v)) !timing_rows) );
+      ]
+  in
+  (try
+     let oc = open_out path in
+     output_string oc (Json.to_string (Json.Obj sections));
+     output_char oc '\n';
+     close_out oc
+   with Sys_error msg ->
+     prerr_endline ("bench: cannot write report: " ^ msg);
+     exit 1);
+  pr "@.report written to %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Helpers *)
 
-let run_workload ?kinds ?cfg (w : Workload.t) : Pipelines.measurement list =
-  Pipelines.compare_pipelines ?kinds ?cfg ~src:w.src ~entry:w.entry (w.args ())
+let run_workload ?kinds ?cfg ~(fig : string) (w : Workload.t) :
+    Pipelines.measurement list =
+  let ms =
+    Pipelines.compare_pipelines ?kinds ?cfg ~src:w.src ~entry:w.entry
+      (w.args ())
+  in
+  add_row ~fig ~workload:w.name (List.map Pipelines.measurement_json ms);
+  ms
 
 let cycles_of (ms : Pipelines.measurement list) (p : string) : float =
   match List.find_opt (fun (m : Pipelines.measurement) -> m.pipeline = p) ms with
@@ -43,7 +113,7 @@ let geomean (xs : float list) : float =
 
 let fig2 () =
   pr "@.== Fig 2(b): motivating example — runtime across compilers ==@.";
-  let ms = run_workload Case_studies.fig2_example in
+  let ms = run_workload ~fig:"fig2" Case_studies.fig2_example in
   check_all_correct "fig2" ms;
   pr "  %-8s %14s@." "compiler" "cycles";
   List.iter
@@ -70,7 +140,7 @@ let fig6 () =
   let rows =
     List.map
       (fun (w : Workload.t) ->
-        let ms = run_workload w in
+        let ms = run_workload ~fig:"fig6" w in
         check_all_correct w.name ms;
         pr "  %-14s %12.0f %12.0f %12.0f %12.0f %12.0f@." w.name
           (cycles_of ms "gcc") (cycles_of ms "clang") (cycles_of ms "mlir")
@@ -93,7 +163,7 @@ let fig6 () =
 
 let fig7 () =
   pr "@.== Fig 7: syrk — DaCe C frontend vs DCIR ==@.";
-  let ms = run_workload Polybench.syrk in
+  let ms = run_workload ~fig:"fig7" Polybench.syrk in
   check_all_correct "syrk" ms;
   pr "  %-8s %14s@." "compiler" "cycles";
   List.iter
@@ -109,23 +179,46 @@ let fig7 () =
 let fig8 () =
   pr "@.== Fig 8: Mish activation — frameworks and DCIR ==@.";
   let eager = Case_studies.mish_eager and fused = Case_studies.mish_fused in
-  let run_cfg ?(cfg = Dcir_machine.Cost.default) compiled (w : Workload.t) =
-    (Pipelines.run ~cfg compiled ~entry:w.entry (w.args ())).metrics.cycles
+  let fig8_rows : Json.t list ref = ref [] in
+  let run_cfg ?(cfg = Dcir_machine.Cost.default) ~name compiled
+      (w : Workload.t) =
+    let r = Pipelines.run ~cfg compiled ~entry:w.entry (w.args ()) in
+    (* Fig 8 variants are framework proxies with no shared reference run, so
+       correctness is not asserted here (null in the report). *)
+    fig8_rows :=
+      Json.Obj
+        [
+          ("name", Json.Str name);
+          ("cycles", Json.Float r.metrics.cycles);
+          ("loads", Json.Int r.metrics.loads);
+          ("stores", Json.Int r.metrics.stores);
+          ("heap_allocs", Json.Int r.metrics.heap_allocs);
+          ("correct", Json.Null);
+        ]
+      :: !fig8_rows;
+    r.metrics.cycles
   in
   let eager_c =
     (* eager framework: unoptimized op-by-op execution of the eager graph *)
-    run_cfg (Pipelines.CMlir (Dcir_cfront.Polygeist.compile eager.src)) eager
+    run_cfg ~name:"pytorch-eager"
+      (Pipelines.CMlir (Dcir_cfront.Polygeist.compile eager.src))
+      eager
   in
   let jit_c =
-    run_cfg (Pipelines.compile Clang ~src:fused.src ~entry:fused.entry) fused
+    run_cfg ~name:"torch.jit"
+      (Pipelines.compile Clang ~src:fused.src ~entry:fused.entry)
+      fused
   in
   let torch_mlir_c =
-    run_cfg (Pipelines.compile Mlir ~src:eager.src ~entry:eager.entry) eager
+    run_cfg ~name:"torch-mlir"
+      (Pipelines.compile Mlir ~src:eager.src ~entry:eager.entry)
+      eager
   in
   let dcir_compiled = Pipelines.compile Dcir ~src:eager.src ~entry:eager.entry in
-  let dcir_c = run_cfg dcir_compiled eager in
+  let dcir_c = run_cfg ~name:"dcir-clang" dcir_compiled eager in
   let icc_cfg = Dcir_machine.Cost.with_vector_math Dcir_machine.Cost.default in
-  let dcir_icc_c = run_cfg ~cfg:icc_cfg dcir_compiled eager in
+  let dcir_icc_c = run_cfg ~name:"dcir-icc" ~cfg:icc_cfg dcir_compiled eager in
+  add_row ~fig:"fig8" ~workload:"mish" (List.rev !fig8_rows);
   pr "  %-22s %14s@." "pipeline" "cycles";
   pr "  %-22s %14.0f@." "pytorch-eager" eager_c;
   pr "  %-22s %14.0f@." "torch.jit" jit_c;
@@ -142,7 +235,7 @@ let fig8 () =
 
 let fig9 () =
   pr "@.== Fig 9: MILC multi-mass CG snippet ==@.";
-  let ms = run_workload Case_studies.milc in
+  let ms = run_workload ~fig:"fig9" Case_studies.milc in
   check_all_correct "milc" ms;
   pr "  %-8s %14s %10s@." "compiler" "cycles" "allocs";
   List.iter
@@ -162,7 +255,7 @@ let fig9 () =
 
 let fig10 () =
   pr "@.== Fig 10: memory bandwidth benchmark ==@.";
-  let ms = run_workload Case_studies.bandwidth in
+  let ms = run_workload ~fig:"fig10" Case_studies.bandwidth in
   check_all_correct "bandwidth" ms;
   pr "  %-8s %14s %12s %12s@." "compiler" "cycles" "loads" "stores";
   List.iter
@@ -189,8 +282,10 @@ let eliminated () =
       ignore (Pipelines.compile Dcir ~src:w.src ~entry:w.entry);
       let n = Driver.eliminated_containers () in
       total := !total + n;
+      eliminated_rows := (w.name, n) :: !eliminated_rows;
       pr "  %-14s %4d arrays/scalars eliminated@." w.name n)
     [ Case_studies.mish_eager; Case_studies.milc; Case_studies.bandwidth ];
+  eliminated_rows := ("total", !total) :: !eliminated_rows;
   pr "  total: %d (paper reports 63 for its three snippets)@." !total
 
 (* ------------------------------------------------------------------ *)
@@ -215,7 +310,16 @@ let ablate () =
           in
           Pipelines.run compiled ~entry:w.entry (w.args ())
         with
-        | r -> pr " %12.0f" r.metrics.cycles
+        | r ->
+            ablation_rows :=
+              Json.Obj
+                [
+                  ("disabled", Json.Str label);
+                  ("workload", Json.Str w.name);
+                  ("cycles", Json.Float r.metrics.cycles);
+                ]
+              :: !ablation_rows;
+            pr " %12.0f" r.metrics.cycles
         | exception _ -> pr " %12s" "(failed)")
       subjects;
     pr "@."
@@ -260,7 +364,9 @@ let timings () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> pr "  %-26s %10.1f ms@." name (est /. 1e6)
+          | Some [ est ] ->
+              timing_rows := (name, est /. 1e6) :: !timing_rows;
+              pr "  %-26s %10.1f ms@." name (est /. 1e6)
           | _ -> pr "  %-26s (no estimate)@." name)
         estimates)
     bechamel_tests;
@@ -270,7 +376,22 @@ let timings () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* Minimal argv parsing: [FIGURE] selects a part, [--json FILE] writes the
+     machine-readable report of whatever ran. *)
+  let json_path = ref None and which = ref "all" in
+  let rec scan = function
+    | [] -> ()
+    | [ "--json" ] ->
+        prerr_endline "bench: --json requires a FILE argument";
+        exit 2
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        scan rest
+    | arg :: rest ->
+        which := arg;
+        scan rest
+  in
+  scan (List.tl (Array.to_list Sys.argv));
   let all_parts =
     [
       ("fig2", fig2); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
@@ -278,8 +399,9 @@ let () =
       ("ablate", ablate); ("timings", timings);
     ]
   in
-  match List.assoc_opt which all_parts with
+  (match List.assoc_opt !which all_parts with
   | Some f -> f ()
   | None ->
-      if which <> "all" then pr "unknown figure '%s'; running all@." which;
-      List.iter (fun (_, f) -> f ()) all_parts
+      if !which <> "all" then pr "unknown figure '%s'; running all@." !which;
+      List.iter (fun (_, f) -> f ()) all_parts);
+  match !json_path with Some path -> write_report path | None -> ()

@@ -1,0 +1,78 @@
+(** Smoke check for the machine-readable bench reports ([dune runtest]).
+
+    Reads a JSON report produced by either [dcir bench W --json FILE]
+    (schema [dcir-bench/1]) or [bench/main.exe ... --json FILE] (schema
+    [dcir-bench-report/1]), validates that it parses, and that every
+    "pipelines" array it contains has a row for each of the five
+    pipelines. Exits non-zero with a message on any failure. *)
+
+module Json = Dcir_obs.Json
+
+let expected_pipelines = [ "gcc"; "clang"; "mlir"; "dace"; "dcir" ]
+
+let fail fmt =
+  Format.kasprintf
+    (fun msg ->
+      prerr_endline ("validate_report: " ^ msg);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Collect every value bound to key ["pipelines"] anywhere in the tree. *)
+let rec pipelines_arrays (j : Json.t) : Json.t list =
+  match j with
+  | Json.Obj fields ->
+      List.concat_map
+        (fun (k, v) ->
+          (if k = "pipelines" then [ v ] else []) @ pipelines_arrays v)
+        fields
+  | Json.List items -> List.concat_map pipelines_arrays items
+  | _ -> []
+
+let check_pipelines (arr : Json.t) : unit =
+  let rows =
+    match Json.to_list arr with
+    | Some rows -> rows
+    | None -> fail "\"pipelines\" is not an array"
+  in
+  let names =
+    List.filter_map
+      (fun row -> Option.bind (Json.member "name" row) Json.to_str)
+      rows
+  in
+  (* Figures with framework-proxy pipelines (fig 8) use their own names;
+     only arrays drawn from the standard pipeline set must be complete. *)
+  if List.exists (fun p -> List.mem p names) expected_pipelines then
+    List.iter
+      (fun p ->
+        if not (List.mem p names) then
+          fail "pipeline %S missing (have: %s)" p (String.concat ", " names))
+      expected_pipelines
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else fail "usage: validate_report FILE.json"
+  in
+  let text =
+    try read_file path with Sys_error msg -> fail "cannot read: %s" msg
+  in
+  let j =
+    match Json.parse text with
+    | Ok j -> j
+    | Error e -> fail "%s does not parse: %s" path e
+  in
+  (match Json.member "schema" j with
+  | Some (Json.Str ("dcir-bench/1" | "dcir-bench-report/1")) -> ()
+  | Some s -> fail "unexpected schema %s" (Json.to_string s)
+  | None -> fail "missing \"schema\" field");
+  (match pipelines_arrays j with
+  | [] -> fail "no \"pipelines\" arrays found in %s" path
+  | arrs -> List.iter check_pipelines arrs);
+  print_endline ("validate_report: " ^ path ^ " OK")

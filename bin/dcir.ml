@@ -2,17 +2,25 @@
 
     {v
     dcir compile FILE.c --entry f [--pipeline dcir] [--emit mlir|sdfg-dialect|sdfg]
-    dcir run FILE.c --entry f [--pipeline dcir] [--size N]
-    dcir bench WORKLOAD            # one of the paper's workloads, all pipelines
-    dcir list                      # available workloads
+    dcir run FILE.c --entry f [--pipeline dcir] [--size N] [--profile]
+    dcir bench WORKLOAD [--json FILE]  # one of the paper's workloads, all pipelines
+    dcir list                          # available workloads
     v}
 
     [run] executes the compiled program on the simulated machine with
     synthetic inputs (arrays filled with a deterministic pattern, scalars set
-    to [--size]/1.5) and reports metrics. *)
+    to [--size]/1.5) and reports metrics.
+
+    Observability flags (see README "Observability"): [--timing] prints the
+    per-pass/per-phase wall-time tree, [--trace FILE.json] writes the same
+    spans as Chrome trace_event JSON, [--profile] attributes executed
+    cycles/loads/stores to SDFG states, tasklets, and MLIR functions,
+    [--verbose] routes the per-subsystem [Logs] sources to stderr. *)
 
 open Cmdliner
 module Pipelines = Dcir_core.Pipelines
+module Obs = Dcir_obs.Obs
+module Json = Dcir_obs.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -52,10 +60,64 @@ let default_entry src entry =
       (List.hd prog.funcs).name
 
 (* ------------------------------------------------------------------ *)
+(* Observability flags, shared by compile/run/bench *)
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "verbose"; "v" ]
+           ~doc:"Route per-subsystem debug logs (pass managers, drivers) to \
+                 stderr.")
+
+let timing_arg =
+  Arg.(value & flag
+       & info [ "timing" ]
+           ~doc:"Print a per-phase/per-pass wall-time tree (the -mlir-timing \
+                 role).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the telemetry spans as Chrome trace_event JSON \
+                 (open in about:tracing or ui.perfetto.dev).")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Attribute executed cycles/loads/stores to SDFG states, \
+                 tasklets, and MLIR functions (hot-spot table).")
+
+let setup_obs ~verbose ~timing ~trace =
+  if verbose then begin
+    Fmt_tty.setup_std_outputs ();
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  if timing || trace <> None then begin
+    Obs.enable ();
+    Obs.reset ()
+  end
+
+let report_obs ~timing ~trace =
+  if timing then begin
+    Format.printf "@.-- timing --@.";
+    Obs.pp_report Format.std_formatter ()
+  end;
+  match trace with
+  | Some path -> (
+      try
+        Obs.write_trace path;
+        Format.printf "trace written to %s@." path
+      with Sys_error msg ->
+        Format.eprintf "dcir: cannot write trace: %s@." msg;
+        exit 1)
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 
 let compile_cmd =
   let doc = "Compile a C file and print the requested IR." in
-  let run file entry pipeline emit =
+  let run file entry pipeline emit verbose timing trace =
+    setup_obs ~verbose ~timing ~trace;
     let src = read_file file in
     let entry = default_entry src entry in
     (match (pipeline, emit) with
@@ -76,10 +138,14 @@ let compile_cmd =
             print_string (Dcir_sdfg.Printer.to_string sdfg)
         | Pipelines.CMlir m ->
             print_string (Dcir_mlir.Printer.module_to_string m)));
+    report_obs ~timing ~trace;
     `Ok ()
   in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(ret (const run $ file_arg $ entry_arg $ pipeline_arg $ emit_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ entry_arg $ pipeline_arg $ emit_arg
+       $ verbose_arg $ timing_arg $ trace_arg))
 
 (* Build synthetic arguments from the entry function's C signature. *)
 let synth_args (src : string) (entry : string) (scale : float) :
@@ -115,20 +181,42 @@ let run_cmd =
     Arg.(value & opt float 16.0
          & info [ "size" ] ~docv:"N" ~doc:"Value for scalar int arguments")
   in
-  let run file entry pipeline size =
+  let run file entry pipeline size verbose timing trace profile =
+    setup_obs ~verbose ~timing ~trace;
     let src = read_file file in
     let entry = default_entry src entry in
     let compiled = Pipelines.compile pipeline ~src ~entry in
-    let r = Pipelines.run compiled ~entry (synth_args src entry size) in
+    let prof = if profile then Some (Obs.Profile.create ()) else None in
+    let r =
+      Obs.with_span ~cat:"run"
+        ("run:" ^ Pipelines.kind_name pipeline)
+        (fun () ->
+          Pipelines.run ?profile:prof compiled ~entry
+            (synth_args src entry size))
+    in
     (match r.return_value with
     | Some v ->
         Format.printf "return value: %s@." (Dcir_machine.Value.to_string v)
     | None -> ());
     Format.printf "%a@." Dcir_machine.Metrics.pp r.metrics;
+    (match prof with
+    | Some p ->
+        Format.printf "@.-- profile --@.%a" Obs.Profile.pp p;
+        let attributed = Obs.Profile.total_cycles p ~kind:"state" in
+        if attributed > 0.0 then
+          Format.printf
+            "state attribution covers %.0f of %.0f total cycles (%.1f%%)@."
+            attributed r.metrics.cycles
+            (100.0 *. attributed /. r.metrics.cycles)
+    | None -> ());
+    report_obs ~timing ~trace;
     `Ok ()
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run $ file_arg $ entry_arg $ pipeline_arg $ size_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ entry_arg $ pipeline_arg $ size_arg
+       $ verbose_arg $ timing_arg $ trace_arg $ profile_arg))
 
 let workloads () = Dcir_workloads.Polybench.all @ Dcir_workloads.Case_studies.all
 
@@ -137,7 +225,13 @@ let bench_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
   in
-  let run name =
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the per-pipeline results as a machine-readable JSON \
+                   report.")
+  in
+  let run name json verbose timing trace profile =
     match
       List.find_opt
         (fun (w : Dcir_workloads.Workload.t) -> w.name = name)
@@ -145,18 +239,60 @@ let bench_cmd =
     with
     | None -> `Error (false, "unknown workload " ^ name ^ "; see `dcir list`")
     | Some w ->
+        setup_obs ~verbose ~timing ~trace;
         Format.printf "%s: %s@.@." w.name w.description;
         Format.printf "  %-8s %14s %10s %10s %8s  %s@." "pipeline" "cycles"
           "loads" "stores" "allocs" "correct";
+        let ms =
+          Pipelines.compare_pipelines ~with_profile:profile ~src:w.src
+            ~entry:w.entry (w.args ())
+        in
         List.iter
           (fun (m : Pipelines.measurement) ->
             Format.printf "  %-8s %14.0f %10d %10d %8d  %b@." m.pipeline
               m.cycles m.metrics.loads m.metrics.stores m.metrics.heap_allocs
               m.correct)
-          (Pipelines.compare_pipelines ~src:w.src ~entry:w.entry (w.args ()));
+          ms;
+        if profile then
+          List.iter
+            (fun (m : Pipelines.measurement) ->
+              match m.profile with
+              | Some p ->
+                  Format.printf "@.-- profile: %s --@.%a" m.pipeline
+                    Obs.Profile.pp p
+              | None -> ())
+            ms;
+        (match json with
+        | Some path ->
+            let report =
+              Json.Obj
+                [
+                  ("schema", Json.Str "dcir-bench/1");
+                  ("workload", Json.Str w.name);
+                  ("description", Json.Str w.description);
+                  ("entry", Json.Str w.entry);
+                  ( "pipelines",
+                    Json.List (List.map Pipelines.measurement_json ms) );
+                ]
+            in
+            (try
+               let oc = open_out path in
+               output_string oc (Json.to_string report);
+               output_char oc '\n';
+               close_out oc
+             with Sys_error msg ->
+               Format.eprintf "dcir: cannot write report: %s@." msg;
+               exit 1);
+            Format.printf "@.report written to %s@." path
+        | None -> ());
+        report_obs ~timing ~trace;
         `Ok ()
   in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(ret (const run $ name_arg))
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(
+      ret
+        (const run $ name_arg $ json_arg $ verbose_arg $ timing_arg
+       $ trace_arg $ profile_arg))
 
 let list_cmd =
   let doc = "List the available workloads." in

@@ -27,7 +27,7 @@ let () =
   let sdfg = Translator.translate_module converted ~entry:"fname" in
   Format.printf "== Translated SDFG (Fig 5d) ==@.%s@."
     (Dcir_sdfg.Printer.to_string sdfg);
-  Dcir_dace_passes.Driver.optimize sdfg;
+  ignore (Dcir_dace_passes.Driver.optimize sdfg);
   Format.printf "== Optimized SDFG ==@.%s@." (Dcir_sdfg.Printer.to_string sdfg);
   (* Execute it. *)
   let args =

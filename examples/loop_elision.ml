@@ -41,7 +41,7 @@ let () =
     (List.length sdfg.states)
     (Hashtbl.length sdfg.containers);
 
-  Dcir_dace_passes.Driver.optimize sdfg;
+  ignore (Dcir_dace_passes.Driver.optimize sdfg);
   banner "After the data-centric pipeline";
   print_string (Dcir_sdfg.Printer.to_string sdfg);
 

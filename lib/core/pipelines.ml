@@ -21,6 +21,8 @@ open Dcir_mlir
 open Dcir_machine
 module P = Dcir_mlir_passes
 module Sdfg = Dcir_sdfg.Sdfg
+module Obs = Dcir_obs.Obs
+module Json = Dcir_obs.Json
 
 type kind = Gcc | Clang | Mlir | Dace | Dcir
 
@@ -62,25 +64,63 @@ let control_passes (kind : kind) : Pass.t list =
       base_passes @ [ P.Inline.pass; P.Licm.pass; P.Store_forward.pass ]
   | Dace -> []
 
+(* Compile phases, each recording an {!Obs} span (no-ops when telemetry is
+   disabled) so `--timing`/`--trace` show where compile time goes. *)
+
+let frontend_phase (src : string) : Ir.modul =
+  Obs.with_span ~cat:"phase" "c-frontend" (fun () ->
+      Dcir_cfront.Polygeist.compile src)
+
+let control_phase (kind : kind) (m : Ir.modul) : unit =
+  Obs.with_span ~cat:"phase" "control-passes" (fun () ->
+      let _, (st : Pass.pipeline_stats) =
+        Pass.run_to_fixpoint_stats (control_passes kind) m
+      in
+      Obs.set_args [ ("rounds", Json.Int st.rounds) ])
+
+let dace_phase ~(disable : string list) (sdfg : Sdfg.t) : unit =
+  Obs.with_span ~cat:"phase" "dace-optimize" (fun () ->
+      let (st : Dcir_dace_passes.Driver.stats) =
+        Dcir_dace_passes.Driver.optimize ~disable sdfg
+      in
+      Obs.set_args
+        [
+          ("rounds", Json.Int st.rounds);
+          ("eliminated_containers", Json.Int st.eliminated_containers);
+        ])
+
 let compile ?(optimize_sdfg = true) ?(disable = []) (kind : kind)
     ~(src : string) ~(entry : string) : compiled =
-  match kind with
-  | Gcc | Clang | Mlir ->
-      let m = Dcir_cfront.Polygeist.compile src in
-      ignore (Pass.run_to_fixpoint (control_passes kind) m);
-      Verifier.verify_exn m;
-      CMlir m
-  | Dace ->
-      let sdfg = Dace_frontend.compile src ~entry in
-      if optimize_sdfg then Dcir_dace_passes.Driver.optimize ~disable sdfg;
-      CSdfg sdfg
-  | Dcir ->
-      let m = Dcir_cfront.Polygeist.compile src in
-      ignore (Pass.run_to_fixpoint (control_passes kind) m);
-      let converted = Converter.convert_module m in
-      let sdfg = Translator.translate_module converted ~entry in
-      if optimize_sdfg then Dcir_dace_passes.Driver.optimize ~disable sdfg;
-      CSdfg sdfg
+  Obs.with_span ~cat:"pipeline"
+    ("compile:" ^ kind_name kind)
+    (fun () ->
+      match kind with
+      | Gcc | Clang | Mlir ->
+          let m = frontend_phase src in
+          control_phase kind m;
+          Obs.with_span ~cat:"phase" "verify" (fun () ->
+              Verifier.verify_exn m);
+          CMlir m
+      | Dace ->
+          let sdfg =
+            Obs.with_span ~cat:"phase" "dace-frontend" (fun () ->
+                Dace_frontend.compile src ~entry)
+          in
+          if optimize_sdfg then dace_phase ~disable sdfg;
+          CSdfg sdfg
+      | Dcir ->
+          let m = frontend_phase src in
+          control_phase kind m;
+          let converted =
+            Obs.with_span ~cat:"phase" "convert" (fun () ->
+                Converter.convert_module m)
+          in
+          let sdfg =
+            Obs.with_span ~cat:"phase" "translate" (fun () ->
+                Translator.translate_module converted ~entry)
+          in
+          if optimize_sdfg then dace_phase ~disable sdfg;
+          CSdfg sdfg)
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -149,12 +189,12 @@ let make_buffers (machine : Machine.t) (args : arg list) :
 
 let snapshot_outputs (bufs : (arg * Machine.buffer option) list) :
     (int * Value.t array) list =
-  List.filteri (fun _ (_, b) -> b <> None) (List.mapi (fun i x -> (i, x)) bufs
-                                            |> List.map (fun (i, (a, b)) -> ((i, a), b)))
-  |> List.map (fun ((i, _), b) -> (i, Machine.snapshot (Option.get b)))
+  List.mapi (fun i (_, b) -> (i, b)) bufs
+  |> List.filter_map (fun (i, b) ->
+         Option.map (fun buf -> (i, Machine.snapshot buf)) b)
 
-let run ?(cfg = Cost.default) (compiled : compiled) ~(entry : string)
-    (args : arg list) : run_result =
+let run ?(cfg = Cost.default) ?(profile : Obs.Profile.t option)
+    (compiled : compiled) ~(entry : string) (args : arg list) : run_result =
   let machine = Machine.create ~cfg () in
   let bufs = make_buffers machine args in
   match compiled with
@@ -170,7 +210,7 @@ let run ?(cfg = Cost.default) (compiled : compiled) ~(entry : string)
             | _ -> assert false)
           bufs
       in
-      let results, _ = Interp.run ~machine m ~entry rt_args in
+      let results, _ = Interp.run ~machine ?profile m ~entry rt_args in
       {
         return_value = (match results with v :: _ -> Some v | [] -> None);
         outputs = snapshot_outputs bufs;
@@ -224,8 +264,8 @@ let run ?(cfg = Cost.default) (compiled : compiled) ~(entry : string)
           | _ -> assert false)
         sdfg.param_order bufs;
       let res =
-        Dcir_sdfg.Interp.run ~machine sdfg ~buffers:!buffers ~symbols:!symbols
-          ()
+        Dcir_sdfg.Interp.run ~machine ?profile sdfg ~buffers:!buffers
+          ~symbols:!symbols ()
       in
       {
         return_value = res.return_value;
@@ -241,17 +281,40 @@ type measurement = {
   cycles : float;
   metrics : Metrics.t;
   correct : bool;
+  profile : Obs.Profile.t option;
+      (** runtime attribution, when requested via [with_profile] *)
 }
+
+(** Machine-readable form of one measurement — the schema `dcir bench
+    --json` and `bench/main.exe --json` reports are built from. *)
+let measurement_json (m : measurement) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.Str m.pipeline);
+      ("cycles", Json.Float m.cycles);
+      ("loads", Json.Int m.metrics.loads);
+      ("stores", Json.Int m.metrics.stores);
+      ("bytes_moved", Json.Int (Metrics.bytes_moved m.metrics));
+      ("heap_allocs", Json.Int m.metrics.heap_allocs);
+      ("heap_bytes", Json.Int m.metrics.heap_bytes);
+      ("l1_misses", Json.Int m.metrics.l1_misses);
+      ("l2_misses", Json.Int m.metrics.l2_misses);
+      ("l3_misses", Json.Int m.metrics.l3_misses);
+      ("correct", Json.Bool m.correct);
+    ]
 
 (** Run a workload through every pipeline; correctness is checked against
     the unoptimized MLIR interpretation (return value and array outputs,
-    within floating-point reassociation tolerance). *)
+    within floating-point reassociation tolerance). [with_profile] collects
+    runtime attribution for each pipeline into [measurement.profile]. *)
 let compare_pipelines ?(kinds = all_kinds) ?(cfg = Cost.default)
-    ~(src : string) ~(entry : string) (args : arg list) : measurement list =
+    ?(with_profile = false) ~(src : string) ~(entry : string)
+    (args : arg list) : measurement list =
   (* Reference: direct lowering, no optimization at all. *)
   let reference =
-    let m = Dcir_cfront.Polygeist.compile src in
-    run ~cfg (CMlir m) ~entry args
+    Obs.with_span ~cat:"run" "run:reference" (fun () ->
+        let m = Dcir_cfront.Polygeist.compile src in
+        run ~cfg (CMlir m) ~entry args)
   in
   let close_arrays (a : (int * Value.t array) list)
       (b : (int * Value.t array) list) : bool =
@@ -264,7 +327,12 @@ let compare_pipelines ?(kinds = all_kinds) ?(cfg = Cost.default)
   List.map
     (fun kind ->
       let compiled = compile kind ~src ~entry in
-      let r = run ~cfg compiled ~entry args in
+      let profile = if with_profile then Some (Obs.Profile.create ()) else None in
+      let r =
+        Obs.with_span ~cat:"run"
+          ("run:" ^ kind_name kind)
+          (fun () -> run ~cfg ?profile compiled ~entry args)
+      in
       let correct =
         (match (r.return_value, reference.return_value) with
         | Some a, Some b -> Value.close ~rtol:1e-6 a b
@@ -277,5 +345,6 @@ let compare_pipelines ?(kinds = all_kinds) ?(cfg = Cost.default)
         cycles = r.metrics.cycles;
         metrics = r.metrics;
         correct;
+        profile;
       })
     kinds

@@ -11,29 +11,86 @@
       memory-reducing loop fusion, local-storage promotion, invariant loop
       collapsing / write narrowing (§6.3).
 
-    {!optimize} runs the full data-centric pipeline and returns statistics. *)
+    {!optimize} runs the full data-centric pipeline and returns populated
+    {!stats}: fixpoint round counts, per-pass application counts, and the
+    states/edges/containers deltas the passes achieved. Every stage, round,
+    and pass application also records a {!Dcir_obs.Obs} span (wall time +
+    changed flag) when telemetry collection is enabled. *)
+
+module Obs = Dcir_obs.Obs
+module Json = Dcir_obs.Json
+
+let log_src =
+  Logs.Src.create "dcir.dace.driver" ~doc:"data-centric pass driver"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type stats = {
-  mutable eliminated_containers : int;
-  mutable promoted_symbols : int;
-  mutable fused_states : int;
+  rounds : int;
+      (** fixpoint rounds executed across all stages, including each
+          stage's final no-progress round *)
+  applications : (string * int) list;
+      (** pass name -> number of applications that changed the SDFG, in
+          pipeline order (every pass listed, 0 when it never fired) *)
+  states_before : int;
+  states_after : int;
+  edges_before : int;
+  edges_after : int;
+  containers_before : int;
+  containers_after : int;
+  eliminated_containers : int;
+      (** containers removed outright or demoted to register scalars *)
 }
 
-let fixpoint ?(max_rounds = 30) (passes : (string * (Dcir_sdfg.Sdfg.t -> bool)) list)
+let sdfg_counts (sdfg : Dcir_sdfg.Sdfg.t) : int * int * int =
+  ( List.length sdfg.states,
+    List.length sdfg.istate_edges,
+    Hashtbl.length sdfg.containers )
+
+(* Per-pass application accumulator shared by the stages of one optimize
+   run. *)
+type accum = { apps : (string, int) Hashtbl.t; mutable total_rounds : int }
+
+let run_one ?(accum : accum option)
+    ((name, p) : string * (Dcir_sdfg.Sdfg.t -> bool))
+    (sdfg : Dcir_sdfg.Sdfg.t) : bool =
+  let c =
+    if not (Obs.enabled ()) then p sdfg
+    else
+      Obs.with_span ~cat:"dace-pass" name (fun () ->
+          let c = p sdfg in
+          Obs.set_args [ ("changed", Json.Bool c) ];
+          c)
+  in
+  if c then (
+    Log.debug (fun f -> f "pass %s: changed" name);
+    match accum with
+    | Some a ->
+        Hashtbl.replace a.apps name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt a.apps name))
+    | None -> ());
+  c
+
+let fixpoint ?(max_rounds = 30) ?(accum : accum option)
+    (passes : (string * (Dcir_sdfg.Sdfg.t -> bool)) list)
     (sdfg : Dcir_sdfg.Sdfg.t) : bool =
   let changed = ref false in
   let progress = ref true in
   let rounds = ref 0 in
   while !progress && !rounds < max_rounds do
     incr rounds;
-    progress := false;
-    List.iter
-      (fun (_, p) ->
-        if p sdfg then begin
-          progress := true;
-          changed := true
-        end)
-      passes
+    (match accum with Some a -> a.total_rounds <- a.total_rounds + 1 | None -> ());
+    progress :=
+      Obs.with_span ~cat:"dace-fixpoint"
+        (Printf.sprintf "round %d" !rounds)
+        (fun () ->
+          List.fold_left
+            (fun any pass -> run_one ?accum pass sdfg || any)
+            false passes);
+    Log.debug (fun f ->
+        f "fixpoint round %d: %s" !rounds
+          (if !progress then "progress" else "stable"));
+    if !progress then changed := true
   done;
   !changed
 
@@ -68,25 +125,11 @@ let o2_passes : (string * (Dcir_sdfg.Sdfg.t -> bool)) list =
     ("invariant-collapse", Invariant_collapse.run);
   ]
 
-(** DaCe's [sdfg.simplify()]: inference + fusion to a fixpoint. *)
-let simplify (sdfg : Dcir_sdfg.Sdfg.t) : bool = fixpoint simplify_passes sdfg
-
-(** Full pipeline: simplify, then -O1 data movement reduction, then -O2
-    memory scheduling, re-simplifying after each stage (passes expose new
-    opportunities to each other). [disable] names passes to skip — the
-    ablation hook used by the benchmark harness. *)
-let optimize ?(o1 = true) ?(o2 = true) ?(disable = [])
-    (sdfg : Dcir_sdfg.Sdfg.t) : unit =
-  let keep passes =
-    List.filter (fun (n, _) -> not (List.mem n disable)) passes
-  in
-  ignore (fixpoint (keep simplify_passes) sdfg);
-  if o1 then ignore (fixpoint (keep (simplify_passes @ o1_passes)) sdfg);
-  if o2 then
-    ignore (fixpoint (keep (simplify_passes @ o1_passes @ o2_passes)) sdfg)
-
 let all_pass_names : string list =
   List.map fst (simplify_passes @ o1_passes @ o2_passes)
+
+(** DaCe's [sdfg.simplify()]: inference + fusion to a fixpoint. *)
+let simplify (sdfg : Dcir_sdfg.Sdfg.t) : bool = fixpoint simplify_passes sdfg
 
 (* Containers removed outright plus arrays demoted to register scalars —
    both stop existing in memory. *)
@@ -96,3 +139,55 @@ let eliminated_containers () : int =
 let reset_counters () : unit =
   Dead_dataflow.eliminated_counter := 0;
   Shrink_scalar.counter := 0
+
+(** Full pipeline: simplify, then -O1 data movement reduction, then -O2
+    memory scheduling, re-simplifying after each stage (passes expose new
+    opportunities to each other). [disable] names passes to skip — the
+    ablation hook used by the benchmark harness. Returns the populated
+    statistics of this run. *)
+let optimize ?(o1 = true) ?(o2 = true) ?(disable = [])
+    (sdfg : Dcir_sdfg.Sdfg.t) : stats =
+  let keep passes =
+    List.filter (fun (n, _) -> not (List.mem n disable)) passes
+  in
+  let states_before, edges_before, containers_before = sdfg_counts sdfg in
+  let eliminated0 = eliminated_containers () in
+  let accum = { apps = Hashtbl.create 16; total_rounds = 0 } in
+  let stage name passes =
+    ignore
+      (Obs.with_span ~cat:"dace-stage" name (fun () ->
+           let s0, e0, c0 = sdfg_counts sdfg in
+           let changed = fixpoint ~accum (keep passes) sdfg in
+           let s1, e1, c1 = sdfg_counts sdfg in
+           Obs.set_args
+             [
+               ("changed", Json.Bool changed);
+               ("states", Json.Str (Printf.sprintf "%d->%d" s0 s1));
+               ("edges", Json.Str (Printf.sprintf "%d->%d" e0 e1));
+               ("containers", Json.Str (Printf.sprintf "%d->%d" c0 c1));
+             ];
+           Log.info (fun f ->
+               f "stage %s: states %d->%d, edges %d->%d, containers %d->%d"
+                 name s0 s1 e0 e1 c0 c1);
+           changed))
+  in
+  stage "simplify" simplify_passes;
+  if o1 then stage "reduce-data-movement" (simplify_passes @ o1_passes);
+  if o2 then
+    stage "memory-scheduling" (simplify_passes @ o1_passes @ o2_passes);
+  let states_after, edges_after, containers_after = sdfg_counts sdfg in
+  {
+    rounds = accum.total_rounds;
+    applications =
+      List.map
+        (fun n ->
+          (n, Option.value ~default:0 (Hashtbl.find_opt accum.apps n)))
+        all_pass_names;
+    states_before;
+    states_after;
+    edges_before;
+    edges_after;
+    containers_before;
+    containers_after;
+    eliminated_containers = eliminated_containers () - eliminated0;
+  }

@@ -27,6 +27,8 @@ type env = {
   modul : Ir.modul;
   bindings : (int, rtval) Hashtbl.t;  (** vid -> runtime value *)
   mutable call_depth : int;
+  profile : Dcir_obs.Obs.Profile.t option;
+      (** when set, per-function inclusive cycles/loads/stores *)
 }
 
 let bind (env : env) (v : Ir.value) (rv : rtval) : unit =
@@ -339,22 +341,45 @@ and call_func (env : env) (f : Ir.func) (args : rtval list) : Value.t list =
         trap "@%s: argument count mismatch" f.fname;
       env.call_depth <- env.call_depth + 1;
       List.iter2 (fun p a -> bind env p a) r.rargs args;
+      let snap =
+        match env.profile with
+        | None -> None
+        | Some _ ->
+            let mt = Machine.metrics env.machine in
+            Some (mt.cycles, mt.loads, mt.stores)
+      in
       let result = exec_ops env r.rops in
+      (match (env.profile, snap) with
+      | Some p, Some (c0, l0, s0) ->
+          let mt = Machine.metrics env.machine in
+          Dcir_obs.Obs.Profile.record p ~kind:"func" ~name:f.fname
+            ~cycles:(mt.cycles -. c0) ~loads:(mt.loads - l0)
+            ~stores:(mt.stores - s0)
+      | _ -> ());
       env.call_depth <- env.call_depth - 1;
       (match result with Some vals -> vals | None -> [])
 
 (* ------------------------------------------------------------------ *)
 
-(** [run ?machine m ~entry args] executes function [entry] of module [m].
-    Returns the function results and the machine (with metrics). *)
-let run ?(machine : Machine.t option) (m : Ir.modul) ~(entry : string)
-    (args : rtval list) : Value.t list * Machine.t =
+(** [run ?machine ?profile m ~entry args] executes function [entry] of
+    module [m]. Returns the function results and the machine (with metrics).
+    [profile] accumulates per-function inclusive cycles/loads/stores
+    attribution (a callee's work is also counted in its callers). *)
+let run ?(machine : Machine.t option)
+    ?(profile : Dcir_obs.Obs.Profile.t option) (m : Ir.modul)
+    ~(entry : string) (args : rtval list) : Value.t list * Machine.t =
   let machine = match machine with Some x -> x | None -> Machine.create () in
   match Ir.find_func m entry with
   | None -> trap "entry function @%s not found" entry
   | Some f ->
       let env =
-        { machine; modul = m; bindings = Hashtbl.create 256; call_depth = 0 }
+        {
+          machine;
+          modul = m;
+          bindings = Hashtbl.create 256;
+          call_depth = 0;
+          profile;
+        }
       in
       let results = call_func env f args in
       (results, machine)

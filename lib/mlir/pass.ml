@@ -1,6 +1,16 @@
 (** Pass management: named module transforms with logging and fixpoint
     drivers, the homogenized pass infrastructure role MLIR plays in the
-    paper's pipeline. *)
+    paper's pipeline.
+
+    Every pass execution is instrumented through {!Dcir_obs.Obs}: when
+    collection is enabled, each pass records a span with its wall time,
+    whether it changed the IR, and the module op-count delta; each fixpoint
+    round gets its own nesting span (the [-mlir-timing] role). Fixpoint
+    drivers also report structured statistics — per-pass change counts and
+    the number of rounds — through {!pipeline_stats}. *)
+
+module Obs = Dcir_obs.Obs
+module Json = Dcir_obs.Json
 
 let log_src = Logs.Src.create "dcir.mlir.pass" ~doc:"MLIR pass manager"
 
@@ -13,29 +23,87 @@ type t = {
 
 let make (pname : string) (run : Ir.modul -> bool) : t = { pname; run }
 
+let count_ops (m : Ir.modul) : int =
+  let n = ref 0 in
+  Ir.walk_module m (fun _ -> incr n);
+  !n
+
+(* Run one pass, recording a telemetry span (wall time, changed flag,
+   op-count delta) when collection is enabled. *)
+let run_one (p : t) (m : Ir.modul) : bool =
+  let c =
+    if not (Obs.enabled ()) then p.run m
+    else
+      Obs.with_span ~cat:"mlir-pass" p.pname (fun () ->
+          let before = count_ops m in
+          let c = p.run m in
+          Obs.set_args
+            [
+              ("changed", Json.Bool c);
+              ("ops_before", Json.Int before);
+              ("ops_after", Json.Int (count_ops m));
+            ];
+          c)
+  in
+  Log.debug (fun f ->
+      f "pass %s: %s" p.pname (if c then "changed" else "no change"));
+  c
+
 (** Run passes in order; returns whether any changed the IR. *)
 let run_pipeline (passes : t list) (m : Ir.modul) : bool =
-  List.fold_left
-    (fun changed p ->
-      let c = p.run m in
-      Log.debug (fun f -> f "pass %s: %s" p.pname (if c then "changed" else "no change"));
-      changed || c)
-    false passes
+  List.fold_left (fun changed p -> run_one p m || changed) false passes
 
-(** Repeat the pipeline until no pass reports a change (bounded to avoid
-    divergence from a buggy pass). *)
-let run_to_fixpoint ?(max_iters = 20) (passes : t list) (m : Ir.modul) : bool
-    =
+type pipeline_stats = {
+  rounds : int;  (** fixpoint iterations executed, including the final
+                     no-progress round that confirms convergence *)
+  applications : (string * int) list;
+      (** pass name -> number of runs that changed the IR, pipeline order *)
+}
+
+(** Like {!run_to_fixpoint}, additionally reporting per-pass change counts
+    and the round count. *)
+let run_to_fixpoint_stats ?(max_iters = 20) (passes : t list) (m : Ir.modul) :
+    bool * pipeline_stats =
+  let apps = Hashtbl.create (List.length passes) in
+  let bump name =
+    Hashtbl.replace apps name (1 + Option.value ~default:0 (Hashtbl.find_opt apps name))
+  in
   let changed_once = ref false in
   let continue_ = ref true in
   let iters = ref 0 in
   while !continue_ && !iters < max_iters do
     incr iters;
-    let c = run_pipeline passes m in
+    let c =
+      Obs.with_span ~cat:"mlir-fixpoint"
+        (Printf.sprintf "round %d" !iters)
+        (fun () ->
+          List.fold_left
+            (fun changed p ->
+              let c = run_one p m in
+              if c then bump p.pname;
+              changed || c)
+            false passes)
+    in
+    Log.debug (fun f ->
+        f "fixpoint round %d: %s" !iters (if c then "progress" else "stable"));
     changed_once := !changed_once || c;
     continue_ := c
   done;
-  !changed_once
+  ( !changed_once,
+    {
+      rounds = !iters;
+      applications =
+        List.map
+          (fun p ->
+            (p.pname, Option.value ~default:0 (Hashtbl.find_opt apps p.pname)))
+          passes;
+    } )
+
+(** Repeat the pipeline until no pass reports a change (bounded to avoid
+    divergence from a buggy pass). *)
+let run_to_fixpoint ?(max_iters = 20) (passes : t list) (m : Ir.modul) : bool
+    =
+  fst (run_to_fixpoint_stats ~max_iters passes m)
 
 (** Lift a per-function transform to a module pass. *)
 let per_function (pname : string) (run_fn : Ir.func -> bool) : t =

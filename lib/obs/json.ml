@@ -1,0 +1,253 @@
+(** Minimal JSON tree, emitter, and parser — just enough for the telemetry
+    sinks (Chrome [trace_event] files, bench reports) and for tests to
+    validate that emitted files are well-formed, without an external
+    dependency.
+
+    Emission notes: non-finite floats have no JSON representation and are
+    emitted as [null]; floats that hold integral values print without an
+    exponent so traces stay readable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emission *)
+
+let escape_string (s : string) : string =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr (f : float) : string =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let rec emit (b : Buffer.t) (j : t) : unit =
+  match j with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string b (float_repr f)
+      else Buffer.add_string b "null"
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape_string s);
+      Buffer.add_char b '"'
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape_string k);
+          Buffer.add_string b "\":";
+          emit b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string (j : t) : string =
+  let b = Buffer.create 256 in
+  emit b j;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek (c : cursor) : char option =
+  if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance (c : cursor) : unit = c.pos <- c.pos + 1
+
+let skip_ws (c : cursor) : unit =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance c
+  done
+
+let expect (c : cursor) (ch : char) : unit =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "at %d: expected '%c', found '%c'" c.pos ch x
+  | None -> parse_error "at %d: expected '%c', found end of input" c.pos ch
+
+let expect_lit (c : cursor) (lit : string) : unit =
+  String.iter (fun ch -> expect c ch) lit
+
+let parse_string_body (c : cursor) : string =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+        advance c;
+        (match peek c with
+        | Some '"' -> Buffer.add_char b '"'
+        | Some '\\' -> Buffer.add_char b '\\'
+        | Some '/' -> Buffer.add_char b '/'
+        | Some 'b' -> Buffer.add_char b '\b'
+        | Some 'f' -> Buffer.add_char b '\012'
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 'r' -> Buffer.add_char b '\r'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'u' ->
+            if c.pos + 4 >= String.length c.src then
+              parse_error "truncated \\u escape";
+            let hex = String.sub c.src (c.pos + 1) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> parse_error "bad \\u escape '%s'" hex
+            in
+            (match Uchar.of_int code with
+            | u -> Buffer.add_utf_8_uchar b u
+            | exception Invalid_argument _ -> Buffer.add_char b '?');
+            c.pos <- c.pos + 4
+        | Some x -> parse_error "bad escape '\\%c'" x
+        | None -> parse_error "unterminated escape");
+        advance c;
+        go ()
+    | Some x ->
+        Buffer.add_char b x;
+        advance c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number (c : cursor) : t =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some x -> is_num_char x | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some n -> Int n
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> parse_error "at %d: bad number '%s'" start s)
+
+let rec parse_value (c : cursor) : t =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '"' ->
+      advance c;
+      Str (parse_string_body c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then (
+        advance c;
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws c;
+          expect c '"';
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((key, v) :: acc)
+          | _ -> parse_error "at %d: expected ',' or '}'" c.pos
+        in
+        Obj (members [])
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then (
+        advance c;
+        List [])
+      else
+        let rec elems acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elems (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> parse_error "at %d: expected ',' or ']'" c.pos
+        in
+        List (elems [])
+  | Some 't' ->
+      expect_lit c "true";
+      Bool true
+  | Some 'f' ->
+      expect_lit c "false";
+      Bool false
+  | Some 'n' ->
+      expect_lit c "null";
+      Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some x -> parse_error "at %d: unexpected character '%c'" c.pos x
+
+let parse (s : string) : (t, string) result =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+      else Ok v
+  | exception Parse_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member (key : string) (j : t) : t option =
+  match j with Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_list (j : t) : t list option =
+  match j with List xs -> Some xs | _ -> None
+
+let to_str (j : t) : string option = match j with Str s -> Some s | _ -> None

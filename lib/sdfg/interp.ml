@@ -36,7 +36,26 @@ type runtime = {
       (** "nid:conn" -> value of the most recent execution, for direct
           tasklet-to-tasklet value edges created by scalar elimination *)
   mutable steps : int;
+  profile : Dcir_obs.Obs.Profile.t option;
+      (** when set, cycles/loads/stores attribution per state (partitioning
+          total execution) and per tasklet (inclusive) *)
 }
+
+let metric_snap (rt : runtime) : (float * int * int) option =
+  match rt.profile with
+  | None -> None
+  | Some _ ->
+      let mt = Machine.metrics rt.machine in
+      Some (mt.cycles, mt.loads, mt.stores)
+
+let profile_record (rt : runtime) (snap : (float * int * int) option)
+    ~(kind : string) ~(name : string) : unit =
+  match (rt.profile, snap) with
+  | Some p, Some (c0, l0, s0) ->
+      let mt = Machine.metrics rt.machine in
+      Dcir_obs.Obs.Profile.record p ~kind ~name ~cycles:(mt.cycles -. c0)
+        ~loads:(mt.loads - l0) ~stores:(mt.stores - s0)
+  | _ -> ()
 
 let sym_env (rt : runtime) : string -> int option =
   fun s ->
@@ -378,6 +397,15 @@ and exec_access_copies (rt : runtime) (g : Sdfg.graph) (n : Sdfg.node) : unit =
 
 and exec_tasklet (rt : runtime) (g : Sdfg.graph) (n : Sdfg.node)
     (t : Sdfg.tasklet) : unit =
+  match rt.profile with
+  | None -> exec_tasklet_body rt g n t
+  | Some _ ->
+      let snap = metric_snap rt in
+      exec_tasklet_body rt g n t;
+      profile_record rt snap ~kind:"tasklet" ~name:t.tname
+
+and exec_tasklet_body (rt : runtime) (g : Sdfg.graph) (n : Sdfg.node)
+    (t : Sdfg.tasklet) : unit =
   (* A connector is array-valued when the code indexes into it (native) or
      the corresponding parameter is a memref (opaque). *)
   let array_conns =
@@ -464,8 +492,8 @@ and exec_tasklet (rt : runtime) (g : Sdfg.graph) (n : Sdfg.node)
           t.t_inputs
       in
       let results, _ =
-        Dcir_mlir.Interp.run ~machine:rt.machine modul ~entry:f.Dcir_mlir.Ir.fname
-          (sym_args @ args)
+        Dcir_mlir.Interp.run ~machine:rt.machine ?profile:rt.profile modul
+          ~entry:f.Dcir_mlir.Ir.fname (sym_args @ args)
       in
       let outs = List.map2 (fun c v -> (c, v)) t.t_outputs results in
       write_outputs rt g n outs
@@ -553,8 +581,12 @@ type result = {
 
 (** [run sdfg ~machine ~buffers ~symbols] executes the SDFG. [buffers] must
     provide every non-transient container; [symbols] binds [arg_symbols]
-    (sizes and promoted scalar parameters). *)
-let run ?(machine : Machine.t option) (sdfg : Sdfg.t)
+    (sizes and promoted scalar parameters). [profile] attributes
+    cycles/loads/stores per state — including the state's outgoing
+    transition costs, so the per-state entries partition the run's total —
+    and per tasklet (inclusive). *)
+let run ?(machine : Machine.t option)
+    ?(profile : Dcir_obs.Obs.Profile.t option) (sdfg : Sdfg.t)
     ~(buffers : (string * Machine.buffer * int array) list)
     ~(symbols : (string * int) list) () : result =
   let machine = match machine with Some m -> m | None -> Machine.create () in
@@ -569,6 +601,7 @@ let run ?(machine : Machine.t option) (sdfg : Sdfg.t)
       alloc_charged = Hashtbl.create 16;
       last_outputs = Hashtbl.create 32;
       steps = 0;
+      profile;
     }
   in
   List.iter (fun (s, v) -> Hashtbl.replace rt.symbols s v) symbols;
@@ -591,6 +624,7 @@ let run ?(machine : Machine.t option) (sdfg : Sdfg.t)
     incr transitions;
     if !transitions > 100_000_000 then trap "state machine did not terminate";
     let s = Option.get !cur in
+    let snap = metric_snap rt in
     exec_state rt s;
     let outs = Sdfg.out_edges sdfg s.s_label in
     if List.length outs > 1 then Machine.charge_op machine Branch;
@@ -604,18 +638,22 @@ let run ?(machine : Machine.t option) (sdfg : Sdfg.t)
                 e.ie_src e.ie_dst sym)
         outs
     in
-    match taken with
-    | None -> cur := None
-    | Some e ->
-        (* Evaluate all RHS with pre-assignment values, then commit. *)
-        let values =
-          List.map (fun (sym, ex) ->
-              Machine.charge_op machine Int_alu;
-              (sym, eval_expr rt ex))
-            e.ie_assign
-        in
-        List.iter (fun (sym, v) -> Hashtbl.replace rt.symbols sym v) values;
-        cur := Sdfg.find_state sdfg e.ie_dst
+    let next =
+      match taken with
+      | None -> None
+      | Some e ->
+          (* Evaluate all RHS with pre-assignment values, then commit. *)
+          let values =
+            List.map (fun (sym, ex) ->
+                Machine.charge_op machine Int_alu;
+                (sym, eval_expr rt ex))
+              e.ie_assign
+          in
+          List.iter (fun (sym, v) -> Hashtbl.replace rt.symbols sym v) values;
+          Sdfg.find_state sdfg e.ie_dst
+    in
+    profile_record rt snap ~kind:"state" ~name:s.s_label;
+    cur := next
   done;
   let return_value =
     match (sdfg.return_scalar, sdfg.return_expr) with

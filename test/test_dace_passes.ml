@@ -129,13 +129,30 @@ void dead(double out[8]) {
   in
   let sdfg = compile_sdfg src ~entry:"dead" in
   Driver.reset_counters ();
-  Driver.optimize sdfg;
+  let stats = Driver.optimize sdfg in
   Alcotest.(check bool) "junk eliminated" true
     (Driver.eliminated_containers () > 0);
   Alcotest.(check bool) "container gone" false
     (Hashtbl.fold
        (fun name _ acc -> acc || Tutil.contains name "junk")
-       sdfg.containers false)
+       sdfg.containers false);
+  (* The stats record must reflect what actually happened: three fixpoint
+     stages ran (>= 1 round each), some pass applied at least once, and the
+     after-counts match the live SDFG. *)
+  Alcotest.(check bool) "fixpoint ran >= 3 rounds" true (stats.rounds >= 3);
+  let total_apps =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 stats.applications
+  in
+  Alcotest.(check bool) "some pass applied" true (total_apps > 0);
+  Alcotest.(check bool) "containers shrank" true
+    (stats.containers_after < stats.containers_before);
+  Alcotest.(check int) "states_after matches SDFG" stats.states_after
+    (List.length sdfg.states);
+  Alcotest.(check int) "containers_after matches SDFG" stats.containers_after
+    (Hashtbl.length sdfg.containers);
+  Alcotest.(check int) "eliminated count in stats"
+    (Driver.eliminated_containers ())
+    stats.eliminated_containers
 
 let test_self_cycle_dead () =
   (* The Fig 2 pattern: an array only read to feed writes to itself. *)
@@ -154,7 +171,7 @@ int selfdead(int n) {
 |}
   in
   let sdfg = compile_sdfg src ~entry:"selfdead" in
-  Driver.optimize sdfg;
+  ignore (Driver.optimize sdfg);
   let a_exists =
     Hashtbl.fold (fun name _ acc -> acc || Tutil.contains name "A") sdfg.containers false
   in
@@ -200,7 +217,7 @@ void f(double out[8]) {
 |}
       ~entry:"f"
   in
-  Driver.optimize sdfg;
+  ignore (Driver.optimize sdfg);
   let heap_transients =
     Hashtbl.fold
       (fun _ (c : Sdfg.container) n ->

@@ -41,6 +41,31 @@ let test_mem2reg () =
   Alcotest.(check int) "semantics" (run_int before ~entry:"f" arg)
     (run_int after ~entry:"f" arg)
 
+let test_fixpoint_stats () =
+  let src =
+    "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { if (i > 2) s \
+     += i; } return s; }"
+  in
+  let passes = [ P.Mem2reg.pass; P.Canonicalize.pass; P.Dce.pass ] in
+  let m = Polygeist.compile src in
+  let changed, stats = Pass.run_to_fixpoint_stats passes m in
+  Alcotest.(check bool) "pipeline changed the module" true changed;
+  (* mem2reg fires in round 1, so the fixpoint needs a second round to
+     confirm quiescence. *)
+  Alcotest.(check bool) "at least two rounds" true (stats.rounds >= 2);
+  let apps name = List.assoc name stats.applications in
+  Alcotest.(check bool) "mem2reg applied" true (apps "mem2reg" > 0);
+  Alcotest.(check bool) "dce applied" true (apps "dce" > 0);
+  (* A second run over the already-optimized module must be a no-op that
+     settles in exactly one round with zero applications. *)
+  let changed2, stats2 = Pass.run_to_fixpoint_stats passes m in
+  Alcotest.(check bool) "idempotent" false changed2;
+  Alcotest.(check int) "one quiescent round" 1 stats2.rounds;
+  List.iter
+    (fun (name, n) ->
+      Alcotest.(check int) (name ^ " not applied on rerun") 0 n)
+    stats2.applications
+
 let test_canonicalize_folds () =
   let src = "int f() { return (2 + 3) * 4 - (10 / 5); }" in
   let m = compile_with [ P.Mem2reg.pass; P.Canonicalize.pass; P.Dce.pass ] src in
@@ -261,6 +286,7 @@ let suite =
   ( "mlir-passes",
     [
       Alcotest.test_case "mem2reg promotes cells" `Quick test_mem2reg;
+      Alcotest.test_case "fixpoint stats track rounds" `Quick test_fixpoint_stats;
       Alcotest.test_case "canonicalize folds constants" `Quick test_canonicalize_folds;
       Alcotest.test_case "cse dedups" `Quick test_cse;
       Alcotest.test_case "dce elides dead malloc" `Quick test_dce_dead_malloc;

@@ -85,6 +85,7 @@ let () =
       Test_mlir_passes.suite;
       Test_sdfg.suite;
       Test_dace_passes.suite;
+      Test_obs.suite;
       Test_core.suite;
       suite;
     ]
