@@ -116,7 +116,13 @@ let report_obs ~timing ~trace =
 
 let compile_cmd =
   let doc = "Compile a C file and print the requested IR." in
-  let run file entry pipeline emit verbose timing trace =
+  let no_opt_arg =
+    Arg.(value & flag
+         & info [ "no-opt" ]
+             ~doc:"Skip the data-centric optimization pipeline (print the \
+                   SDFG as translated).")
+  in
+  let run file entry pipeline emit no_opt verbose timing trace =
     setup_obs ~verbose ~timing ~trace;
     let src = read_file file in
     let entry = default_entry src entry in
@@ -133,7 +139,9 @@ let compile_cmd =
         let converted = Dcir_core.Converter.convert_module m in
         print_string (Dcir_mlir.Printer.module_to_string converted)
     | (Pipelines.Dcir | Dace), _ -> (
-        match Pipelines.compile pipeline ~src ~entry with
+        match
+          Pipelines.compile ~optimize_sdfg:(not no_opt) pipeline ~src ~entry
+        with
         | Pipelines.CSdfg sdfg ->
             print_string (Dcir_sdfg.Printer.to_string sdfg)
         | Pipelines.CMlir m ->
@@ -145,7 +153,7 @@ let compile_cmd =
     Term.(
       ret
         (const run $ file_arg $ entry_arg $ pipeline_arg $ emit_arg
-       $ verbose_arg $ timing_arg $ trace_arg))
+       $ no_opt_arg $ verbose_arg $ timing_arg $ trace_arg))
 
 (* Build synthetic arguments from the entry function's C signature. *)
 let synth_args (src : string) (entry : string) (scale : float) :
@@ -294,6 +302,92 @@ let bench_cmd =
         (const run $ name_arg $ json_arg $ verbose_arg $ timing_arg
        $ trace_arg $ profile_arg))
 
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: random well-typed programs through all five \
+     pipelines, flagging any divergence from the unoptimized reference."
+  in
+  let count_arg =
+    Arg.(value & opt int 100
+         & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of programs to generate")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed"; "s" ] ~docv:"SEED"
+             ~doc:"Campaign seed; case $(i,i) of a seed is the same program \
+                   forever")
+  in
+  let checked_arg =
+    Arg.(value & flag
+         & info [ "checked" ]
+             ~doc:"Run every optimization pass under snapshot / re-verify / \
+                   rollback (crash reproducers on pass failure)")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for .c reproducers of failing cases (default: \
+                   the system temp directory)")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag
+         & info [ "no-shrink" ]
+             ~doc:"Report failures as generated, without delta-debugging \
+                   minimization")
+  in
+  let write_reproducer dir (fc : Dcir_fuzz.Harness.failed_case) =
+    let path =
+      Filename.concat dir (Printf.sprintf "fuzz-seed-%d.c" fc.case.seed)
+    in
+    try
+      let oc = open_out path in
+      output_string oc "// dcir fuzz reproducer\n";
+      Printf.fprintf oc "// case seed: %d\n" fc.case.seed;
+      List.iter
+        (fun f ->
+          Printf.fprintf oc "// %s\n" (Dcir_fuzz.Oracle.failure_str f))
+        fc.shrunk_failures;
+      output_string oc fc.shrunk.src;
+      close_out oc;
+      Some path
+    with Sys_error _ -> None
+  in
+  let run count seed checked out no_shrink verbose timing trace =
+    setup_obs ~verbose ~timing ~trace;
+    let out_dir =
+      match out with Some d -> d | None -> Filename.get_temp_dir_name ()
+    in
+    let report =
+      Dcir_fuzz.Harness.run ~checked ~shrink:(not no_shrink)
+        ~reproducer_dir:out_dir ~count ~seed ()
+    in
+    List.iter
+      (fun (fc : Dcir_fuzz.Harness.failed_case) ->
+        Format.printf "FAIL (case seed %d):@." fc.case.seed;
+        List.iter
+          (fun f ->
+            Format.printf "  %s@." (Dcir_fuzz.Oracle.failure_str f))
+          fc.failures;
+        (match write_reproducer out_dir fc with
+        | Some path -> Format.printf "  reproducer: %s@." path
+        | None ->
+            Format.eprintf "dcir: cannot write reproducer under %s@." out_dir);
+        if fc.shrunk.src <> fc.case.src then
+          Format.printf "  shrunk to:@.%s" fc.shrunk.src)
+      report.failed;
+    Format.printf "fuzz: %d programs, campaign seed %d: %s@." report.count
+      report.seed
+      (if Dcir_fuzz.Harness.ok report then "all pipelines agree"
+       else Printf.sprintf "%d failing case(s)" (List.length report.failed));
+    report_obs ~timing ~trace;
+    if Dcir_fuzz.Harness.ok report then `Ok () else exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      ret
+        (const run $ count_arg $ seed_arg $ checked_arg $ out_arg
+       $ no_shrink_arg $ verbose_arg $ timing_arg $ trace_arg))
+
 let list_cmd =
   let doc = "List the available workloads." in
   let run () =
@@ -308,4 +402,39 @@ let list_cmd =
 let () =
   let doc = "DCIR: bridging control-centric and data-centric optimization" in
   let info = Cmd.info "dcir" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; bench_cmd; list_cmd ]))
+  let group =
+    Cmd.group info [ compile_cmd; run_cmd; bench_cmd; fuzz_cmd; list_cmd ]
+  in
+  (* Compile/verify/validate/run failures become a one-line diagnostic and
+     exit code 1 — never an uncaught-exception backtrace. *)
+  let code =
+    (* ~catch:false so failures reach our handler instead of cmdliner's
+       generic "internal error" report (exit 125). *)
+    try Cmd.eval ~catch:false group with
+    | Dcir_support.Diagnostics.Error d ->
+        Format.eprintf "dcir: %s@." (Dcir_support.Diagnostics.to_string d);
+        1
+    | Pipelines.Pipeline_error msg ->
+        Format.eprintf "dcir: pipeline error: %s@."
+          (Dcir_support.Diagnostics.one_line msg);
+        1
+    | Dcir_cfront.C_lexer.Lex_error msg
+    | Dcir_cfront.C_parser.Parse_error msg
+    | Dcir_cfront.C_sema.Sema_error msg
+    | Dcir_cfront.Polygeist.Lower_error msg ->
+        Format.eprintf "dcir: frontend error: %s@."
+          (Dcir_support.Diagnostics.one_line msg);
+        1
+    | Dcir_sdfg.Interp.Trap msg ->
+        Format.eprintf "dcir: runtime trap: %s@."
+          (Dcir_support.Diagnostics.one_line msg);
+        1
+    | Dcir_machine.Machine.Fault msg ->
+        Format.eprintf "dcir: machine fault: %s@."
+          (Dcir_support.Diagnostics.one_line msg);
+        1
+    | Failure msg ->
+        Format.eprintf "dcir: %s@." (Dcir_support.Diagnostics.one_line msg);
+        1
+  in
+  exit code

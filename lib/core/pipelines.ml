@@ -41,6 +41,8 @@ type compiled =
 
 exception Pipeline_error of string
 
+module Diag = Dcir_support.Diagnostics
+
 (* ------------------------------------------------------------------ *)
 (* Compilation *)
 
@@ -65,61 +67,107 @@ let control_passes (kind : kind) : Pass.t list =
   | Dace -> []
 
 (* Compile phases, each recording an {!Obs} span (no-ops when telemetry is
-   disabled) so `--timing`/`--trace` show where compile time goes. *)
+   disabled) so `--timing`/`--trace` show where compile time goes. Each
+   phase translates its subsystem's ad-hoc exceptions into a structured
+   {!Diag.Error} carrying a stable code and the phase name, so the CLI (and
+   the fuzz oracle) can render one-line diagnostics with meaningful exit
+   codes instead of backtraces. *)
 
 let frontend_phase (src : string) : Ir.modul =
   Obs.with_span ~cat:"phase" "c-frontend" (fun () ->
-      Dcir_cfront.Polygeist.compile src)
+      try Dcir_cfront.Polygeist.compile src with
+      | Dcir_cfront.C_lexer.Lex_error msg ->
+          Diag.fail ~code:"E-LEX" ~phase:Diag.Frontend "%s" msg
+      | Dcir_cfront.C_parser.Parse_error msg ->
+          Diag.fail ~code:"E-PARSE" ~phase:Diag.Frontend "%s" msg
+      | Dcir_cfront.C_sema.Sema_error msg ->
+          Diag.fail ~code:"E-SEMA" ~phase:Diag.Frontend "%s" msg
+      | Dcir_cfront.Polygeist.Lower_error msg ->
+          Diag.fail ~code:"E-LOWER" ~phase:Diag.Frontend "%s" msg)
 
-let control_phase (kind : kind) (m : Ir.modul) : unit =
+let control_phase ?(checked = false) ?reproducer_dir (kind : kind)
+    (m : Ir.modul) : unit =
   Obs.with_span ~cat:"phase" "control-passes" (fun () ->
       let _, (st : Pass.pipeline_stats) =
-        Pass.run_to_fixpoint_stats (control_passes kind) m
-      in
-      Obs.set_args [ ("rounds", Json.Int st.rounds) ])
-
-let dace_phase ~(disable : string list) (sdfg : Sdfg.t) : unit =
-  Obs.with_span ~cat:"phase" "dace-optimize" (fun () ->
-      let (st : Dcir_dace_passes.Driver.stats) =
-        Dcir_dace_passes.Driver.optimize ~disable sdfg
+        Pass.run_to_fixpoint_stats ~checked ?reproducer_dir
+          (control_passes kind) m
       in
       Obs.set_args
-        [
-          ("rounds", Json.Int st.rounds);
-          ("eliminated_containers", Json.Int st.eliminated_containers);
-        ])
+        (("rounds", Json.Int st.rounds)
+        ::
+        (if st.incidents = [] then []
+         else [ ("rollbacks", Json.Int (List.length st.incidents)) ])))
 
-let compile ?(optimize_sdfg = true) ?(disable = []) (kind : kind)
-    ~(src : string) ~(entry : string) : compiled =
+let verify_phase (m : Ir.modul) : unit =
+  Obs.with_span ~cat:"phase" "verify" (fun () ->
+      try Verifier.verify_exn m
+      with Failure msg -> Diag.fail ~code:"E-VERIFY" ~phase:Diag.Verify "%s" msg)
+
+let dace_phase ?(checked = false) ?reproducer_dir ~(disable : string list)
+    (sdfg : Sdfg.t) : unit =
+  Obs.with_span ~cat:"phase" "dace-optimize" (fun () ->
+      let (st : Dcir_dace_passes.Driver.stats) =
+        Dcir_dace_passes.Driver.optimize ~disable ~checked ?reproducer_dir
+          sdfg
+      in
+      Obs.set_args
+        ([
+           ("rounds", Json.Int st.rounds);
+           ("eliminated_containers", Json.Int st.eliminated_containers);
+         ]
+        @
+        if st.incidents = [] then []
+        else [ ("rollbacks", Json.Int (List.length st.incidents)) ]))
+
+(** Compile [src] under pipeline [kind]. [~checked] runs every optimization
+    pass (control-centric and data-centric) under snapshot / re-verify /
+    rollback — see {!Dcir_mlir.Pass} and {!Dcir_dace_passes.Driver};
+    [reproducer_dir] overrides where crash reproducers land. *)
+let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
+    ?reproducer_dir (kind : kind) ~(src : string) ~(entry : string) :
+    compiled =
   Obs.with_span ~cat:"pipeline"
     ("compile:" ^ kind_name kind)
     (fun () ->
       match kind with
       | Gcc | Clang | Mlir ->
           let m = frontend_phase src in
-          control_phase kind m;
-          Obs.with_span ~cat:"phase" "verify" (fun () ->
-              Verifier.verify_exn m);
+          control_phase ~checked ?reproducer_dir kind m;
+          verify_phase m;
           CMlir m
       | Dace ->
           let sdfg =
             Obs.with_span ~cat:"phase" "dace-frontend" (fun () ->
-                Dace_frontend.compile src ~entry)
+                try Dace_frontend.compile src ~entry with
+                | Dace_frontend.Frontend_error msg ->
+                    Diag.fail ~code:"E-DACE-FRONTEND" ~phase:Diag.Frontend
+                      "%s" msg
+                | Dcir_cfront.C_lexer.Lex_error msg ->
+                    Diag.fail ~code:"E-LEX" ~phase:Diag.Frontend "%s" msg
+                | Dcir_cfront.C_parser.Parse_error msg ->
+                    Diag.fail ~code:"E-PARSE" ~phase:Diag.Frontend "%s" msg
+                | Dcir_cfront.C_sema.Sema_error msg ->
+                    Diag.fail ~code:"E-SEMA" ~phase:Diag.Frontend "%s" msg)
           in
-          if optimize_sdfg then dace_phase ~disable sdfg;
+          if optimize_sdfg then dace_phase ~checked ?reproducer_dir ~disable sdfg;
           CSdfg sdfg
       | Dcir ->
           let m = frontend_phase src in
-          control_phase kind m;
+          control_phase ~checked ?reproducer_dir kind m;
+          verify_phase m;
           let converted =
             Obs.with_span ~cat:"phase" "convert" (fun () ->
-                Converter.convert_module m)
+                try Converter.convert_module m
+                with Converter.Conversion_error msg ->
+                  Diag.fail ~code:"E-CONVERT" ~phase:Diag.Convert "%s" msg)
           in
           let sdfg =
             Obs.with_span ~cat:"phase" "translate" (fun () ->
-                Translator.translate_module converted ~entry)
+                try Translator.translate_module converted ~entry
+                with Translator.Translation_error msg ->
+                  Diag.fail ~code:"E-TRANSLATE" ~phase:Diag.Translate "%s" msg)
           in
-          if optimize_sdfg then dace_phase ~disable sdfg;
+          if optimize_sdfg then dace_phase ~checked ?reproducer_dir ~disable sdfg;
           CSdfg sdfg)
 
 (* ------------------------------------------------------------------ *)
@@ -200,14 +248,28 @@ let run ?(cfg = Cost.default) ?(profile : Obs.Profile.t option)
   match compiled with
   | CMlir m ->
       let rt_args =
-        List.map
-          (fun (a, b) ->
+        List.mapi
+          (fun i (a, b) ->
             match (a, b) with
             | AFloatArr (_, dims), Some buf | AIntArr (_, dims), Some buf ->
                 Interp.Buf { buf; dims }
             | AInt n, None -> Interp.Scalar (Value.VInt n)
             | AFloat f, None -> Interp.Scalar (Value.VFloat f)
-            | _ -> assert false)
+            | (AFloatArr _ | AIntArr _), None ->
+                raise
+                  (Pipeline_error
+                     (Printf.sprintf
+                        "argument %d of @%s: array argument was not \
+                         materialized into a buffer (expected an array \
+                         buffer)"
+                        i entry))
+            | (AInt _ | AFloat _), Some _ ->
+                raise
+                  (Pipeline_error
+                     (Printf.sprintf
+                        "argument %d of @%s: scalar argument carries an \
+                         array buffer (expected a plain int/float scalar)"
+                        i entry)))
           bufs
       in
       let results, _ = Interp.run ~machine ?profile m ~entry rt_args in
@@ -225,8 +287,10 @@ let run ?(cfg = Cost.default) ?(profile : Obs.Profile.t option)
                 (List.length args)));
       let buffers = ref [] in
       let symbols = ref [] in
+      let pos = ref (-1) in
       List.iter2
         (fun pname (a, b) ->
+          incr pos;
           match (a, b) with
           | (AFloatArr (_, dims) | AIntArr (_, dims)), Some buf ->
               if Hashtbl.mem sdfg.containers pname then begin
@@ -261,7 +325,21 @@ let run ?(cfg = Cost.default) ?(profile : Obs.Profile.t option)
                 Machine.poke buf 0 (Value.VFloat f);
                 buffers := (pname, buf, [||]) :: !buffers
               end
-          | _ -> assert false)
+          | (AFloatArr _ | AIntArr _), None ->
+              raise
+                (Pipeline_error
+                   (Printf.sprintf
+                      "argument %d ('%s') of @%s: array argument was not \
+                       materialized into a buffer (expected an array \
+                       buffer)"
+                      !pos pname entry))
+          | (AInt _ | AFloat _), Some _ ->
+              raise
+                (Pipeline_error
+                   (Printf.sprintf
+                      "argument %d ('%s') of @%s: scalar argument carries \
+                       an array buffer (expected a plain int/float scalar)"
+                      !pos pname entry)))
         sdfg.param_order bufs;
       let res =
         Dcir_sdfg.Interp.run ~machine ?profile sdfg ~buffers:!buffers
@@ -316,13 +394,19 @@ let compare_pipelines ?(kinds = all_kinds) ?(cfg = Cost.default)
         let m = Dcir_cfront.Polygeist.compile src in
         run ~cfg (CMlir m) ~entry args)
   in
+  (* Shape-safe: an optimized pipeline that produces outputs of a different
+     shape than the reference must report [correct = false], never crash
+     the harness ([List.for_all2]/[Array.for_all2] raise on length
+     mismatch). *)
   let close_arrays (a : (int * Value.t array) list)
       (b : (int * Value.t array) list) : bool =
-    List.for_all2
-      (fun (_, x) (_, y) ->
-        Array.length x = Array.length y
-        && Array.for_all2 (fun u v -> Value.close ~rtol:1e-6 u v) x y)
-      a b
+    List.length a = List.length b
+    && List.for_all2
+         (fun (i, x) (j, y) ->
+           i = j
+           && Array.length x = Array.length y
+           && Array.for_all2 (fun u v -> Value.close ~rtol:1e-6 u v) x y)
+         a b
   in
   List.map
     (fun kind ->

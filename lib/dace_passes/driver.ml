@@ -15,10 +15,20 @@
     {!stats}: fixpoint round counts, per-pass application counts, and the
     states/edges/containers deltas the passes achieved. Every stage, round,
     and pass application also records a {!Dcir_obs.Obs} span (wall time +
-    changed flag) when telemetry collection is enabled. *)
+    changed flag) when telemetry collection is enabled.
+
+    {b Checked execution} ([~checked:true]): before each pass the SDFG is
+    snapshotted ({!Dcir_sdfg.Sdfg.copy}); after it,
+    {!Dcir_sdfg.Validate.errors} re-checks the graph. If the pass raised or
+    left the SDFG invalid, it is rolled back, the incident is recorded (a
+    [dace.pass.rollbacks] {!Obs.Counter} plus a [rollback] span and a
+    {!Dcir_support.Diagnostics.incident} in [stats.incidents]), a
+    crash-reproducer file (pre-pass SDFG + the failing pass name) is
+    written, and the pass is disabled for the rest of the run. *)
 
 module Obs = Dcir_obs.Obs
 module Json = Dcir_obs.Json
+module Diag = Dcir_support.Diagnostics
 
 let log_src =
   Logs.Src.create "dcir.dace.driver" ~doc:"data-centric pass driver"
@@ -40,6 +50,9 @@ type stats = {
   containers_after : int;
   eliminated_containers : int;
       (** containers removed outright or demoted to register scalars *)
+  incidents : Diag.incident list;
+      (** checked-mode rollbacks, chronological ([[]] when unchecked or
+          when every pass behaved) *)
 }
 
 let sdfg_counts (sdfg : Dcir_sdfg.Sdfg.t) : int * int * int =
@@ -48,8 +61,22 @@ let sdfg_counts (sdfg : Dcir_sdfg.Sdfg.t) : int * int * int =
     Hashtbl.length sdfg.containers )
 
 (* Per-pass application accumulator shared by the stages of one optimize
-   run. *)
-type accum = { apps : (string, int) Hashtbl.t; mutable total_rounds : int }
+   run; also collects checked-mode incidents and disabled passes across
+   stages. *)
+type accum = {
+  apps : (string, int) Hashtbl.t;
+  mutable total_rounds : int;
+  mutable incidents : Diag.incident list;  (** reverse chronological *)
+  disabled : (string, unit) Hashtbl.t;
+}
+
+let new_accum () : accum =
+  {
+    apps = Hashtbl.create 16;
+    total_rounds = 0;
+    incidents = [];
+    disabled = Hashtbl.create 4;
+  }
 
 let run_one ?(accum : accum option)
     ((name, p) : string * (Dcir_sdfg.Sdfg.t -> bool))
@@ -71,21 +98,79 @@ let run_one ?(accum : accum option)
     | None -> ());
   c
 
-let fixpoint ?(max_rounds = 30) ?(accum : accum option)
+(* Run one pass under checked execution: snapshot the SDFG, run the pass,
+   re-validate. On a crash or a validation failure, roll back to the
+   snapshot and report the incident (the caller disables the pass). *)
+let run_one_checked ?(accum : accum option) ~(round : int)
+    ~(reproducer_dir : string)
+    ((name, _) as pass : string * (Dcir_sdfg.Sdfg.t -> bool))
+    (sdfg : Dcir_sdfg.Sdfg.t) : bool * Diag.incident option =
+  let snapshot = Dcir_sdfg.Sdfg.copy sdfg in
+  let outcome =
+    match run_one ?accum pass sdfg with
+    | changed -> (
+        match Dcir_sdfg.Validate.errors sdfg with
+        | [] -> Ok changed
+        | errs ->
+            Error
+              (String.concat "\n"
+                 (List.map
+                    (fun d -> Fmt.str "%a" Dcir_sdfg.Validate.pp_diagnostic d)
+                    errs)))
+    | exception exn -> Error ("pass raised: " ^ Printexc.to_string exn)
+  in
+  match outcome with
+  | Ok changed -> (changed, None)
+  | Error reason ->
+      Dcir_sdfg.Sdfg.restore ~into:sdfg snapshot;
+      let reproducer =
+        Dcir_mlir.Pass.write_reproducer ~ext:".sdfg" ~dir:reproducer_dir
+          ~prefix:"dcir-repro-dace" ~pass_name:name ~reason
+          (Dcir_sdfg.Printer.to_string sdfg)
+      in
+      Dcir_mlir.Pass.record_rollback ~counter:"dace.pass.rollbacks"
+        ~pass_name:name ~reason reproducer;
+      Log.err (fun f ->
+          f "pass %s failed validation and was rolled back: %s" name reason);
+      (false, Some { Diag.in_pass = name; in_round = round; reason; reproducer })
+
+(** Iterate [passes] to a fixpoint. With [~checked:true], every pass runs
+    under snapshot/validate/rollback; a failing pass is disabled for the
+    remaining rounds (persistently, when the same [accum] is shared across
+    stages) and its incident is recorded in [accum.incidents]. *)
+let fixpoint ?(max_rounds = 30) ?(accum : accum option) ?(checked = false)
+    ?(reproducer_dir = Filename.get_temp_dir_name ())
     (passes : (string * (Dcir_sdfg.Sdfg.t -> bool)) list)
     (sdfg : Dcir_sdfg.Sdfg.t) : bool =
+  (* Checked mode needs somewhere to record incidents/disabled passes even
+     when the caller did not supply an accumulator. *)
+  let acc = match accum with Some a -> a | None -> new_accum () in
   let changed = ref false in
   let progress = ref true in
   let rounds = ref 0 in
   while !progress && !rounds < max_rounds do
     incr rounds;
-    (match accum with Some a -> a.total_rounds <- a.total_rounds + 1 | None -> ());
+    acc.total_rounds <- acc.total_rounds + 1;
     progress :=
       Obs.with_span ~cat:"dace-fixpoint"
         (Printf.sprintf "round %d" !rounds)
         (fun () ->
           List.fold_left
-            (fun any pass -> run_one ?accum pass sdfg || any)
+            (fun any ((name, _) as pass) ->
+              if Hashtbl.mem acc.disabled name then any
+              else if not checked then run_one ~accum:acc pass sdfg || any
+              else begin
+                let c, incident =
+                  run_one_checked ~accum:acc ~round:!rounds ~reproducer_dir
+                    pass sdfg
+                in
+                (match incident with
+                | Some i ->
+                    acc.incidents <- i :: acc.incidents;
+                    Hashtbl.replace acc.disabled name ()
+                | None -> ());
+                c || any
+              end)
             false passes);
     Log.debug (fun f ->
         f "fixpoint round %d: %s" !rounds
@@ -145,19 +230,21 @@ let reset_counters () : unit =
     opportunities to each other). [disable] names passes to skip — the
     ablation hook used by the benchmark harness. Returns the populated
     statistics of this run. *)
-let optimize ?(o1 = true) ?(o2 = true) ?(disable = [])
-    (sdfg : Dcir_sdfg.Sdfg.t) : stats =
+let optimize ?(o1 = true) ?(o2 = true) ?(disable = []) ?(checked = false)
+    ?reproducer_dir (sdfg : Dcir_sdfg.Sdfg.t) : stats =
   let keep passes =
     List.filter (fun (n, _) -> not (List.mem n disable)) passes
   in
   let states_before, edges_before, containers_before = sdfg_counts sdfg in
   let eliminated0 = eliminated_containers () in
-  let accum = { apps = Hashtbl.create 16; total_rounds = 0 } in
+  let accum = new_accum () in
   let stage name passes =
     ignore
       (Obs.with_span ~cat:"dace-stage" name (fun () ->
            let s0, e0, c0 = sdfg_counts sdfg in
-           let changed = fixpoint ~accum (keep passes) sdfg in
+           let changed =
+             fixpoint ~accum ~checked ?reproducer_dir (keep passes) sdfg
+           in
            let s1, e1, c1 = sdfg_counts sdfg in
            Obs.set_args
              [
@@ -190,4 +277,5 @@ let optimize ?(o1 = true) ?(o2 = true) ?(disable = [])
     containers_before;
     containers_after;
     eliminated_containers = eliminated_containers () - eliminated0;
+    incidents = List.rev accum.incidents;
   }

@@ -101,7 +101,16 @@ let collapse (sdfg : Sdfg.t) (l : Loop_analysis.loop) : unit =
       (fun (e : Sdfg.istate_edge) ->
         if e == l.entry_edge then Some { e with ie_dst = body_entry }
         else if e == l.back_edge then
-          Some { e with ie_src = latch; ie_dst = exit_dst; ie_assign = [] }
+          (* The induction increment is dropped, but assignments the exit
+             edge carried (e.g. the next loop's init after fusion) still
+             fire when leaving the loop. *)
+          Some
+            {
+              e with
+              ie_src = latch;
+              ie_dst = exit_dst;
+              ie_assign = l.exit_edge.ie_assign;
+            }
         else if e == l.continue_edge || e == l.exit_edge then None
         else Some e)
       sdfg.istate_edges;
@@ -124,6 +133,12 @@ let collapse_invariant_loops (sdfg : Sdfg.t) : bool =
           && (not (has_carried_state sdfg l))
           && (not (has_wcr_or_recurring_alloc sdfg l))
           && runs_at_least_once l
+          (* Exit-edge assignments survive the collapse verbatim, so they
+             must not read the induction symbol (whose final value the
+             collapsed form no longer computes). *)
+          && List.for_all
+               (fun (_, ex) -> not (List.mem l.sym (Expr.free_syms ex)))
+               l.exit_edge.ie_assign
           (* No nested loop may use l.sym either (covered by free syms);
              nested guards live in l.body so their conditions are checked. *))
         loops

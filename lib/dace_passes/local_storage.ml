@@ -156,19 +156,24 @@ let promote_one (sdfg : Sdfg.t) : bool =
                     let old_entry_dst = l.entry_edge.ie_dst in
                     let old_exit_dst = l.exit_edge.ie_dst in
                     let entry_assigns = l.entry_edge.ie_assign in
+                    (* Exit-edge assignments (e.g. an enclosing loop's
+                       induction increment after fusion) must fire *after*
+                       the write-back, or the store subset would be
+                       evaluated with post-increment symbol values. *)
+                    let exit_assigns = l.exit_edge.ie_assign in
                     sdfg.istate_edges <-
                       List.map
                         (fun (e : Sdfg.istate_edge) ->
                           if e == l.entry_edge then
                             { e with ie_dst = pre.s_label; ie_assign = [] }
                           else if e == l.exit_edge then
-                            { e with ie_dst = post.s_label }
+                            { e with ie_dst = post.s_label; ie_assign = [] }
                           else e)
                         sdfg.istate_edges;
                     Sdfg.add_istate_edge sdfg ~assign:entry_assigns
                       ~src:pre.s_label ~dst:old_entry_dst ();
-                    Sdfg.add_istate_edge sdfg ~src:post.s_label
-                      ~dst:old_exit_dst ();
+                    Sdfg.add_istate_edge sdfg ~assign:exit_assigns
+                      ~src:post.s_label ~dst:old_exit_dst ();
                     changed := true
                 | _ -> ())
               candidates

@@ -17,26 +17,52 @@ open Dcir_sdfg
 
 (* Ordering dependencies anchored on the scalar's access nodes must survive
    its removal: re-anchor every pure-dependency edge incident to an access
-   node of [name] onto [anchor], the node whose visit now performs the
-   forwarded movement. *)
-let reanchor_deps (g : Sdfg.graph) (name : string) (anchor : int) : unit =
+   node of [name] onto [targets] — the event nodes that now perform the
+   forwarded movements (one per reader, so a dep ordering one reader does
+   not constrain the others: anchoring them all on a single shared node can
+   close a cycle through that node's other edges). A dep into a victim
+   fans out to deps into every target; a dep out of a victim fans out from
+   every target, preserving transitive ordering through the removed node. *)
+let reanchor_deps (g : Sdfg.graph) (name : string) (targets : int list) : unit
+    =
   let victim (nid : int) =
     match (Sdfg.node_by_id g nid).kind with
     | Sdfg.Access c -> String.equal c name
     | _ -> false
   in
+  (* A pure dep edge carries neither a memlet nor connectors — a memlet-less
+     edge WITH connectors is an SSA value edge and must not be touched. *)
+  let is_dep (e : Sdfg.edge) =
+    e.e_memlet = None && e.e_src_conn = None && e.e_dst_conn = None
+  in
   g.edges <-
-    List.filter_map
+    List.concat_map
       (fun (e : Sdfg.edge) ->
-        if e.e_memlet <> None then Some e
+        if not (is_dep e) then [ e ]
         else
           let src_v = victim e.e_src and dst_v = victim e.e_dst in
-          if not (src_v || dst_v) then Some e
+          if not (src_v || dst_v) then [ e ]
+          else if src_v && dst_v then []
+          else if dst_v then
+            List.filter_map
+              (fun t -> if t = e.e_src then None else Some { e with e_dst = t })
+              targets
           else
-            let ns = if src_v then anchor else e.e_src in
-            let nd = if dst_v then anchor else e.e_dst in
-            if ns = nd then None
-            else Some { e with e_src = ns; e_dst = nd })
+            List.filter_map
+              (fun t -> if t = e.e_dst then None else Some { e with e_src = t })
+              targets)
+      g.edges;
+  (* Fan-out can duplicate dep edges; keep one of each. *)
+  let seen = Hashtbl.create 16 in
+  g.edges <-
+    List.filter
+      (fun (e : Sdfg.edge) ->
+        if not (is_dep e) then true
+        else if Hashtbl.mem seen (e.e_src, e.e_dst) then false
+        else begin
+          Hashtbl.replace seen (e.e_src, e.e_dst) ();
+          true
+        end)
       g.edges
 
 let run (sdfg : Sdfg.t) : bool =
@@ -69,10 +95,27 @@ let run (sdfg : Sdfg.t) : bool =
                    rst == wst && rg == wg)
                  readers -> (
             let g = wg in
+            (* The rewrite below is list-functional on [g.nodes]/[g.edges]
+               (records are replaced, never mutated in place), so these two
+               references are a full snapshot: forwarding that would close
+               an ordering cycle is rolled back and the scalar kept. *)
+            let nodes0 = g.nodes and edges0 = g.edges in
+            let commit_if_acyclic () : bool =
+              match Sdfg.topo_order g with
+              | _ -> true
+              | exception Invalid_argument _ ->
+                  g.nodes <- nodes0;
+                  g.edges <- edges0;
+                  false
+            in
             let src = Sdfg.node_by_id g we.e_src in
             match (src.kind, we.e_src_conn, we.e_memlet) with
             | Sdfg.TaskletN _, Some out_conn, Some m when m.wcr = None ->
-                (* Tasklet-defined: value edges to every reader. *)
+                (* Tasklet-defined: value edges to every reader. The event
+                   node of each forwarded movement: the writer tasklet for a
+                   direct write into an access node, the consuming node for
+                   a value edge. *)
+                let events = ref [] in
                 List.iter
                   (fun ((_, _, re) : Sdfg.state * Sdfg.graph * Sdfg.edge) ->
                     g.edges <-
@@ -88,6 +131,7 @@ let run (sdfg : Sdfg.t) : bool =
                                   | Some { other = Some o; _ } -> o
                                   | _ -> []
                                 in
+                                events := src.nid :: !events;
                                 {
                                   x with
                                   e_src = src.nid;
@@ -105,6 +149,7 @@ let run (sdfg : Sdfg.t) : bool =
                                       };
                                 }
                             | _ ->
+                                events := x.e_dst :: !events;
                                 {
                                   x with
                                   e_src = src.nid;
@@ -115,12 +160,15 @@ let run (sdfg : Sdfg.t) : bool =
                         g.edges)
                   readers;
                 g.edges <- List.filter (fun (x : Sdfg.edge) -> x != we) g.edges;
-                reanchor_deps g name src.nid;
+                reanchor_deps g name
+                  (if !events = [] then [ src.nid ] else !events);
                 Graph_util.remove_access_nodes_of g name;
                 Graph_util.prune_isolated_access g;
-                Sdfg.remove_container sdfg name;
-                changed := true;
-                progress := true
+                if commit_if_acyclic () then begin
+                  Sdfg.remove_container sdfg name;
+                  changed := true;
+                  progress := true
+                end
             | Sdfg.Access _, None, Some m
               when m.wcr = None
                    && (not (String.equal m.data name))
@@ -130,15 +178,30 @@ let run (sdfg : Sdfg.t) : bool =
                    && not (List.mem m.data (Sdfg.written_containers g)) ->
                 let forward_subset = m.subset in
                 let src_access = we.e_src in
+                let events = ref [] in
                 List.iter
                   (fun ((_, _, re) : Sdfg.state * Sdfg.graph * Sdfg.edge) ->
+                    (* A copy-reader's movement event is its (new) source
+                       access node. Give each one a private source node: the
+                       shared one also feeds the other readers, so ordering
+                       deps re-anchored onto it could close a cycle (e.g.
+                       two sequenced writes of the same element, the first
+                       computed from this scalar). *)
+                    let new_src, event =
+                      match (Sdfg.node_by_id g re.e_dst).kind with
+                      | Sdfg.Access _ ->
+                          let n = Sdfg.add_node g (Sdfg.Access m.data) in
+                          (n.nid, n.nid)
+                      | _ -> (src_access, re.e_dst)
+                    in
+                    events := event :: !events;
                     g.edges <-
                       List.map
                         (fun (x : Sdfg.edge) ->
                           if x == re then
                             {
                               x with
-                              e_src = src_access;
+                              e_src = new_src;
                               e_memlet =
                                 Some
                                   {
@@ -167,20 +230,19 @@ let run (sdfg : Sdfg.t) : bool =
                         g.edges)
                   readers;
                 g.edges <- List.filter (fun (x : Sdfg.edge) -> x != we) g.edges;
-                reanchor_deps g name src_access;
+                reanchor_deps g name
+                  (if !events = [] then [ src_access ] else !events);
                 Graph_util.remove_access_nodes_of g name;
                 Graph_util.prune_isolated_access g;
-                (* Re-anchoring onto a shared event node can in principle
-                   close a cycle; refuse (and fail loudly) rather than run
-                   out of order. *)
-                (try ignore (Sdfg.topo_order g)
-                 with Invalid_argument _ ->
-                   failwith
-                     ("scalar forwarding created a cyclic state while \
-                       removing " ^ name));
-                Sdfg.remove_container sdfg name;
-                changed := true;
-                progress := true
+                (* Dep edges are node-granular, so re-anchoring one that
+                   really ordered a single movement constrains every reader;
+                   when that over-approximation closes a cycle, keeping the
+                   scalar is the only sound choice. *)
+                if commit_if_acyclic () then begin
+                  Sdfg.remove_container sdfg name;
+                  changed := true;
+                  progress := true
+                end
             | _ -> ())
         | _ -> ())
       scalars

@@ -78,7 +78,7 @@ let rewire_readers (sdfg : Sdfg.t) (name : string) : bool =
         match (dst.kind, e.e_dst_conn) with
         | Sdfg.TaskletN t, Some conn -> (
             match replace_input_with_symbol t conn name with
-            | Some t' -> Some (`Swap (g, e, dst.nid, t'))
+            | Some _ -> Some (`Swap (g, e, dst.nid, conn))
             | None -> None)
         | Sdfg.Access _, _ ->
             (* Copy out of the scalar: keep as a symbol-materializing
@@ -92,10 +92,31 @@ let rewire_readers (sdfg : Sdfg.t) (name : string) : bool =
   if List.for_all Option.is_some plan then begin
     List.iter
       (function
-        | Some (`Swap (g, e, nid, t')) ->
-            swap_tasklet g nid t';
+        | Some (`Swap (g, e, nid, conn)) ->
+            (* Re-read the node's current tasklet: one tasklet may read the
+               scalar through several connectors (e.g. [n + n]), and each
+               swap must build on the previous one, not on the original. *)
+            (match (Sdfg.node_by_id g nid).kind with
+            | Sdfg.TaskletN t -> (
+                match replace_input_with_symbol t conn name with
+                | Some t' -> swap_tasklet g nid t'
+                | None -> ())
+            | _ -> ());
             (g : Sdfg.graph).edges <-
               List.filter (fun (x : Sdfg.edge) -> x != e) g.edges
+        | None -> ())
+      plan;
+    (* Removing a reader edge can leave the scalar's access node isolated
+       in that reader's graph; prune it there and then, or the graph keeps
+       an access node for a container about to be deleted. *)
+    let pruned : Sdfg.graph list ref = ref [] in
+    List.iter
+      (function
+        | Some (`Swap (g, _, _, _)) ->
+            if not (List.memq g !pruned) then begin
+              pruned := g :: !pruned;
+              Graph_util.prune_isolated_access g
+            end
         | None -> ())
       plan;
     true

@@ -1,0 +1,140 @@
+(** Render a {!Dcir_cfront.C_ast} program back to C source the repo's own
+    lexer/parser accept — the generator and the shrinker both work on ASTs
+    and go through the full frontend (lexer, parser, sema, lowering), so
+    every fuzz case exercises the real compile path end to end.
+
+    Expressions are parenthesized aggressively; the parser normalizes the
+    extra parentheses away. Float literals are forced to contain a ['.'] or
+    exponent so they lex as [FLOAT_LIT], not [INT_LIT]. *)
+
+open Dcir_cfront.C_ast
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | LAnd -> "&&"
+  | LOr -> "||"
+
+let assign_str = function
+  | OpAssign -> "="
+  | OpAddAssign -> "+="
+  | OpSubAssign -> "-="
+  | OpMulAssign -> "*="
+  | OpDivAssign -> "/="
+
+let float_lit (f : float) : string =
+  let s = Printf.sprintf "%.17g" (Float.abs f) in
+  let s =
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+  in
+  if f < 0.0 then "(-" ^ s ^ ")" else s
+
+let rec cty_base = function
+  | TVoid -> "void"
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TDouble -> "double"
+  | TPtr t -> cty_base t ^ "*"
+  | TArr (t, _) -> cty_base t
+
+let cty_dims = function
+  | TArr (_, dims) ->
+      String.concat "" (List.map (fun d -> Printf.sprintf "[%d]" d) dims)
+  | _ -> ""
+
+let rec expr_str (e : expr) : string =
+  match e with
+  | EInt n -> if n < 0 then Printf.sprintf "(-%d)" (-n) else string_of_int n
+  | EFloat f -> float_lit f
+  | EVar v -> v
+  | EIndex (base, idxs) ->
+      expr_str base
+      ^ String.concat ""
+          (List.map (fun i -> "[" ^ expr_str i ^ "]") idxs)
+  | EUnop (Neg, e) -> "(-" ^ expr_str e ^ ")"
+  | EUnop (Not, e) -> "(!" ^ expr_str e ^ ")"
+  | EBinop (op, a, b) ->
+      "(" ^ expr_str a ^ " " ^ binop_str op ^ " " ^ expr_str b ^ ")"
+  | ECond (c, a, b) ->
+      "(" ^ expr_str c ^ " ? " ^ expr_str a ^ " : " ^ expr_str b ^ ")"
+  | ECall (name, args) ->
+      name ^ "(" ^ String.concat ", " (List.map expr_str args) ^ ")"
+  | ECast (ty, e) -> "(" ^ cty_base ty ^ ")" ^ "(" ^ expr_str e ^ ")"
+  | EMalloc (elem, count) ->
+      Printf.sprintf "(%s*)malloc(%s * sizeof(%s))" (cty_base elem)
+        (expr_str count) (cty_base elem)
+
+let rec stmt_lines (indent : string) (s : stmt) : string list =
+  match s with
+  | SDecl (ty, name, init) ->
+      [
+        indent ^ cty_base ty ^ " " ^ name ^ cty_dims ty
+        ^ (match init with Some e -> " = " ^ expr_str e | None -> "")
+        ^ ";";
+      ]
+  | SAssign (lhs, op, rhs) ->
+      [ indent ^ expr_str lhs ^ " " ^ assign_str op ^ " " ^ expr_str rhs ^ ";" ]
+  | SExpr e -> [ indent ^ expr_str e ^ ";" ]
+  | SIf (c, t, []) ->
+      (indent ^ "if (" ^ expr_str c ^ ") {")
+      :: block_lines (indent ^ "  ") t
+      @ [ indent ^ "}" ]
+  | SIf (c, t, f) ->
+      (indent ^ "if (" ^ expr_str c ^ ") {")
+      :: block_lines (indent ^ "  ") t
+      @ [ indent ^ "} else {" ]
+      @ block_lines (indent ^ "  ") f
+      @ [ indent ^ "}" ]
+  | SFor (hdr, body) ->
+      let update =
+        if hdr.step = 1 then hdr.var ^ "++"
+        else if hdr.step = -1 then hdr.var ^ "--"
+        else if hdr.step > 0 then Printf.sprintf "%s += %d" hdr.var hdr.step
+        else Printf.sprintf "%s -= %d" hdr.var (-hdr.step)
+      in
+      (indent
+      ^ Printf.sprintf "for (int %s = %s; %s %s %s; %s) {" hdr.var
+          (expr_str hdr.init) hdr.var (binop_str hdr.cmp) (expr_str hdr.bound)
+          update)
+      :: block_lines (indent ^ "  ") body
+      @ [ indent ^ "}" ]
+  | SWhile (c, body) ->
+      (indent ^ "while (" ^ expr_str c ^ ") {")
+      :: block_lines (indent ^ "  ") body
+      @ [ indent ^ "}" ]
+  | SReturn None -> [ indent ^ "return;" ]
+  | SReturn (Some e) -> [ indent ^ "return " ^ expr_str e ^ ";" ]
+  | SFree name -> [ indent ^ "free(" ^ name ^ ");" ]
+  | SBlock ss ->
+      (indent ^ "{") :: block_lines (indent ^ "  ") ss @ [ indent ^ "}" ]
+
+and block_lines (indent : string) (ss : stmt list) : string list =
+  List.concat_map (stmt_lines indent) ss
+
+let func_str (f : func_def) : string =
+  let params =
+    match f.params with
+    | [] -> "void"
+    | ps ->
+        String.concat ", "
+          (List.map
+             (fun (name, ty) -> cty_base ty ^ " " ^ name ^ cty_dims ty)
+             ps)
+  in
+  String.concat "\n"
+    ((cty_base f.ret ^ " " ^ f.name ^ "(" ^ params ^ ") {")
+     :: block_lines "  " f.body
+    @ [ "}" ])
+
+let program_str (p : program) : string =
+  String.concat "\n\n" (List.map func_str p.funcs) ^ "\n"

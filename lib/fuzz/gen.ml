@@ -1,0 +1,333 @@
+(** Seeded, size-bounded random program generator.
+
+    Emits well-typed programs in the supported C subset — double arrays
+    (optionally with a symbolic size parameter [n]), float/int scalar
+    parameters, canonical ascending and descending [for] loops, [if]/[else]
+    branches, compound assignments, ternaries, casts, and libm calls — i.e.
+    exactly the shapes {!Dcir_cfront.Polygeist.compile} accepts and all
+    five pipelines must agree on (MLIR-Smith's recipe over our
+    [scf]/[arith]/[memref]/[math] core, see PAPERS.md).
+
+    Generated programs are safe by construction:
+    - array subscripts are provably in bounds (loop bounds are tied to
+      array dimensions; the symbolic bound [n] is bound at run time to the
+      smallest array dimension);
+    - every division's denominator is [fabs(e) + 1.0] or a nonzero
+      constant; [log]/[sqrt] arguments are forced nonnegative;
+    - loops have constant or [n]-bounded trip counts, so every program
+      terminates.
+
+    The same seed always regenerates the identical program and argument
+    values ({!Rng} is a fixed splitmix64, not [Random]). *)
+
+open Dcir_cfront.C_ast
+module Pipelines = Dcir_core.Pipelines
+
+type cfg = {
+  max_arrays : int;  (** array parameters (at least 1 is generated) *)
+  max_dim : int;  (** upper bound on a static array dimension *)
+  max_stmts : int;  (** statements per block (at least 1) *)
+  max_depth : int;  (** loop/branch nesting depth *)
+}
+
+let default_cfg = { max_arrays = 3; max_dim = 6; max_stmts = 4; max_depth = 3 }
+
+type case = {
+  seed : int;
+  prog : program;
+  src : string;
+  entry : string;
+  args : unit -> Pipelines.arg list;
+      (** deterministic fresh argument values (same per call) *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generator state *)
+
+type gstate = {
+  rng : Rng.t;
+  cfg : cfg;
+  arrays : (string * int list) list;  (** array param name -> dims *)
+  n_val : int option;  (** runtime value of the symbolic size [n] *)
+  mutable scalars : string list;  (** double scalars in scope *)
+  mutable loops : (string * expr * int) list;
+      (** in-scope loop var -> (exclusive bound expr, bound value) *)
+  mutable fresh : int;
+}
+
+let fresh_name (g : gstate) (prefix : string) : string =
+  g.fresh <- g.fresh + 1;
+  Printf.sprintf "%s%d" prefix g.fresh
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let const_float (g : gstate) : expr =
+  (* Small, short-decimal constants keep outputs numerically tame and the
+     rendered source readable. *)
+  let v = float_of_int (Rng.range g.rng (-20) 20) /. 8.0 in
+  EFloat v
+
+(* An index expression provably in [0, d). *)
+let index_expr (g : gstate) (d : int) : expr =
+  let usable = List.filter (fun (_, _, bv) -> bv <= d) g.loops in
+  if usable = [] || Rng.one_in g.rng 4 then EInt (Rng.int g.rng d)
+  else
+    let v, bound_expr, _ = Rng.pick g.rng usable in
+    if Rng.one_in g.rng 3 then
+      (* reversed: (bound - 1) - v, still in [0, bound). *)
+      EBinop (Sub, EBinop (Sub, bound_expr, EInt 1), EVar v)
+    else EVar v
+
+let array_read (g : gstate) : expr option =
+  match g.arrays with
+  | [] -> None
+  | arrays ->
+      let name, dims = Rng.pick g.rng arrays in
+      Some (EIndex (EVar name, List.map (index_expr g) dims))
+
+let rec int_expr (g : gstate) (depth : int) : expr =
+  let atoms =
+    [ (fun () -> EInt (Rng.range g.rng 0 7)) ]
+    @ List.map (fun (v, _, _) () -> EVar v) g.loops
+    @ match g.n_val with Some _ -> [ (fun () -> EVar "n") ] | None -> []
+  in
+  if depth <= 0 || Rng.one_in g.rng 2 then (Rng.pick g.rng atoms) ()
+  else
+    let a = int_expr g (depth - 1) and b = int_expr g (depth - 1) in
+    match Rng.int g.rng 4 with
+    | 0 -> EBinop (Add, a, b)
+    | 1 -> EBinop (Sub, a, b)
+    | 2 -> EBinop (Mul, a, b)
+    | _ -> EBinop (Mod, a, EInt (Rng.range g.rng 2 7))
+
+let cond_expr (g : gstate) (float_operand : gstate -> int -> expr) : expr =
+  let cmp = Rng.pick g.rng [ Lt; Le; Gt; Ge; Eq; Ne ] in
+  if Rng.one_in g.rng 2 then EBinop (cmp, int_expr g 1, int_expr g 1)
+  else
+    (* Eq/Ne on derived floats is brittle under reassociation — compare
+       with an ordering instead. *)
+    let cmp = match cmp with Eq | Ne -> Lt | c -> c in
+    EBinop (cmp, float_operand g 1, float_operand g 1)
+
+let rec float_expr (g : gstate) (depth : int) : expr =
+  let atom () =
+    let choices =
+      [ (fun () -> const_float g) ]
+      @ (if g.scalars = [] then []
+         else [ (fun () -> EVar (Rng.pick g.rng g.scalars)) ])
+      @
+      match array_read g with
+      | Some e -> [ (fun () -> e); (fun () -> e) ]
+      | None -> []
+    in
+    (Rng.pick g.rng choices) ()
+  in
+  if depth <= 0 || Rng.one_in g.rng 3 then atom ()
+  else
+    match Rng.int g.rng 8 with
+    | 0 -> EBinop (Add, float_expr g (depth - 1), float_expr g (depth - 1))
+    | 1 -> EBinop (Sub, float_expr g (depth - 1), float_expr g (depth - 1))
+    | 2 -> EBinop (Mul, float_expr g (depth - 1), float_expr g (depth - 1))
+    | 3 ->
+        (* Safe division: denominator fabs(e) + 1.0 >= 1. *)
+        EBinop
+          ( Div,
+            float_expr g (depth - 1),
+            EBinop
+              (Add, ECall ("fabs", [ float_expr g (depth - 1) ]), EFloat 1.0) )
+    | 4 -> (
+        match Rng.int g.rng 5 with
+        | 0 -> ECall ("sin", [ float_expr g (depth - 1) ])
+        | 1 -> ECall ("cos", [ float_expr g (depth - 1) ])
+        | 2 -> ECall ("tanh", [ float_expr g (depth - 1) ])
+        | 3 -> ECall ("sqrt", [ ECall ("fabs", [ float_expr g (depth - 1) ]) ])
+        | _ ->
+            ECall
+              ( "log",
+                [
+                  EBinop
+                    ( Add,
+                      ECall ("fabs", [ float_expr g (depth - 1) ]),
+                      EFloat 1.0 );
+                ] ))
+    | 5 -> ECond (cond_expr g float_expr, float_expr g (depth - 1), float_expr g (depth - 1))
+    | 6 -> ECast (TDouble, int_expr g 1)
+    | _ -> EUnop (Neg, float_expr g (depth - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let array_store (g : gstate) : stmt option =
+  match g.arrays with
+  | [] -> None
+  | arrays ->
+      let name, dims = Rng.pick g.rng arrays in
+      let lhs = EIndex (EVar name, List.map (index_expr g) dims) in
+      let op =
+        Rng.pick g.rng
+          [ OpAssign; OpAssign; OpAddAssign; OpSubAssign; OpMulAssign ]
+      in
+      Some (SAssign (lhs, op, float_expr g 2))
+
+let scalar_assign (g : gstate) : stmt option =
+  match g.scalars with
+  | [] -> None
+  | scalars ->
+      let v = Rng.pick g.rng scalars in
+      let op = Rng.pick g.rng [ OpAssign; OpAddAssign; OpMulAssign ] in
+      Some (SAssign (EVar v, op, float_expr g 2))
+
+(* A canonical for-loop header whose trip space is tied to an array
+   dimension (or the symbolic bound n), so body subscripts stay in
+   bounds. *)
+let loop_header (g : gstate) : for_header * expr * int =
+  let bounds =
+    List.concat_map (fun (_, dims) -> List.map (fun d -> (EInt d, d)) dims)
+      g.arrays
+    @
+    match g.n_val with Some nv -> [ (EVar "n", nv) ] | None -> []
+  in
+  let bound_expr, bound_val = Rng.pick g.rng bounds in
+  let var = fresh_name g "i" in
+  if Rng.one_in g.rng 3 then
+    (* Descending: for (int i = bound-1; i >= 0; i--). *)
+    ( {
+        var;
+        init = EBinop (Sub, bound_expr, EInt 1);
+        cmp = Ge;
+        bound = EInt 0;
+        step = -1;
+      },
+      bound_expr,
+      bound_val )
+  else ({ var; init = EInt 0; cmp = Lt; bound = bound_expr; step = 1 }, bound_expr, bound_val)
+
+let rec gen_stmt (g : gstate) (depth : int) : stmt option =
+  let roll = Rng.int g.rng 10 in
+  if roll < 3 then array_store g
+  else if roll < 5 then scalar_assign g
+  else if roll < 6 then begin
+    let name = fresh_name g "t" in
+    let s = SDecl (TDouble, name, Some (float_expr g 2)) in
+    g.scalars <- name :: g.scalars;
+    Some s
+  end
+  else if roll < 8 && depth < g.cfg.max_depth then begin
+    let hdr, bound_expr, bound_val = loop_header g in
+    let saved_loops = g.loops and saved_scalars = g.scalars in
+    g.loops <- (hdr.var, bound_expr, bound_val) :: g.loops;
+    let body = gen_block g (depth + 1) in
+    g.loops <- saved_loops;
+    g.scalars <- saved_scalars;
+    Some (SFor (hdr, body))
+  end
+  else if depth < g.cfg.max_depth then begin
+    let cond = cond_expr g float_expr in
+    let saved = g.scalars in
+    let then_ = gen_block g (depth + 1) in
+    g.scalars <- saved;
+    let else_ = if Rng.one_in g.rng 2 then [] else gen_block g (depth + 1) in
+    g.scalars <- saved;
+    Some (SIf (cond, then_, else_))
+  end
+  else array_store g
+
+and gen_block (g : gstate) (depth : int) : stmt list =
+  let n = 1 + Rng.int g.rng g.cfg.max_stmts in
+  let stmts = List.filter_map (fun _ -> gen_stmt g depth) (List.init n Fun.id) in
+  if stmts <> [] then stmts
+  else
+    match array_store g with
+    | Some s -> [ s ]
+    | None -> [ SDecl (TDouble, fresh_name g "t", Some (const_float g)) ]
+
+(* Nested loops writing an accumulation into every element of [arr] — a
+   guaranteed observable effect so no generated program is vacuous. *)
+let sink_loops (g : gstate) ((arr, dims) : string * int list) : stmt =
+  let rec build (dims : int list) (idxs : expr list) : stmt =
+    match dims with
+    | [] -> assert false
+    | [ d ] ->
+        let var = fresh_name g "s" in
+        let lhs = EIndex (EVar arr, List.rev (EVar var :: idxs)) in
+        SFor
+          ( { var; init = EInt 0; cmp = Lt; bound = EInt d; step = 1 },
+            [ SAssign (lhs, OpAddAssign, float_expr g 1) ] )
+    | d :: rest ->
+        let var = fresh_name g "s" in
+        SFor
+          ( { var; init = EInt 0; cmp = Lt; bound = EInt d; step = 1 },
+            [ build rest (EVar var :: idxs) ] )
+  in
+  build dims []
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs *)
+
+let generate ?(cfg = default_cfg) (seed : int) : case =
+  let rng = Rng.make seed in
+  (* Parameters. *)
+  let n_arrays = 1 + Rng.int rng cfg.max_arrays in
+  let arrays =
+    List.init n_arrays (fun i ->
+        let name = String.make 1 (Char.chr (Char.code 'A' + i)) in
+        let rank = if Rng.one_in rng 2 then 2 else 1 in
+        let dims = List.init rank (fun _ -> Rng.range rng 2 cfg.max_dim) in
+        (name, dims))
+  in
+  let min_dim =
+    List.fold_left
+      (fun acc (_, dims) -> List.fold_left min acc dims)
+      max_int arrays
+  in
+  let with_n = Rng.one_in rng 2 in
+  let n_val = if with_n then Some min_dim else None in
+  let n_fscalars = Rng.int rng 3 in
+  let fscalar_names = [ "alpha"; "beta" ] in
+  let fscalars =
+    List.init n_fscalars (fun i ->
+        (List.nth fscalar_names i, float_of_int (Rng.range rng (-8) 12) /. 4.0))
+  in
+  let params =
+    List.map (fun (name, dims) -> (name, TArr (TDouble, dims))) arrays
+    @ (if with_n then [ ("n", TInt) ] else [])
+    @ List.map (fun (name, _) -> (name, TDouble)) fscalars
+  in
+  (* Body. *)
+  let g =
+    {
+      rng;
+      cfg;
+      arrays;
+      n_val;
+      scalars = List.map fst fscalars;
+      loops = [];
+      fresh = 0;
+    }
+  in
+  let body = gen_block g 0 @ [ sink_loops g (List.hd arrays) ] in
+  (* Optionally return an accumulator (return must be the final
+     statement of the function in this subset). *)
+  let ret, body =
+    if g.scalars <> [] && Rng.one_in g.rng 3 then
+      (TDouble, body @ [ SReturn (Some (EVar (List.hd g.scalars))) ])
+    else (TVoid, body)
+  in
+  let entry = "kernel" in
+  let prog = { funcs = [ { name = entry; ret; params; body } ] } in
+  let args () =
+    List.map
+      (fun (name, dims) ->
+        let elems = List.fold_left ( * ) 1 dims in
+        let key0 = Hashtbl.hash (seed, name) land 0xFFFFFF in
+        Pipelines.AFloatArr
+          ( Array.init elems (fun i ->
+                let x = ((key0 + i) * 1103515245) + 12345 in
+                float_of_int (x land 0x3FFFFFFF) /. 1073741824.0),
+            Array.of_list dims ) )
+      arrays
+    @ (if with_n then [ Pipelines.AInt min_dim ] else [])
+    @ List.map (fun (_, v) -> Pipelines.AFloat v) fscalars
+  in
+  { seed; prog; src = Cprint.program_str prog; entry; args }

@@ -1,0 +1,51 @@
+(** Fuzz campaign driver: generate [count] programs from a campaign seed,
+    run each through the differential {!Oracle}, shrink the failures.
+
+    Per-case seeds come from {!Rng.derive}, so case [i] of campaign seed
+    [s] is the same program forever — a failure report quoting [(seed,
+    index)] or the case seed alone is a complete reproducer. *)
+
+module Obs = Dcir_obs.Obs
+
+type failed_case = {
+  case : Gen.case;  (** the generated program as found *)
+  failures : Oracle.failure list;
+  shrunk : Gen.case;  (** delta-debugged minimal form (= [case] when
+                          shrinking is off or found nothing smaller) *)
+  shrunk_failures : Oracle.failure list;
+}
+
+type report = {
+  count : int;
+  seed : int;
+  checked : bool;
+  failed : failed_case list;  (** in generation order *)
+}
+
+let ok (r : report) : bool = r.failed = []
+
+(** Run the campaign. [on_case] is called after each oracle verdict (for
+    progress output). [~shrink:false] skips delta debugging. *)
+let run ?(cfg = Gen.default_cfg) ?(checked = false) ?(shrink = true)
+    ?reproducer_dir ?(on_case : (int -> Gen.case -> Oracle.failure list -> unit) option)
+    ~(count : int) ~(seed : int) () : report =
+  Obs.with_span ~cat:"fuzz" "fuzz-campaign" (fun () ->
+      let failed = ref [] in
+      for i = 0 to count - 1 do
+        let case = Gen.generate ~cfg (Rng.derive seed i) in
+        let failures = Oracle.check ~checked ?reproducer_dir case in
+        (match on_case with Some f -> f i case failures | None -> ());
+        if failures <> [] then begin
+          let shrunk, shrunk_failures =
+            if shrink then Shrink.shrink ~checked case failures
+            else (case, failures)
+          in
+          failed := { case; failures; shrunk; shrunk_failures } :: !failed
+        end
+      done;
+      Obs.set_args
+        [
+          ("programs", Dcir_obs.Json.Int count);
+          ("failures", Dcir_obs.Json.Int (List.length !failed));
+        ];
+      { count; seed; checked; failed = List.rev !failed })

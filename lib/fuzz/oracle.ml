@@ -1,0 +1,143 @@
+(** Differential oracle: run one generated program through all five
+    pipelines and compare against the unoptimized reference.
+
+    The reference is the direct Polygeist lowering executed with no
+    optimization at all — the same baseline
+    {!Dcir_core.Pipelines.compare_pipelines} uses. A pipeline {e fails} the
+    oracle when it either crashes (any exception out of compile or run) or
+    diverges (return value or any array output differs from the reference
+    beyond floating-point reassociation tolerance, or has a different
+    shape).
+
+    Crashes caused by the frontend rejecting the program (lex / parse /
+    sema / lowering errors) are flagged [f_invalid]: the generator never
+    produces such programs, but the shrinker can, and must not count them
+    as reproducing a failure. *)
+
+module Pipelines = Dcir_core.Pipelines
+module Diag = Dcir_support.Diagnostics
+module Value = Dcir_machine.Value
+
+type failure_kind =
+  | Crash of string  (** exception out of compile or run *)
+  | Divergence of string  (** outputs disagree with the reference *)
+
+type failure = {
+  f_pipeline : string;  (** pipeline name, or ["reference"] *)
+  f_kind : failure_kind;
+  f_invalid : bool;
+      (** the crash was the frontend rejecting the program — an invalid
+          input, not a pipeline bug *)
+}
+
+let failure_str (f : failure) : string =
+  match f.f_kind with
+  | Crash msg -> Printf.sprintf "%s: crash: %s" f.f_pipeline msg
+  | Divergence msg -> Printf.sprintf "%s: divergence: %s" f.f_pipeline msg
+
+let describe_exn (e : exn) : string =
+  match e with
+  | Diag.Error d -> Diag.to_string d
+  | Pipelines.Pipeline_error msg -> "pipeline error: " ^ Diag.one_line msg
+  | Failure msg -> "failure: " ^ Diag.one_line msg
+  | e -> Printexc.to_string e
+
+(* A frontend rejection means the *program* is invalid, not that a
+   pipeline is buggy. The reference path raises the frontend exceptions
+   directly; the pipelines wrap them in Diag.Error with phase Frontend. *)
+let is_frontend_reject (e : exn) : bool =
+  match e with
+  | Diag.Error { Diag.phase = Diag.Frontend; _ }
+  | Dcir_cfront.C_lexer.Lex_error _
+  | Dcir_cfront.C_parser.Parse_error _
+  | Dcir_cfront.C_sema.Sema_error _
+  | Dcir_cfront.Polygeist.Lower_error _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Output comparison (shape-safe; rtol matches compare_pipelines) *)
+
+let rtol = 1e-6
+
+let divergence (reference : Pipelines.run_result) (r : Pipelines.run_result) :
+    string option =
+  match (r.return_value, reference.return_value) with
+  | Some a, Some b when not (Value.close ~rtol a b) ->
+      Some
+        (Printf.sprintf "return value %s, reference returned %s"
+           (Value.to_string a) (Value.to_string b))
+  | Some _, None -> Some "returned a value, reference returned none"
+  | None, Some _ -> Some "returned no value, reference returned one"
+  | _ ->
+      let ref_outs = reference.outputs and outs = r.outputs in
+      if List.map fst outs <> List.map fst ref_outs then
+        Some "array outputs cover different argument positions"
+      else
+        List.fold_left2
+          (fun acc (pos, xs) (_, ys) ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if Array.length xs <> Array.length ys then
+                  Some
+                    (Printf.sprintf
+                       "output arg %d has %d elements, reference has %d" pos
+                       (Array.length xs) (Array.length ys))
+                else
+                  let bad = ref None in
+                  Array.iteri
+                    (fun i x ->
+                      if !bad = None && not (Value.close ~rtol x ys.(i)) then
+                        bad :=
+                          Some
+                            (Printf.sprintf
+                               "output arg %d differs at flat index %d: %s, \
+                                reference %s"
+                               pos i (Value.to_string x)
+                               (Value.to_string ys.(i))))
+                    xs;
+                  !bad)
+          None outs ref_outs
+
+(* ------------------------------------------------------------------ *)
+
+let crash_failure (pipeline : string) (e : exn) : failure =
+  { f_pipeline = pipeline; f_kind = Crash (describe_exn e);
+    f_invalid = is_frontend_reject e }
+
+(** Run [case] through the reference and all five pipelines; the empty
+    list means every pipeline agreed with the unoptimized reference.
+    [~checked] forwards to {!Pipelines.compile} (snapshot / re-verify /
+    rollback around every optimization pass). *)
+let check ?(checked = false) ?reproducer_dir (case : Gen.case) : failure list
+    =
+  let reference =
+    try
+      let m = Dcir_cfront.Polygeist.compile case.src in
+      Ok (Pipelines.run (Pipelines.CMlir m) ~entry:case.entry (case.args ()))
+    with e -> Error e
+  in
+  match reference with
+  | Error e -> [ crash_failure "reference" e ]
+  | Ok ref_r ->
+      List.filter_map
+        (fun kind ->
+          let name = Pipelines.kind_name kind in
+          match
+            try
+              let compiled =
+                Pipelines.compile ~checked ?reproducer_dir kind ~src:case.src
+                  ~entry:case.entry
+              in
+              Ok (Pipelines.run compiled ~entry:case.entry (case.args ()))
+            with e -> Error e
+          with
+          | Error e -> Some (crash_failure name e)
+          | Ok r -> (
+              match divergence ref_r r with
+              | Some msg ->
+                  Some
+                    { f_pipeline = name; f_kind = Divergence msg;
+                      f_invalid = false }
+              | None -> None))
+        Pipelines.all_kinds

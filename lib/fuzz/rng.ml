@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random source for the fuzzer: splitmix64.
+
+    Self-contained (no dependency on [Random], whose sequence is not
+    guaranteed stable across OCaml releases) so a seed printed in a failure
+    report regenerates the identical program forever. *)
+
+type t = { mutable state : int64 }
+
+let make (seed : int) : t = { state = Int64.of_int seed }
+
+let next (t : t) : int64 =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [\[0, bound)]; 0 when [bound <= 0]. *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then 0
+  else
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+(** Int in [\[lo, hi]] inclusive. *)
+let range (t : t) (lo : int) (hi : int) : int = lo + int t (hi - lo + 1)
+
+let pick (t : t) (xs : 'a list) : 'a = List.nth xs (int t (List.length xs))
+
+(** True once in [n] draws. *)
+let one_in (t : t) (n : int) : bool = int t n = 0
+
+(** Uniform float in [\[0, 1)]. *)
+let float (t : t) : float =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+(** A stream independent of [t], keyed by [tag] — used to derive the
+    per-case seed from the campaign seed. *)
+let derive (seed : int) (tag : int) : int =
+  let r = make seed in
+  let mix = ref 0 in
+  for _ = 0 to 1 do
+    mix := Int64.to_int (Int64.shift_right_logical (next r) 2)
+  done;
+  let r2 = make (!mix lxor (tag * 0x9E3779B9)) in
+  Int64.to_int (Int64.shift_right_logical (next r2) 2)

@@ -1,0 +1,101 @@
+(** Greedy delta-debugging shrinker for failing fuzz cases.
+
+    Works on the entry function's statement list: candidate reductions are
+    (a) dropping one statement, (b) replacing a [for] / [if] / block with
+    its body (hoisting), and (c) the same reductions applied inside nested
+    bodies. The first candidate that still reproduces the failure is
+    accepted and shrinking restarts from it; every acceptance strictly
+    shrinks the AST, so the loop terminates (a budget bounds the number of
+    oracle runs regardless).
+
+    A shrunk program can become invalid (e.g. dropping a declaration whose
+    variable is still used) — the frontend then rejects it, which the
+    oracle flags [f_invalid]. Such candidates do {e not} count as
+    reproducing unless the original failure was itself a frontend
+    rejection. *)
+
+module C = Dcir_cfront.C_ast
+
+let set_nth (ss : 'a list) (i : int) (x : 'a) : 'a list =
+  List.mapi (fun j s -> if j = i then x else s) ss
+
+let splice_nth (ss : C.stmt list) (i : int) (body : C.stmt list) :
+    C.stmt list =
+  List.concat (List.mapi (fun j s -> if j = i then body else [ s ]) ss)
+
+(* All one-step reductions of a statement list, most aggressive first. *)
+let rec candidates (ss : C.stmt list) : C.stmt list list =
+  let removals = List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) ss) ss in
+  let hoists =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match s with
+           | C.SFor (_, b) | C.SBlock b -> [ splice_nth ss i b ]
+           | C.SIf (_, t, f) -> [ splice_nth ss i t; splice_nth ss i f ]
+           | _ -> [])
+         ss)
+  in
+  let nested =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match s with
+           | C.SFor (h, b) ->
+               List.map (fun b' -> set_nth ss i (C.SFor (h, b'))) (candidates b)
+           | C.SIf (c, t, f) ->
+               List.map (fun t' -> set_nth ss i (C.SIf (c, t', f)))
+                 (candidates t)
+               @ List.map (fun f' -> set_nth ss i (C.SIf (c, t, f')))
+                   (candidates f)
+           | C.SBlock b ->
+               List.map (fun b' -> set_nth ss i (C.SBlock b')) (candidates b)
+           | _ -> [])
+         ss)
+  in
+  removals @ hoists @ nested
+
+(* Rebuild the case around a reduced entry body; parameters (and therefore
+   the argument builder) are untouched. *)
+let rebuild (case : Gen.case) (body : C.stmt list) : Gen.case =
+  match case.prog.funcs with
+  | [] -> case
+  | f :: rest ->
+      let prog = { C.funcs = { f with C.body } :: rest } in
+      { case with prog; src = Cprint.program_str prog }
+
+(** Shrink [case], which failed with [orig], to a smaller case that still
+    fails. Returns the smallest case found and its failures (the input
+    itself if nothing smaller reproduces). [max_attempts] bounds the
+    number of oracle runs. *)
+let shrink ?(max_attempts = 300) ?(checked = false) (case : Gen.case)
+    (orig : Oracle.failure list) : Gen.case * Oracle.failure list =
+  let invalid_counts = List.exists (fun f -> f.Oracle.f_invalid) orig in
+  let attempts = ref 0 in
+  let reproduces (c : Gen.case) : Oracle.failure list option =
+    incr attempts;
+    match Oracle.check ~checked c with
+    | [] -> None
+    | fails
+      when (not invalid_counts)
+           && List.for_all (fun f -> f.Oracle.f_invalid) fails -> None
+    | fails -> Some fails
+  in
+  let rec go (c : Gen.case) (fails : Oracle.failure list) :
+      Gen.case * Oracle.failure list =
+    let body =
+      match c.Gen.prog.funcs with [] -> [] | f :: _ -> f.C.body
+    in
+    let rec first = function
+      | [] -> (c, fails)
+      | body' :: rest ->
+          if !attempts >= max_attempts then (c, fails)
+          else
+            let c' = rebuild c body' in
+            (match reproduces c' with
+            | Some fails' -> go c' fails'
+            | None -> first rest)
+    in
+    if !attempts >= max_attempts then (c, fails) else first (candidates body)
+  in
+  go case orig

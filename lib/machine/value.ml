@@ -31,7 +31,8 @@ let close ?(rtol = 1e-9) (a : t) (b : t) : bool =
   match (a, b) with
   | VInt x, VInt y -> x = y
   | VFloat x, VFloat y ->
-      (x <> x && y <> y)
+      (* x = y covers equal infinities, where x -. y is nan. *)
+      (x <> x && y <> y) || x = y
       || Float.abs (x -. y) <= rtol *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
   | _ -> false
 

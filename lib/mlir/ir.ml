@@ -186,6 +186,41 @@ and clone_region (vm : value_map) (r : region) : region * value_map =
   in
   (new_region ~args ~ops:(List.rev ops) (), vm)
 
+(** Deep-clone a function. The body region is cloned with fresh values;
+    [fparams] are remapped through the clone so they stay identical to the
+    body region's arguments (the invariant the builders establish). *)
+let clone_func (f : func) : func =
+  match f.fbody with
+  | None ->
+      {
+        fname = f.fname;
+        fparams = List.map (fun v -> new_value ~hint:v.hint v.vty) f.fparams;
+        fret = f.fret;
+        fbody = None;
+        fattrs = f.fattrs;
+      }
+  | Some r ->
+      let r', vm = clone_region IntMap.empty r in
+      {
+        fname = f.fname;
+        fparams = List.map (map_value vm) f.fparams;
+        fret = f.fret;
+        fbody = Some r';
+        fattrs = f.fattrs;
+      }
+
+(** Deep-clone a module — the snapshot primitive of checked pass execution
+    ({!Pass.run_to_fixpoint_stats} with [~checked]). The id generator is
+    shared: ids only need to stay unique, and a restored snapshot must keep
+    drawing fresh ones. *)
+let clone_module (m : modul) : modul =
+  { funcs = List.map clone_func m.funcs; gen = m.gen }
+
+(** Overwrite [dst] with the contents of snapshot [src] — the rollback half
+    of checked execution. *)
+let restore_module ~(into : modul) (src : modul) : unit =
+  into.funcs <- src.funcs
+
 (* ------------------------------------------------------------------ *)
 (* Queries *)
 

@@ -7,10 +7,21 @@
     whether it changed the IR, and the module op-count delta; each fixpoint
     round gets its own nesting span (the [-mlir-timing] role). Fixpoint
     drivers also report structured statistics — per-pass change counts and
-    the number of rounds — through {!pipeline_stats}. *)
+    the number of rounds — through {!pipeline_stats}.
+
+    {b Checked execution} ([~checked:true]): before each pass the module is
+    snapshotted ({!Ir.clone_module}); after it, {!Verifier.verify_module}
+    re-checks the IR. If the pass raised or left the IR invalid, the module
+    is rolled back to the snapshot, the incident is recorded (an
+    [mlir.pass.rollbacks] {!Obs.Counter} plus a [rollback] span and a
+    {!Dcir_support.Diagnostics.incident} in the stats), a crash-reproducer
+    file (pre-pass IR + the single-pass pipeline that triggers the fault,
+    MLIR-style) is written, and the pass is disabled for the remainder of
+    the fixpoint loop — degraded output beats a crash. *)
 
 module Obs = Dcir_obs.Obs
 module Json = Dcir_obs.Json
+module Diag = Dcir_support.Diagnostics
 
 let log_src = Logs.Src.create "dcir.mlir.pass" ~doc:"MLIR pass manager"
 
@@ -53,21 +64,112 @@ let run_one (p : t) (m : Ir.modul) : bool =
 let run_pipeline (passes : t list) (m : Ir.modul) : bool =
   List.fold_left (fun changed p -> run_one p m || changed) false passes
 
+(* ------------------------------------------------------------------ *)
+(* Checked execution *)
+
+let sanitize_name (s : string) : string =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '-')
+    s
+
+(* Crash reproducer, MLIR-style: the pre-pass IR plus the (single-pass)
+   pipeline that triggers the fault. Returns the path, or [None] when the
+   directory is not writable — reproducers are best-effort and must never
+   turn a recovered failure back into a crash. *)
+let write_reproducer ?(ext = ".mlir") ~(dir : string) ~(prefix : string)
+    ~(pass_name : string) ~(reason : string) (ir_text : string) :
+    string option =
+  try
+    let path =
+      Filename.temp_file ~temp_dir:dir
+        (Printf.sprintf "%s-%s-" prefix (sanitize_name pass_name))
+        ext
+    in
+    let oc = open_out path in
+    Printf.fprintf oc "// dcir crash reproducer\n// failed pass: %s\n" pass_name;
+    List.iter
+      (fun line -> Printf.fprintf oc "// reason: %s\n" line)
+      (String.split_on_char '\n' reason);
+    Printf.fprintf oc "// configuration: pass-pipeline='%s'\n%s" pass_name
+      ir_text;
+    close_out oc;
+    Some path
+  with Sys_error _ -> None
+
+let record_rollback ~(counter : string) ~(pass_name : string)
+    ~(reason : string) (reproducer : string option) : unit =
+  Obs.Counter.incr (Obs.Counter.make counter);
+  if Obs.enabled () then
+    Obs.with_span ~cat:"rollback" ("rollback:" ^ pass_name) (fun () ->
+        Obs.set_args
+          ([ ("reason", Json.Str reason) ]
+          @
+          match reproducer with
+          | Some p -> [ ("reproducer", Json.Str p) ]
+          | None -> []))
+
+(* Run one pass under checked execution: snapshot, run, re-verify. On a
+   crash or a verification failure, roll back and report the incident. *)
+let run_one_checked ~(round : int) ~(reproducer_dir : string) (p : t)
+    (m : Ir.modul) : bool * Diag.incident option =
+  let snapshot = Ir.clone_module m in
+  let outcome =
+    match run_one p m with
+    | changed -> (
+        match
+          List.filter
+            (fun (d : Verifier.diagnostic) -> d.severity = `Error)
+            (Verifier.verify_module m)
+        with
+        | [] -> Ok changed
+        | errs ->
+            Error
+              (String.concat "\n"
+                 (List.map (fun d -> Fmt.str "%a" Verifier.pp_diagnostic d) errs)))
+    | exception exn -> Error ("pass raised: " ^ Printexc.to_string exn)
+  in
+  match outcome with
+  | Ok changed -> (changed, None)
+  | Error reason ->
+      Ir.restore_module ~into:m snapshot;
+      let reproducer =
+        write_reproducer ~dir:reproducer_dir ~prefix:"dcir-repro"
+          ~pass_name:p.pname ~reason
+          (Printer.module_to_string m)
+      in
+      record_rollback ~counter:"mlir.pass.rollbacks" ~pass_name:p.pname
+        ~reason reproducer;
+      Log.err (fun f ->
+          f "pass %s failed verification and was rolled back: %s" p.pname
+            reason);
+      (false, Some { Diag.in_pass = p.pname; in_round = round; reason; reproducer })
+
 type pipeline_stats = {
   rounds : int;  (** fixpoint iterations executed, including the final
                      no-progress round that confirms convergence *)
   applications : (string * int) list;
       (** pass name -> number of runs that changed the IR, pipeline order *)
+  incidents : Diag.incident list;
+      (** checked-mode rollbacks, chronological ([[]] when unchecked or
+          when every pass behaved) *)
 }
 
 (** Like {!run_to_fixpoint}, additionally reporting per-pass change counts
-    and the round count. *)
-let run_to_fixpoint_stats ?(max_iters = 20) (passes : t list) (m : Ir.modul) :
-    bool * pipeline_stats =
+    and the round count. With [~checked:true], every pass runs under
+    snapshot/verify/rollback (see the module doc); a pass that fails is
+    disabled for the remaining rounds and reported in
+    [stats.incidents]. [reproducer_dir] is where crash reproducers are
+    written (default: the system temp directory). *)
+let run_to_fixpoint_stats ?(max_iters = 20) ?(checked = false)
+    ?(reproducer_dir = Filename.get_temp_dir_name ()) (passes : t list)
+    (m : Ir.modul) : bool * pipeline_stats =
   let apps = Hashtbl.create (List.length passes) in
   let bump name =
     Hashtbl.replace apps name (1 + Option.value ~default:0 (Hashtbl.find_opt apps name))
   in
+  let disabled : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let incidents = ref [] in
   let changed_once = ref false in
   let continue_ = ref true in
   let iters = ref 0 in
@@ -79,9 +181,25 @@ let run_to_fixpoint_stats ?(max_iters = 20) (passes : t list) (m : Ir.modul) :
         (fun () ->
           List.fold_left
             (fun changed p ->
-              let c = run_one p m in
-              if c then bump p.pname;
-              changed || c)
+              if Hashtbl.mem disabled p.pname then changed
+              else begin
+                let c =
+                  if not checked then run_one p m
+                  else begin
+                    let c, incident =
+                      run_one_checked ~round:!iters ~reproducer_dir p m
+                    in
+                    (match incident with
+                    | Some i ->
+                        incidents := i :: !incidents;
+                        Hashtbl.replace disabled p.pname ()
+                    | None -> ());
+                    c
+                  end
+                in
+                if c then bump p.pname;
+                changed || c
+              end)
             false passes)
     in
     Log.debug (fun f ->
@@ -97,13 +215,14 @@ let run_to_fixpoint_stats ?(max_iters = 20) (passes : t list) (m : Ir.modul) :
           (fun p ->
             (p.pname, Option.value ~default:0 (Hashtbl.find_opt apps p.pname)))
           passes;
+      incidents = List.rev !incidents;
     } )
 
 (** Repeat the pipeline until no pass reports a change (bounded to avoid
     divergence from a buggy pass). *)
-let run_to_fixpoint ?(max_iters = 20) (passes : t list) (m : Ir.modul) : bool
-    =
-  fst (run_to_fixpoint_stats ~max_iters passes m)
+let run_to_fixpoint ?(max_iters = 20) ?(checked = false) ?reproducer_dir
+    (passes : t list) (m : Ir.modul) : bool =
+  fst (run_to_fixpoint_stats ~max_iters ~checked ?reproducer_dir passes m)
 
 (** Lift a per-function transform to a module pass. *)
 let per_function (pname : string) (run_fn : Ir.func -> bool) : t =

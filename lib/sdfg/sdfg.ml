@@ -235,6 +235,103 @@ let in_edges (sdfg : t) (label : string) : istate_edge list =
   List.filter (fun e -> String.equal e.ie_dst label) sdfg.istate_edges
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot / restore — the checked-execution primitives of
+   {!Dcir_dace_passes.Driver}. Every mutable record (containers, graphs,
+   nodes with map bodies, edges, interstate edges) is copied fresh;
+   immutable payloads (symbolic expressions, tasklet records, memlets) are
+   shared. *)
+
+let rec copy_graph (g : graph) : graph =
+  {
+    nodes =
+      List.map
+        (fun n ->
+          match n.kind with
+          | MapN mn ->
+              {
+                nid = n.nid;
+                kind =
+                  MapN
+                    {
+                      m_params = mn.m_params;
+                      m_ranges = mn.m_ranges;
+                      m_body = copy_graph mn.m_body;
+                    };
+              }
+          | Access _ | TaskletN _ -> { nid = n.nid; kind = n.kind })
+        g.nodes;
+    edges =
+      List.map
+        (fun e ->
+          {
+            e_src = e.e_src;
+            e_src_conn = e.e_src_conn;
+            e_dst = e.e_dst;
+            e_dst_conn = e.e_dst_conn;
+            e_memlet = e.e_memlet;
+          })
+        g.edges;
+  }
+
+let copy_container (c : container) : container =
+  {
+    cname = c.cname;
+    dtype = c.dtype;
+    shape = c.shape;
+    transient = c.transient;
+    storage = c.storage;
+    alloc_in_loop = c.alloc_in_loop;
+    alloc_state = c.alloc_state;
+  }
+
+(** Deep-copy an SDFG (shares the name and id generator: a restored
+    snapshot must keep drawing fresh names). *)
+let copy (sdfg : t) : t =
+  let containers = Hashtbl.create (Hashtbl.length sdfg.containers) in
+  Hashtbl.iter
+    (fun k c -> Hashtbl.replace containers k (copy_container c))
+    sdfg.containers;
+  {
+    name = sdfg.name;
+    containers;
+    arg_order = sdfg.arg_order;
+    param_order = sdfg.param_order;
+    arg_symbols = sdfg.arg_symbols;
+    states =
+      List.map
+        (fun s -> { s_label = s.s_label; s_graph = copy_graph s.s_graph })
+        sdfg.states;
+    istate_edges =
+      List.map
+        (fun e ->
+          {
+            ie_src = e.ie_src;
+            ie_dst = e.ie_dst;
+            ie_cond = e.ie_cond;
+            ie_assign = e.ie_assign;
+          })
+        sdfg.istate_edges;
+    start_state = sdfg.start_state;
+    return_expr = sdfg.return_expr;
+    return_scalar = sdfg.return_scalar;
+    gen = sdfg.gen;
+  }
+
+(** Overwrite [into] with the contents of snapshot [src] — the rollback
+    half of checked execution. *)
+let restore ~(into : t) (src : t) : unit =
+  Hashtbl.reset into.containers;
+  Hashtbl.iter (fun k c -> Hashtbl.replace into.containers k c) src.containers;
+  into.arg_order <- src.arg_order;
+  into.param_order <- src.param_order;
+  into.arg_symbols <- src.arg_symbols;
+  into.states <- src.states;
+  into.istate_edges <- src.istate_edges;
+  into.start_state <- src.start_state;
+  into.return_expr <- src.return_expr;
+  into.return_scalar <- src.return_scalar
+
+(* ------------------------------------------------------------------ *)
 (* Graph queries *)
 
 let node_by_id (g : graph) (nid : int) : node =
@@ -335,10 +432,14 @@ let rec graph_free_syms (g : graph) : string list =
   List.iter
     (fun n ->
       match n.kind with
-      | TaskletN { code = Native assigns; _ } ->
+      | TaskletN ({ code = Native assigns; _ } as t) ->
+          add t.t_syms;
           List.iter (fun (_, e) -> add (Texpr.free_syms e)) assigns
-      | TaskletN { code = Opaque f; _ } ->
-          (* MLIR tasklets may read symbols through sdfg.sym ops. *)
+      | TaskletN ({ code = Opaque f; _ } as t) ->
+          (* Symbols enter opaque tasklets two ways: declared [t_syms]
+             (bound to leading [_sym_*] function parameters) and sdfg.sym
+             ops in the body. *)
+          add t.t_syms;
           (match f.Dcir_mlir.Ir.fbody with
           | Some r ->
               Dcir_mlir.Ir.walk_region r (fun o ->

@@ -326,6 +326,66 @@ let test_validate_structural () =
   Alcotest.(check bool) "dangling edge reported" true
     (Validate.errors sdfg2 <> [])
 
+(* Structured diagnostics: each failure class must surface as an [`Error]
+   whose message names the offending entity — the fuzz CLI and the checked
+   pass drivers render these verbatim. *)
+let has_error (diags : Validate.diagnostic list) (sub : string) : bool =
+  List.exists
+    (fun (d : Validate.diagnostic) ->
+      d.severity = `Error && Tutil.contains d.message sub)
+    diags
+
+let test_validate_unknown_container () =
+  let sdfg = Sdfg.create "diag1" in
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.int 4 ] "x");
+  let st = Sdfg.add_state sdfg "s" in
+  let x = Sdfg.add_node st.s_graph (Sdfg.Access "x") in
+  let t =
+    Sdfg.add_node st.s_graph (Sdfg.TaskletN (mk_tasklet "t" [ "_in" ] [] []))
+  in
+  ignore (Sdfg.add_edge st.s_graph ~dst_conn:"_in" ~memlet:(memlet "ghost" []) x t);
+  Alcotest.(check bool) "unknown container is an error naming it" true
+    (has_error (Validate.validate sdfg) "unknown container 'ghost'")
+
+let test_validate_rank_mismatch () =
+  let sdfg = Sdfg.create "diag2" in
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.int 4; Expr.int 4 ] "m");
+  let st = Sdfg.add_state sdfg "s" in
+  let m = Sdfg.add_node st.s_graph (Sdfg.Access "m") in
+  let t =
+    Sdfg.add_node st.s_graph (Sdfg.TaskletN (mk_tasklet "t" [ "_in" ] [] []))
+  in
+  ignore
+    (Sdfg.add_edge st.s_graph ~dst_conn:"_in"
+       ~memlet:(memlet "m" [ Range.index (Expr.int 1) ])
+       m t);
+  Alcotest.(check bool) "rank mismatch is an error stating both ranks" true
+    (has_error (Validate.validate sdfg) "rank 1 but container has rank 2")
+
+let test_validate_symbolic_oob () =
+  (* x has symbolic size N; subset [N + 1] is provably out of bounds for
+     every binding of N. *)
+  let sdfg = Sdfg.create "diag3" in
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+       ~shape:[ Expr.sym "N" ] "x");
+  sdfg.arg_symbols <- [ "N" ];
+  let st = Sdfg.add_state sdfg "s" in
+  let x = Sdfg.add_node st.s_graph (Sdfg.Access "x") in
+  let t =
+    Sdfg.add_node st.s_graph (Sdfg.TaskletN (mk_tasklet "t" [ "_in" ] [] []))
+  in
+  ignore
+    (Sdfg.add_edge st.s_graph ~dst_conn:"_in"
+       ~memlet:(memlet "x" [ Range.index (Expr.add (Expr.sym "N") Expr.one) ])
+       x t);
+  Alcotest.(check bool) "provably-OOB symbolic subset is an error" true
+    (has_error (Validate.validate sdfg) "out of bounds")
+
 let test_printer_smoke () =
   let s = Printer.to_string (scale_sdfg ()) in
   List.iter
@@ -342,5 +402,11 @@ let suite =
       Alcotest.test_case "validate: Fig 3 sizes" `Quick test_validate_size_mismatch;
       Alcotest.test_case "validate: out of bounds" `Quick test_validate_oob;
       Alcotest.test_case "validate: structure" `Quick test_validate_structural;
+      Alcotest.test_case "validate: unknown container diagnostic" `Quick
+        test_validate_unknown_container;
+      Alcotest.test_case "validate: rank mismatch diagnostic" `Quick
+        test_validate_rank_mismatch;
+      Alcotest.test_case "validate: symbolic OOB diagnostic" `Quick
+        test_validate_symbolic_oob;
       Alcotest.test_case "printer" `Quick test_printer_smoke;
     ] )

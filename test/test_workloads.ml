@@ -87,5 +87,6 @@ let () =
       Test_dace_passes.suite;
       Test_obs.suite;
       Test_core.suite;
+      Test_fuzz.suite;
       suite;
     ]
