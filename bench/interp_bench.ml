@@ -1,0 +1,188 @@
+(** Interpreter micro-benchmark: compiled execution plans vs tree walking.
+
+    Runs representative workloads through both interpreter modes
+    ([Pipelines.run ~interp_mode]) on the same compiled artifact, asserting
+    first that outputs, return values and {e every} machine metric are
+    bit-identical, then timing repeated runs of each mode. The compiled
+    plans only remove host-side interpretation overhead (tree dispatch,
+    assoc-list connector lookups, repeated topological sorts); any metric
+    divergence is a bug, and any slowdown defeats their purpose — both are
+    hard failures here and in [validate_report].
+
+    Usage: [interp_bench.exe [--reps N] [--json FILE]]. The JSON report
+    uses schema [dcir-interp-bench/1]:
+
+    {v
+    { "schema": "dcir-interp-bench/1",
+      "benchmarks": [ { "name", "pipeline", "reps",
+                        "tree_wall_s", "compiled_wall_s",
+                        "speedup", "identical" } ] }
+    v} *)
+
+open Dcir_workloads
+module Pipelines = Dcir_core.Pipelines
+module Metrics = Dcir_machine.Metrics
+module Value = Dcir_machine.Value
+module Json = Dcir_obs.Json
+
+let pr fmt = Format.printf fmt
+
+let metrics_equal (a : Metrics.t) (b : Metrics.t) : bool =
+  Int64.equal (Int64.bits_of_float a.cycles) (Int64.bits_of_float b.cycles)
+  && a.loads = b.loads && a.stores = b.stores
+  && a.bytes_loaded = b.bytes_loaded
+  && a.bytes_stored = b.bytes_stored
+  && a.int_ops = b.int_ops && a.fp_ops = b.fp_ops
+  && a.math_calls = b.math_calls && a.branches = b.branches
+  && a.heap_allocs = b.heap_allocs
+  && a.heap_frees = b.heap_frees
+  && a.heap_bytes = b.heap_bytes
+  && a.stack_allocs = b.stack_allocs
+  && a.l1_misses = b.l1_misses && a.l2_misses = b.l2_misses
+  && a.l3_misses = b.l3_misses
+  && a.l1_accesses = b.l1_accesses
+
+let outputs_equal (a : (int * Value.t array) list)
+    (b : (int * Value.t array) list) : bool =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (i, x) (j, y) ->
+         i = j
+         && Array.length x = Array.length y
+         && Array.for_all2 Value.equal x y)
+       a b
+
+let results_identical (a : Pipelines.run_result) (b : Pipelines.run_result) :
+    bool =
+  (match (a.return_value, b.return_value) with
+  | Some x, Some y -> Value.equal x y
+  | None, None -> true
+  | _ -> false)
+  && outputs_equal a.outputs b.outputs
+  && metrics_equal a.metrics b.metrics
+
+type row = {
+  name : string;
+  pipeline : string;
+  reps : int;
+  tree_s : float;
+  compiled_s : float;
+  identical : bool;
+}
+
+let speedup (r : row) : float = r.tree_s /. Float.max 1e-9 r.compiled_s
+
+let row_json (r : row) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.Str r.name);
+      ("pipeline", Json.Str r.pipeline);
+      ("reps", Json.Int r.reps);
+      ("tree_wall_s", Json.Float r.tree_s);
+      ("compiled_wall_s", Json.Float r.compiled_s);
+      ("speedup", Json.Float (speedup r));
+      ("identical", Json.Bool r.identical);
+    ]
+
+let time_runs (mode : Pipelines.interp_mode) (reps : int)
+    (compiled : Pipelines.compiled) ~(entry : string)
+    (args : Pipelines.arg list) : float =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Pipelines.run ~interp_mode:mode compiled ~entry args)
+  done;
+  Unix.gettimeofday () -. t0
+
+let bench_one ~(reps : int) (kind : Pipelines.kind) (w : Workload.t) : row =
+  let compiled = Pipelines.compile kind ~src:w.src ~entry:w.entry in
+  let args = w.args () in
+  (* Identity check first; it also warms the plan cache so the timed
+     compiled runs measure steady-state execution, not compilation. *)
+  let rt = Pipelines.run ~interp_mode:`Tree compiled ~entry:w.entry args in
+  let rc = Pipelines.run ~interp_mode:`Compiled compiled ~entry:w.entry args in
+  let identical = results_identical rt rc in
+  let tree_s = time_runs `Tree reps compiled ~entry:w.entry args in
+  let compiled_s = time_runs `Compiled reps compiled ~entry:w.entry args in
+  {
+    name = w.name;
+    pipeline = Pipelines.kind_name kind;
+    reps;
+    tree_s;
+    compiled_s;
+    identical;
+  }
+
+let () =
+  let json_path = ref None and reps = ref 5 in
+  let rec scan = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        scan rest
+    | "--reps" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v > 0 -> reps := v
+        | _ ->
+            prerr_endline "interp_bench: --reps expects a positive integer";
+            exit 2);
+        scan rest
+    | [ "--json" ] | [ "--reps" ] ->
+        prerr_endline "interp_bench: missing argument";
+        exit 2
+    | arg :: _ ->
+        prerr_endline ("interp_bench: unknown argument " ^ arg);
+        exit 2
+  in
+  scan (List.tl (Array.to_list Sys.argv));
+  let reps = !reps in
+  (* SDFG-heavy subjects (native tasklets, maps, state-machine loops) plus
+     an opaque-tasklet pipeline (dace: MLIR bodies behind connectors) and a
+     pure-MLIR pipeline, so both interpreters' plans are exercised. *)
+  let subjects : (Pipelines.kind * Workload.t) list =
+    [
+      (Pipelines.Dcir, Polybench.gemm);
+      (Pipelines.Dcir, Polybench.durbin);
+      (Pipelines.Dace, Polybench.gemm);
+      (Pipelines.Mlir, Polybench.gemm);
+    ]
+  in
+  pr "== interpreter micro-benchmark: tree vs compiled plans (%d reps) ==@."
+    reps;
+  pr "  %-10s %-8s %12s %12s %9s %10s@." "workload" "pipeline" "tree (s)"
+    "compiled (s)" "speedup" "identical";
+  let rows = List.map (fun (k, w) -> bench_one ~reps k w) subjects in
+  List.iter
+    (fun r ->
+      pr "  %-10s %-8s %12.4f %12.4f %8.2fx %10b@." r.name r.pipeline r.tree_s
+        r.compiled_s (speedup r) r.identical)
+    rows;
+  let geo =
+    exp
+      (List.fold_left (fun acc r -> acc +. log (speedup r)) 0.0 rows
+      /. float_of_int (List.length rows))
+  in
+  pr "  geomean speedup: %.2fx@." geo;
+  (match !json_path with
+  | Some path -> (
+      let report =
+        Json.Obj
+          [
+            ("schema", Json.Str "dcir-interp-bench/1");
+            ("benchmarks", Json.List (List.map row_json rows));
+          ]
+      in
+      try
+        let oc = open_out path in
+        output_string oc (Json.to_string report);
+        output_char oc '\n';
+        close_out oc;
+        pr "report written to %s@." path
+      with Sys_error msg ->
+        prerr_endline ("interp_bench: cannot write report: " ^ msg);
+        exit 1)
+  | None -> ());
+  if List.exists (fun r -> not r.identical) rows then begin
+    prerr_endline
+      "interp_bench: FAIL — compiled plans diverged from the tree walker";
+    exit 1
+  end

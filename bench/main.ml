@@ -13,7 +13,13 @@
     machine-readable report (schema [dcir-bench-report/1]: per-workload,
     per-pipeline cycles/metrics/correctness, plus ablations, eliminated
     container counts, and compile timings when those parts ran) — the
-    canonical diffable record of the perf trajectory across PRs. *)
+    canonical diffable record of the perf trajectory across PRs.
+
+    [--interp tree|compiled] selects the interpreter execution strategy
+    (default: compiled plans). Simulated metrics are bit-identical between
+    the two — only harness wall-clock changes — so reports produced under
+    either setting are directly comparable; the flag exists to measure
+    that overhead (EXPERIMENTS.md "Interpreter performance"). *)
 
 open Dcir_workloads
 module Pipelines = Dcir_core.Pipelines
@@ -21,6 +27,7 @@ module Driver = Dcir_dace_passes.Driver
 module Json = Dcir_obs.Json
 
 let pr fmt = Format.printf fmt
+let interp_mode : Pipelines.interp_mode ref = ref `Compiled
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable report accumulation: every figure that runs appends
@@ -84,8 +91,8 @@ let write_report (path : string) : unit =
 let run_workload ?kinds ?cfg ~(fig : string) (w : Workload.t) :
     Pipelines.measurement list =
   let ms =
-    Pipelines.compare_pipelines ?kinds ?cfg ~src:w.src ~entry:w.entry
-      (w.args ())
+    Pipelines.compare_pipelines ?kinds ?cfg ~interp_mode:!interp_mode
+      ~src:w.src ~entry:w.entry (w.args ())
   in
   add_row ~fig ~workload:w.name (List.map Pipelines.measurement_json ms);
   ms
@@ -182,7 +189,10 @@ let fig8 () =
   let fig8_rows : Json.t list ref = ref [] in
   let run_cfg ?(cfg = Dcir_machine.Cost.default) ~name compiled
       (w : Workload.t) =
-    let r = Pipelines.run ~cfg compiled ~entry:w.entry (w.args ()) in
+    let r =
+      Pipelines.run ~cfg ~interp_mode:!interp_mode compiled ~entry:w.entry
+        (w.args ())
+    in
     (* Fig 8 variants are framework proxies with no shared reference run, so
        correctness is not asserted here (null in the report). *)
     fig8_rows :=
@@ -308,7 +318,8 @@ let ablate () =
           let compiled =
             Pipelines.compile ~disable Dcir ~src:w.src ~entry:w.entry
           in
-          Pipelines.run compiled ~entry:w.entry (w.args ())
+          Pipelines.run ~interp_mode:!interp_mode compiled ~entry:w.entry
+            (w.args ())
         with
         | r ->
             ablation_rows :=
@@ -387,6 +398,17 @@ let () =
     | "--json" :: path :: rest ->
         json_path := Some path;
         scan rest
+    | "--interp" :: m :: rest ->
+        (match m with
+        | "tree" -> interp_mode := `Tree
+        | "compiled" -> interp_mode := `Compiled
+        | _ ->
+            prerr_endline "bench: --interp expects 'tree' or 'compiled'";
+            exit 2);
+        scan rest
+    | [ "--interp" ] ->
+        prerr_endline "bench: --interp requires a MODE argument";
+        exit 2
     | arg :: rest ->
         which := arg;
         scan rest

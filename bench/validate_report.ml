@@ -4,7 +4,12 @@
     (schema [dcir-bench/1]) or [bench/main.exe ... --json FILE] (schema
     [dcir-bench-report/1]), validates that it parses, and that every
     "pipelines" array it contains has a row for each of the five
-    pipelines. Exits non-zero with a message on any failure. *)
+    pipelines. Also accepts interpreter micro-benchmark reports
+    ([dcir-interp-bench/1], from [bench/interp_bench.exe]) and acts as the
+    perf smoke test for compiled execution plans: every row must be
+    bit-identical to the tree walker AND at least as fast — a compiled
+    plan slower than the tree it replaced is a regression, not noise.
+    Exits non-zero with a message on any failure. *)
 
 module Json = Dcir_obs.Json
 
@@ -55,6 +60,38 @@ let check_pipelines (arr : Json.t) : unit =
           fail "pipeline %S missing (have: %s)" p (String.concat ", " names))
       expected_pipelines
 
+(* Perf smoke for compiled execution plans ([dcir-interp-bench/1]). *)
+let check_interp_bench (j : Json.t) : unit =
+  let rows =
+    match Option.bind (Json.member "benchmarks" j) Json.to_list with
+    | Some [] -> fail "\"benchmarks\" is empty"
+    | Some rows -> rows
+    | None -> fail "missing or non-array \"benchmarks\""
+  in
+  List.iter
+    (fun row ->
+      let str key =
+        match Option.bind (Json.member key row) Json.to_str with
+        | Some s -> s
+        | None -> fail "benchmark row missing %S" key
+      in
+      let num key =
+        match Json.member key row with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int n) -> float_of_int n
+        | _ -> fail "benchmark row missing numeric %S" key
+      in
+      let label = str "name" ^ "/" ^ str "pipeline" in
+      (match Json.member "identical" row with
+      | Some (Json.Bool true) -> ()
+      | _ ->
+          fail "%s: compiled plan diverged from the tree walker" label);
+      let tree = num "tree_wall_s" and compiled = num "compiled_wall_s" in
+      if not (compiled <= tree) then
+        fail "%s: compiled plan slower than tree baseline (%.4fs vs %.4fs)"
+          label compiled tree)
+    rows
+
 let () =
   let path =
     if Array.length Sys.argv > 1 then Sys.argv.(1)
@@ -69,10 +106,11 @@ let () =
     | Error e -> fail "%s does not parse: %s" path e
   in
   (match Json.member "schema" j with
-  | Some (Json.Str ("dcir-bench/1" | "dcir-bench-report/1")) -> ()
+  | Some (Json.Str ("dcir-bench/1" | "dcir-bench-report/1")) -> (
+      match pipelines_arrays j with
+      | [] -> fail "no \"pipelines\" arrays found in %s" path
+      | arrs -> List.iter check_pipelines arrs)
+  | Some (Json.Str "dcir-interp-bench/1") -> check_interp_bench j
   | Some s -> fail "unexpected schema %s" (Json.to_string s)
   | None -> fail "missing \"schema\" field");
-  (match pipelines_arrays j with
-  | [] -> fail "no \"pipelines\" arrays found in %s" path
-  | arrs -> List.iter check_pipelines arrs);
   print_endline ("validate_report: " ^ path ^ " OK")

@@ -38,7 +38,7 @@ let () =
   let sdfg = Translator.translate_module converted ~entry:"example" in
   banner "Trivially translated SDFG";
   Format.printf "states: %d, containers: %d@."
-    (List.length sdfg.states)
+    (List.length (Dcir_sdfg.Sdfg.states sdfg))
     (Hashtbl.length sdfg.containers);
 
   ignore (Dcir_dace_passes.Driver.optimize sdfg);

@@ -241,8 +241,35 @@ let snapshot_outputs (bufs : (arg * Machine.buffer option) list) :
   |> List.filter_map (fun (i, b) ->
          Option.map (fun buf -> (i, Machine.snapshot buf)) b)
 
+(** Interpreter execution strategy, for both IRs: [`Compiled] (default)
+    builds one-time execution plans (closure arrays / per-state compiled
+    programs); [`Tree] walks the IR directly. Metrics are bit-identical —
+    the modes differ only in host-side wall-clock. *)
+type interp_mode = [ `Tree | `Compiled ]
+
+(* Compiled SDFG plans are reusable across runs of the same (un-mutated)
+   SDFG — bench repetitions in particular. Keyed by physical identity;
+   bounded so abandoned SDFGs don't accumulate. *)
+let plan_cache : Dcir_sdfg.Interp.plan list ref = ref []
+
+let plan_for (sdfg : Sdfg.t) : Dcir_sdfg.Interp.plan =
+  match
+    List.find_opt
+      (fun (p : Dcir_sdfg.Interp.plan) -> p.pl_sdfg == sdfg)
+      !plan_cache
+  with
+  | Some p -> p
+  | None ->
+      let p = Dcir_sdfg.Interp.compile_plan sdfg in
+      plan_cache :=
+        p :: (if List.length !plan_cache >= 8 then
+                List.filteri (fun i _ -> i < 7) !plan_cache
+              else !plan_cache);
+      p
+
 let run ?(cfg = Cost.default) ?(profile : Obs.Profile.t option)
-    (compiled : compiled) ~(entry : string) (args : arg list) : run_result =
+    ?(interp_mode : interp_mode = `Compiled) (compiled : compiled)
+    ~(entry : string) (args : arg list) : run_result =
   let machine = Machine.create ~cfg () in
   let bufs = make_buffers machine args in
   match compiled with
@@ -272,7 +299,12 @@ let run ?(cfg = Cost.default) ?(profile : Obs.Profile.t option)
                         i entry)))
           bufs
       in
-      let results, _ = Interp.run ~machine ?profile m ~entry rt_args in
+      let mode =
+        match interp_mode with
+        | `Tree -> Interp.Tree
+        | `Compiled -> Interp.Compiled
+      in
+      let results, _ = Interp.run ~machine ?profile ~mode m ~entry rt_args in
       {
         return_value = (match results with v :: _ -> Some v | [] -> None);
         outputs = snapshot_outputs bufs;
@@ -342,8 +374,15 @@ let run ?(cfg = Cost.default) ?(profile : Obs.Profile.t option)
                       !pos pname entry)))
         sdfg.param_order bufs;
       let res =
-        Dcir_sdfg.Interp.run ~machine ?profile sdfg ~buffers:!buffers
-          ~symbols:!symbols ()
+        match interp_mode with
+        | `Tree ->
+            Dcir_sdfg.Interp.run ~machine ?profile
+              ~mode:Dcir_sdfg.Interp.Tree sdfg ~buffers:!buffers
+              ~symbols:!symbols ()
+        | `Compiled ->
+            Dcir_sdfg.Interp.run ~machine ?profile
+              ~mode:Dcir_sdfg.Interp.Compiled ~plan:(plan_for sdfg) sdfg
+              ~buffers:!buffers ~symbols:!symbols ()
       in
       {
         return_value = res.return_value;
@@ -386,13 +425,13 @@ let measurement_json (m : measurement) : Json.t =
     within floating-point reassociation tolerance). [with_profile] collects
     runtime attribution for each pipeline into [measurement.profile]. *)
 let compare_pipelines ?(kinds = all_kinds) ?(cfg = Cost.default)
-    ?(with_profile = false) ~(src : string) ~(entry : string)
-    (args : arg list) : measurement list =
+    ?(with_profile = false) ?(interp_mode : interp_mode = `Compiled)
+    ~(src : string) ~(entry : string) (args : arg list) : measurement list =
   (* Reference: direct lowering, no optimization at all. *)
   let reference =
     Obs.with_span ~cat:"run" "run:reference" (fun () ->
         let m = Dcir_cfront.Polygeist.compile src in
-        run ~cfg (CMlir m) ~entry args)
+        run ~cfg ~interp_mode (CMlir m) ~entry args)
   in
   (* Shape-safe: an optimized pipeline that produces outputs of a different
      shape than the reference must report [correct = false], never crash
@@ -415,7 +454,7 @@ let compare_pipelines ?(kinds = all_kinds) ?(cfg = Cost.default)
       let r =
         Obs.with_span ~cat:"run"
           ("run:" ^ kind_name kind)
-          (fun () -> run ~cfg ?profile compiled ~entry args)
+          (fun () -> run ~cfg ?profile ~interp_mode compiled ~entry args)
       in
       let correct =
         (match (r.return_value, reference.return_value) with

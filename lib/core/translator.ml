@@ -232,7 +232,7 @@ let translate_state (ctx : tctx) (label : string) (region : Ir.region) : unit
             (List.exists
                (fun (e : Sdfg.edge) ->
                  e.e_src = a.nid && e.e_dst = b.nid)
-               g.edges)
+               (Sdfg.edges g))
     then ignore (Sdfg.add_edge g a b)
   in
   let note_read (c : string) (n : Sdfg.node) =

@@ -59,7 +59,7 @@ let overwritten_each_iteration (sdfg : Sdfg.t) (l : Loop_analysis.loop)
   let body_states =
     List.filter
       (fun (s : Sdfg.state) -> List.mem s.s_label l.body)
-      sdfg.states
+      (Sdfg.states sdfg)
   in
   (* Find first body state touching the container along the body order. *)
   let touching =

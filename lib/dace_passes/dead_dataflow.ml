@@ -65,7 +65,7 @@ let compute_useful (sdfg : Sdfg.t) : (string, unit) Hashtbl.t =
               Hashtbl.replace node_useful e.e_src ();
               local_changed := true
             end)
-          g.edges;
+          (Sdfg.edges g);
         (* Maps: useful if their body writes a useful container. *)
         List.iter
           (fun (n : Sdfg.node) ->
@@ -77,7 +77,7 @@ let compute_useful (sdfg : Sdfg.t) : (string, unit) Hashtbl.t =
                 Hashtbl.replace node_useful n.nid ();
                 local_changed := true
             | _ -> ())
-          g.nodes
+          (Sdfg.nodes g)
       done;
       (* Everything a useful node reads is a useful container. *)
       List.iter
@@ -86,7 +86,7 @@ let compute_useful (sdfg : Sdfg.t) : (string, unit) Hashtbl.t =
           | Sdfg.Access n, Some _ when Hashtbl.mem node_useful e.e_dst ->
               mark n
           | _ -> ())
-        g.edges;
+        (Sdfg.edges g);
       (* Copies into useful containers read their source. *)
       List.iter
         (fun (e : Sdfg.edge) ->
@@ -98,7 +98,7 @@ let compute_useful (sdfg : Sdfg.t) : (string, unit) Hashtbl.t =
             when Hashtbl.mem useful dst ->
               mark src
           | _ -> ())
-        g.edges;
+        (Sdfg.edges g);
       List.iter
         (fun (n : Sdfg.node) ->
           match n.kind with
@@ -108,9 +108,9 @@ let compute_useful (sdfg : Sdfg.t) : (string, unit) Hashtbl.t =
                 List.iter mark (Sdfg.read_containers mn.m_body);
               process mn.m_body
           | _ -> ())
-        g.nodes
+        (Sdfg.nodes g)
     in
-    List.iter (fun (st : Sdfg.state) -> process st.s_graph) sdfg.states
+    List.iter (fun (st : Sdfg.state) -> process st.s_graph) (Sdfg.states sdfg)
   done;
   useful
 
@@ -127,16 +127,16 @@ let run (sdfg : Sdfg.t) : bool =
         | Sdfg.Access name, Some _ -> not (Hashtbl.mem useful name)
         | _ -> false
       in
-      let before = List.length g.edges in
-      g.edges <- List.filter (fun e -> not (dead_write e)) g.edges;
-      if List.length g.edges <> before then begin
+      let before = List.length (Sdfg.edges g) in
+      Sdfg.set_edges g @@ List.filter (fun e -> not (dead_write e)) (Sdfg.edges g);
+      if List.length (Sdfg.edges g) <> before then begin
         changed := true;
         progress := true
       end;
       List.iter
         (fun (n : Sdfg.node) ->
           match n.kind with Sdfg.MapN mn -> clean mn.m_body | _ -> ())
-        g.nodes;
+        (Sdfg.nodes g);
       (* Remove tasklets with no outputs and maps with no effect. *)
       let continue_ = ref true in
       while !continue_ do
@@ -148,7 +148,7 @@ let run (sdfg : Sdfg.t) : bool =
               | Sdfg.TaskletN _ -> Sdfg.node_out_edges g n = []
               | Sdfg.MapN mn -> Sdfg.written_containers mn.m_body = []
               | Sdfg.Access _ -> false)
-            g.nodes
+            (Sdfg.nodes g)
         in
         if dead_nodes <> [] then begin
           Graph_util.remove_nodes g
@@ -160,7 +160,7 @@ let run (sdfg : Sdfg.t) : bool =
       done;
       Graph_util.prune_isolated_access g
     in
-    List.iter (fun (st : Sdfg.state) -> clean st.s_graph) sdfg.states;
+    List.iter (fun (st : Sdfg.state) -> clean st.s_graph) (Sdfg.states sdfg);
     (* Containers with no accesses at all disappear. *)
     let referenced = Graph_util.symbolically_referenced sdfg in
     let to_remove =
@@ -190,10 +190,10 @@ let run (sdfg : Sdfg.t) : bool =
                   match n.kind with
                   | Sdfg.MapN mn -> clean_nodes mn.m_body
                   | _ -> ())
-                g.nodes
+                (Sdfg.nodes g)
             in
             clean_nodes st.s_graph)
-          sdfg.states;
+          (Sdfg.states sdfg);
         incr eliminated_counter;
         changed := true;
         progress := true)

@@ -11,15 +11,15 @@ open Dcir_symbolic
 let run (sdfg : Sdfg.t) : bool =
   let changed = ref false in
   (* Drop provably-false edges. *)
-  let before = List.length sdfg.istate_edges in
-  sdfg.istate_edges <-
+  let before = List.length (Sdfg.istate_edges sdfg) in
+  Sdfg.set_istate_edges sdfg @@
     List.filter
       (fun (e : Sdfg.istate_edge) ->
         Bexpr.decide e.ie_cond <> Some false)
-      sdfg.istate_edges;
-  if List.length sdfg.istate_edges <> before then changed := true;
+      (Sdfg.istate_edges sdfg);
+  if List.length (Sdfg.istate_edges sdfg) <> before then changed := true;
   (* Remove unreachable states. *)
-  let labels = List.map (fun (s : Sdfg.state) -> s.s_label) sdfg.states in
+  let labels = List.map (fun (s : Sdfg.state) -> s.s_label) (Sdfg.states sdfg) in
   let index_of = Hashtbl.create 16 in
   List.iteri (fun i l -> Hashtbl.replace index_of l i) labels;
   let n = List.length labels in
@@ -34,7 +34,7 @@ let run (sdfg : Sdfg.t) : bool =
              with
              | Some a, Some b -> Some (a, b)
              | _ -> None)
-           sdfg.istate_edges)
+           (Sdfg.istate_edges sdfg))
     in
     let start =
       Option.value ~default:0 (Hashtbl.find_opt index_of sdfg.start_state)
@@ -45,15 +45,15 @@ let run (sdfg : Sdfg.t) : bool =
     in
     if dead <> [] then begin
       changed := true;
-      sdfg.states <-
+      Sdfg.set_states sdfg @@
         List.filter
           (fun (s : Sdfg.state) -> not (List.mem s.s_label dead))
-          sdfg.states;
-      sdfg.istate_edges <-
+          (Sdfg.states sdfg);
+      Sdfg.set_istate_edges sdfg @@
         List.filter
           (fun (e : Sdfg.istate_edge) ->
             (not (List.mem e.ie_src dead)) && not (List.mem e.ie_dst dead))
-          sdfg.istate_edges
+          (Sdfg.istate_edges sdfg)
     end
   end;
   (* Short-circuit empty pass-through states: empty graph, exactly one
@@ -72,7 +72,7 @@ let run (sdfg : Sdfg.t) : bool =
     let removable =
       List.find_opt
         (fun (s : Sdfg.state) ->
-          s.s_graph.nodes = []
+          (Sdfg.nodes s.s_graph) = []
           && (not (String.equal s.s_label sdfg.start_state))
           && (not (Hashtbl.mem charged s.s_label))
           &&
@@ -82,21 +82,21 @@ let run (sdfg : Sdfg.t) : bool =
               && (not (String.equal o.ie_dst s.s_label))
               && Sdfg.in_edges sdfg s.s_label <> []
           | _ -> false)
-        sdfg.states
+        (Sdfg.states sdfg)
     in
     match removable with
     | Some s ->
         let out = List.hd (Sdfg.out_edges sdfg s.s_label) in
-        sdfg.istate_edges <-
+        Sdfg.set_istate_edges sdfg @@
           List.filter_map
             (fun (e : Sdfg.istate_edge) ->
               if e == out then None
               else if String.equal e.ie_dst s.s_label then
                 Some { e with ie_dst = out.ie_dst }
               else Some e)
-            sdfg.istate_edges;
-        sdfg.states <-
-          List.filter (fun (x : Sdfg.state) -> not (x == s)) sdfg.states;
+            (Sdfg.istate_edges sdfg);
+        Sdfg.set_states sdfg @@
+          List.filter (fun (x : Sdfg.state) -> not (x == s)) (Sdfg.states sdfg);
         changed := true;
         continue_ := true
     | None -> ()

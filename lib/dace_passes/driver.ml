@@ -56,8 +56,8 @@ type stats = {
 }
 
 let sdfg_counts (sdfg : Dcir_sdfg.Sdfg.t) : int * int * int =
-  ( List.length sdfg.states,
-    List.length sdfg.istate_edges,
+  ( List.length (Dcir_sdfg.Sdfg.states sdfg),
+    List.length (Dcir_sdfg.Sdfg.istate_edges sdfg),
     Hashtbl.length sdfg.containers )
 
 (* Per-pass application accumulator shared by the stages of one optimize

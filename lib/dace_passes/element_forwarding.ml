@@ -21,7 +21,7 @@ let reachable (g : Sdfg.graph) (src : int) (dst : int) : bool =
             Hashtbl.replace visited n ();
             List.exists
               (fun (e : Sdfg.edge) -> e.e_src = n && dfs e.e_dst)
-              g.edges
+              (Sdfg.edges g)
           end
   in
   dfs src
@@ -44,7 +44,7 @@ let run (sdfg : Sdfg.t) : bool =
               when m.wcr = None && List.for_all Range.is_index m.subset ->
                 Some (m.data, Range.to_string m.subset, e.e_src, conn, e)
             | _ -> None)
-          g.edges
+          (Sdfg.edges g)
       in
       (* Containers with more than one write (any kind, any subset) in this
          state are unsafe to forward: a second write may alias the element
@@ -57,7 +57,7 @@ let run (sdfg : Sdfg.t) : bool =
               Hashtbl.replace write_counts n
                 (1 + Option.value ~default:0 (Hashtbl.find_opt write_counts n))
           | _ -> ())
-        g.edges;
+        (Sdfg.edges g);
       let reader_edges =
         List.filter
           (fun (e : Sdfg.edge) ->
@@ -68,7 +68,7 @@ let run (sdfg : Sdfg.t) : bool =
             with
             | Sdfg.Access _, Sdfg.TaskletN _, Some _, Some m -> m.wcr = None
             | _ -> false)
-          g.edges
+          (Sdfg.edges g)
       in
       List.iter
         (fun (re : Sdfg.edge) ->
@@ -88,7 +88,7 @@ let run (sdfg : Sdfg.t) : bool =
                      && reachable g writer_nid re.e_dst
                      && not (reachable g re.e_dst writer_nid) ->
                   (* Unique ordered write: forward the value directly. *)
-                  g.edges <-
+                  Sdfg.set_edges g @@
                     List.map
                       (fun (x : Sdfg.edge) ->
                         if x == re then
@@ -99,11 +99,11 @@ let run (sdfg : Sdfg.t) : bool =
                             e_memlet = None;
                           }
                         else x)
-                      g.edges;
+                      (Sdfg.edges g);
                   changed := true
               | _ -> ())
           | _ -> ())
         reader_edges;
       Graph_util.prune_isolated_access g)
-    sdfg.states;
+    (Sdfg.states sdfg);
   !changed

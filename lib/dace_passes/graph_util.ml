@@ -13,7 +13,7 @@ let true_symbols (sdfg : Sdfg.t) : (string, unit) Hashtbl.t =
   List.iter
     (fun (e : Sdfg.istate_edge) ->
       List.iter (fun (s, _) -> Hashtbl.replace tbl s ()) e.ie_assign)
-    sdfg.istate_edges;
+    (Sdfg.istate_edges sdfg);
   tbl
 
 let expr_analyzable (syms : (string, unit) Hashtbl.t) (e : Expr.t) : bool =
@@ -34,7 +34,7 @@ let rec writer_edges (g : Sdfg.graph) (name : string) :
             String.equal n name
             && (String.equal m.data name || m.other <> None)
         | _ -> false)
-      g.edges
+      (Sdfg.edges g)
     |> List.map (fun e -> (g, e))
   in
   here
@@ -43,7 +43,7 @@ let rec writer_edges (g : Sdfg.graph) (name : string) :
         match n.kind with
         | Sdfg.MapN mn -> writer_edges mn.m_body name
         | _ -> [])
-      g.nodes
+      (Sdfg.nodes g)
 
 (** Edges reading from access nodes of [name] (recursively). *)
 let rec reader_edges (g : Sdfg.graph) (name : string) :
@@ -54,7 +54,7 @@ let rec reader_edges (g : Sdfg.graph) (name : string) :
         match ((Sdfg.node_by_id g e.e_src).kind, e.e_memlet) with
         | Sdfg.Access n, Some m -> String.equal n name && String.equal m.data name
         | _ -> false)
-      g.edges
+      (Sdfg.edges g)
     |> List.map (fun e -> (g, e))
   in
   here
@@ -63,21 +63,21 @@ let rec reader_edges (g : Sdfg.graph) (name : string) :
         match n.kind with
         | Sdfg.MapN mn -> reader_edges mn.m_body name
         | _ -> [])
-      g.nodes
+      (Sdfg.nodes g)
 
 let all_writer_edges (sdfg : Sdfg.t) (name : string) :
     (Sdfg.state * Sdfg.graph * Sdfg.edge) list =
   List.concat_map
     (fun (st : Sdfg.state) ->
       List.map (fun (g, e) -> (st, g, e)) (writer_edges st.s_graph name))
-    sdfg.states
+    (Sdfg.states sdfg)
 
 let all_reader_edges (sdfg : Sdfg.t) (name : string) :
     (Sdfg.state * Sdfg.graph * Sdfg.edge) list =
   List.concat_map
     (fun (st : Sdfg.state) ->
       List.map (fun (g, e) -> (st, g, e)) (reader_edges st.s_graph name))
-    sdfg.states
+    (Sdfg.states sdfg)
 
 (** Container names referenced as pseudo-symbols anywhere (subsets, tasklet
     code, conditions, assignments, shapes): these cannot be removed or
@@ -91,12 +91,12 @@ let symbolically_referenced (sdfg : Sdfg.t) : (string, unit) Hashtbl.t =
 
 (** Remove nodes by id and every edge touching them. *)
 let remove_nodes (g : Sdfg.graph) (ids : int list) : unit =
-  g.nodes <- List.filter (fun (n : Sdfg.node) -> not (List.mem n.nid ids)) g.nodes;
-  g.edges <-
+  Sdfg.set_nodes g @@ List.filter (fun (n : Sdfg.node) -> not (List.mem n.nid ids)) (Sdfg.nodes g);
+  Sdfg.set_edges g @@
     List.filter
       (fun (e : Sdfg.edge) ->
         (not (List.mem e.e_src ids)) && not (List.mem e.e_dst ids))
-      g.edges
+      (Sdfg.edges g)
 
 (** Drop access nodes with no remaining edges. *)
 let prune_isolated_access (g : Sdfg.graph) : unit =
@@ -105,14 +105,14 @@ let prune_isolated_access (g : Sdfg.graph) : unit =
     (fun (e : Sdfg.edge) ->
       Hashtbl.replace touched e.e_src ();
       Hashtbl.replace touched e.e_dst ())
-    g.edges;
-  g.nodes <-
+    (Sdfg.edges g);
+  Sdfg.set_nodes g @@
     List.filter
       (fun (n : Sdfg.node) ->
         match n.kind with
         | Sdfg.Access _ -> Hashtbl.mem touched n.nid
         | _ -> true)
-      g.nodes
+      (Sdfg.nodes g)
 
 (** Event nodes touching container [name]: nodes whose execution actually
     moves [name]'s data (tasklets with a memlet on it, access nodes sourcing
@@ -142,7 +142,7 @@ let rec event_nodes (g : Sdfg.graph) (name : string) :
                 acc := (src, `Write) :: !acc
           | _ -> ());
           !acc)
-    g.edges
+    (Sdfg.edges g)
   @ List.concat_map
       (fun (n : Sdfg.node) ->
         match n.kind with
@@ -150,7 +150,7 @@ let rec event_nodes (g : Sdfg.graph) (name : string) :
             let inner = event_nodes mn.m_body name in
             List.map (fun (_, rw) -> (n, rw)) inner
         | _ -> [])
-      g.nodes
+      (Sdfg.nodes g)
 
 (** Remove every access node of [name] from [g], bridging dependency
     ordering: each predecessor of a removed node gets a dep edge to each of
@@ -163,7 +163,7 @@ let remove_access_nodes_of (g : Sdfg.graph) (name : string) : unit =
         match n.kind with
         | Sdfg.Access c -> String.equal c name
         | _ -> false)
-      g.nodes
+      (Sdfg.nodes g)
   in
   List.iter
     (fun (v : Sdfg.node) ->
@@ -178,10 +178,10 @@ let remove_access_nodes_of (g : Sdfg.graph) (name : string) : unit =
               succs)
           preds
       in
-      g.edges <-
+      Sdfg.set_edges g @@
         List.filter
           (fun (e : Sdfg.edge) -> e.e_src <> v.nid && e.e_dst <> v.nid)
-          g.edges;
+          (Sdfg.edges g);
       List.iter
         (fun (a, b) ->
           if
@@ -189,13 +189,13 @@ let remove_access_nodes_of (g : Sdfg.graph) (name : string) : unit =
               (List.exists
                  (fun (e : Sdfg.edge) ->
                    e.e_src = a && e.e_dst = b && e.e_memlet = None)
-                 g.edges)
+                 (Sdfg.edges g))
           then
-            g.edges <-
-              g.edges
+            Sdfg.set_edges g @@
+              (Sdfg.edges g)
               @ [ { Sdfg.e_src = a; e_src_conn = None; e_dst = b;
                     e_dst_conn = None; e_memlet = None } ])
         bridges;
-      g.nodes <-
-        List.filter (fun (n : Sdfg.node) -> n.nid <> v.nid) g.nodes)
+      Sdfg.set_nodes g @@
+        List.filter (fun (n : Sdfg.node) -> n.nid <> v.nid) (Sdfg.nodes g))
     victims

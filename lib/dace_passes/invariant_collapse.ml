@@ -24,7 +24,7 @@ let body_free_syms (sdfg : Sdfg.t) (l : Loop_analysis.loop) : string list =
   List.iter
     (fun (st : Sdfg.state) ->
       if List.mem st.s_label l.body then add (Sdfg.graph_free_syms st.s_graph))
-    sdfg.states;
+    (Sdfg.states sdfg);
   List.iter
     (fun (e : Sdfg.istate_edge) ->
       if
@@ -34,11 +34,11 @@ let body_free_syms (sdfg : Sdfg.t) (l : Loop_analysis.loop) : string list =
         add (Bexpr.free_syms e.ie_cond);
         List.iter (fun (_, ex) -> add (Expr.free_syms ex)) e.ie_assign
       end)
-    sdfg.istate_edges;
+    (Sdfg.istate_edges sdfg);
   S.elements !acc
 
 let body_states (sdfg : Sdfg.t) (l : Loop_analysis.loop) : Sdfg.state list =
-  List.filter (fun (s : Sdfg.state) -> List.mem s.s_label l.body) sdfg.states
+  List.filter (fun (s : Sdfg.state) -> List.mem s.s_label l.body) (Sdfg.states sdfg)
 
 let has_carried_state (sdfg : Sdfg.t) (l : Loop_analysis.loop) : bool =
   let states = body_states sdfg l in
@@ -63,11 +63,11 @@ let has_wcr_or_recurring_alloc (sdfg : Sdfg.t) (l : Loop_analysis.loop) : bool
             match e.e_memlet with
             | Some m when m.wcr <> None -> wcr := true
             | _ -> ())
-          g.edges;
+          (Sdfg.edges g);
         List.iter
           (fun (n : Sdfg.node) ->
             match n.kind with Sdfg.MapN mn -> go mn.m_body | _ -> ())
-          g.nodes
+          (Sdfg.nodes g)
       in
       go s.s_graph)
     (body_states sdfg l);
@@ -96,7 +96,7 @@ let collapse (sdfg : Sdfg.t) (l : Loop_analysis.loop) : unit =
   let body_entry = l.continue_edge.ie_dst in
   let exit_dst = l.exit_edge.ie_dst in
   let latch = l.back_edge.ie_src in
-  sdfg.istate_edges <-
+  Sdfg.set_istate_edges sdfg @@
     List.filter_map
       (fun (e : Sdfg.istate_edge) ->
         if e == l.entry_edge then Some { e with ie_dst = body_entry }
@@ -113,11 +113,11 @@ let collapse (sdfg : Sdfg.t) (l : Loop_analysis.loop) : unit =
             }
         else if e == l.continue_edge || e == l.exit_edge then None
         else Some e)
-      sdfg.istate_edges;
-  sdfg.states <-
+      (Sdfg.istate_edges sdfg);
+  Sdfg.set_states sdfg @@
     List.filter
       (fun (s : Sdfg.state) -> not (String.equal s.s_label l.guard))
-      sdfg.states
+      (Sdfg.states sdfg)
 
 let collapse_invariant_loops (sdfg : Sdfg.t) : bool =
   let changed = ref false in

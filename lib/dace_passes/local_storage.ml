@@ -26,7 +26,7 @@ let touching_edges (g : Sdfg.graph) (c : string) : Sdfg.edge list =
              | Sdfg.Access n -> String.equal n c && m.other <> None
              | _ -> false)
       | None -> false)
-    g.edges
+    (Sdfg.edges g)
 
 (* One promotion per call; [run] iterates because each splice invalidates
    the loop analysis (edges are replaced functionally). *)
@@ -57,7 +57,7 @@ let promote_one (sdfg : Sdfg.t) : bool =
             List.exists
               (fun (n : Sdfg.node) ->
                 match n.kind with Sdfg.MapN _ -> true | _ -> false)
-              g.nodes
+              (Sdfg.nodes g)
           in
           if not has_map then begin
             let module S = Set.Make (String) in
@@ -117,14 +117,14 @@ let promote_one (sdfg : Sdfg.t) : bool =
                         | None -> ())
                       edges;
                     (* Rename the access nodes of cname to reg. *)
-                    g.nodes <-
+                    Sdfg.set_nodes g @@
                       List.map
                         (fun (n : Sdfg.node) ->
                           match n.kind with
                           | Sdfg.Access c when String.equal c cname ->
                               { n with kind = Sdfg.Access reg }
                           | _ -> n)
-                        g.nodes;
+                        (Sdfg.nodes g);
                     (* Preload state before the loop. *)
                     let pre = Sdfg.add_state sdfg (Sdfg.fresh_name sdfg "ls_pre") in
                     let src = Sdfg.add_node pre.s_graph (Sdfg.Access cname) in
@@ -161,7 +161,7 @@ let promote_one (sdfg : Sdfg.t) : bool =
                        the write-back, or the store subset would be
                        evaluated with post-increment symbol values. *)
                     let exit_assigns = l.exit_edge.ie_assign in
-                    sdfg.istate_edges <-
+                    Sdfg.set_istate_edges sdfg @@
                       List.map
                         (fun (e : Sdfg.istate_edge) ->
                           if e == l.entry_edge then
@@ -169,7 +169,7 @@ let promote_one (sdfg : Sdfg.t) : bool =
                           else if e == l.exit_edge then
                             { e with ie_dst = post.s_label; ie_assign = [] }
                           else e)
-                        sdfg.istate_edges;
+                        (Sdfg.istate_edges sdfg);
                     Sdfg.add_istate_edge sdfg ~assign:entry_assigns
                       ~src:pre.s_label ~dst:old_entry_dst ();
                     Sdfg.add_istate_edge sdfg ~assign:exit_assigns

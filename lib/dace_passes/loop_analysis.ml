@@ -40,7 +40,7 @@ let step_of (sym : string) (assigns : (string * Expr.t) list) : Expr.t option =
 
 (** Detect all guard-pattern loops. *)
 let find_loops (sdfg : Sdfg.t) : loop list =
-  let labels = List.map (fun (s : Sdfg.state) -> s.s_label) sdfg.states in
+  let labels = List.map (fun (s : Sdfg.state) -> s.s_label) (Sdfg.states sdfg) in
   let index_of = Hashtbl.create 16 in
   List.iteri (fun i l -> Hashtbl.replace index_of l i) labels;
   let idx l = Hashtbl.find_opt index_of l in
@@ -52,7 +52,7 @@ let find_loops (sdfg : Sdfg.t) : loop list =
            match (idx e.ie_src, idx e.ie_dst) with
            | Some a, Some b -> Some (a, b)
            | _ -> None)
-         sdfg.istate_edges)
+         (Sdfg.istate_edges sdfg))
   in
   let start =
     match idx sdfg.start_state with Some i -> i | None -> 0
@@ -123,7 +123,7 @@ let find_loops (sdfg : Sdfg.t) : loop list =
                           String.equal e.ie_dst guard
                           && not (e == back)
                           && List.mem_assoc sym e.ie_assign)
-                        sdfg.istate_edges
+                        (Sdfg.istate_edges sdfg)
                     in
                     match entries with
                     | [ entry ] ->
@@ -173,7 +173,7 @@ let find_loops (sdfg : Sdfg.t) : loop list =
                 | [] -> None)
           | _ -> None)
       | _ -> None)
-    sdfg.istate_edges
+    (Sdfg.istate_edges sdfg)
 
 (** Symbolic trip count of a loop, when derivable: requires condition
     [i < ub] (or [i <= ub]) and positive constant step, or the descending

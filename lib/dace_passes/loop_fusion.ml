@@ -39,8 +39,8 @@ let rename_sym_in_graph (g : Sdfg.graph) ~(from_ : string) ~(to_ : string) :
                   other = Option.map (Range.subst lookup) m.other;
                 }
         | None -> ())
-      g.edges;
-    g.nodes <-
+      (Sdfg.edges g);
+    Sdfg.set_nodes g @@
       List.map
         (fun (n : Sdfg.node) ->
           match n.kind with
@@ -63,7 +63,7 @@ let rename_sym_in_graph (g : Sdfg.graph) ~(from_ : string) ~(to_ : string) :
               go mn.m_body;
               n
           | _ -> n)
-        g.nodes
+        (Sdfg.nodes g)
   in
   go g
 
@@ -78,7 +78,7 @@ let subsets_of (g : Sdfg.graph) (c : string) : Range.t list =
           | Sdfg.Access n when String.equal n c -> m.other
           | _ -> None)
       | _ -> None)
-    g.edges
+    (Sdfg.edges g)
 
 let can_fuse (sdfg : Sdfg.t) (l1 : Loop_analysis.loop)
     (l2 : Loop_analysis.loop) (b1 : Sdfg.state) (b2 : Sdfg.state) : bool =
@@ -145,13 +145,13 @@ let merge_bodies (b1 : Sdfg.state) (b2 : Sdfg.state) : unit =
           @ acc)
       common []
   in
-  g1.nodes <- g1.nodes @ g2.nodes;
-  g1.edges <- g1.edges @ g2.edges;
+  Sdfg.set_nodes g1 @@ (Sdfg.nodes g1) @ (Sdfg.nodes g2);
+  Sdfg.set_edges g1 @@ (Sdfg.edges g1) @ (Sdfg.edges g2);
   List.iter
     (fun (a, b) ->
       if a <> b then
-        g1.edges <-
-          g1.edges
+        Sdfg.set_edges g1 @@
+          (Sdfg.edges g1)
           @ [ { Sdfg.e_src = a; e_src_conn = None; e_dst = b; e_dst_conn = None;
                 e_memlet = None } ])
     deps
@@ -169,14 +169,14 @@ let hoist_independent_state (sdfg : Sdfg.t) : bool =
       else
         match Sdfg.find_state sdfg l.exit_state with
         | Some x
-          when x.s_graph.nodes <> []
+          when (Sdfg.nodes x.s_graph) <> []
                && List.length (Sdfg.in_edges sdfg x.s_label) = 1
                && List.length (Sdfg.out_edges sdfg x.s_label) = 1 -> (
             let out = List.hd (Sdfg.out_edges sdfg x.s_label) in
             let body_states =
               List.filter
                 (fun (s : Sdfg.state) -> List.mem s.s_label l.body)
-                sdfg.states
+                (Sdfg.states sdfg)
             in
             let body_containers =
               List.concat_map
@@ -206,7 +206,7 @@ let hoist_independent_state (sdfg : Sdfg.t) : bool =
                  P --ea'--> X --[ea assigns]--> G ... G --ex+out assigns--> H *)
               let entry = l.entry_edge in
               let entry_assigns = entry.ie_assign in
-              sdfg.istate_edges <-
+              Sdfg.set_istate_edges sdfg @@
                 List.filter_map
                   (fun (e : Sdfg.istate_edge) ->
                     if e == entry then
@@ -216,7 +216,7 @@ let hoist_independent_state (sdfg : Sdfg.t) : bool =
                              ie_assign = e.ie_assign @ out.ie_assign }
                     else if e == out then None
                     else Some e)
-                  sdfg.istate_edges;
+                  (Sdfg.istate_edges sdfg);
               Sdfg.add_istate_edge sdfg ~assign:entry_assigns ~src:x.s_label
                 ~dst:l.guard ();
               changed := true
@@ -247,7 +247,7 @@ let run (sdfg : Sdfg.t) : bool =
                 String.equal l1.exit_state l2.entry_edge.ie_src
                 && (match Sdfg.find_state sdfg l1.exit_state with
                    | Some s ->
-                       s.s_graph.nodes = []
+                       (Sdfg.nodes s.s_graph) = []
                        && List.length (Sdfg.out_edges sdfg s.s_label) = 1
                        && List.length (Sdfg.in_edges sdfg s.s_label) = 1
                    | None -> false)
@@ -305,11 +305,11 @@ let run (sdfg : Sdfg.t) : bool =
           in
           seq_merge (seq_merge base from_entry) (drop_sym l2.exit_edge.ie_assign)
         in
-        sdfg.states <-
+        Sdfg.set_states sdfg @@
           List.filter
             (fun (s : Sdfg.state) -> not (List.mem s.s_label removed_states))
-            sdfg.states;
-        sdfg.istate_edges <-
+            (Sdfg.states sdfg);
+        Sdfg.set_istate_edges sdfg @@
           List.filter_map
             (fun (e : Sdfg.istate_edge) ->
               if e == l1.exit_edge then
@@ -319,7 +319,7 @@ let run (sdfg : Sdfg.t) : bool =
                 || List.mem e.ie_dst removed_states
               then None
               else Some e)
-            sdfg.istate_edges;
+            (Sdfg.istate_edges sdfg);
         changed := true;
         progress := true
     | None -> ()

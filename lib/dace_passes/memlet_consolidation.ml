@@ -41,7 +41,7 @@ let run (sdfg : Sdfg.t) : bool =
           end
           else dedup (e :: seen) rest
     in
-    g.edges <- dedup [] g.edges;
+    Sdfg.set_edges g @@ dedup [] (Sdfg.edges g);
     (* Union map-node external input memlets per container. *)
     List.iter
       (fun (n : Sdfg.node) ->
@@ -77,16 +77,16 @@ let run (sdfg : Sdfg.t) : bool =
                     | Some m ->
                         first.Sdfg.e_memlet <- Some { m with subset = union_subset }
                     | None -> ());
-                    g.edges <-
+                    Sdfg.set_edges g @@
                       List.filter
                         (fun (x : Sdfg.edge) ->
                           not (List.memq x rest))
-                        g.edges;
+                        (Sdfg.edges g);
                     changed := true
                 | _ -> ())
               groups
         | _ -> ())
-      g.nodes
+      (Sdfg.nodes g)
   in
-  List.iter (fun (st : Sdfg.state) -> process st.s_graph) sdfg.states;
+  List.iter (fun (st : Sdfg.state) -> process st.s_graph) (Sdfg.states sdfg);
   !changed

@@ -35,7 +35,7 @@ let reanchor_deps (g : Sdfg.graph) (name : string) (targets : int list) : unit
   let is_dep (e : Sdfg.edge) =
     e.e_memlet = None && e.e_src_conn = None && e.e_dst_conn = None
   in
-  g.edges <-
+  Sdfg.set_edges g @@
     List.concat_map
       (fun (e : Sdfg.edge) ->
         if not (is_dep e) then [ e ]
@@ -51,10 +51,10 @@ let reanchor_deps (g : Sdfg.graph) (name : string) (targets : int list) : unit
             List.filter_map
               (fun t -> if t = e.e_dst then None else Some { e with e_src = t })
               targets)
-      g.edges;
+      (Sdfg.edges g);
   (* Fan-out can duplicate dep edges; keep one of each. *)
   let seen = Hashtbl.create 16 in
-  g.edges <-
+  Sdfg.set_edges g @@
     List.filter
       (fun (e : Sdfg.edge) ->
         if not (is_dep e) then true
@@ -63,7 +63,7 @@ let reanchor_deps (g : Sdfg.graph) (name : string) (targets : int list) : unit
           Hashtbl.replace seen (e.e_src, e.e_dst) ();
           true
         end)
-      g.edges
+      (Sdfg.edges g)
 
 let run (sdfg : Sdfg.t) : bool =
   let changed = ref false in
@@ -95,17 +95,17 @@ let run (sdfg : Sdfg.t) : bool =
                    rst == wst && rg == wg)
                  readers -> (
             let g = wg in
-            (* The rewrite below is list-functional on [g.nodes]/[g.edges]
+            (* The rewrite below is list-functional on [(Sdfg.nodes g)]/[(Sdfg.edges g)]
                (records are replaced, never mutated in place), so these two
                references are a full snapshot: forwarding that would close
                an ordering cycle is rolled back and the scalar kept. *)
-            let nodes0 = g.nodes and edges0 = g.edges in
+            let nodes0 = (Sdfg.nodes g) and edges0 = (Sdfg.edges g) in
             let commit_if_acyclic () : bool =
               match Sdfg.topo_order g with
               | _ -> true
               | exception Invalid_argument _ ->
-                  g.nodes <- nodes0;
-                  g.edges <- edges0;
+                  Sdfg.set_nodes g @@ nodes0;
+                  Sdfg.set_edges g @@ edges0;
                   false
             in
             let src = Sdfg.node_by_id g we.e_src in
@@ -118,7 +118,7 @@ let run (sdfg : Sdfg.t) : bool =
                 let events = ref [] in
                 List.iter
                   (fun ((_, _, re) : Sdfg.state * Sdfg.graph * Sdfg.edge) ->
-                    g.edges <-
+                    Sdfg.set_edges g @@
                       List.map
                         (fun (x : Sdfg.edge) ->
                           if x == re then
@@ -157,9 +157,9 @@ let run (sdfg : Sdfg.t) : bool =
                                   e_memlet = None;
                                 }
                           else x)
-                        g.edges)
+                        (Sdfg.edges g))
                   readers;
-                g.edges <- List.filter (fun (x : Sdfg.edge) -> x != we) g.edges;
+                Sdfg.set_edges g @@ List.filter (fun (x : Sdfg.edge) -> x != we) (Sdfg.edges g);
                 reanchor_deps g name
                   (if !events = [] then [ src.nid ] else !events);
                 Graph_util.remove_access_nodes_of g name;
@@ -195,7 +195,7 @@ let run (sdfg : Sdfg.t) : bool =
                       | _ -> (src_access, re.e_dst)
                     in
                     events := event :: !events;
-                    g.edges <-
+                    Sdfg.set_edges g @@
                       List.map
                         (fun (x : Sdfg.edge) ->
                           if x == re then
@@ -227,9 +227,9 @@ let run (sdfg : Sdfg.t) : bool =
                                   };
                             }
                           else x)
-                        g.edges)
+                        (Sdfg.edges g))
                   readers;
-                g.edges <- List.filter (fun (x : Sdfg.edge) -> x != we) g.edges;
+                Sdfg.set_edges g @@ List.filter (fun (x : Sdfg.edge) -> x != we) (Sdfg.edges g);
                 reanchor_deps g name
                   (if !events = [] then [ src_access ] else !events);
                 Graph_util.remove_access_nodes_of g name;

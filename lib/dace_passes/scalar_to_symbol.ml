@@ -60,11 +60,11 @@ let replace_input_with_symbol (t : Sdfg.tasklet) (conn : string)
 (* Replace the tasklet record inside a node (nodes are immutable records;
    rebuild the node list). *)
 let swap_tasklet (g : Sdfg.graph) (nid : int) (t : Sdfg.tasklet) : unit =
-  g.nodes <-
+  Sdfg.set_nodes g @@
     List.map
       (fun (n : Sdfg.node) ->
         if n.nid = nid then { n with kind = Sdfg.TaskletN t } else n)
-      g.nodes
+      (Sdfg.nodes g)
 
 (* Can every reader of [name] be rewritten? Readers are either tasklet
    inputs (native only) or copy sources; copies stay (they just read the
@@ -102,8 +102,8 @@ let rewire_readers (sdfg : Sdfg.t) (name : string) : bool =
                 | Some t' -> swap_tasklet g nid t'
                 | None -> ())
             | _ -> ());
-            (g : Sdfg.graph).edges <-
-              List.filter (fun (x : Sdfg.edge) -> x != e) g.edges
+            Sdfg.set_edges g @@
+              List.filter (fun (x : Sdfg.edge) -> x != e) (Sdfg.edges g)
         | None -> ())
       plan;
     (* Removing a reader edge can leave the scalar's access node isolated
@@ -125,7 +125,7 @@ let rewire_readers (sdfg : Sdfg.t) (name : string) : bool =
 
 (* Remove an access node's incoming writer edge and the node if isolated. *)
 let remove_writer (g : Sdfg.graph) (e : Sdfg.edge) : unit =
-  g.edges <- List.filter (fun (x : Sdfg.edge) -> x != e) g.edges
+  Sdfg.set_edges g @@ List.filter (fun (x : Sdfg.edge) -> x != e) (Sdfg.edges g)
 
 let run (sdfg : Sdfg.t) : bool =
   let changed = ref false in
@@ -157,7 +157,7 @@ let run (sdfg : Sdfg.t) : bool =
                 List.iter
                   (fun (st : Sdfg.state) ->
                     Graph_util.prune_isolated_access st.s_graph)
-                  sdfg.states;
+                  (Sdfg.states sdfg);
                 Log.debug (fun f -> f "promoted parameter %s to symbol" name);
                 changed := true;
                 progress := true

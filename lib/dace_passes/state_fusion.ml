@@ -53,8 +53,8 @@ let fuse_pair (sdfg : Sdfg.t) (e : Sdfg.istate_edge) : unit =
       common []
   in
   (* Merge. *)
-  g1.nodes <- g1.nodes @ g2.nodes;
-  g1.edges <- g1.edges @ g2.edges;
+  Sdfg.set_nodes g1 @@ (Sdfg.nodes g1) @ (Sdfg.nodes g2);
+  Sdfg.set_edges g1 @@ (Sdfg.edges g1) @ (Sdfg.edges g2);
   List.iter
     (fun (a, b) ->
       if a <> b
@@ -62,15 +62,15 @@ let fuse_pair (sdfg : Sdfg.t) (e : Sdfg.istate_edge) : unit =
               (List.exists
                  (fun (x : Sdfg.edge) ->
                    x.e_src = a && x.e_dst = b && x.e_memlet = None)
-                 g1.edges)
+                 (Sdfg.edges g1))
       then
-        g1.edges <-
-          g1.edges
+        Sdfg.set_edges g1 @@
+          (Sdfg.edges g1)
           @ [ { e_src = a; e_src_conn = None; e_dst = b; e_dst_conn = None;
                 e_memlet = None } ])
     dep_edges;
   (* Rewire the state machine: s2's outgoing edges now leave s1. *)
-  sdfg.istate_edges <-
+  Sdfg.set_istate_edges sdfg @@
     List.filter_map
       (fun (x : Sdfg.istate_edge) ->
         if x == e then None
@@ -79,9 +79,9 @@ let fuse_pair (sdfg : Sdfg.t) (e : Sdfg.istate_edge) : unit =
         else if String.equal x.ie_dst s2.s_label then
           Some { x with ie_dst = s1.s_label }
         else Some x)
-      sdfg.istate_edges;
-  sdfg.states <-
-    List.filter (fun (s : Sdfg.state) -> not (s == s2)) sdfg.states;
+      (Sdfg.istate_edges sdfg);
+  Sdfg.set_states sdfg @@
+    List.filter (fun (s : Sdfg.state) -> not (s == s2)) (Sdfg.states sdfg);
   (* Move alloc-state ownership to the fused state. *)
   Hashtbl.iter
     (fun _ (c : Sdfg.container) ->
@@ -93,7 +93,7 @@ let run (sdfg : Sdfg.t) : bool =
   let progress = ref true in
   while !progress do
     progress := false;
-    match List.find_opt (fusable sdfg) sdfg.istate_edges with
+    match List.find_opt (fusable sdfg) (Sdfg.istate_edges sdfg) with
     | Some e ->
         fuse_pair sdfg e;
         changed := true;

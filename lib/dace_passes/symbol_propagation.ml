@@ -34,8 +34,8 @@ let subst_everywhere (sdfg : Sdfg.t) (lookup : string -> Expr.t option) : unit
                   other = Option.map subst_range m.other;
                 }
         | None -> ())
-      g.edges;
-    g.nodes <-
+      (Sdfg.edges g);
+    Sdfg.set_nodes g @@
       List.map
         (fun (n : Sdfg.node) ->
           match n.kind with
@@ -58,15 +58,15 @@ let subst_everywhere (sdfg : Sdfg.t) (lookup : string -> Expr.t option) : unit
               subst_graph mn.m_body;
               n
           | _ -> n)
-        g.nodes
+        (Sdfg.nodes g)
   in
-  List.iter (fun (st : Sdfg.state) -> subst_graph st.s_graph) sdfg.states;
+  List.iter (fun (st : Sdfg.state) -> subst_graph st.s_graph) (Sdfg.states sdfg);
   List.iter
     (fun (e : Sdfg.istate_edge) ->
       e.ie_cond <- Bexpr.simplify (Bexpr.subst lookup e.ie_cond);
       e.ie_assign <-
         List.map (fun (s, ex) -> (s, Expr.subst lookup ex)) e.ie_assign)
-    sdfg.istate_edges;
+    (Sdfg.istate_edges sdfg);
   Hashtbl.iter
     (fun _ (c : Sdfg.container) ->
       c.shape <- List.map (Expr.subst lookup) c.shape)
@@ -93,7 +93,7 @@ let run (sdfg : Sdfg.t) : bool =
               (1 + Option.value ~default:0 (Hashtbl.find_opt counts s));
             Hashtbl.replace rhs s ex)
           e.ie_assign)
-      sdfg.istate_edges;
+      (Sdfg.istate_edges sdfg);
     (* Propagatable: assigned exactly once, not self-referential, and the
        RHS does not mention a multiply-assigned symbol... unless provenance
        guarantees same-iteration use (converter output); we accept RHS
@@ -133,7 +133,7 @@ let run (sdfg : Sdfg.t) : bool =
                 (not (List.mem_assoc s resolved)) || List.mem s still_used)
               e.ie_assign;
           if List.length e.ie_assign <> before then changed := true)
-        sdfg.istate_edges;
+        (Sdfg.istate_edges sdfg);
       changed := true;
       progress := true
     end

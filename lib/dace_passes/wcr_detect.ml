@@ -102,17 +102,17 @@ let run (sdfg : Sdfg.t) : bool =
                                 code = Sdfg.Native [ (out, rhs) ];
                               }
                             in
-                            g.nodes <-
+                            Sdfg.set_nodes g @@
                               List.map
                                 (fun (x : Sdfg.node) ->
                                   if x.nid = n.nid then
                                     { x with kind = Sdfg.TaskletN t' }
                                   else x)
-                                g.nodes;
+                                (Sdfg.nodes g);
                             oe.e_memlet <- Some { om with wcr = Some w };
-                            g.edges <-
+                            Sdfg.set_edges g @@
                               List.filter (fun (x : Sdfg.edge) -> x != ie)
-                                g.edges;
+                                (Sdfg.edges g);
                             Graph_util.prune_isolated_access g;
                             changed := true
                         | None -> ())
@@ -120,7 +120,7 @@ let run (sdfg : Sdfg.t) : bool =
                 | _ -> ())
             | _ -> ())
         | _ -> ())
-      g.nodes
+      (Sdfg.nodes g)
   in
-  List.iter (fun (st : Sdfg.state) -> process_graph st.s_graph) sdfg.states;
+  List.iter (fun (st : Sdfg.state) -> process_graph st.s_graph) (Sdfg.states sdfg);
   !changed

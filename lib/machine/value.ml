@@ -11,6 +11,18 @@ let as_int = function
   | VFloat _ -> invalid_arg "Value.as_int: float value"
 
 let as_float = function VFloat f -> f | VInt n -> float_of_int n
+
+(** Float→int cast with C's [(int)] semantics: truncation toward zero.
+    Where the C cast is undefined — NaN or a value outside the integer
+    range — raise [Invalid_argument] instead of silently producing 0 like
+    [int_of_float]. Both interpreters route their casts through this
+    helper so SDFG and MLIR pipelines agree bit-for-bit. *)
+let int_of_float_trunc (f : float) : int =
+  if Float.is_nan f then invalid_arg "float->int cast of nan";
+  let t = Float.trunc f in
+  if t < -4.611686018427387904e18 || t >= 4.611686018427387904e18 then
+    invalid_arg "float->int cast out of range";
+  int_of_float t
 let as_bool v = as_int v <> 0
 let of_bool b = VInt (if b then 1 else 0)
 let is_float = function VFloat _ -> true | VInt _ -> false

@@ -22,6 +22,18 @@ exception Trap of string
 
 let trap fmt = Fmt.kstr (fun s -> raise (Trap s)) fmt
 
+(** Control outcome of one compiled op (see the compiled layer below). *)
+type kctrl =
+  | KContinue
+  | KReturn of Value.t list  (** [func.return] reached *)
+  | KYield of rtval list  (** [scf.yield] reached *)
+
+type cfunc = {
+  cf_func : Ir.func;
+  cf_body : (unit -> kctrl) array;
+  cf_rargs : Ir.value list;
+}
+
 type env = {
   machine : Machine.t;
   modul : Ir.modul;
@@ -29,6 +41,8 @@ type env = {
   mutable call_depth : int;
   profile : Dcir_obs.Obs.Profile.t option;
       (** when set, per-function inclusive cycles/loads/stores *)
+  cfuncs : (string, cfunc) Hashtbl.t;
+      (** compiled-mode cache: function name -> compiled body *)
 }
 
 let bind (env : env) (v : Ir.value) (rv : rtval) : unit =
@@ -197,8 +211,14 @@ and exec_op (env : env) (o : Ir.op) : [ `Return of Value.t list | `Continue ]
       `Continue
   | "arith.fptosi" ->
       charge_class ();
-      bind env (Ir.result o)
-        (Scalar (VInt (int_of_float (float_of env (List.hd o.operands)))));
+      let f = float_of env (List.hd o.operands) in
+      let n =
+        (* Truncation toward zero; NaN/out-of-range traps (matching the
+           SDFG interpreter's ToInt). *)
+        try Value.int_of_float_trunc f
+        with Invalid_argument msg -> trap "%s" msg
+      in
+      bind env (Ir.result o) (Scalar (VInt n));
       `Continue
   | "arith.extf" | "arith.truncf" ->
       charge_class ();
@@ -360,14 +380,404 @@ and call_func (env : env) (f : Ir.func) (args : rtval list) : Value.t list =
       (match result with Some vals -> vals | None -> [])
 
 (* ------------------------------------------------------------------ *)
+(* Compiled execution: each function body is translated once per [env]
+   into an array of OCaml closures (operands, attributes, cost classes and
+   nested regions all pre-resolved), then replayed. The charge/memory
+   sequence is kept exactly identical to the tree-walking [exec_op] above,
+   so machine metrics are bit-for-bit the same in both modes. *)
 
-(** [run ?machine ?profile m ~entry args] executes function [entry] of
+type mode = Tree | Compiled
+
+(* Run a compiled op sequence until a terminator produces control. *)
+let run_seq (ops : (unit -> kctrl) array) : kctrl =
+  let n = Array.length ops in
+  let rec go i =
+    if i = n then KContinue
+    else match ops.(i) () with KContinue -> go (i + 1) | c -> c
+  in
+  go 0
+
+let rec compile_op (env : env) ~(structured : bool) (o : Ir.op) :
+    unit -> kctrl =
+  let m = env.machine in
+  let charge_class =
+    match Arith.cost_class o.name with
+    | Some c -> fun () -> Machine.charge_op m c
+    | None -> (
+        match Math_d.cost_class o.name with
+        | Some c -> fun () -> Machine.charge_op m c
+        | None -> fun () -> ())
+  in
+  match o.name with
+  | "func.return" ->
+      if structured then fun () ->
+        trap "func.return inside structured control flow"
+      else
+        let operands = o.operands in
+        fun () -> KReturn (List.map (scalar_or_unit env) operands)
+  | "scf.yield" ->
+      if structured then
+        let operands = o.operands in
+        fun () -> KYield (List.map (lookup env) operands)
+      else fun () -> trap "scf.yield outside structured execution"
+  | "arith.constant" -> (
+      let res = Ir.result o in
+      match Ir.attr o "value" with
+      | Some (Attr.AInt n) ->
+          let v = Scalar (VInt n) in
+          fun () ->
+            bind env res v;
+            KContinue
+      | Some (Attr.AFloat f) ->
+          let v = Scalar (VFloat f) in
+          fun () ->
+            bind env res v;
+            KContinue
+      | _ -> fun () -> trap "arith.constant without value attr")
+  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divsi" | "arith.remsi"
+  | "arith.andi" | "arith.ori" | "arith.xori" | "arith.maxsi" | "arith.minsi"
+    ->
+      let x_v = List.nth o.operands 0 and y_v = List.nth o.operands 1 in
+      let res = Ir.result o in
+      let f : int -> int -> int =
+        match o.name with
+        | "arith.addi" -> ( + )
+        | "arith.subi" -> ( - )
+        | "arith.muli" -> ( * )
+        | "arith.divsi" ->
+            fun x y ->
+              if y = 0 then trap "integer division by zero" else x / y
+        | "arith.remsi" ->
+            fun x y ->
+              if y = 0 then trap "integer remainder by zero" else x mod y
+        | "arith.andi" -> ( land )
+        | "arith.ori" -> ( lor )
+        | "arith.xori" -> ( lxor )
+        | "arith.maxsi" -> max
+        | _ -> min
+      in
+      fun () ->
+        charge_class ();
+        let x = int_of env x_v in
+        let y = int_of env y_v in
+        bind env res (Scalar (VInt (f x y)));
+        KContinue
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.maxf"
+  | "arith.minf" ->
+      let x_v = List.nth o.operands 0 and y_v = List.nth o.operands 1 in
+      let res = Ir.result o in
+      let f : float -> float -> float =
+        match o.name with
+        | "arith.addf" -> ( +. )
+        | "arith.subf" -> ( -. )
+        | "arith.mulf" -> ( *. )
+        | "arith.divf" -> ( /. )
+        | "arith.maxf" -> Float.max
+        | _ -> Float.min
+      in
+      fun () ->
+        charge_class ();
+        let x = float_of env x_v in
+        let y = float_of env y_v in
+        bind env res (Scalar (VFloat (f x y)));
+        KContinue
+  | "arith.negf" ->
+      let x_v = List.hd o.operands in
+      let res = Ir.result o in
+      fun () ->
+        charge_class ();
+        bind env res (Scalar (VFloat (-.float_of env x_v)));
+        KContinue
+  | "arith.cmpi" ->
+      let pred = Option.value ~default:"eq" (Ir.str_attr o "predicate") in
+      let x_v = List.nth o.operands 0 and y_v = List.nth o.operands 1 in
+      let res = Ir.result o in
+      fun () ->
+        charge_class ();
+        let x = int_of env x_v in
+        let y = int_of env y_v in
+        bind env res (Scalar (Value.of_bool (eval_cmpi pred x y)));
+        KContinue
+  | "arith.cmpf" ->
+      let pred = Option.value ~default:"oeq" (Ir.str_attr o "predicate") in
+      let x_v = List.nth o.operands 0 and y_v = List.nth o.operands 1 in
+      let res = Ir.result o in
+      fun () ->
+        charge_class ();
+        let x = float_of env x_v in
+        let y = float_of env y_v in
+        bind env res (Scalar (Value.of_bool (eval_cmpf pred x y)));
+        KContinue
+  | "arith.select" ->
+      let c_v = List.nth o.operands 0 in
+      let t_v = List.nth o.operands 1 in
+      let f_v = List.nth o.operands 2 in
+      let res = Ir.result o in
+      fun () ->
+        charge_class ();
+        let c = int_of env c_v in
+        bind env res (lookup env (if c <> 0 then t_v else f_v));
+        KContinue
+  | "arith.index_cast" | "arith.extf" | "arith.truncf" ->
+      let x_v = List.hd o.operands in
+      let res = Ir.result o in
+      fun () ->
+        charge_class ();
+        bind env res (lookup env x_v);
+        KContinue
+  | "arith.sitofp" ->
+      let x_v = List.hd o.operands in
+      let res = Ir.result o in
+      fun () ->
+        charge_class ();
+        bind env res (Scalar (VFloat (float_of_int (int_of env x_v))));
+        KContinue
+  | "arith.fptosi" ->
+      let x_v = List.hd o.operands in
+      let res = Ir.result o in
+      fun () ->
+        charge_class ();
+        let f = float_of env x_v in
+        let n =
+          try Value.int_of_float_trunc f
+          with Invalid_argument msg -> trap "%s" msg
+        in
+        bind env res (Scalar (VInt n));
+        KContinue
+  | name when Math_d.is_math_op name ->
+      let operands = o.operands in
+      let res = Ir.result o in
+      fun () ->
+        charge_class ();
+        let args = List.map (float_of env) operands in
+        bind env res (Scalar (VFloat (Math_d.eval name args)));
+        KContinue
+  | "memref.alloc" | "memref.alloca" ->
+      let res = Ir.result o in
+      let elem = Types.elem_type res.vty in
+      let dim_tmpl = Types.dims res.vty in
+      let operands = o.operands in
+      let storage =
+        if String.equal o.name "memref.alloc" then Machine.Heap
+        else Machine.Stack
+      in
+      let elem_bytes = Types.byte_width elem in
+      let zero = zero_of elem in
+      fun () ->
+        let dyn = ref (List.map (int_of env) operands) in
+        let dims =
+          List.map
+            (function
+              | Types.Static n -> n
+              | Types.Dynamic -> (
+                  match !dyn with
+                  | d :: rest ->
+                      dyn := rest;
+                      d
+                  | [] -> trap "memref.alloc: missing dynamic size")
+              | Types.SymDim _ -> trap "memref.alloc: symbolic dim at runtime")
+            dim_tmpl
+        in
+        let elems = List.fold_left ( * ) 1 dims in
+        let buf =
+          Machine.alloc m ~storage ~elems ~elem_bytes ~zero_init:zero
+        in
+        bind env res (Buf { buf; dims = Array.of_list dims });
+        KContinue
+  | "memref.dealloc" ->
+      let x_v = List.hd o.operands in
+      fun () ->
+        let b = buffer env x_v in
+        Machine.free m b.buf;
+        KContinue
+  | "memref.load" ->
+      let mr, idxs = Memref_d.load_parts o in
+      let res = Ir.result o in
+      fun () ->
+        let b = buffer env mr in
+        let lin = linearize env b (List.map (int_of env) idxs) in
+        bind env res (Scalar (Machine.load m b.buf lin));
+        KContinue
+  | "memref.store" ->
+      let v, mr, idxs = Memref_d.store_parts o in
+      fun () ->
+        let b = buffer env mr in
+        let lin = linearize env b (List.map (int_of env) idxs) in
+        Machine.store m b.buf lin (scalar env v);
+        KContinue
+  | "memref.dim" ->
+      let x_v = List.hd o.operands in
+      let k = Option.value ~default:0 (Ir.int_attr o "index") in
+      let res = Ir.result o in
+      fun () ->
+        let b = buffer env x_v in
+        if k < 0 || k >= Array.length b.dims then
+          trap "memref.dim out of range";
+        bind env res (Scalar (VInt b.dims.(k)));
+        KContinue
+  | "scf.for" ->
+      let lb, ub, step = Scf_d.loop_bounds o in
+      let body = Scf_d.loop_body o in
+      let iv, carried_args =
+        match body.rargs with
+        | iv :: rest -> (iv, rest)
+        | [] -> trap "scf.for: missing induction variable"
+      in
+      let inits = Scf_d.loop_iter_inits o in
+      let results = o.results in
+      let cbody = compile_ops env ~structured:true body.rops in
+      fun () ->
+        let lbv = int_of env lb in
+        let ubv = int_of env ub in
+        let stepv = int_of env step in
+        if stepv <= 0 then trap "scf.for: non-positive step %d" stepv;
+        let carried = ref (List.map (lookup env) inits) in
+        let i = ref lbv in
+        while !i < ubv do
+          Machine.charge_op m Int_alu;
+          Machine.charge_op m Branch;
+          bind env iv (Scalar (VInt !i));
+          List.iter2 (fun arg v -> bind env arg v) carried_args !carried;
+          (match run_seq cbody with
+          | KYield vals -> carried := vals
+          | KContinue ->
+              if carried_args <> [] then trap "scf.for: missing yield"
+          | KReturn _ -> assert false (* func.return compiles to a trap *));
+          i := !i + stepv
+        done;
+        List.iter2 (fun res v -> bind env res v) results !carried;
+        KContinue
+  | "scf.if" ->
+      let c_v = List.hd o.operands in
+      let then_r, else_r = Scf_d.if_regions o in
+      let cthen = compile_ops env ~structured:true then_r.rops in
+      let celse = compile_ops env ~structured:true else_r.rops in
+      let results = o.results in
+      fun () ->
+        Machine.charge_op m Branch;
+        let c = int_of env c_v in
+        let chosen = if c <> 0 then cthen else celse in
+        (match run_seq chosen with
+        | KYield vals -> List.iter2 (fun res v -> bind env res v) results vals
+        | KContinue ->
+            if results <> [] then trap "scf.if: branch yielded no values"
+        | KReturn _ -> assert false);
+        KContinue
+  | "func.call" ->
+      let callee = Option.value ~default:"" (Func_d.callee o) in
+      let operands = o.operands in
+      let results = o.results in
+      fun () -> (
+        (* Resolved per call, like the tree walker; the compiled body is
+           memoized in [env.cfuncs] (lazily, so recursion terminates). *)
+        match Ir.find_func env.modul callee with
+        | None -> trap "call to unknown function @%s" callee
+        | Some f ->
+            Machine.charge m 20.0;
+            List.iter (fun _ -> Machine.charge_op m Move) operands;
+            let args = List.map (lookup env) operands in
+            let rets = call_cfunc env (get_cfunc env f) args in
+            List.iter2 (fun res v -> bind env res (Scalar v)) results rets;
+            KContinue)
+  | name -> fun () -> trap "interpreter: unsupported operation %s" name
+
+and compile_ops (env : env) ~(structured : bool) (ops : Ir.op list) :
+    (unit -> kctrl) array =
+  Array.of_list (List.map (compile_op env ~structured) ops)
+
+and get_cfunc (env : env) (f : Ir.func) : cfunc =
+  match Hashtbl.find_opt env.cfuncs f.fname with
+  | Some cf -> cf
+  | None ->
+      let cf =
+        match f.fbody with
+        | None ->
+            { cf_func = f; cf_body = [||]; cf_rargs = [] }
+            (* external: trapped at call time, like the tree walker *)
+        | Some r ->
+            {
+              cf_func = f;
+              cf_body = compile_ops env ~structured:false r.rops;
+              cf_rargs = r.rargs;
+            }
+      in
+      Hashtbl.replace env.cfuncs f.fname cf;
+      cf
+
+(* Mirrors [call_func] exactly: depth check, argument binding, profile
+   snapshot/record. *)
+and call_cfunc (env : env) (cf : cfunc) (args : rtval list) : Value.t list =
+  if env.call_depth > 256 then trap "call depth exceeded";
+  match cf.cf_func.fbody with
+  | None -> trap "call to external function @%s" cf.cf_func.fname
+  | Some _ ->
+      if List.length cf.cf_rargs <> List.length args then
+        trap "@%s: argument count mismatch" cf.cf_func.fname;
+      env.call_depth <- env.call_depth + 1;
+      List.iter2 (fun p a -> bind env p a) cf.cf_rargs args;
+      let snap =
+        match env.profile with
+        | None -> None
+        | Some _ ->
+            let mt = Machine.metrics env.machine in
+            Some (mt.cycles, mt.loads, mt.stores)
+      in
+      let result =
+        match run_seq cf.cf_body with
+        | KReturn vals -> Some vals
+        | KContinue -> None
+        | KYield _ -> assert false (* scf.yield compiles to a trap here *)
+      in
+      (match (env.profile, snap) with
+      | Some p, Some (c0, l0, s0) ->
+          let mt = Machine.metrics env.machine in
+          Dcir_obs.Obs.Profile.record p ~kind:"func" ~name:cf.cf_func.fname
+            ~cycles:(mt.cycles -. c0) ~loads:(mt.loads - l0)
+            ~stores:(mt.stores - s0)
+      | _ -> ());
+      env.call_depth <- env.call_depth - 1;
+      (match result with Some vals -> vals | None -> [])
+
+(* ------------------------------------------------------------------ *)
+
+(** A persistent execution context for repeated invocations of one entry
+    function — used by the SDFG interpreter's compiled plans so opaque
+    tasklets compile their MLIR body once per run instead of once per
+    invocation. Bindings are reused across invocations; this is safe
+    because SSA dominance guarantees every value read is rebound first. *)
+type prepared = { p_env : env; p_entry : Ir.func }
+
+let prepare ?(profile : Dcir_obs.Obs.Profile.t option)
+    ~(machine : Machine.t) (m : Ir.modul) ~(entry : string) : prepared =
+  match Ir.find_func m entry with
+  | None -> trap "entry function @%s not found" entry
+  | Some f ->
+      {
+        p_env =
+          {
+            machine;
+            modul = m;
+            bindings = Hashtbl.create 256;
+            call_depth = 0;
+            profile;
+            cfuncs = Hashtbl.create 8;
+          };
+        p_entry = f;
+      }
+
+let run_prepared (p : prepared) (args : rtval list) : Value.t list =
+  call_cfunc p.p_env (get_cfunc p.p_env p.p_entry) args
+
+(** [run ?machine ?profile ?mode m ~entry args] executes function [entry] of
     module [m]. Returns the function results and the machine (with metrics).
     [profile] accumulates per-function inclusive cycles/loads/stores
-    attribution (a callee's work is also counted in its callers). *)
+    attribution (a callee's work is also counted in its callers).
+    [mode] selects tree-walking or compiled execution (the default); both
+    charge the machine identically. *)
 let run ?(machine : Machine.t option)
-    ?(profile : Dcir_obs.Obs.Profile.t option) (m : Ir.modul)
-    ~(entry : string) (args : rtval list) : Value.t list * Machine.t =
+    ?(profile : Dcir_obs.Obs.Profile.t option) ?(mode : mode = Compiled)
+    (m : Ir.modul) ~(entry : string) (args : rtval list) :
+    Value.t list * Machine.t =
   let machine = match machine with Some x -> x | None -> Machine.create () in
   match Ir.find_func m entry with
   | None -> trap "entry function @%s not found" entry
@@ -379,7 +789,12 @@ let run ?(machine : Machine.t option)
           bindings = Hashtbl.create 256;
           call_depth = 0;
           profile;
+          cfuncs = Hashtbl.create 8;
         }
       in
-      let results = call_func env f args in
+      let results =
+        match mode with
+        | Tree -> call_func env f args
+        | Compiled -> call_cfunc env (get_cfunc env f) args
+      in
       (results, machine)

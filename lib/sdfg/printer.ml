@@ -53,7 +53,7 @@ let rec pp_graph ?(indent = "  ") ppf (g : Sdfg.graph) =
             mn.m_ranges;
           pp_graph ~indent:(indent ^ "  ") ppf mn.m_body
       | Sdfg.Access _ -> ())
-    g.nodes;
+    (Sdfg.nodes g);
   List.iter
     (fun (e : Sdfg.edge) ->
       let conn = function Some c -> ":" ^ c | None -> "" in
@@ -65,11 +65,11 @@ let rec pp_graph ?(indent = "  ") ppf (g : Sdfg.graph) =
         (match e.e_memlet with
         | Some m -> Fmt.str "  [%a]" pp_memlet m
         | None -> "  [dep]"))
-    g.edges
+    (Sdfg.edges g)
 
 let pp ppf (sdfg : Sdfg.t) =
   Fmt.pf ppf "sdfg %s (args: %s; symbols: %s)@." sdfg.name
-    (String.concat ", " sdfg.arg_order)
+    (String.concat ", " (Sdfg.arg_order sdfg))
     (String.concat ", " sdfg.arg_symbols);
   let containers =
     Hashtbl.fold (fun _ c acc -> c :: acc) sdfg.containers []
@@ -81,7 +81,7 @@ let pp ppf (sdfg : Sdfg.t) =
       Fmt.pf ppf "  state %s%s:@." s.s_label
         (if String.equal s.s_label sdfg.start_state then " (start)" else "");
       pp_graph ~indent:"    " ppf s.s_graph)
-    sdfg.states;
+    (Sdfg.states sdfg);
   List.iter
     (fun (e : Sdfg.istate_edge) ->
       Fmt.pf ppf "  edge %s -> %s" e.ie_src e.ie_dst;
@@ -94,7 +94,7 @@ let pp ppf (sdfg : Sdfg.t) =
                Fmt.pf ppf "%s = %a" s Expr.pp ex))
           e.ie_assign;
       Fmt.pf ppf "@.")
-    sdfg.istate_edges;
+    (Sdfg.istate_edges sdfg);
   (match (sdfg.return_scalar, sdfg.return_expr) with
   | Some c, _ -> Fmt.pf ppf "  return %s@." c
   | None, Some e -> Fmt.pf ppf "  return %a@." Expr.pp e

@@ -110,7 +110,17 @@ and edge = {
   mutable e_memlet : memlet option;  (** [None] = pure dependency edge *)
 }
 
-and graph = { mutable nodes : node list; mutable edges : edge list }
+and graph = {
+  mutable g_nodes : node list;  (** committed, in insertion order *)
+  mutable g_nodes_staged : node list;  (** pending appends, newest first *)
+  mutable g_edges : edge list;
+  mutable g_edges_staged : edge list;
+}
+(** Node/edge lists use a staged append buffer: [add_node]/[add_edge] cons
+    onto the staged list in O(1); readers go through {!nodes}/{!edges},
+    which flush staged entries (reversed) onto the committed tail. Building
+    an n-node graph is O(n) instead of the former O(n²) [l @ [x]] appends,
+    while observable order stays exactly insertion order. *)
 
 type state = { s_label : string; s_graph : graph }
 
@@ -124,16 +134,22 @@ type istate_edge = {
 type t = {
   name : string;
   containers : (string, container) Hashtbl.t;
-  mutable arg_order : string list;
-      (** non-transient containers in parameter order *)
+  mutable sd_arg_order : string list;
+      (** non-transient containers in parameter order (committed) *)
+  mutable sd_arg_order_staged : string list;  (** pending, newest first *)
   mutable param_order : string list;
       (** original function parameter names (container names at creation);
           a promoted scalar parameter stays here but moves to
           [arg_symbols] — runners bind positionally through this list *)
   mutable arg_symbols : string list;
       (** free symbols bound by the caller (sizes, promoted scalar params) *)
-  mutable states : state list;
-  mutable istate_edges : istate_edge list;
+  mutable sd_states : state list;
+  mutable sd_states_staged : state list;
+  sd_state_index : (string, state) Hashtbl.t;
+      (** label → state for O(1) {!find_state}; on duplicate labels keeps
+          the first added (the former [List.find_opt] semantics) *)
+  mutable sd_iedges : istate_edge list;
+  mutable sd_iedges_staged : istate_edge list;
   mutable start_state : string;
   mutable return_expr : Expr.t option;
       (** symbolic return value, if the function returns through a symbol *)
@@ -149,16 +165,91 @@ let create (name : string) : t =
   {
     name;
     containers = Hashtbl.create 16;
-    arg_order = [];
+    sd_arg_order = [];
+    sd_arg_order_staged = [];
     param_order = [];
     arg_symbols = [];
-    states = [];
-    istate_edges = [];
+    sd_states = [];
+    sd_states_staged = [];
+    sd_state_index = Hashtbl.create 16;
+    sd_iedges = [];
+    sd_iedges_staged = [];
     start_state = "";
     return_expr = None;
     return_scalar = None;
     gen = Dcir_support.Id_gen.create ();
   }
+
+(* -- staged-list accessors: O(1) appends, reads flush staged entries -- *)
+
+let nodes (g : graph) : node list =
+  (match g.g_nodes_staged with
+  | [] -> ()
+  | staged ->
+      g.g_nodes <- g.g_nodes @ List.rev staged;
+      g.g_nodes_staged <- []);
+  g.g_nodes
+
+let edges (g : graph) : edge list =
+  (match g.g_edges_staged with
+  | [] -> ()
+  | staged ->
+      g.g_edges <- g.g_edges @ List.rev staged;
+      g.g_edges_staged <- []);
+  g.g_edges
+
+let set_nodes (g : graph) (ns : node list) : unit =
+  g.g_nodes <- ns;
+  g.g_nodes_staged <- []
+
+let set_edges (g : graph) (es : edge list) : unit =
+  g.g_edges <- es;
+  g.g_edges_staged <- []
+
+let states (sdfg : t) : state list =
+  (match sdfg.sd_states_staged with
+  | [] -> ()
+  | staged ->
+      sdfg.sd_states <- sdfg.sd_states @ List.rev staged;
+      sdfg.sd_states_staged <- []);
+  sdfg.sd_states
+
+let reindex_states (sdfg : t) : unit =
+  Hashtbl.reset sdfg.sd_state_index;
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem sdfg.sd_state_index s.s_label) then
+        Hashtbl.replace sdfg.sd_state_index s.s_label s)
+    (states sdfg)
+
+let set_states (sdfg : t) (ss : state list) : unit =
+  sdfg.sd_states <- ss;
+  sdfg.sd_states_staged <- [];
+  reindex_states sdfg
+
+let istate_edges (sdfg : t) : istate_edge list =
+  (match sdfg.sd_iedges_staged with
+  | [] -> ()
+  | staged ->
+      sdfg.sd_iedges <- sdfg.sd_iedges @ List.rev staged;
+      sdfg.sd_iedges_staged <- []);
+  sdfg.sd_iedges
+
+let set_istate_edges (sdfg : t) (es : istate_edge list) : unit =
+  sdfg.sd_iedges <- es;
+  sdfg.sd_iedges_staged <- []
+
+let arg_order (sdfg : t) : string list =
+  (match sdfg.sd_arg_order_staged with
+  | [] -> ()
+  | staged ->
+      sdfg.sd_arg_order <- sdfg.sd_arg_order @ List.rev staged;
+      sdfg.sd_arg_order_staged <- []);
+  sdfg.sd_arg_order
+
+let set_arg_order (sdfg : t) (names : string list) : unit =
+  sdfg.sd_arg_order <- names;
+  sdfg.sd_arg_order_staged <- []
 
 let add_container (sdfg : t) ?(transient = true) ?(storage = Heap)
     ?(alloc_in_loop = false) ~(dtype : dtype) ~(shape : Expr.t list)
@@ -169,7 +260,8 @@ let add_container (sdfg : t) ?(transient = true) ?(storage = Heap)
     { cname; dtype; shape; transient; storage; alloc_in_loop; alloc_state = None }
   in
   Hashtbl.replace sdfg.containers cname c;
-  if not transient then sdfg.arg_order <- sdfg.arg_order @ [ cname ];
+  if not transient then
+    sdfg.sd_arg_order_staged <- cname :: sdfg.sd_arg_order_staged;
   c
 
 let container (sdfg : t) (name : string) : container =
@@ -179,7 +271,8 @@ let container (sdfg : t) (name : string) : container =
 
 let remove_container (sdfg : t) (name : string) : unit =
   Hashtbl.remove sdfg.containers name;
-  sdfg.arg_order <- List.filter (fun n -> not (String.equal n name)) sdfg.arg_order
+  set_arg_order sdfg
+    (List.filter (fun n -> not (String.equal n name)) (arg_order sdfg))
 
 let fresh_name (sdfg : t) (prefix : string) : string =
   let rec try_ () =
@@ -188,14 +281,15 @@ let fresh_name (sdfg : t) (prefix : string) : string =
   in
   try_ ()
 
-let new_graph () : graph = { nodes = []; edges = [] }
+let new_graph () : graph =
+  { g_nodes = []; g_nodes_staged = []; g_edges = []; g_edges_staged = [] }
 
 let node_counter = ref 0
 
 let add_node (g : graph) (kind : node_kind) : node =
   incr node_counter;
   let n = { nid = !node_counter; kind } in
-  g.nodes <- g.nodes @ [ n ];
+  g.g_nodes_staged <- n :: g.g_nodes_staged;
   n
 
 let add_edge (g : graph) ?(src_conn : string option)
@@ -210,29 +304,31 @@ let add_edge (g : graph) ?(src_conn : string option)
       e_memlet = memlet;
     }
   in
-  g.edges <- g.edges @ [ e ];
+  g.g_edges_staged <- e :: g.g_edges_staged;
   e
 
 let add_state (sdfg : t) (label : string) : state =
   let s = { s_label = label; s_graph = new_graph () } in
-  sdfg.states <- sdfg.states @ [ s ];
+  sdfg.sd_states_staged <- s :: sdfg.sd_states_staged;
+  if not (Hashtbl.mem sdfg.sd_state_index label) then
+    Hashtbl.replace sdfg.sd_state_index label s;
   if sdfg.start_state = "" then sdfg.start_state <- label;
   s
 
 let find_state (sdfg : t) (label : string) : state option =
-  List.find_opt (fun s -> String.equal s.s_label label) sdfg.states
+  Hashtbl.find_opt sdfg.sd_state_index label
 
 let add_istate_edge (sdfg : t) ?(cond = Bexpr.true_) ?(assign = []) ~(src : string)
     ~(dst : string) () : unit =
-  sdfg.istate_edges <-
-    sdfg.istate_edges
-    @ [ { ie_src = src; ie_dst = dst; ie_cond = cond; ie_assign = assign } ]
+  sdfg.sd_iedges_staged <-
+    { ie_src = src; ie_dst = dst; ie_cond = cond; ie_assign = assign }
+    :: sdfg.sd_iedges_staged
 
 let out_edges (sdfg : t) (label : string) : istate_edge list =
-  List.filter (fun e -> String.equal e.ie_src label) sdfg.istate_edges
+  List.filter (fun e -> String.equal e.ie_src label) (istate_edges sdfg)
 
 let in_edges (sdfg : t) (label : string) : istate_edge list =
-  List.filter (fun e -> String.equal e.ie_dst label) sdfg.istate_edges
+  List.filter (fun e -> String.equal e.ie_dst label) (istate_edges sdfg)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot / restore — the checked-execution primitives of
@@ -243,7 +339,7 @@ let in_edges (sdfg : t) (label : string) : istate_edge list =
 
 let rec copy_graph (g : graph) : graph =
   {
-    nodes =
+    g_nodes =
       List.map
         (fun n ->
           match n.kind with
@@ -259,8 +355,9 @@ let rec copy_graph (g : graph) : graph =
                     };
               }
           | Access _ | TaskletN _ -> { nid = n.nid; kind = n.kind })
-        g.nodes;
-    edges =
+        (nodes g);
+    g_nodes_staged = [];
+    g_edges =
       List.map
         (fun e ->
           {
@@ -270,7 +367,8 @@ let rec copy_graph (g : graph) : graph =
             e_dst_conn = e.e_dst_conn;
             e_memlet = e.e_memlet;
           })
-        g.edges;
+        (edges g);
+    g_edges_staged = [];
   }
 
 let copy_container (c : container) : container =
@@ -291,42 +389,50 @@ let copy (sdfg : t) : t =
   Hashtbl.iter
     (fun k c -> Hashtbl.replace containers k (copy_container c))
     sdfg.containers;
-  {
-    name = sdfg.name;
-    containers;
-    arg_order = sdfg.arg_order;
-    param_order = sdfg.param_order;
-    arg_symbols = sdfg.arg_symbols;
-    states =
-      List.map
-        (fun s -> { s_label = s.s_label; s_graph = copy_graph s.s_graph })
-        sdfg.states;
-    istate_edges =
-      List.map
-        (fun e ->
-          {
-            ie_src = e.ie_src;
-            ie_dst = e.ie_dst;
-            ie_cond = e.ie_cond;
-            ie_assign = e.ie_assign;
-          })
-        sdfg.istate_edges;
-    start_state = sdfg.start_state;
-    return_expr = sdfg.return_expr;
-    return_scalar = sdfg.return_scalar;
-    gen = sdfg.gen;
-  }
+  let c =
+    {
+      name = sdfg.name;
+      containers;
+      sd_arg_order = arg_order sdfg;
+      sd_arg_order_staged = [];
+      param_order = sdfg.param_order;
+      arg_symbols = sdfg.arg_symbols;
+      sd_states =
+        List.map
+          (fun s -> { s_label = s.s_label; s_graph = copy_graph s.s_graph })
+          (states sdfg);
+      sd_states_staged = [];
+      sd_state_index = Hashtbl.create 16;
+      sd_iedges =
+        List.map
+          (fun e ->
+            {
+              ie_src = e.ie_src;
+              ie_dst = e.ie_dst;
+              ie_cond = e.ie_cond;
+              ie_assign = e.ie_assign;
+            })
+          (istate_edges sdfg);
+      sd_iedges_staged = [];
+      start_state = sdfg.start_state;
+      return_expr = sdfg.return_expr;
+      return_scalar = sdfg.return_scalar;
+      gen = sdfg.gen;
+    }
+  in
+  reindex_states c;
+  c
 
 (** Overwrite [into] with the contents of snapshot [src] — the rollback
     half of checked execution. *)
 let restore ~(into : t) (src : t) : unit =
   Hashtbl.reset into.containers;
   Hashtbl.iter (fun k c -> Hashtbl.replace into.containers k c) src.containers;
-  into.arg_order <- src.arg_order;
+  set_arg_order into (arg_order src);
   into.param_order <- src.param_order;
   into.arg_symbols <- src.arg_symbols;
-  into.states <- src.states;
-  into.istate_edges <- src.istate_edges;
+  set_states into (states src);
+  set_istate_edges into (istate_edges src);
   into.start_state <- src.start_state;
   into.return_expr <- src.return_expr;
   into.return_scalar <- src.return_scalar
@@ -335,20 +441,20 @@ let restore ~(into : t) (src : t) : unit =
 (* Graph queries *)
 
 let node_by_id (g : graph) (nid : int) : node =
-  match List.find_opt (fun n -> n.nid = nid) g.nodes with
+  match List.find_opt (fun n -> n.nid = nid) (nodes g) with
   | Some n -> n
   | None -> invalid_arg "Sdfg.node_by_id"
 
 let node_in_edges (g : graph) (n : node) : edge list =
-  List.filter (fun e -> e.e_dst = n.nid) g.edges
+  List.filter (fun e -> e.e_dst = n.nid) (edges g)
 
 let node_out_edges (g : graph) (n : node) : edge list =
-  List.filter (fun e -> e.e_src = n.nid) g.edges
+  List.filter (fun e -> e.e_src = n.nid) (edges g)
 
 (** Topological order of a state's dataflow graph. Raises on cycles (states
     must be acyclic). *)
 let topo_order (g : graph) : node list =
-  let ids = List.map (fun n -> n.nid) g.nodes in
+  let ids = List.map (fun n -> n.nid) (nodes g) in
   let index_of = Hashtbl.create 16 in
   List.iteri (fun i nid -> Hashtbl.replace index_of nid i) ids;
   let dg =
@@ -360,10 +466,10 @@ let topo_order (g : graph) : node list =
            with
            | Some a, Some b -> Some (a, b)
            | _ -> None)
-         g.edges)
+         (edges g))
   in
   let order = Dcir_support.Digraph.topo_sort dg in
-  let arr = Array.of_list g.nodes in
+  let arr = Array.of_list (nodes g) in
   List.map (fun i -> arr.(i)) order
 
 (** Containers read (via load memlets into tasklets/maps/copies) in a
@@ -380,13 +486,13 @@ let rec read_containers (g : graph) : string list =
           | Access _ -> acc := S.add m.data !acc
           | _ -> ())
       | None -> ())
-    g.edges;
+    (edges g);
   List.iter
     (fun n ->
       match n.kind with
       | MapN mn -> List.iter (fun c -> acc := S.add c !acc) (read_containers mn.m_body)
       | _ -> ())
-    g.nodes;
+    (nodes g);
   S.elements !acc
 
 (** Containers written in a graph, recursively. *)
@@ -403,14 +509,14 @@ let rec written_containers (g : graph) : string list =
           | Access n -> acc := S.add n !acc
           | _ -> ())
       | None -> ())
-    g.edges;
+    (edges g);
   List.iter
     (fun n ->
       match n.kind with
       | MapN mn ->
           List.iter (fun c -> acc := S.add c !acc) (written_containers mn.m_body)
       | _ -> ())
-    g.nodes;
+    (nodes g);
   S.elements !acc
 
 (** Symbols referenced by a graph: memlet subsets, tasklet code, map
@@ -428,7 +534,7 @@ let rec graph_free_syms (g : graph) : string list =
           | Some o -> add (Range.free_syms o)
           | None -> ())
       | None -> ())
-    g.edges;
+    (edges g);
   List.iter
     (fun n ->
       match n.kind with
@@ -453,7 +559,7 @@ let rec graph_free_syms (g : graph) : string list =
           let inner = graph_free_syms mn.m_body in
           add (List.filter (fun s -> not (List.mem s mn.m_params)) inner)
       | Access _ -> ())
-    g.nodes;
+    (nodes g);
   S.elements !acc
 
 (** All symbols an SDFG reads anywhere (conditions, assignments, shapes,
@@ -462,12 +568,12 @@ let free_syms (sdfg : t) : string list =
   let module S = Set.Make (String) in
   let acc = ref S.empty in
   let add l = List.iter (fun s -> acc := S.add s !acc) l in
-  List.iter (fun st -> add (graph_free_syms st.s_graph)) sdfg.states;
+  List.iter (fun st -> add (graph_free_syms st.s_graph)) (states sdfg);
   List.iter
     (fun e ->
       add (Bexpr.free_syms e.ie_cond);
       List.iter (fun (_, ex) -> add (Expr.free_syms ex)) e.ie_assign)
-    sdfg.istate_edges;
+    (istate_edges sdfg);
   Hashtbl.iter
     (fun _ c -> List.iter (fun d -> add (Expr.free_syms d)) c.shape)
     sdfg.containers;

@@ -110,7 +110,7 @@ let rec check_graph (sdfg : Sdfg.t) ~(where : string) (g : Sdfg.graph) :
             push
               [ error "%s: dataflow into tasklet '%s' without a connector" where t.tname ]
       | _ -> ())
-    g.edges;
+    (Sdfg.edges g);
   (* Native tasklet code must only use declared connectors. *)
   List.iter
     (fun (n : Sdfg.node) ->
@@ -136,21 +136,21 @@ let rec check_graph (sdfg : Sdfg.t) ~(where : string) (g : Sdfg.graph) :
           if not (Hashtbl.mem sdfg.containers name) then
             push [ error "%s: access node references unknown container '%s'" where name ]
       | Sdfg.TaskletN { code = Opaque _; _ } -> ())
-    g.nodes;
+    (Sdfg.nodes g);
   !diags
 
 let validate (sdfg : Sdfg.t) : diagnostic list =
   let diags = ref [] in
   let push d = diags := !diags @ d in
   (* State labels unique; start state and edge endpoints exist. *)
-  let labels = List.map (fun (s : Sdfg.state) -> s.s_label) sdfg.states in
+  let labels = List.map (fun (s : Sdfg.state) -> s.s_label) (Sdfg.states sdfg) in
   let seen = Hashtbl.create 16 in
   List.iter
     (fun l ->
       if Hashtbl.mem seen l then push [ error "duplicate state label '%s'" l ]
       else Hashtbl.replace seen l ())
     labels;
-  if sdfg.states <> [] && not (List.mem sdfg.start_state labels) then
+  if (Sdfg.states sdfg) <> [] && not (List.mem sdfg.start_state labels) then
     push [ error "start state '%s' does not exist" sdfg.start_state ];
   List.iter
     (fun (e : Sdfg.istate_edge) ->
@@ -158,15 +158,15 @@ let validate (sdfg : Sdfg.t) : diagnostic list =
         push [ error "interstate edge from unknown state '%s'" e.ie_src ];
       if not (List.mem e.ie_dst labels) then
         push [ error "interstate edge to unknown state '%s'" e.ie_dst ])
-    sdfg.istate_edges;
+    (Sdfg.istate_edges sdfg);
   (* Per-state dataflow. *)
   List.iter
     (fun (s : Sdfg.state) -> push (check_graph sdfg ~where:s.s_label s.s_graph))
-    sdfg.states;
+    (Sdfg.states sdfg);
   (* Warn about symbols that are never bound anywhere. *)
   let assigned =
     List.concat_map (fun (e : Sdfg.istate_edge) -> List.map fst e.ie_assign)
-      sdfg.istate_edges
+      (Sdfg.istate_edges sdfg)
     @ sdfg.arg_symbols
   in
   List.iter

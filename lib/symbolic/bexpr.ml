@@ -90,7 +90,10 @@ let rec eval (env : string -> int option) (b : t) : bool =
   match b with
   | Bool v -> v
   | Cmp (op, a, c) -> (
-      let x = Expr.eval env a and y = Expr.eval env c in
+      (* Left-to-right, like {!Expr.eval}: [env] may charge for
+         scalar-container reads. *)
+      let x = Expr.eval env a in
+      let y = Expr.eval env c in
       match op with
       | Eq -> x = y
       | Ne -> x <> y

@@ -255,18 +255,29 @@ let rec eval (env : string -> int option) (e : t) : int =
   | Add xs -> List.fold_left (fun acc x -> acc + eval env x) 0 xs
   | Mul xs -> List.fold_left (fun acc x -> acc * eval env x) 1 xs
   | Div (a, b) ->
-      let x = eval env a and y = eval env b in
+      (* Operand evaluation is explicitly left-to-right throughout: [env]
+         may have charging side effects (scalar-container reads), and the
+         compiled-plan evaluator mirrors this exact order. *)
+      let x = eval env a in
+      let y = eval env b in
       if y = 0 then invalid_arg "Expr.eval: division by zero"
       else if (x < 0) <> (y < 0) && x mod y <> 0 then (x / y) - 1
       else x / y
   | Mod (a, b) ->
-      let x = eval env a and y = eval env b in
+      let x = eval env a in
+      let y = eval env b in
       if y = 0 then invalid_arg "Expr.eval: modulo by zero"
       else
         let m = x mod y in
         if m < 0 then m + abs y else m
-  | Min (a, b) -> min (eval env a) (eval env b)
-  | Max (a, b) -> max (eval env a) (eval env b)
+  | Min (a, b) ->
+      let x = eval env a in
+      let y = eval env b in
+      min x y
+  | Max (a, b) ->
+      let x = eval env a in
+      let y = eval env b in
+      max x y
 
 (* ------------------------------------------------------------------ *)
 (* Printing: conventional infix syntax, parenthesized only when needed. *)

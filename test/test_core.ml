@@ -68,8 +68,8 @@ let test_translator_raises_tasklets () =
           | Dcir_sdfg.Sdfg.TaskletN { code = Native _; _ } -> incr native
           | Dcir_sdfg.Sdfg.TaskletN { code = Opaque _; _ } -> incr opaque
           | _ -> ())
-        st.s_graph.nodes)
-    sdfg.states;
+        (Dcir_sdfg.Sdfg.nodes st.s_graph))
+    (Dcir_sdfg.Sdfg.states sdfg);
   Alcotest.(check int) "no opaque tasklets" 0 !opaque;
   Alcotest.(check bool) "has native tasklets" true (!native > 0)
 
@@ -78,7 +78,7 @@ let test_translator_metadata () =
   let sdfg = Translator.translate_module converted ~entry:"saxpy" in
   Alcotest.(check int) "three parameters" 3 (List.length sdfg.param_order);
   Alcotest.(check bool) "x is an argument container" true
-    (List.mem "_x" sdfg.arg_order);
+    (List.mem "_x" (Dcir_sdfg.Sdfg.arg_order sdfg));
   Alcotest.(check bool) "validates" true
     (Dcir_sdfg.Validate.errors sdfg = [])
 
@@ -93,8 +93,8 @@ let test_dace_frontend_opaque () =
           match n.kind with
           | Dcir_sdfg.Sdfg.TaskletN { code = Opaque _; _ } -> incr opaque
           | _ -> ())
-        st.s_graph.nodes)
-    sdfg.states;
+        (Dcir_sdfg.Sdfg.nodes st.s_graph))
+    (Dcir_sdfg.Sdfg.states sdfg);
   Alcotest.(check bool) "opaque statement tasklets" true (!opaque > 0)
 
 let test_dace_frontend_descending () =
@@ -118,7 +118,7 @@ void rev(double a[8]) {
             in
             Dcir_symbolic.Expr.is_constant step = Some (-1))
           e.ie_assign)
-      sdfg.istate_edges
+      (Dcir_sdfg.Sdfg.istate_edges sdfg)
   in
   Alcotest.(check bool) "negative-step loop kept" true has_negative_step
 

@@ -67,12 +67,12 @@ let test_symbol_propagation () =
         List.filter
           (fun (_, ex) -> Dcir_symbolic.Expr.is_constant ex <> None)
           e.ie_assign)
-      sdfg.istate_edges
+      (Sdfg.istate_edges sdfg)
     |> List.filter (fun (s, _) ->
            List.length
              (List.filter
                 (fun (e : Sdfg.istate_edge) -> List.mem_assoc s e.ie_assign)
-                sdfg.istate_edges)
+                (Sdfg.istate_edges sdfg))
            = 1)
   in
   Alcotest.(check int) "no residual constant symbols" 0
@@ -80,10 +80,10 @@ let test_symbol_propagation () =
 
 let test_state_fusion_shrinks () =
   let sdfg = compile_sdfg saxpy_src ~entry:"saxpy" in
-  let before = List.length sdfg.states in
+  let before = List.length (Sdfg.states sdfg) in
   ignore (Driver.fixpoint Driver.inference sdfg);
   ignore (Dcir_dace_passes.State_fusion.run sdfg);
-  Alcotest.(check bool) "fewer states" true (List.length sdfg.states < before)
+  Alcotest.(check bool) "fewer states" true (List.length (Sdfg.states sdfg) < before)
 
 let test_wcr_detection () =
   let src =
@@ -104,8 +104,8 @@ void acc(double x[16], double out[16]) {
           match e.e_memlet with
           | Some m when m.wcr = Some Sdfg.WcrSum -> has_wcr := true
           | _ -> ())
-        st.s_graph.edges)
-    sdfg.states;
+        (Sdfg.edges st.s_graph))
+    (Sdfg.states sdfg);
   Alcotest.(check bool) "update detected" true !has_wcr;
   Alcotest.(check bool) "semantics" true
     (semantics_preserved src ~entry:"acc" (fun () ->
@@ -147,7 +147,7 @@ void dead(double out[8]) {
   Alcotest.(check bool) "containers shrank" true
     (stats.containers_after < stats.containers_before);
   Alcotest.(check int) "states_after matches SDFG" stats.states_after
-    (List.length sdfg.states);
+    (List.length (Sdfg.states sdfg));
   Alcotest.(check int) "containers_after matches SDFG" stats.containers_after
     (Hashtbl.length sdfg.containers);
   Alcotest.(check int) "eliminated count in stats"
@@ -307,10 +307,10 @@ int inv(int n) {
 let test_simplify_idempotent () =
   let sdfg = compile_sdfg saxpy_src ~entry:"saxpy" in
   ignore (Driver.simplify sdfg);
-  let states = List.length sdfg.states in
+  let states = List.length (Sdfg.states sdfg) in
   let containers = container_count sdfg in
   ignore (Driver.simplify sdfg);
-  Alcotest.(check int) "states stable" states (List.length sdfg.states);
+  Alcotest.(check int) "states stable" states (List.length (Sdfg.states sdfg));
   Alcotest.(check int) "containers stable" containers (container_count sdfg)
 
 let test_each_pass_preserves_semantics () =

@@ -1,0 +1,388 @@
+(** Tests for compiled execution plans and the interpreter hot-path fixes.
+
+    The compiled plans ({!Dcir_sdfg.Interp} [~mode:Compiled],
+    {!Dcir_mlir.Interp} likewise) must be {e observably indistinguishable}
+    from the tree walkers: same outputs, same traps, and bit-identical
+    machine metrics — the cost model is the paper's measurement apparatus,
+    so a plan that changes cycle counts silently corrupts every figure.
+    These tests pin that contract on hand-built SDFGs, on the full
+    fixed-seed fuzz corpus, and on a Polybench subset, alongside the
+    hot-path bug sweep: symbol reads of scalar containers must charge a
+    load, float->int casts truncate toward zero and trap on NaN/inf in
+    both interpreters, and SDFG construction must stay linear. *)
+
+open Dcir_sdfg
+open Dcir_symbolic
+open Dcir_machine
+module Pipelines = Dcir_core.Pipelines
+module Metrics = Dcir_machine.Metrics
+
+let mk_tasklet ?(syms = []) name ins outs code =
+  {
+    Sdfg.tname = name;
+    t_inputs = ins;
+    t_outputs = outs;
+    t_syms = syms;
+    code = Sdfg.Native code;
+    t_overhead = 0.0;
+  }
+
+let memlet ?wcr ?other data subset = { Sdfg.data; subset; wcr; other }
+
+let metrics_equal (a : Metrics.t) (b : Metrics.t) : bool =
+  Int64.equal (Int64.bits_of_float a.cycles) (Int64.bits_of_float b.cycles)
+  && a.loads = b.loads && a.stores = b.stores
+  && a.bytes_loaded = b.bytes_loaded
+  && a.bytes_stored = b.bytes_stored
+  && a.int_ops = b.int_ops && a.fp_ops = b.fp_ops
+  && a.math_calls = b.math_calls && a.branches = b.branches
+  && a.heap_allocs = b.heap_allocs
+  && a.heap_frees = b.heap_frees
+  && a.heap_bytes = b.heap_bytes
+  && a.stack_allocs = b.stack_allocs
+  && a.l1_misses = b.l1_misses && a.l2_misses = b.l2_misses
+  && a.l3_misses = b.l3_misses
+  && a.l1_accesses = b.l1_accesses
+
+let check_metrics_equal label (a : Metrics.t) (b : Metrics.t) =
+  if not (metrics_equal a b) then
+    Alcotest.failf "%s: tree and compiled metrics differ\ntree:\n%a\ncompiled:\n%a"
+      label Metrics.pp a Metrics.pp b
+
+let results_identical (a : Pipelines.run_result) (b : Pipelines.run_result) :
+    bool =
+  (match (a.return_value, b.return_value) with
+  | Some x, Some y -> Value.equal x y
+  | None, None -> true
+  | _ -> false)
+  && List.length a.outputs = List.length b.outputs
+  && List.for_all2
+       (fun (i, x) (j, y) ->
+         i = j
+         && Array.length x = Array.length y
+         && Array.for_all2 Value.equal x y)
+       a.outputs b.outputs
+  && metrics_equal a.metrics b.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Symbol reads of scalar containers charge a load *)
+
+(* One interstate condition reading scalar container [n]; the condition
+   evaluation is the only memory access in the whole program, so the load
+   counter isolates the sym_env path (a [peek] would leave it at 0). *)
+let symenv_sdfg () : Sdfg.t =
+  let sdfg = Sdfg.create "symenv" in
+  ignore
+    (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DInt ~shape:[] "n");
+  sdfg.param_order <- [ "n" ];
+  ignore (Sdfg.add_state sdfg "init");
+  ignore (Sdfg.add_state sdfg "exit");
+  Sdfg.add_istate_edge sdfg
+    ~cond:(Bexpr.gt (Expr.sym "n") Expr.zero)
+    ~src:"init" ~dst:"exit" ();
+  sdfg.start_state <- "init";
+  sdfg
+
+let run_symenv (mode : Interp.mode) : Metrics.t =
+  let machine = Machine.create () in
+  let n =
+    Machine.alloc machine ~storage:Machine.Heap ~elems:1 ~elem_bytes:8
+      ~zero_init:(Value.VInt 0)
+  in
+  Machine.poke n 0 (Value.VInt 5);
+  let _ =
+    Interp.run ~machine ~mode (symenv_sdfg ()) ~buffers:[ ("n", n, [||]) ]
+      ~symbols:[] ()
+  in
+  Machine.metrics machine
+
+let test_symenv_scalar_load () =
+  let mt = run_symenv Interp.Tree in
+  Alcotest.(check int) "scalar-container symbol read goes through the cache" 1
+    mt.loads;
+  Alcotest.(check bool) "load charged cycles" true (mt.cycles > 0.0);
+  check_metrics_equal "symenv" mt (run_symenv Interp.Compiled)
+
+(* ------------------------------------------------------------------ *)
+(* SDFG construction stays linear in the number of states *)
+
+let test_construction_scale () =
+  let n = 10_000 in
+  let label i = "s" ^ string_of_int i in
+  let t0 = Sys.time () in
+  let sdfg = Sdfg.create "big" in
+  for i = 0 to n - 1 do
+    ignore (Sdfg.add_state sdfg (label i))
+  done;
+  for i = 0 to n - 2 do
+    Sdfg.add_istate_edge sdfg ~src:(label i) ~dst:(label (i + 1)) ()
+  done;
+  sdfg.start_state <- label 0;
+  let dt = Sys.time () -. t0 in
+  (* Quadratic append made this minutes; staged construction is
+     milliseconds. The bound is loose only to absorb CI noise. *)
+  if dt >= 1.0 then
+    Alcotest.failf "10k-state construction took %.2fs (expected well under 1s)"
+      dt;
+  Alcotest.(check int) "all states present" n (List.length (Sdfg.states sdfg));
+  Alcotest.(check bool) "find_state hits the last state" true
+    (Sdfg.find_state sdfg (label (n - 1)) <> None);
+  (* And the whole chain executes identically in both modes. *)
+  let run mode =
+    let machine = Machine.create () in
+    ignore (Interp.run ~machine ~mode sdfg ~buffers:[] ~symbols:[] ());
+    Machine.metrics machine
+  in
+  check_metrics_equal "10k-state chain" (run Interp.Tree) (run Interp.Compiled)
+
+(* ------------------------------------------------------------------ *)
+(* float->int casts: truncation toward zero, trap on NaN/inf *)
+
+let cast_src = "int kernel_cast(double x) {\n  return (int)x;\n}\n"
+let cast_kinds = [ Pipelines.Mlir; Pipelines.Dcir ]
+let modes : Pipelines.interp_mode list = [ `Tree; `Compiled ]
+
+let run_cast kind mode (x : float) : Pipelines.run_result =
+  let compiled =
+    Pipelines.compile kind ~src:cast_src ~entry:"kernel_cast"
+  in
+  Pipelines.run ~interp_mode:mode compiled ~entry:"kernel_cast"
+    [ Pipelines.AFloat x ]
+
+let test_toint_truncation () =
+  List.iter
+    (fun (x, expect) ->
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun mode ->
+              let r = run_cast kind mode x in
+              Alcotest.(check bool)
+                (Printf.sprintf "(int)%g = %d [%s]" x expect
+                   (Pipelines.kind_name kind))
+                true
+                (r.return_value = Some (Value.VInt expect)))
+            modes)
+        cast_kinds)
+    [ (2.9, 2); (-2.9, -2); (-0.5, 0); (7.0, 7) ]
+
+let trap_message (f : unit -> Pipelines.run_result) : string =
+  match f () with
+  | _ -> Alcotest.fail "expected a trap, got a result"
+  | exception Dcir_sdfg.Interp.Trap msg -> msg
+  | exception Dcir_mlir.Interp.Trap msg -> msg
+
+let test_toint_traps () =
+  List.iter
+    (fun (x, expect_sub) ->
+      let msgs =
+        List.concat_map
+          (fun kind ->
+            List.map (fun mode -> trap_message (fun () -> run_cast kind mode x)) modes)
+          cast_kinds
+      in
+      List.iter
+        (fun msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "trap mentions %S (got %S)" expect_sub msg)
+            true
+            (Tutil.contains msg expect_sub))
+        msgs;
+      (* Same wording everywhere: both interpreters, both modes. *)
+      List.iter
+        (fun msg -> Alcotest.(check string) "trap message uniform" (List.hd msgs) msg)
+        msgs)
+    [ (Float.nan, "nan"); (Float.infinity, "out of range");
+      (Float.neg_infinity, "out of range") ]
+
+(* ------------------------------------------------------------------ *)
+(* BMod / BMin / BMax on floats: parity across interpreters and modes *)
+
+(* MLIR reference: a two-argument float function around one arith op. *)
+let mlir_fbin (build : Dcir_mlir.Ir.value -> Dcir_mlir.Ir.value -> Dcir_mlir.Ir.op)
+    (mode : Dcir_mlir.Interp.mode) (a : float) (b : float) : Value.t =
+  let open Dcir_mlir in
+  let f =
+    Func_d.make_func ~name:"f"
+      ~params:[ ("a", Types.F64); ("b", Types.F64) ]
+      ~ret:[ Types.F64 ]
+      (fun params ->
+        let va = List.nth params 0 and vb = List.nth params 1 in
+        let o = build va vb in
+        [ o; Func_d.return_ [ Ir.result o ] ])
+  in
+  let m = Ir.new_module () in
+  m.funcs <- [ f ];
+  let results, _ =
+    Interp.run ~mode m ~entry:"f"
+      [ Interp.Scalar (Value.VFloat a); Interp.Scalar (Value.VFloat b) ]
+  in
+  List.hd results
+
+let sdfg_fbin (op : Texpr.binop) (a : float) (b : float) : Value.t =
+  let m = Machine.create () in
+  Interp.apply_binop m op (Value.VFloat a) (Value.VFloat b)
+
+let fbin_operands =
+  [ (7.5, 2.0); (-7.5, 2.0); (7.5, -2.0); (3.0, Float.nan); (Float.nan, 3.0);
+    (0.0, -0.0) ]
+
+let test_float_minmax_cross_interp () =
+  List.iter
+    (fun (texpr_op, arith_op, name) ->
+      List.iter
+        (fun (a, b) ->
+          let s = sdfg_fbin texpr_op a b in
+          List.iter
+            (fun mode ->
+              let v = mlir_fbin arith_op mode a b in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s(%g, %g) agrees across interpreters" name a b)
+                true (Value.equal s v))
+            [ Dcir_mlir.Interp.Tree; Dcir_mlir.Interp.Compiled ])
+        fbin_operands)
+    [ (Texpr.BMin, Dcir_mlir.Arith.minf, "min");
+      (Texpr.BMax, Dcir_mlir.Arith.maxf, "max") ]
+
+let test_float_mod_semantics () =
+  (* No arith.remf in the dialect subset; BMod floats pin Float.rem
+     (truncated division, sign of the dividend) directly. *)
+  List.iter
+    (fun ((a, b), expect) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fmod(%g, %g)" a b)
+        true
+        (Value.equal (sdfg_fbin Texpr.BMod a b) (Value.VFloat expect)))
+    [ ((7.5, 2.0), 1.5); ((-7.5, 2.0), -1.5); ((7.5, -2.0), 1.5) ];
+  Alcotest.(check bool) "fmod propagates nan" true
+    (Value.equal (sdfg_fbin Texpr.BMod 3.0 Float.nan) (Value.VFloat Float.nan))
+
+(* Tasklet-level: the same ops through whole-SDFG execution, both modes. *)
+let fbin_sdfg () : Sdfg.t =
+  let sdfg = Sdfg.create "fbin" in
+  List.iter
+    (fun name ->
+      ignore
+        (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat ~shape:[]
+           name))
+    [ "a"; "b"; "m"; "lo"; "hi" ];
+  sdfg.param_order <- [ "a"; "b"; "m"; "lo"; "hi" ];
+  let st = Sdfg.add_state sdfg "s" in
+  let g = st.s_graph in
+  let a = Sdfg.add_node g (Sdfg.Access "a") in
+  let b = Sdfg.add_node g (Sdfg.Access "b") in
+  let t =
+    Sdfg.add_node g
+      (Sdfg.TaskletN
+         (mk_tasklet "t" [ "_a"; "_b" ] [ "_m"; "_lo"; "_hi" ]
+            [
+              ("_m", Texpr.TBin (Texpr.BMod, TIn "_a", TIn "_b"));
+              ("_lo", Texpr.TBin (Texpr.BMin, TIn "_a", TIn "_b"));
+              ("_hi", Texpr.TBin (Texpr.BMax, TIn "_a", TIn "_b"));
+            ]))
+  in
+  ignore (Sdfg.add_edge g ~dst_conn:"_a" ~memlet:(memlet "a" []) a t);
+  ignore (Sdfg.add_edge g ~dst_conn:"_b" ~memlet:(memlet "b" []) b t);
+  List.iter
+    (fun (conn, name) ->
+      let out = Sdfg.add_node g (Sdfg.Access name) in
+      ignore (Sdfg.add_edge g ~src_conn:conn ~memlet:(memlet name []) t out))
+    [ ("_m", "m"); ("_lo", "lo"); ("_hi", "hi") ];
+  sdfg
+
+let test_float_binops_tasklet_parity () =
+  let sdfg = fbin_sdfg () in
+  List.iter
+    (fun (a, b) ->
+      let run mode =
+        let machine = Machine.create () in
+        let scalar v =
+          let buf =
+            Machine.alloc machine ~storage:Machine.Heap ~elems:1 ~elem_bytes:8
+              ~zero_init:(Value.VFloat 0.0)
+          in
+          Machine.poke buf 0 (Value.VFloat v);
+          buf
+        in
+        let bufs =
+          [ ("a", scalar a, [||]); ("b", scalar b, [||]); ("m", scalar 0.0, [||]);
+            ("lo", scalar 0.0, [||]); ("hi", scalar 0.0, [||]) ]
+        in
+        ignore (Interp.run ~machine ~mode sdfg ~buffers:bufs ~symbols:[] ());
+        let out name =
+          let _, buf, _ = List.find (fun (n, _, _) -> n = name) bufs in
+          Machine.peek buf 0
+        in
+        ((out "m", out "lo", out "hi"), Machine.metrics machine)
+      in
+      let (vt, mt) = run Interp.Tree and (vc, mc) = run Interp.Compiled in
+      let m1, lo1, hi1 = vt and m2, lo2, hi2 = vc in
+      Alcotest.(check bool)
+        (Printf.sprintf "tasklet outputs identical for (%g, %g)" a b)
+        true
+        (Value.equal m1 m2 && Value.equal lo1 lo2 && Value.equal hi1 hi2);
+      check_metrics_equal "fbin tasklet" mt mc)
+    fbin_operands
+
+(* ------------------------------------------------------------------ *)
+(* Plan-vs-tree differential: fuzz corpus and Polybench subset *)
+
+let check_plan_differential ~label kind ~src ~entry args =
+  let compiled = Pipelines.compile kind ~src ~entry in
+  let rt = Pipelines.run ~interp_mode:`Tree compiled ~entry args in
+  let rc = Pipelines.run ~interp_mode:`Compiled compiled ~entry args in
+  if not (results_identical rt rc) then
+    Alcotest.failf
+      "%s: compiled plan diverged from tree walker (outputs or metrics)" label
+
+let test_fuzz_plan_differential () =
+  (* Same corpus as the CI fuzz campaign: seed 42, 100 programs. Every
+     case must execute identically — outputs AND machine metrics — under
+     tree walking and compiled plans. The SDFG-native pipeline runs for
+     every case; the opaque-tasklet pipeline (dace) on every tenth. *)
+  let seed = 42 and count = 100 in
+  for i = 0 to count - 1 do
+    let case = Dcir_fuzz.Gen.generate (Dcir_fuzz.Rng.derive seed i) in
+    let args = case.args () in
+    check_plan_differential
+      ~label:(Printf.sprintf "fuzz case %d (seed %d) dcir" i case.seed)
+      Pipelines.Dcir ~src:case.src ~entry:case.entry args;
+    if i mod 10 = 0 then
+      check_plan_differential
+        ~label:(Printf.sprintf "fuzz case %d (seed %d) dace" i case.seed)
+        Pipelines.Dace ~src:case.src ~entry:case.entry args
+  done
+
+let test_polybench_plan_differential () =
+  let open Dcir_workloads in
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun kind ->
+          check_plan_differential
+            ~label:(w.name ^ " " ^ Pipelines.kind_name kind)
+            kind ~src:w.src ~entry:w.entry (w.args ()))
+        [ Pipelines.Dcir; Pipelines.Dace ])
+    [ Polybench.gesummv; Polybench.trisolv; Polybench.jacobi_1d ]
+
+let suite =
+  ( "interp-plans",
+    [
+      Alcotest.test_case "sym_env scalar read charges a load" `Quick
+        test_symenv_scalar_load;
+      Alcotest.test_case "10k-state construction is linear" `Quick
+        test_construction_scale;
+      Alcotest.test_case "float->int truncates toward zero" `Quick
+        test_toint_truncation;
+      Alcotest.test_case "float->int traps on nan/inf, uniformly" `Quick
+        test_toint_traps;
+      Alcotest.test_case "min/max float cross-interpreter parity" `Quick
+        test_float_minmax_cross_interp;
+      Alcotest.test_case "fmod float semantics" `Quick test_float_mod_semantics;
+      Alcotest.test_case "BMod/BMin/BMax tasklet tree-vs-plan parity" `Quick
+        test_float_binops_tasklet_parity;
+      Alcotest.test_case "fuzz corpus plan-vs-tree differential" `Slow
+        test_fuzz_plan_differential;
+      Alcotest.test_case "polybench plan-vs-tree metric equality" `Slow
+        test_polybench_plan_differential;
+    ] )

@@ -84,6 +84,7 @@ let () =
       Test_cfront.suite;
       Test_mlir_passes.suite;
       Test_sdfg.suite;
+      Test_interp_plans.suite;
       Test_dace_passes.suite;
       Test_obs.suite;
       Test_core.suite;
