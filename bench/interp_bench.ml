@@ -1,6 +1,7 @@
-(** Interpreter micro-benchmark: compiled execution plans vs tree walking.
+(** Interpreter micro-benchmark: compiled execution plans vs tree walking,
+    plus serial vs multi-domain parallel maps.
 
-    Runs representative workloads through both interpreter modes
+    Part one runs representative workloads through both interpreter modes
     ([Pipelines.run ~interp_mode]) on the same compiled artifact, asserting
     first that outputs, return values and {e every} machine metric are
     bit-identical, then timing repeated runs of each mode. The compiled
@@ -9,13 +10,24 @@
     divergence is a bug, and any slowdown defeats their purpose — both are
     hard failures here and in [validate_report].
 
-    Usage: [interp_bench.exe [--reps N] [--json FILE]]. The JSON report
-    uses schema [dcir-interp-bench/1]:
+    Part two compiles kernels with [~autopar:true] (loop→map conversion)
+    and runs the result serially and with [--jobs N] worker domains. The
+    parallel executor's contract is determinism, not machine-dependent
+    speed: outputs, return value and every machine metric must be
+    bit-identical to the serial run. Identity is a hard failure; wall-clock
+    times are reported but {e not} gated — the host may have a single core,
+    where domain fan-out can only break even at best.
+
+    Usage: [interp_bench.exe [--reps N] [--jobs N] [--json FILE]]. The
+    JSON report uses schema [dcir-interp-bench/2]:
 
     {v
-    { "schema": "dcir-interp-bench/1",
+    { "schema": "dcir-interp-bench/2",
       "benchmarks": [ { "name", "pipeline", "reps",
                         "tree_wall_s", "compiled_wall_s",
+                        "speedup", "identical" } ],
+      "parallel":   [ { "name", "pipeline", "jobs", "reps",
+                        "serial_wall_s", "parallel_wall_s",
                         "speedup", "identical" } ] }
     v} *)
 
@@ -27,20 +39,15 @@ module Json = Dcir_obs.Json
 
 let pr fmt = Format.printf fmt
 
-let metrics_equal (a : Metrics.t) (b : Metrics.t) : bool =
-  Int64.equal (Int64.bits_of_float a.cycles) (Int64.bits_of_float b.cycles)
-  && a.loads = b.loads && a.stores = b.stores
-  && a.bytes_loaded = b.bytes_loaded
-  && a.bytes_stored = b.bytes_stored
-  && a.int_ops = b.int_ops && a.fp_ops = b.fp_ops
-  && a.math_calls = b.math_calls && a.branches = b.branches
-  && a.heap_allocs = b.heap_allocs
-  && a.heap_frees = b.heap_frees
-  && a.heap_bytes = b.heap_bytes
-  && a.stack_allocs = b.stack_allocs
-  && a.l1_misses = b.l1_misses && a.l2_misses = b.l2_misses
-  && a.l3_misses = b.l3_misses
-  && a.l1_accesses = b.l1_accesses
+(* Bitwise value equality: NaN payloads and signed zeros count, unlike
+   [Value.equal]'s numeric comparison. The identity claims here are about
+   determinism, so bits are the right granularity. *)
+let bits_equal (a : Value.t) (b : Value.t) : bool =
+  match (a, b) with
+  | Value.VFloat x, Value.VFloat y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Value.VInt x, Value.VInt y -> x = y
+  | _ -> false
 
 let outputs_equal (a : (int * Value.t array) list)
     (b : (int * Value.t array) list) : bool =
@@ -49,17 +56,17 @@ let outputs_equal (a : (int * Value.t array) list)
        (fun (i, x) (j, y) ->
          i = j
          && Array.length x = Array.length y
-         && Array.for_all2 Value.equal x y)
+         && Array.for_all2 bits_equal x y)
        a b
 
 let results_identical (a : Pipelines.run_result) (b : Pipelines.run_result) :
     bool =
   (match (a.return_value, b.return_value) with
-  | Some x, Some y -> Value.equal x y
+  | Some x, Some y -> bits_equal x y
   | None, None -> true
   | _ -> false)
   && outputs_equal a.outputs b.outputs
-  && metrics_equal a.metrics b.metrics
+  && Metrics.equal a.metrics b.metrics
 
 type row = {
   name : string;
@@ -70,7 +77,10 @@ type row = {
   identical : bool;
 }
 
-let speedup (r : row) : float = r.tree_s /. Float.max 1e-9 r.compiled_s
+let speedup_of (baseline : float) (contender : float) : float =
+  baseline /. Float.max 1e-9 contender
+
+let speedup (r : row) : float = speedup_of r.tree_s r.compiled_s
 
 let row_json (r : row) : Json.t =
   Json.Obj
@@ -82,6 +92,29 @@ let row_json (r : row) : Json.t =
       ("compiled_wall_s", Json.Float r.compiled_s);
       ("speedup", Json.Float (speedup r));
       ("identical", Json.Bool r.identical);
+    ]
+
+type par_row = {
+  p_name : string;
+  p_pipeline : string;
+  p_jobs : int;
+  p_reps : int;
+  p_serial_s : float;
+  p_parallel_s : float;
+  p_identical : bool;
+}
+
+let par_row_json (r : par_row) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.Str r.p_name);
+      ("pipeline", Json.Str r.p_pipeline);
+      ("jobs", Json.Int r.p_jobs);
+      ("reps", Json.Int r.p_reps);
+      ("serial_wall_s", Json.Float r.p_serial_s);
+      ("parallel_wall_s", Json.Float r.p_parallel_s);
+      ("speedup", Json.Float (speedup_of r.p_serial_s r.p_parallel_s));
+      ("identical", Json.Bool r.p_identical);
     ]
 
 let time_runs (mode : Pipelines.interp_mode) (reps : int)
@@ -112,21 +145,49 @@ let bench_one ~(reps : int) (kind : Pipelines.kind) (w : Workload.t) : row =
     identical;
   }
 
+(* One timed run per mode: the gated property is bit-identity, and the
+   wall-clock columns are indicative only (certified maps always execute
+   the chunked schedule, so serial interpretation of auto-parallelized
+   kernels is expensive — repeating it would dominate `dune runtest`). *)
+let bench_par ~(jobs : int) (w : Workload.t) : par_row =
+  let compiled =
+    Pipelines.compile ~autopar:true Pipelines.Dcir ~src:w.src ~entry:w.entry
+  in
+  let args = w.args () in
+  let t0 = Unix.gettimeofday () in
+  let serial = Pipelines.run compiled ~entry:w.entry args in
+  let t1 = Unix.gettimeofday () in
+  let par = Pipelines.run ~jobs compiled ~entry:w.entry args in
+  let t2 = Unix.gettimeofday () in
+  {
+    p_name = w.name;
+    p_pipeline = "dcir-autopar";
+    p_jobs = jobs;
+    p_reps = 1;
+    p_serial_s = t1 -. t0;
+    p_parallel_s = t2 -. t1;
+    p_identical = results_identical serial par;
+  }
+
 let () =
-  let json_path = ref None and reps = ref 5 in
+  let json_path = ref None and reps = ref 5 and jobs = ref 3 in
+  let int_arg flag r v rest scan =
+    (match int_of_string_opt v with
+    | Some n when n > 0 -> r := n
+    | _ ->
+        prerr_endline
+          (Printf.sprintf "interp_bench: %s expects a positive integer" flag);
+        exit 2);
+    scan rest
+  in
   let rec scan = function
     | [] -> ()
     | "--json" :: path :: rest ->
         json_path := Some path;
         scan rest
-    | "--reps" :: n :: rest ->
-        (match int_of_string_opt n with
-        | Some v when v > 0 -> reps := v
-        | _ ->
-            prerr_endline "interp_bench: --reps expects a positive integer";
-            exit 2);
-        scan rest
-    | [ "--json" ] | [ "--reps" ] ->
+    | "--reps" :: n :: rest -> int_arg "--reps" reps n rest scan
+    | "--jobs" :: n :: rest -> int_arg "--jobs" jobs n rest scan
+    | [ "--json" ] | [ "--reps" ] | [ "--jobs" ] ->
         prerr_endline "interp_bench: missing argument";
         exit 2
     | arg :: _ ->
@@ -134,7 +195,7 @@ let () =
         exit 2
   in
   scan (List.tl (Array.to_list Sys.argv));
-  let reps = !reps in
+  let reps = !reps and jobs = !jobs in
   (* SDFG-heavy subjects (native tasklets, maps, state-machine loops) plus
      an opaque-tasklet pipeline (dace: MLIR bodies behind connectors) and a
      pure-MLIR pipeline, so both interpreters' plans are exercised. *)
@@ -162,13 +223,28 @@ let () =
       /. float_of_int (List.length rows))
   in
   pr "  geomean speedup: %.2fx@." geo;
+  (* Auto-parallelized kernels: certified maps fan out over [jobs] domains.
+     The gate is bit-identity to serial, not speed (see module doc). *)
+  let par_subjects = [ Polybench.gemm; Polybench.mvt ] in
+  pr "== parallel maps: serial vs %d worker domains ==@." jobs;
+  pr "  %-10s %-12s %12s %12s %9s %10s@." "workload" "pipeline" "serial (s)"
+    "parallel (s)" "speedup" "identical";
+  let par_rows = List.map (bench_par ~jobs) par_subjects in
+  List.iter
+    (fun r ->
+      pr "  %-10s %-12s %12.4f %12.4f %8.2fx %10b@." r.p_name r.p_pipeline
+        r.p_serial_s r.p_parallel_s
+        (speedup_of r.p_serial_s r.p_parallel_s)
+        r.p_identical)
+    par_rows;
   (match !json_path with
   | Some path -> (
       let report =
         Json.Obj
           [
-            ("schema", Json.Str "dcir-interp-bench/1");
+            ("schema", Json.Str "dcir-interp-bench/2");
             ("benchmarks", Json.List (List.map row_json rows));
+            ("parallel", Json.List (List.map par_row_json par_rows));
           ]
       in
       try
@@ -184,5 +260,10 @@ let () =
   if List.exists (fun r -> not r.identical) rows then begin
     prerr_endline
       "interp_bench: FAIL — compiled plans diverged from the tree walker";
+    exit 1
+  end;
+  if List.exists (fun r -> not r.p_identical) par_rows then begin
+    prerr_endline
+      "interp_bench: FAIL — parallel execution diverged from serial";
     exit 1
   end

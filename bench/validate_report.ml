@@ -5,10 +5,14 @@
     [dcir-bench-report/1]), validates that it parses, and that every
     "pipelines" array it contains has a row for each of the five
     pipelines. Also accepts interpreter micro-benchmark reports
-    ([dcir-interp-bench/1], from [bench/interp_bench.exe]) and acts as the
-    perf smoke test for compiled execution plans: every row must be
-    bit-identical to the tree walker AND at least as fast — a compiled
-    plan slower than the tree it replaced is a regression, not noise.
+    ([dcir-interp-bench/1] and [/2], from [bench/interp_bench.exe]) and
+    acts as the perf smoke test for compiled execution plans: every row
+    must be bit-identical to the tree walker AND at least as fast — a
+    compiled plan slower than the tree it replaced is a regression, not
+    noise. Schema [/2] additionally carries a "parallel" array (serial vs
+    multi-domain execution of auto-parallelized kernels); those rows are
+    gated on bit-identity only — never on speedup, because the executor's
+    contract is determinism and the CI host may have a single core.
     Exits non-zero with a message on any failure. *)
 
 module Json = Dcir_obs.Json
@@ -92,6 +96,39 @@ let check_interp_bench (j : Json.t) : unit =
           label compiled tree)
     rows
 
+(* Determinism gate for parallel map execution ([dcir-interp-bench/2]).
+   Each row must be bit-identical to its serial run and carry well-formed
+   timing fields; wall-clock speedup is deliberately NOT gated. *)
+let check_parallel_bench (j : Json.t) : unit =
+  let rows =
+    match Option.bind (Json.member "parallel" j) Json.to_list with
+    | Some [] -> fail "\"parallel\" is empty"
+    | Some rows -> rows
+    | None -> fail "missing or non-array \"parallel\""
+  in
+  List.iter
+    (fun row ->
+      let str key =
+        match Option.bind (Json.member key row) Json.to_str with
+        | Some s -> s
+        | None -> fail "parallel row missing %S" key
+      in
+      let num key =
+        match Json.member key row with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int n) -> float_of_int n
+        | _ -> fail "parallel row missing numeric %S" key
+      in
+      let label = str "name" ^ "/" ^ str "pipeline" in
+      let jobs = num "jobs" in
+      if jobs < 1.0 then fail "%s: nonsensical job count %.0f" label jobs;
+      ignore (num "serial_wall_s");
+      ignore (num "parallel_wall_s");
+      match Json.member "identical" row with
+      | Some (Json.Bool true) -> ()
+      | _ -> fail "%s: parallel execution diverged from serial" label)
+    rows
+
 let () =
   let path =
     if Array.length Sys.argv > 1 then Sys.argv.(1)
@@ -111,6 +148,9 @@ let () =
       | [] -> fail "no \"pipelines\" arrays found in %s" path
       | arrs -> List.iter check_pipelines arrs)
   | Some (Json.Str "dcir-interp-bench/1") -> check_interp_bench j
+  | Some (Json.Str "dcir-interp-bench/2") ->
+      check_interp_bench j;
+      check_parallel_bench j
   | Some s -> fail "unexpected schema %s" (Json.to_string s)
   | None -> fail "missing \"schema\" field");
   print_endline ("validate_report: " ^ path ^ " OK")

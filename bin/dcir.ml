@@ -86,6 +86,30 @@ let profile_arg =
            ~doc:"Attribute executed cycles/loads/stores to SDFG states, \
                  tasklets, and MLIR functions (hot-spot table).")
 
+let parallel_arg =
+  Arg.(value & flag
+       & info [ "parallel" ]
+           ~doc:"Run the loop→map auto-parallelizer on SDFG pipelines \
+                 (dace/dcir) and print its per-loop conflict report; maps \
+                 that earn a parallelization certificate fan out across \
+                 $(b,--jobs) worker domains.")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for certified parallel maps. Outputs and \
+                 machine metrics are bit-identical for every value.")
+
+let print_autopar_report ppf =
+  match !Pipelines.last_autopar_report with
+  | Some report ->
+      if report = [] then
+        Format.fprintf ppf "@.-- autopar --@.no loops detected@."
+      else
+        Format.fprintf ppf "@.-- autopar --@.%a@."
+          Dcir_autopar.Loop_to_map.pp_report report
+  | None -> ()
+
 let setup_obs ~verbose ~timing ~trace =
   if verbose then begin
     Fmt_tty.setup_std_outputs ();
@@ -122,7 +146,7 @@ let compile_cmd =
              ~doc:"Skip the data-centric optimization pipeline (print the \
                    SDFG as translated).")
   in
-  let run file entry pipeline emit no_opt verbose timing trace =
+  let run file entry pipeline emit no_opt parallel verbose timing trace =
     setup_obs ~verbose ~timing ~trace;
     let src = read_file file in
     let entry = default_entry src entry in
@@ -140,10 +164,13 @@ let compile_cmd =
         print_string (Dcir_mlir.Printer.module_to_string converted)
     | (Pipelines.Dcir | Dace), _ -> (
         match
-          Pipelines.compile ~optimize_sdfg:(not no_opt) pipeline ~src ~entry
+          Pipelines.compile ~optimize_sdfg:(not no_opt) ~autopar:parallel
+            pipeline ~src ~entry
         with
         | Pipelines.CSdfg sdfg ->
-            print_string (Dcir_sdfg.Printer.to_string sdfg)
+            print_string (Dcir_sdfg.Printer.to_string sdfg);
+            (* The conflict report goes to stderr so stdout stays pure IR. *)
+            if parallel then print_autopar_report Format.err_formatter
         | Pipelines.CMlir m ->
             print_string (Dcir_mlir.Printer.module_to_string m)));
     report_obs ~timing ~trace;
@@ -153,7 +180,7 @@ let compile_cmd =
     Term.(
       ret
         (const run $ file_arg $ entry_arg $ pipeline_arg $ emit_arg
-       $ no_opt_arg $ verbose_arg $ timing_arg $ trace_arg))
+       $ no_opt_arg $ parallel_arg $ verbose_arg $ timing_arg $ trace_arg))
 
 (* Build synthetic arguments from the entry function's C signature. *)
 let synth_args (src : string) (entry : string) (scale : float) :
@@ -189,19 +216,21 @@ let run_cmd =
     Arg.(value & opt float 16.0
          & info [ "size" ] ~docv:"N" ~doc:"Value for scalar int arguments")
   in
-  let run file entry pipeline size verbose timing trace profile =
+  let run file entry pipeline size parallel jobs verbose timing trace profile
+      =
     setup_obs ~verbose ~timing ~trace;
     let src = read_file file in
     let entry = default_entry src entry in
-    let compiled = Pipelines.compile pipeline ~src ~entry in
+    let compiled = Pipelines.compile ~autopar:parallel pipeline ~src ~entry in
     let prof = if profile then Some (Obs.Profile.create ()) else None in
     let r =
       Obs.with_span ~cat:"run"
         ("run:" ^ Pipelines.kind_name pipeline)
         (fun () ->
-          Pipelines.run ?profile:prof compiled ~entry
+          Pipelines.run ?profile:prof ~jobs compiled ~entry
             (synth_args src entry size))
     in
+    if parallel then print_autopar_report Format.std_formatter;
     (match r.return_value with
     | Some v ->
         Format.printf "return value: %s@." (Dcir_machine.Value.to_string v)
@@ -224,7 +253,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ file_arg $ entry_arg $ pipeline_arg $ size_arg
-       $ verbose_arg $ timing_arg $ trace_arg $ profile_arg))
+       $ parallel_arg $ jobs_arg $ verbose_arg $ timing_arg $ trace_arg
+       $ profile_arg))
 
 let workloads () = Dcir_workloads.Polybench.all @ Dcir_workloads.Case_studies.all
 
@@ -239,7 +269,7 @@ let bench_cmd =
              ~doc:"Write the per-pipeline results as a machine-readable JSON \
                    report.")
   in
-  let run name json verbose timing trace profile =
+  let run name json parallel jobs verbose timing trace profile =
     match
       List.find_opt
         (fun (w : Dcir_workloads.Workload.t) -> w.name = name)
@@ -261,6 +291,41 @@ let bench_cmd =
               m.cycles m.metrics.loads m.metrics.stores m.metrics.heap_allocs
               m.correct)
           ms;
+        if parallel then begin
+          let compiled =
+            Pipelines.compile ~autopar:true Pipelines.Dcir ~src:w.src
+              ~entry:w.entry
+          in
+          let serial =
+            Pipelines.run compiled ~entry:w.entry (w.args ())
+          in
+          let par =
+            Pipelines.run ~jobs compiled ~entry:w.entry (w.args ())
+          in
+          let identical =
+            Dcir_machine.Metrics.equal serial.metrics par.metrics
+            && Dcir_fuzz.Oracle.serial_par_divergence serial par = None
+          in
+          let correct =
+            let reference =
+              Pipelines.run
+                (Pipelines.CMlir (Dcir_cfront.Polygeist.compile w.src))
+                ~entry:w.entry (w.args ())
+            in
+            Dcir_fuzz.Oracle.divergence reference serial = None
+          in
+          Format.printf
+            "  %-8s %14.0f %10d %10d %8d  %b (serial)@." "dcir-par"
+            serial.metrics.cycles serial.metrics.loads serial.metrics.stores
+            serial.metrics.heap_allocs correct;
+          Format.printf
+            "  %-8s %14.0f %10d %10d %8d  jobs=%d, %s@." ""
+            par.metrics.cycles par.metrics.loads par.metrics.stores
+            par.metrics.heap_allocs jobs
+            (if identical then "bit-identical to serial"
+             else "DIVERGED from serial");
+          print_autopar_report Format.std_formatter
+        end;
         if profile then
           List.iter
             (fun (m : Pipelines.measurement) ->
@@ -299,8 +364,8 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       ret
-        (const run $ name_arg $ json_arg $ verbose_arg $ timing_arg
-       $ trace_arg $ profile_arg))
+        (const run $ name_arg $ json_arg $ parallel_arg $ jobs_arg
+       $ verbose_arg $ timing_arg $ trace_arg $ profile_arg))
 
 let fuzz_cmd =
   let doc =
@@ -352,13 +417,15 @@ let fuzz_cmd =
       Some path
     with Sys_error _ -> None
   in
-  let run count seed checked out no_shrink verbose timing trace =
+  let run count seed checked parallel jobs out no_shrink verbose timing trace
+      =
     setup_obs ~verbose ~timing ~trace;
     let out_dir =
       match out with Some d -> d | None -> Filename.get_temp_dir_name ()
     in
+    let jobs = if parallel && jobs <= 1 then 3 else jobs in
     let report =
-      Dcir_fuzz.Harness.run ~checked ~shrink:(not no_shrink)
+      Dcir_fuzz.Harness.run ~checked ~parallel ~jobs ~shrink:(not no_shrink)
         ~reproducer_dir:out_dir ~count ~seed ()
     in
     List.iter
@@ -385,8 +452,9 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       ret
-        (const run $ count_arg $ seed_arg $ checked_arg $ out_arg
-       $ no_shrink_arg $ verbose_arg $ timing_arg $ trace_arg))
+        (const run $ count_arg $ seed_arg $ checked_arg $ parallel_arg
+       $ jobs_arg $ out_arg $ no_shrink_arg $ verbose_arg $ timing_arg
+       $ trace_arg))
 
 let list_cmd =
   let doc = "List the available workloads." in

@@ -1,0 +1,316 @@
+(** Memlet-dependence testing over symbolic subsets.
+
+    Given the dataflow graph of a counted loop's body and the loop's
+    induction symbol, every container the body touches is classified by how
+    its accesses relate {e across iterations} (see {!Sdfg.par_class}): never
+    written, provably disjoint writes, pure WCR reduction, privatizable
+    transient — or a conflict, in which case the classification carries a
+    human-readable witness. All range reasoning goes through
+    {!Range.iter_disjoint}, so [Dependent] always means "not provably
+    independent", never "provably dependent". *)
+
+open Dcir_symbolic
+open Dcir_sdfg
+
+type access = {
+  ac_container : string;
+  ac_subset : Range.t;
+  ac_write : bool;
+  ac_wcr : Sdfg.wcr option;
+}
+
+type verdict =
+  | Independent of Sdfg.par_class
+  | Dependent of string  (** witness for the conflict report *)
+
+let full_subset (sdfg : Sdfg.t) (name : string) : Range.t =
+  match Hashtbl.find_opt sdfg.containers name with
+  | Some (c : Sdfg.container) -> List.map Range.full c.shape
+  | None -> []
+
+(** All accesses a graph performs, one level deep. Nested maps contribute
+    their aggregated external memlets; a nested-body container with no
+    summarizing external edge contributes a conservative whole-container
+    access (except containers a nested certificate privatizes, which are
+    invisible outside that map). Scalar containers read through the symbol
+    environment (tasklet symbols, subset expressions) contribute scalar
+    reads. *)
+let accesses (sdfg : Sdfg.t) (g : Sdfg.graph) : access list =
+  let acc = ref [] in
+  let push a = acc := a :: !acc in
+  let edges = Sdfg.edges g in
+  List.iter
+    (fun (e : Sdfg.edge) ->
+      match e.e_memlet with
+      | None -> ()
+      | Some m -> (
+          let src_is_access =
+            match (Sdfg.node_by_id g e.e_src).kind with
+            | Sdfg.Access _ -> true
+            | _ -> false
+          in
+          match (Sdfg.node_by_id g e.e_dst).kind with
+          | Sdfg.Access dst ->
+              (* Copy or tasklet/map output: the destination is written; a
+                 source access node is additionally read. *)
+              if src_is_access then
+                push
+                  {
+                    ac_container = m.data;
+                    ac_subset = m.subset;
+                    ac_write = false;
+                    ac_wcr = None;
+                  };
+              let subset =
+                if src_is_access then Option.value m.other ~default:m.subset
+                else m.subset
+              in
+              push
+                {
+                  ac_container = dst;
+                  ac_subset = subset;
+                  ac_write = true;
+                  ac_wcr = m.wcr;
+                }
+          | _ ->
+              (* Memlet feeding a tasklet or map input: a read of [m.data]
+                 regardless of the source node's kind. *)
+              push
+                {
+                  ac_container = m.data;
+                  ac_subset = m.subset;
+                  ac_write = false;
+                  ac_wcr = None;
+                }))
+    edges;
+  List.iter
+    (fun (n : Sdfg.node) ->
+      match n.kind with
+      | Sdfg.MapN mn ->
+          let inner_private nm =
+            match mn.m_par with
+            | Some cert ->
+                List.assoc_opt nm cert.pc_classes = Some Sdfg.ParPrivate
+            | None -> false
+          in
+          let ext_reads =
+            List.filter_map
+              (fun (e : Sdfg.edge) ->
+                if e.e_dst = n.nid then
+                  Option.map (fun (m : Sdfg.memlet) -> m.data) e.e_memlet
+                else None)
+              edges
+          in
+          let ext_writes =
+            List.filter_map
+              (fun (e : Sdfg.edge) ->
+                if e.e_src = n.nid && e.e_memlet <> None then
+                  match (Sdfg.node_by_id g e.e_dst).kind with
+                  | Sdfg.Access d -> Some d
+                  | _ -> None
+                else None)
+              edges
+          in
+          List.iter
+            (fun nm ->
+              if (not (inner_private nm)) && not (List.mem nm ext_reads) then
+                push
+                  {
+                    ac_container = nm;
+                    ac_subset = full_subset sdfg nm;
+                    ac_write = false;
+                    ac_wcr = None;
+                  })
+            (Sdfg.read_containers mn.m_body);
+          List.iter
+            (fun nm ->
+              if (not (inner_private nm)) && not (List.mem nm ext_writes) then
+                push
+                  {
+                    ac_container = nm;
+                    ac_subset = full_subset sdfg nm;
+                    ac_write = true;
+                    ac_wcr = None;
+                  })
+            (Sdfg.written_containers mn.m_body)
+      | Sdfg.Access _ | Sdfg.TaskletN _ -> ())
+    (Sdfg.nodes g);
+  List.iter
+    (fun s ->
+      if Hashtbl.mem sdfg.containers s then
+        push
+          {
+            ac_container = s;
+            ac_subset = full_subset sdfg s;
+            ac_write = false;
+            ac_wcr = None;
+          })
+    (Sdfg.graph_free_syms g);
+  List.rev !acc
+
+(* Every read of [name] in [g] is ordered after a same-graph write of it —
+   so topological execution puts a same-iteration write before any read.
+   Top level: a reading access node must itself be written. Nested maps: a
+   body read is fine only when the map node is fed [name]'s value through a
+   summarizing in-edge whose source access node is written; nested-body
+   writes are rejected outright (their order against top-level accesses is
+   not node-visible). *)
+let written_before_read (g : Sdfg.graph) (name : string) : bool =
+  let edges = Sdfg.edges g in
+  let written_access nid =
+    List.exists
+      (fun (e : Sdfg.edge) -> e.e_dst = nid && e.e_memlet <> None)
+      edges
+  in
+  (* An access node of [name] executes after a same-graph write of it when
+     it is the written node itself, or a dependence edge (state fusion
+     emits those) points at it from another access node of [name] that is
+     written. *)
+  let ordered_after_write nid =
+    written_access nid
+    || List.exists
+         (fun (e : Sdfg.edge) ->
+           e.e_dst = nid
+           &&
+           match (Sdfg.node_by_id g e.e_src).kind with
+           | Sdfg.Access nm' -> String.equal nm' name && written_access e.e_src
+           | _ -> false)
+         edges
+  in
+  List.for_all
+    (fun (n : Sdfg.node) ->
+      match n.kind with
+      | Sdfg.Access nm when String.equal nm name ->
+          let has_out =
+            List.exists
+              (fun (e : Sdfg.edge) -> e.e_src = n.nid && e.e_memlet <> None)
+              edges
+          in
+          (not has_out) || ordered_after_write n.nid
+      | Sdfg.MapN mn ->
+          (* Body accesses happen when the map NODE executes. Reads (and
+             the implicit read of a WCR update) are fine when the node is
+             fed [name] through a summarizing memlet in-edge from an
+             ordered access, or pinned by a dependence edge from a written
+             access. Body writes additionally need an external write
+             out-edge, so outer node-level reasoning sees them. *)
+          let body_reads = List.mem name (Sdfg.read_containers mn.m_body) in
+          let body_writes =
+            List.mem name (Sdfg.written_containers mn.m_body)
+          in
+          let summarized_write =
+            List.exists
+              (fun (e : Sdfg.edge) ->
+                e.e_src = n.nid
+                &&
+                match e.e_memlet with
+                | Some m -> String.equal m.data name
+                | None -> false)
+              edges
+          in
+          let fed_or_ordered =
+            List.exists
+              (fun (e : Sdfg.edge) ->
+                e.e_dst = n.nid
+                &&
+                match (Sdfg.node_by_id g e.e_src).kind with
+                | Sdfg.Access nm ->
+                    String.equal nm name
+                    && (match e.e_memlet with
+                       | Some m ->
+                           String.equal m.data name
+                           && ordered_after_write e.e_src
+                       | None -> written_access e.e_src)
+                | _ -> false)
+              edges
+          in
+          (not (body_reads || body_writes))
+          || (((not body_writes) || summarized_write) && fed_or_ordered)
+      | Sdfg.Access _ | Sdfg.TaskletN _ -> true)
+    (Sdfg.nodes g)
+
+let conflict_reason ~(sym : string) (name : string) (mine : access list) :
+    string =
+  let writes = List.filter (fun a -> a.ac_write) mine in
+  let pair =
+    List.find_map
+      (fun w ->
+        List.find_map
+          (fun a ->
+            if Range.iter_disjoint ~sym w.ac_subset a.ac_subset then None
+            else Some (w, a))
+          mine)
+      writes
+  in
+  match pair with
+  | Some (w, a) ->
+      Printf.sprintf
+        "%s: write %s may overlap %s %s across iterations of '%s'" name
+        (Range.to_string w.ac_subset)
+        (if a.ac_write then "write" else "read")
+        (Range.to_string a.ac_subset)
+        sym
+  | None -> name ^ ": cross-iteration dependence not provably absent"
+
+(** Classify how [name] behaves across iterations of [sym], given the body
+    graph and the full access list. [escapes name] must say whether the
+    container is live outside the body (any other state, interstate edge,
+    return value or container shape mentions it). *)
+let classify (sdfg : Sdfg.t) ~(sym : string) ~(body : Sdfg.graph)
+    ~(escapes : string -> bool) (all : access list) (name : string) : verdict
+    =
+  let mine = List.filter (fun a -> String.equal a.ac_container name) all in
+  let writes = List.filter (fun a -> a.ac_write) mine in
+  let reads = List.filter (fun a -> not a.ac_write) mine in
+  if writes = [] then Independent Sdfg.ParReadOnly
+  else if
+    List.for_all
+      (fun w ->
+        List.for_all
+          (fun a -> Range.iter_disjoint ~sym w.ac_subset a.ac_subset)
+          mine)
+      writes
+  then Independent Sdfg.ParDisjoint
+  else
+    let reduction =
+      match writes with
+      | { ac_wcr = Some w0; _ } :: _ ->
+          reads = []
+          && List.for_all (fun w -> w.ac_wcr = Some w0) writes
+          && not (List.mem name (Sdfg.graph_free_syms body))
+      | _ -> false
+    in
+    if reduction then
+      match writes with
+      | { ac_wcr = Some w0; _ } :: _ -> Independent (Sdfg.ParReduction w0)
+      | _ -> assert false
+    else
+      let transient =
+        match Hashtbl.find_opt sdfg.containers name with
+        | Some (c : Sdfg.container) -> c.transient
+        | None -> false
+      in
+      (* Privatizable: a transient whose per-iteration reads are fully
+         covered by same-iteration writes (so a fresh per-worker copy sees
+         the same values) and which is dead outside the loop. *)
+      let covered =
+        match writes with
+        | [] -> false
+        | w0 :: rest ->
+            let union =
+              List.fold_left
+                (fun u w ->
+                  try Range.union u w.ac_subset
+                  with Invalid_argument _ -> full_subset sdfg name)
+                w0.ac_subset rest
+            in
+            List.for_all (fun r -> Range.covers union r.ac_subset) reads
+      in
+      if
+        transient
+        && (not (escapes name))
+        && written_before_read body name
+        && covered
+        && not (List.mem name (Sdfg.graph_free_syms body))
+      then Independent Sdfg.ParPrivate
+      else Dependent (conflict_reason ~sym name mine)

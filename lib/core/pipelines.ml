@@ -103,6 +103,39 @@ let verify_phase (m : Ir.modul) : unit =
       try Verifier.verify_exn m
       with Failure msg -> Diag.fail ~code:"E-VERIFY" ~phase:Diag.Verify "%s" msg)
 
+(** Conflict report of the most recent auto-parallelizing compile — one
+    entry per loop inspected by {!Dcir_autopar.Loop_to_map.parallelize}.
+    [None] until a [~autopar:true] compile runs. *)
+let last_autopar_report : Dcir_autopar.Loop_to_map.report option ref =
+  ref None
+
+let autopar_phase (sdfg : Sdfg.t) : unit =
+  Obs.with_span ~cat:"phase" "autopar" (fun () ->
+      let report = Dcir_autopar.Loop_to_map.parallelize sdfg in
+      last_autopar_report := Some report;
+      let converted =
+        List.length
+          (List.filter
+             (fun (e : Dcir_autopar.Loop_to_map.entry) ->
+               match e.en_outcome with
+               | Dcir_autopar.Loop_to_map.Converted _ -> true
+               | Dcir_autopar.Loop_to_map.Rejected _ -> false)
+             report)
+      in
+      Obs.set_args
+        [
+          ("loops", Json.Int (List.length report));
+          ("converted", Json.Int converted);
+        ];
+      match Dcir_sdfg.Validate.errors sdfg with
+      | [] -> ()
+      | errs ->
+          Diag.fail ~code:"E-AUTOPAR-VERIFY" ~phase:Diag.DataOpt "%s"
+            (String.concat "; "
+               (List.map
+                  (fun (d : Dcir_sdfg.Validate.diagnostic) -> d.message)
+                  errs)))
+
 let dace_phase ?(checked = false) ?reproducer_dir ~(disable : string list)
     (sdfg : Sdfg.t) : unit =
   Obs.with_span ~cat:"phase" "dace-optimize" (fun () ->
@@ -122,10 +155,14 @@ let dace_phase ?(checked = false) ?reproducer_dir ~(disable : string list)
 (** Compile [src] under pipeline [kind]. [~checked] runs every optimization
     pass (control-centric and data-centric) under snapshot / re-verify /
     rollback — see {!Dcir_mlir.Pass} and {!Dcir_dace_passes.Driver};
-    [reproducer_dir] overrides where crash reproducers land. *)
+    [reproducer_dir] overrides where crash reproducers land. [~autopar]
+    additionally runs the loop→map auto-parallelizer on SDFG products
+    (Dace/Dcir) after data-centric optimization, leaving the conflict
+    report in {!last_autopar_report}; it is off by default so the standard
+    pipelines are unchanged. *)
 let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
-    ?reproducer_dir (kind : kind) ~(src : string) ~(entry : string) :
-    compiled =
+    ?(autopar = false) ?reproducer_dir (kind : kind) ~(src : string)
+    ~(entry : string) : compiled =
   Obs.with_span ~cat:"pipeline"
     ("compile:" ^ kind_name kind)
     (fun () ->
@@ -150,6 +187,7 @@ let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
                     Diag.fail ~code:"E-SEMA" ~phase:Diag.Frontend "%s" msg)
           in
           if optimize_sdfg then dace_phase ~checked ?reproducer_dir ~disable sdfg;
+          if autopar then autopar_phase sdfg;
           CSdfg sdfg
       | Dcir ->
           let m = frontend_phase src in
@@ -168,6 +206,7 @@ let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
                   Diag.fail ~code:"E-TRANSLATE" ~phase:Diag.Translate "%s" msg)
           in
           if optimize_sdfg then dace_phase ~checked ?reproducer_dir ~disable sdfg;
+          if autopar then autopar_phase sdfg;
           CSdfg sdfg)
 
 (* ------------------------------------------------------------------ *)
@@ -268,8 +307,8 @@ let plan_for (sdfg : Sdfg.t) : Dcir_sdfg.Interp.plan =
       p
 
 let run ?(cfg = Cost.default) ?(profile : Obs.Profile.t option)
-    ?(interp_mode : interp_mode = `Compiled) (compiled : compiled)
-    ~(entry : string) (args : arg list) : run_result =
+    ?(interp_mode : interp_mode = `Compiled) ?(jobs = 1)
+    (compiled : compiled) ~(entry : string) (args : arg list) : run_result =
   let machine = Machine.create ~cfg () in
   let bufs = make_buffers machine args in
   match compiled with
@@ -376,11 +415,11 @@ let run ?(cfg = Cost.default) ?(profile : Obs.Profile.t option)
       let res =
         match interp_mode with
         | `Tree ->
-            Dcir_sdfg.Interp.run ~machine ?profile
+            Dcir_sdfg.Interp.run ~machine ?profile ~jobs
               ~mode:Dcir_sdfg.Interp.Tree sdfg ~buffers:!buffers
               ~symbols:!symbols ()
         | `Compiled ->
-            Dcir_sdfg.Interp.run ~machine ?profile
+            Dcir_sdfg.Interp.run ~machine ?profile ~jobs
               ~mode:Dcir_sdfg.Interp.Compiled ~plan:(plan_for sdfg) sdfg
               ~buffers:!buffers ~symbols:!symbols ()
       in

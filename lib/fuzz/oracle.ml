@@ -105,12 +105,86 @@ let crash_failure (pipeline : string) (e : exn) : failure =
   { f_pipeline = pipeline; f_kind = Crash (describe_exn e);
     f_invalid = is_frontend_reject e }
 
+(* ------------------------------------------------------------------ *)
+(* Sixth pipeline: dcir with loop→map auto-parallelization. Checked two
+   ways — the converted program must still agree with the reference (within
+   rtol, like any pipeline), and its parallel execution must be
+   BIT-IDENTICAL to its own serial execution: same output bits, same trap
+   behaviour, same value of every machine metric. *)
+
+let bits_equal (a : Value.t) (b : Value.t) : bool =
+  match (a, b) with
+  | Value.VFloat x, Value.VFloat y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Value.VInt x, Value.VInt y -> x = y
+  | _ -> false
+
+let serial_par_divergence (serial : Pipelines.run_result)
+    (par : Pipelines.run_result) : string option =
+  if
+    not
+      (match (serial.return_value, par.return_value) with
+      | Some a, Some b -> bits_equal a b
+      | None, None -> true
+      | _ -> false)
+  then Some "return value differs between serial and parallel runs"
+  else if
+    not
+      (List.length serial.outputs = List.length par.outputs
+      && List.for_all2
+           (fun (i, xs) (j, ys) ->
+             i = j
+             && Array.length xs = Array.length ys
+             && Array.for_all2 bits_equal xs ys)
+           serial.outputs par.outputs)
+  then Some "array outputs differ bitwise between serial and parallel runs"
+  else if
+    not (Dcir_machine.Metrics.equal serial.metrics par.metrics)
+  then
+    Some
+      (Printf.sprintf
+         "machine metrics differ between serial and parallel runs \
+          (serial %.0f cycles / %d loads, parallel %.0f cycles / %d loads)"
+         serial.metrics.cycles serial.metrics.loads par.metrics.cycles
+         par.metrics.loads)
+  else None
+
+let autopar_failures ~(checked : bool) ?reproducer_dir ~(jobs : int)
+    (case : Gen.case) (ref_r : Pipelines.run_result) : failure list =
+  match
+    try
+      let compiled =
+        Pipelines.compile ~checked ?reproducer_dir ~autopar:true
+          Pipelines.Dcir ~src:case.src ~entry:case.entry
+      in
+      let serial = Pipelines.run compiled ~entry:case.entry (case.args ()) in
+      let par =
+        Pipelines.run ~jobs compiled ~entry:case.entry (case.args ())
+      in
+      Ok (serial, par)
+    with e -> Error e
+  with
+  | Error e -> [ crash_failure "dcir-autopar" e ]
+  | Ok (serial, par) ->
+      (match divergence ref_r serial with
+      | Some msg ->
+          [ { f_pipeline = "dcir-autopar"; f_kind = Divergence msg;
+              f_invalid = false } ]
+      | None -> [])
+      @ (match serial_par_divergence serial par with
+        | Some msg ->
+            [ { f_pipeline = "dcir-autopar-par"; f_kind = Divergence msg;
+                f_invalid = false } ]
+        | None -> [])
+
 (** Run [case] through the reference and all five pipelines; the empty
     list means every pipeline agreed with the unoptimized reference.
     [~checked] forwards to {!Pipelines.compile} (snapshot / re-verify /
-    rollback around every optimization pass). *)
-let check ?(checked = false) ?reproducer_dir (case : Gen.case) : failure list
-    =
+    rollback around every optimization pass). [~parallel] adds the sixth,
+    auto-parallelizing pipeline, whose [~jobs]-domain execution must match
+    its serial execution bit-for-bit. *)
+let check ?(checked = false) ?(parallel = false) ?(jobs = 3) ?reproducer_dir
+    (case : Gen.case) : failure list =
   let reference =
     try
       let m = Dcir_cfront.Polygeist.compile case.src in
@@ -141,3 +215,7 @@ let check ?(checked = false) ?reproducer_dir (case : Gen.case) : failure list
                       f_invalid = false }
               | None -> None))
         Pipelines.all_kinds
+      @
+      if parallel then
+        autopar_failures ~checked ?reproducer_dir ~jobs case ref_r
+      else []

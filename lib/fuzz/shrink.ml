@@ -68,13 +68,14 @@ let rebuild (case : Gen.case) (body : C.stmt list) : Gen.case =
     fails. Returns the smallest case found and its failures (the input
     itself if nothing smaller reproduces). [max_attempts] bounds the
     number of oracle runs. *)
-let shrink ?(max_attempts = 300) ?(checked = false) (case : Gen.case)
-    (orig : Oracle.failure list) : Gen.case * Oracle.failure list =
+let shrink ?(max_attempts = 300) ?(checked = false) ?(parallel = false)
+    ?(jobs = 3) (case : Gen.case) (orig : Oracle.failure list) :
+    Gen.case * Oracle.failure list =
   let invalid_counts = List.exists (fun f -> f.Oracle.f_invalid) orig in
   let attempts = ref 0 in
   let reproduces (c : Gen.case) : Oracle.failure list option =
     incr attempts;
-    match Oracle.check ~checked c with
+    match Oracle.check ~checked ~parallel ~jobs c with
     | [] -> None
     | fails
       when (not invalid_counts)

@@ -60,6 +60,18 @@ let create ?(cfg = Cost.default) () : t =
 
 let metrics (m : t) : Metrics.t = m.metrics
 
+(** A fresh machine continuing [m]'s address space: cold caches, zeroed
+    metrics, but the same allocation cursors — the substrate of one parallel
+    map worker. Allocations it makes land at the same virtual addresses no
+    matter which worker (or how many) performs them, which is what keeps
+    cache behaviour, and hence every metric, independent of the schedule. *)
+let fork (m : t) : t =
+  let f = create ~cfg:m.cfg () in
+  f.brk <- m.brk;
+  f.stack_top <- m.stack_top;
+  f.next_id <- m.next_id;
+  f
+
 (* ------------------------------------------------------------------ *)
 (* Cost charging *)
 

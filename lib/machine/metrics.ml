@@ -47,6 +47,45 @@ let create () : t =
 
 let bytes_moved (m : t) : int = m.bytes_loaded + m.bytes_stored
 
+(** [add_into ~into src] accumulates [src] into [into] — merging a parallel
+    worker's counters back into the master machine. Addition order is the
+    caller's responsibility (floats: [cycles]). *)
+let add_into ~(into : t) (src : t) : unit =
+  into.cycles <- into.cycles +. src.cycles;
+  into.loads <- into.loads + src.loads;
+  into.stores <- into.stores + src.stores;
+  into.bytes_loaded <- into.bytes_loaded + src.bytes_loaded;
+  into.bytes_stored <- into.bytes_stored + src.bytes_stored;
+  into.int_ops <- into.int_ops + src.int_ops;
+  into.fp_ops <- into.fp_ops + src.fp_ops;
+  into.math_calls <- into.math_calls + src.math_calls;
+  into.branches <- into.branches + src.branches;
+  into.heap_allocs <- into.heap_allocs + src.heap_allocs;
+  into.heap_frees <- into.heap_frees + src.heap_frees;
+  into.heap_bytes <- into.heap_bytes + src.heap_bytes;
+  into.stack_allocs <- into.stack_allocs + src.stack_allocs;
+  into.l1_misses <- into.l1_misses + src.l1_misses;
+  into.l2_misses <- into.l2_misses + src.l2_misses;
+  into.l3_misses <- into.l3_misses + src.l3_misses;
+  into.l1_accesses <- into.l1_accesses + src.l1_accesses
+
+(** Bit-exact equality, [cycles] compared by float bits — the identity
+    predicate of the serial-vs-parallel and tree-vs-compiled oracles. *)
+let equal (a : t) (b : t) : bool =
+  Int64.equal (Int64.bits_of_float a.cycles) (Int64.bits_of_float b.cycles)
+  && a.loads = b.loads && a.stores = b.stores
+  && a.bytes_loaded = b.bytes_loaded
+  && a.bytes_stored = b.bytes_stored
+  && a.int_ops = b.int_ops && a.fp_ops = b.fp_ops
+  && a.math_calls = b.math_calls && a.branches = b.branches
+  && a.heap_allocs = b.heap_allocs
+  && a.heap_frees = b.heap_frees
+  && a.heap_bytes = b.heap_bytes
+  && a.stack_allocs = b.stack_allocs
+  && a.l1_misses = b.l1_misses && a.l2_misses = b.l2_misses
+  && a.l3_misses = b.l3_misses
+  && a.l1_accesses = b.l1_accesses
+
 let pp (ppf : Format.formatter) (m : t) : unit =
   Fmt.pf ppf
     "@[<v>cycles       %12.0f@,loads        %12d@,stores       %12d@,\

@@ -42,6 +42,9 @@ type runtime = {
   prepared : (int, Dcir_mlir.Interp.prepared) Hashtbl.t;
       (** compiled mode: per-node prepared MLIR contexts for opaque
           tasklets, so their bodies compile once per run *)
+  jobs : int;
+      (** worker domains for certified parallel maps; 1 = run the chunked
+          schedule on the calling domain (bit-identical either way) *)
 }
 
 let metric_snap (rt : runtime) : (float * int * int) option =
@@ -365,6 +368,215 @@ let topo_of (rt : runtime) (g : Sdfg.graph) : Sdfg.node list =
           Hashtbl.replace rt.topo_cache first.nid order;
           order)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel (certified) map execution.
+
+   A map carrying a [par_cert] executes with a {e chunked schedule}: the
+   first dimension splits into a fixed number of chunks that depends only
+   on the trip count — never on [rt.jobs] — and each chunk runs on a forked
+   machine ({!Machine.fork}: cold caches, zeroed metrics, shared address
+   cursors). Shared containers are materialized on the master before the
+   fork so disjoint writes land in the common buffers; reduction containers
+   are swapped for identity-initialized per-chunk accumulators; private
+   transients re-allocate per chunk at identical addresses. Chunk metrics,
+   accumulators and the step count merge back in chunk index order, and the
+   lowest-index failing chunk's exception is re-raised — so outputs, traps
+   and every machine metric are bit-identical at any worker count. *)
+
+let par_chunk_count = 8
+
+(* Flush staged node/edge lists and warm the topo cache for [g] and any
+   nested map bodies, so worker domains only ever read the graph. *)
+let rec force_topo (rt : runtime) (g : Sdfg.graph) : unit =
+  ignore (topo_of rt g);
+  ignore (Sdfg.edges g);
+  List.iter
+    (fun (n : Sdfg.node) ->
+      match n.kind with
+      | Sdfg.MapN mn -> force_topo rt mn.m_body
+      | Sdfg.Access _ | Sdfg.TaskletN _ -> ())
+    (Sdfg.nodes g)
+
+let wcr_identity (dtype : Sdfg.dtype) (w : Sdfg.wcr) : Value.t =
+  match (dtype, w) with
+  | Sdfg.DFloat, Sdfg.WcrSum -> Value.VFloat 0.0
+  | Sdfg.DFloat, Sdfg.WcrProd -> Value.VFloat 1.0
+  | Sdfg.DFloat, Sdfg.WcrMax -> Value.VFloat neg_infinity
+  | Sdfg.DFloat, Sdfg.WcrMin -> Value.VFloat infinity
+  | Sdfg.DInt, Sdfg.WcrSum -> Value.VInt 0
+  | Sdfg.DInt, Sdfg.WcrProd -> Value.VInt 1
+  | Sdfg.DInt, Sdfg.WcrMax -> Value.VInt min_int
+  | Sdfg.DInt, Sdfg.WcrMin -> Value.VInt max_int
+
+(* Uncharged WCR combine — the master-side merge of a chunk accumulator is
+   a scheduling artifact, not program work; mirrors [apply_wcr]'s value
+   semantics exactly. *)
+let combine_wcr (w : Sdfg.wcr) (a : Value.t) (b : Value.t) : Value.t =
+  let is_f = Value.is_float a || Value.is_float b in
+  match (w, is_f) with
+  | Sdfg.WcrSum, true -> Value.VFloat (Value.as_float a +. Value.as_float b)
+  | Sdfg.WcrSum, false -> Value.VInt (Value.as_int a + Value.as_int b)
+  | Sdfg.WcrProd, true -> Value.VFloat (Value.as_float a *. Value.as_float b)
+  | Sdfg.WcrProd, false -> Value.VInt (Value.as_int a * Value.as_int b)
+  | Sdfg.WcrMax, true ->
+      Value.VFloat (Float.max (Value.as_float a) (Value.as_float b))
+  | Sdfg.WcrMax, false -> Value.VInt (max (Value.as_int a) (Value.as_int b))
+  | Sdfg.WcrMin, true ->
+      Value.VFloat (Float.min (Value.as_float a) (Value.as_float b))
+  | Sdfg.WcrMin, false -> Value.VInt (min (Value.as_int a) (Value.as_int b))
+
+let exec_par_chunks (rt : runtime) (cert : Sdfg.par_cert)
+    ~(params : string list) ~(dims : (int * int * int) list)
+    ~(body : runtime -> unit) : unit =
+  let p0, ps, (lo, hi, step), ds =
+    match (params, dims) with
+    | p0 :: ps, d0 :: ds -> (p0, ps, d0, ds)
+    | _ -> trap "map params/ranges mismatch"
+  in
+  if step <= 0 then trap "parallel map requires a positive step (got %d)" step;
+  let n_iters = if hi < lo then 0 else ((hi - lo) / step) + 1 in
+  if n_iters > 0 then begin
+    (* Materialize shared containers on the master, in certificate order,
+       before any fork — lazy-allocation charges must land on the master
+       machine exactly once. *)
+    List.iter
+      (fun (nm, cl) ->
+        match cl with
+        | Sdfg.ParPrivate -> ()
+        | Sdfg.ParReadOnly | Sdfg.ParDisjoint | Sdfg.ParReduction _ ->
+            ignore (buffer_of rt nm))
+      cert.pc_classes;
+    let privates =
+      List.filter_map
+        (fun (nm, cl) ->
+          match cl with Sdfg.ParPrivate -> Some nm | _ -> None)
+        cert.pc_classes
+    in
+    let reductions =
+      List.filter_map
+        (fun (nm, cl) ->
+          match cl with Sdfg.ParReduction w -> Some (nm, w) | _ -> None)
+        cert.pc_classes
+    in
+    let k = min par_chunk_count n_iters in
+    let base = n_iters / k and rem = n_iters mod k in
+    let chunk_range c =
+      let start = (c * base) + min c rem in
+      let len = base + if c < rem then 1 else 0 in
+      (lo + (start * step), lo + ((start + len - 1) * step))
+    in
+    (* All chunk runtimes are built upfront on the calling domain, in chunk
+       order, from identical fork state. *)
+    let mk_chunk () =
+      let buffers = Hashtbl.copy rt.buffers in
+      let cdims = Hashtbl.copy rt.dims in
+      List.iter
+        (fun nm ->
+          Hashtbl.remove buffers nm;
+          Hashtbl.remove cdims nm)
+        privates;
+      let crt =
+        {
+          rt with
+          machine = Machine.fork rt.machine;
+          buffers;
+          dims = cdims;
+          symbols = Hashtbl.copy rt.symbols;
+          topo_cache = Hashtbl.copy rt.topo_cache;
+          alloc_charged = Hashtbl.copy rt.alloc_charged;
+          last_outputs = Hashtbl.copy rt.last_outputs;
+          steps = 0;
+          profile = None;
+          prepared = Hashtbl.create 8;
+          jobs = 1;
+        }
+      in
+      let accus =
+        List.map
+          (fun (nm, w) ->
+            let shared = Hashtbl.find rt.buffers nm in
+            let dtype =
+              match Hashtbl.find_opt rt.sdfg.containers nm with
+              | Some c -> c.dtype
+              | None -> Sdfg.DFloat
+            in
+            let accu =
+              Machine.alloc crt.machine ~storage:shared.storage
+                ~elems:shared.size ~elem_bytes:shared.elem_bytes
+                ~zero_init:(wcr_identity dtype w)
+            in
+            Hashtbl.replace crt.buffers nm accu;
+            (nm, w, accu))
+          reductions
+      in
+      (crt, accus)
+    in
+    let chunks = Array.init k (fun _ -> mk_chunk ()) in
+    let failures : exn option array = Array.make k None in
+    let run_chunk c =
+      let crt, _ = chunks.(c) in
+      let clo, chi = chunk_range c in
+      (* The loop nest below replicates the serial map walker's charge
+         sequence per iteration, on the chunk's machine. *)
+      let rec iter prms dims =
+        match (prms, dims) with
+        | [], [] -> body crt
+        | p :: prest, (l, h, st) :: drest ->
+            let i = ref l in
+            while !i <= h do
+              Machine.charge_op crt.machine Int_alu;
+              Machine.charge_op crt.machine Branch;
+              Hashtbl.replace crt.symbols p !i;
+              iter prest drest;
+              i := !i + st
+            done
+        | _ -> trap "map params/ranges mismatch"
+      in
+      match iter (p0 :: ps) ((clo, chi, step) :: ds) with
+      | () -> ()
+      | exception e -> failures.(c) <- Some e
+    in
+    let merge c =
+      let crt, accus = chunks.(c) in
+      List.iter
+        (fun (nm, w, (accu : Machine.buffer)) ->
+          let shared = Hashtbl.find rt.buffers nm in
+          for x = 0 to shared.size - 1 do
+            Machine.poke shared x
+              (combine_wcr w (Machine.peek shared x) (Machine.peek accu x))
+          done)
+        accus;
+      Metrics.add_into
+        ~into:(Machine.metrics rt.machine)
+        (Machine.metrics crt.machine);
+      rt.steps <- rt.steps + crt.steps
+    in
+    let settle c =
+      match failures.(c) with None -> merge c | Some e -> raise e
+    in
+    if rt.jobs <= 1 || k = 1 then
+      for c = 0 to k - 1 do
+        run_chunk c;
+        settle c
+      done
+    else begin
+      let nd = min rt.jobs k in
+      let doms =
+        Array.init nd (fun d ->
+            Domain.spawn (fun () ->
+                let c = ref d in
+                while !c < k do
+                  run_chunk !c;
+                  c := !c + nd
+                done))
+      in
+      Array.iter Domain.join doms;
+      for c = 0 to k - 1 do
+        settle c
+      done
+    end
+  end
+
 let rec exec_graph (rt : runtime) (g : Sdfg.graph) : unit =
   rt.steps <- rt.steps + 1;
   if rt.steps > 200_000_000 then trap "execution step limit exceeded";
@@ -561,6 +773,15 @@ and write_outputs (rt : runtime) (g : Sdfg.graph) (n : Sdfg.node)
     (Sdfg.node_out_edges g n)
 
 and exec_map (rt : runtime) (mn : Sdfg.map_node) : unit =
+  match mn.m_par with
+  | Some cert when mn.m_params <> [] ->
+      let dims = List.map (eval_range_dim rt) mn.m_ranges in
+      force_topo rt mn.m_body;
+      exec_par_chunks rt cert ~params:mn.m_params ~dims
+        ~body:(fun crt -> exec_graph crt mn.m_body)
+  | Some _ | None -> exec_map_serial rt mn
+
+and exec_map_serial (rt : runtime) (mn : Sdfg.map_node) : unit =
   let dims = List.map (eval_range_dim rt) mn.m_ranges in
   let saved =
     List.map (fun p -> (p, Hashtbl.find_opt rt.symbols p)) mn.m_params
@@ -905,6 +1126,7 @@ and cmap = {
   cm_params : string list;
   cm_ranges : crange list;
   cm_body : cgraph;
+  cm_par : Sdfg.par_cert option;
 }
 
 and cgraph = cnode array
@@ -1104,6 +1326,7 @@ let rec compile_graph (g : Sdfg.graph) : cgraph =
                  cm_params = mn.m_params;
                  cm_ranges = List.map compile_range_dim mn.m_ranges;
                  cm_body = compile_graph mn.m_body;
+                 cm_par = mn.m_par;
                })
        (Sdfg.topo_order g))
 
@@ -1270,6 +1493,14 @@ and exec_ctask_body (rt : runtime) (ct : ctask) : unit =
   Array.iter (fun w -> w rt vals) ct.ct_writes
 
 and exec_cmap (rt : runtime) (cm : cmap) : unit =
+  match cm.cm_par with
+  | Some cert when cm.cm_params <> [] ->
+      let dims = List.map (eval_crange rt) cm.cm_ranges in
+      exec_par_chunks rt cert ~params:cm.cm_params ~dims
+        ~body:(fun crt -> exec_cgraph crt cm.cm_body)
+  | Some _ | None -> exec_cmap_serial rt cm
+
+and exec_cmap_serial (rt : runtime) (cm : cmap) : unit =
   let dims = List.map (eval_crange rt) cm.cm_ranges in
   let saved =
     List.map (fun p -> (p, Hashtbl.find_opt rt.symbols p)) cm.cm_params
@@ -1374,7 +1605,7 @@ type result = {
     for this SDFG; ignored in tree mode. *)
 let run ?(machine : Machine.t option)
     ?(profile : Dcir_obs.Obs.Profile.t option) ?(mode : mode = Compiled)
-    ?(plan : plan option) (sdfg : Sdfg.t)
+    ?(plan : plan option) ?(jobs : int = 1) (sdfg : Sdfg.t)
     ~(buffers : (string * Machine.buffer * int array) list)
     ~(symbols : (string * int) list) () : result =
   let machine = match machine with Some m -> m | None -> Machine.create () in
@@ -1391,6 +1622,7 @@ let run ?(machine : Machine.t option)
       steps = 0;
       profile;
       prepared = Hashtbl.create 8;
+      jobs = max 1 jobs;
     }
   in
   List.iter (fun (s, v) -> Hashtbl.replace rt.symbols s v) symbols;

@@ -89,6 +89,29 @@ type tasklet = {
           for separately-compiled MLIR tasklets that rely on LTO (§5.2) *)
 }
 
+(** How one container is accessed across the iterations of a parallel map —
+    the dependence tester's verdict, carried on the map as its
+    parallelization certificate. *)
+type par_class =
+  | ParReadOnly  (** never written in the body *)
+  | ParDisjoint
+      (** written, but distinct iterations touch provably disjoint subsets;
+          the shared buffer is updated in place *)
+  | ParReduction of wcr
+      (** every access is a WCR update with this operator; workers combine
+          into private identity-initialized accumulators, merged in chunk
+          order *)
+  | ParPrivate
+      (** transient written before read each iteration and dead outside the
+          loop; each worker gets its own copy *)
+
+type par_cert = { pc_sym : string; pc_classes : (string * par_class) list }
+(** Certificate attached by [loop_to_map]: [pc_sym] is the original loop
+    induction symbol (= the first map parameter), [pc_classes] classifies
+    {e every} container the body accesses. Maps without a certificate keep
+    the serial execution semantics; certified maps execute with the chunked
+    schedule (identical at any worker count). *)
+
 type node_kind =
   | Access of string  (** of a container *)
   | TaskletN of tasklet
@@ -98,6 +121,7 @@ and map_node = {
   m_params : string list;
   mutable m_ranges : Range.dim list;
   m_body : graph;
+  mutable m_par : par_cert option;
 }
 
 and node = { nid : int; kind : node_kind }
@@ -352,6 +376,7 @@ let rec copy_graph (g : graph) : graph =
                       m_params = mn.m_params;
                       m_ranges = mn.m_ranges;
                       m_body = copy_graph mn.m_body;
+                      m_par = mn.m_par;
                     };
               }
           | Access _ | TaskletN _ -> { nid = n.nid; kind = n.kind })

@@ -131,6 +131,55 @@ let rec check_graph (sdfg : Sdfg.t) ~(where : string) (g : Sdfg.graph) :
           if List.length mn.m_params <> List.length mn.m_ranges then
             push [ error "%s: map has %d params but %d ranges" where
                      (List.length mn.m_params) (List.length mn.m_ranges) ];
+          (* Map-scope discipline. Parameters are fresh symbols: declaring
+             one twice or shadowing a container makes body subsets
+             ambiguous. Ranges iterate lo upward by step, so a provably
+             non-positive step never terminates. *)
+          let seen_params = Hashtbl.create 4 in
+          List.iter
+            (fun p ->
+              if Hashtbl.mem seen_params p then
+                push [ error "%s: map declares parameter '%s' twice" where p ]
+              else Hashtbl.replace seen_params p ();
+              if Hashtbl.mem sdfg.containers p then
+                push
+                  [ error "%s: map parameter '%s' shadows a container" where p ])
+            mn.m_params;
+          List.iter
+            (fun (d : Range.dim) ->
+              if Bexpr.decide (Bexpr.le d.step Expr.zero) = Some true then
+                push
+                  [ error "%s: map range %s has non-positive step %s" where
+                      (Range.to_string [ d ]) (Expr.to_string d.step) ])
+            mn.m_ranges;
+          (* External memlets summarize the body's accesses for node-level
+             reasoning (scheduling, dependence testing); one naming a
+             container the body never touches that way is a lie. *)
+          let body_reads = Sdfg.read_containers mn.m_body
+          and body_writes = Sdfg.written_containers mn.m_body in
+          List.iter
+            (fun (e : Sdfg.edge) ->
+              match e.e_memlet with
+              | Some m when e.e_dst = n.nid ->
+                  if
+                    not
+                      (List.mem m.data body_reads
+                      || List.mem m.data body_writes)
+                  then
+                    push
+                      [ error
+                          "%s: map input memlet '%s' names a container the \
+                           body never accesses"
+                          where m.data ]
+              | Some m when e.e_src = n.nid ->
+                  if not (List.mem m.data body_writes) then
+                    push
+                      [ error
+                          "%s: map output memlet '%s' names a container the \
+                           body never writes"
+                          where m.data ]
+              | _ -> ())
+            (Sdfg.edges g);
           push (check_graph sdfg ~where:(where ^ "/map") mn.m_body)
       | Sdfg.Access name ->
           if not (Hashtbl.mem sdfg.containers name) then

@@ -78,6 +78,94 @@ let disjoint (a : t) (b : t) : bool =
          || Bexpr.decide (Bexpr.lt db.hi da.lo) = Some true)
        a b
 
+(* ------------------------------------------------------------------ *)
+(* Per-iteration independence — the queries behind the loop→map
+   dependence tester. All are three-valued in spirit: [false] means
+   "cannot prove", never "provably dependent". *)
+
+(** Provably non-overlapping in one dimension, for all symbol values. *)
+let dim_apart (a : dim) (b : dim) : bool =
+  Bexpr.decide (Bexpr.lt a.hi b.lo) = Some true
+  || Bexpr.decide (Bexpr.lt b.hi a.lo) = Some true
+
+(** [iter_disjoint ~sym a b]: for {e any two distinct} integer values
+    [v1 <> v2] of [sym], are [a{sym:=v1}] and [b{sym:=v2}] provably
+    disjoint subsets of the same container?
+
+    Per dimension, three sufficient arguments are tried (one suffices):
+    - the dimension pair is apart for every value of [sym] ({!dim_apart});
+    - both are single indices given by the {e same} expression, linear in
+      [sym] with non-zero coefficient — injectivity makes distinct
+      iterations hit distinct indices;
+    - all four bounds are linear in [sym] with one shared coefficient [c],
+      and consecutive iterations already clear each other:
+      [|c| + (lo_b - hi_a) >= 1] and [|c| + (lo_a - hi_b) >= 1]. The [sym]
+      terms cancel in the differences, so {!Bexpr.decide} can settle them;
+      separation only grows with larger iteration distance.
+
+    Steps are ignored (bounding-box conservative). *)
+let iter_disjoint ~(sym : string) (a : t) (b : t) : bool =
+  List.length a = List.length b
+  && List.exists2
+       (fun (da : dim) (db : dim) ->
+         let uses_sym e = List.mem sym (Expr.free_syms e) in
+         if (not (uses_sym da.lo)) && (not (uses_sym da.hi))
+            && (not (uses_sym db.lo))
+            && not (uses_sym db.hi)
+         then dim_apart da db
+         else if
+           is_index da && is_index db && Expr.equal da.lo db.lo
+         then
+           match Solve.linear_in sym da.lo with
+           | Some (c, _) -> c <> 0
+           | None -> false
+         else
+           match
+             ( Solve.linear_in sym da.lo,
+               Solve.linear_in sym da.hi,
+               Solve.linear_in sym db.lo,
+               Solve.linear_in sym db.hi )
+           with
+           | Some (c1, _), Some (c2, _), Some (c3, _), Some (c4, _)
+             when c1 = c2 && c2 = c3 && c3 = c4 ->
+               let c = Expr.int (abs c1) in
+               let ge1 x y =
+                 Bexpr.decide (Bexpr.ge (Expr.add c (Expr.sub x y)) Expr.one)
+                 = Some true
+               in
+               ge1 db.lo da.hi && ge1 da.lo db.hi
+           | _ -> false)
+       a b
+
+(** [widen ~sym ~lo ~hi s] over-approximates the union of [s{sym:=v}] for
+    [v] in [lo..hi] — memlet propagation (§5.1) out of a map scope. Bounds
+    linear in [sym] move monotonically, so substituting the extreme
+    iteration values bounds them; non-linear bounds fall back to the
+    min/max of both substitutions. *)
+let widen ~(sym : string) ~(lo : Expr.t) ~(hi : Expr.t) (s : t) : t =
+  let at v e = Expr.subst_one sym v e in
+  List.map
+    (fun d ->
+      let wlo, whi =
+        match
+          (Solve.linear_in sym d.lo, Solve.linear_in sym d.hi)
+        with
+        | Some (c1, _), Some (c2, _) when c1 > 0 && c2 > 0 ->
+            (at lo d.lo, at hi d.hi)
+        | Some (c1, _), Some (c2, _) when c1 < 0 && c2 < 0 ->
+            (at hi d.lo, at lo d.hi)
+        | _ ->
+            if
+              List.mem sym (Expr.free_syms d.lo)
+              || List.mem sym (Expr.free_syms d.hi)
+            then
+              ( Expr.min_ (at lo d.lo) (at hi d.lo),
+                Expr.max_ (at lo d.hi) (at hi d.hi) )
+            else (d.lo, d.hi)
+      in
+      { lo = wlo; hi = whi; step = d.step })
+    s
+
 let subst (lookup : string -> Expr.t option) (s : t) : t =
   List.map
     (fun d ->

@@ -57,6 +57,42 @@ let isolate (x : string) ((lhs, rhs) : equation) : Expr.t option =
         else None
   with Nonlinear -> None
 
+(** [linear_in x e] decomposes [e] as [c*x + r] with [c] a non-zero integer
+    and [r] independent of [x]. [Some (c, r)] certifies that [e] is strictly
+    monotone — hence injective — in [x], the property the dependence tester
+    needs to prove that distinct loop iterations touch distinct indices.
+    [None] means "not provably linear", never "non-linear". *)
+let linear_in (x : string) (e : Expr.t) : (int * Expr.t) option =
+  let terms = match e with Expr.Add xs -> xs | Expr.Int 0 -> [] | t -> [ t ] in
+  let exception Nonlinear in
+  try
+    let coeff = ref 0 in
+    let rest = ref [] in
+    List.iter
+      (fun term ->
+        let factors = match term with Expr.Mul fs -> fs | f -> [ f ] in
+        let occurrences =
+          List.filter (fun f -> List.mem x (Expr.free_syms f)) factors
+        in
+        match occurrences with
+        | [] -> rest := term :: !rest
+        | [ Expr.Sym s ] when String.equal s x ->
+            let c =
+              List.fold_left
+                (fun acc f ->
+                  match f with
+                  | Expr.Int n -> acc * n
+                  | Expr.Sym s when String.equal s x -> acc
+                  | _ -> raise Nonlinear)
+                1 factors
+            in
+            coeff := !coeff + c
+        | _ -> raise Nonlinear)
+      terms;
+    if !coeff = 0 then None
+    else Some (!coeff, Expr.add_list (List.rev !rest))
+  with Nonlinear -> None
+
 (** [solve ~unknowns eqs] returns bindings for as many unknowns as can be
     determined. Solved bindings are substituted into the remaining equations
     and the process iterates to a fixpoint, so chained definitions

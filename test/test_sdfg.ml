@@ -219,7 +219,7 @@ let test_map_execution () =
     Sdfg.add_node st.s_graph
       (Sdfg.MapN
          { m_params = [ "i" ]; m_ranges = [ Range.full (Expr.sym "N") ];
-           m_body = body })
+           m_body = body; m_par = None })
   in
   ignore map_node;
   Validate.validate_exn sdfg;
@@ -386,6 +386,135 @@ let test_validate_symbolic_oob () =
   Alcotest.(check bool) "provably-OOB symbolic subset is an error" true
     (has_error (Validate.validate sdfg) "out of bounds")
 
+(* Map-scope validation: the auto-parallelizer's output (certified maps
+   with summarizing external memlets) leans on these invariants, so each
+   violation must be a hard error. *)
+
+let map_check_sdfg ~(params : string list) ~(ranges : Range.dim list)
+    ~(ext : Sdfg.graph -> Sdfg.node -> unit) () : Sdfg.t =
+  let sdfg = Sdfg.create "map_checks" in
+  List.iter
+    (fun name ->
+      ignore
+        (Sdfg.add_container sdfg ~transient:false ~dtype:Sdfg.DFloat
+           ~shape:[ Expr.int 8 ] name))
+    [ "x"; "y"; "z" ];
+  sdfg.param_order <- [ "x"; "y"; "z" ];
+  let st = Sdfg.add_state sdfg "s" in
+  (* Body: y[i] = x[i]. The container z is never touched inside. *)
+  let body = Sdfg.new_graph () in
+  let x = Sdfg.add_node body (Sdfg.Access "x") in
+  let y = Sdfg.add_node body (Sdfg.Access "y") in
+  let t =
+    Sdfg.add_node body
+      (Sdfg.TaskletN
+         (mk_tasklet "t" [ "_in" ] [ "_out" ] [ ("_out", Texpr.TIn "_in") ]))
+  in
+  ignore
+    (Sdfg.add_edge body ~dst_conn:"_in"
+       ~memlet:(memlet "x" [ Range.index (Expr.sym "i") ])
+       x t);
+  ignore
+    (Sdfg.add_edge body ~src_conn:"_out"
+       ~memlet:(memlet "y" [ Range.index (Expr.sym "i") ])
+       t y);
+  let mnode =
+    Sdfg.add_node st.s_graph
+      (Sdfg.MapN { m_params = params; m_ranges = ranges; m_body = body;
+                   m_par = None })
+  in
+  ext st.s_graph mnode;
+  sdfg
+
+let full8 = Range.dim (Expr.int 0) (Expr.int 7)
+let no_ext _ _ = ()
+
+let test_validate_map_params () =
+  let ok = map_check_sdfg ~params:[ "i" ] ~ranges:[ full8 ] ~ext:no_ext () in
+  Alcotest.(check int) "well-formed map accepted" 0
+    (List.length (Validate.errors ok));
+  let dup =
+    map_check_sdfg ~params:[ "i"; "i" ] ~ranges:[ full8; full8 ] ~ext:no_ext
+      ()
+  in
+  Alcotest.(check bool) "duplicate parameter is an error" true
+    (has_error (Validate.validate dup) "declares parameter 'i' twice");
+  let shadow =
+    map_check_sdfg ~params:[ "x" ] ~ranges:[ full8 ] ~ext:no_ext ()
+  in
+  Alcotest.(check bool) "container-shadowing parameter is an error" true
+    (has_error (Validate.validate shadow) "shadows a container")
+
+let test_validate_map_step () =
+  let zero =
+    map_check_sdfg ~params:[ "i" ]
+      ~ranges:[ Range.dim ~step:Expr.zero (Expr.int 0) (Expr.int 7) ]
+      ~ext:no_ext ()
+  in
+  Alcotest.(check bool) "zero step is an error" true
+    (has_error (Validate.validate zero) "non-positive step");
+  let negative =
+    map_check_sdfg ~params:[ "i" ]
+      ~ranges:[ Range.dim ~step:(Expr.int (-1)) (Expr.int 0) (Expr.int 7) ]
+      ~ext:no_ext ()
+  in
+  Alcotest.(check bool) "negative step is an error" true
+    (has_error (Validate.validate negative) "non-positive step");
+  (* A symbolic step is not decidably non-positive: allowed. *)
+  let symbolic =
+    map_check_sdfg ~params:[ "i" ]
+      ~ranges:[ Range.dim ~step:(Expr.sym "S") (Expr.int 0) (Expr.int 7) ]
+      ~ext:no_ext ()
+  in
+  Alcotest.(check bool) "symbolic step stays undecided" false
+    (has_error (Validate.validate symbolic) "non-positive step")
+
+let test_validate_map_external_memlets () =
+  (* Output memlet claiming a write of z, which the body never writes. *)
+  let lying_out =
+    map_check_sdfg ~params:[ "i" ] ~ranges:[ full8 ]
+      ~ext:(fun g mnode ->
+        let z = Sdfg.add_node g (Sdfg.Access "z") in
+        ignore
+          (Sdfg.add_edge g
+             ~memlet:(memlet "z" [ Range.full (Expr.int 8) ])
+             mnode z))
+      ()
+  in
+  Alcotest.(check bool) "vacuous output memlet is an error" true
+    (has_error (Validate.validate lying_out) "never writes");
+  (* Input memlet feeding the map a container the body never accesses. *)
+  let lying_in =
+    map_check_sdfg ~params:[ "i" ] ~ranges:[ full8 ]
+      ~ext:(fun g mnode ->
+        let z = Sdfg.add_node g (Sdfg.Access "z") in
+        ignore
+          (Sdfg.add_edge g
+             ~memlet:(memlet "z" [ Range.full (Expr.int 8) ])
+             z mnode))
+      ()
+  in
+  Alcotest.(check bool) "vacuous input memlet is an error" true
+    (has_error (Validate.validate lying_in) "never accesses");
+  (* Honest summarizing edges — x in, y out — validate cleanly. *)
+  let honest =
+    map_check_sdfg ~params:[ "i" ] ~ranges:[ full8 ]
+      ~ext:(fun g mnode ->
+        let x = Sdfg.add_node g (Sdfg.Access "x") in
+        let y = Sdfg.add_node g (Sdfg.Access "y") in
+        ignore
+          (Sdfg.add_edge g
+             ~memlet:(memlet "x" [ Range.full (Expr.int 8) ])
+             x mnode);
+        ignore
+          (Sdfg.add_edge g
+             ~memlet:(memlet "y" [ Range.full (Expr.int 8) ])
+             mnode y))
+      ()
+  in
+  Alcotest.(check int) "summarizing memlets accepted" 0
+    (List.length (Validate.errors honest))
+
 let test_printer_smoke () =
   let s = Printer.to_string (scale_sdfg ()) in
   List.iter
@@ -406,6 +535,12 @@ let suite =
         test_validate_unknown_container;
       Alcotest.test_case "validate: rank mismatch diagnostic" `Quick
         test_validate_rank_mismatch;
+      Alcotest.test_case "validate: map parameters" `Quick
+        test_validate_map_params;
+      Alcotest.test_case "validate: map range step" `Quick
+        test_validate_map_step;
+      Alcotest.test_case "validate: map external memlets" `Quick
+        test_validate_map_external_memlets;
       Alcotest.test_case "validate: symbolic OOB diagnostic" `Quick
         test_validate_symbolic_oob;
       Alcotest.test_case "printer" `Quick test_printer_smoke;

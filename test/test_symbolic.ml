@@ -134,6 +134,104 @@ let test_solve_nonlinear_skipped () =
   let sol = Solve.solve ~unknowns:[ "x" ] [ (e "x*x", e "9") ] in
   Alcotest.(check bool) "no solution" true (List.assoc_opt "x" sol = None)
 
+let test_solve_negative_coeff () =
+  (* Descending relations: the coefficient of the unknown is negative. *)
+  let sol = Solve.solve ~unknowns:[ "x" ] [ (e "10 - 2*x", e "4") ] in
+  Alcotest.check expr "x=3" (Expr.int 3) (List.assoc "x" sol);
+  let sol = Solve.solve ~unknowns:[ "x" ] [ (e "N - x", e "N - 5") ] in
+  Alcotest.check expr "x=5" (Expr.int 5) (List.assoc "x" sol);
+  (* Inexact division must not invent a floor-rounded "solution". *)
+  let sol = Solve.solve ~unknowns:[ "x" ] [ (e "2*x", e "7") ] in
+  Alcotest.(check bool) "2x=7 unsolved" true (List.assoc_opt "x" sol = None)
+
+let test_linear_in () =
+  (match Solve.linear_in "i" (e "N - 3*i + 1") with
+  | Some (c, _) -> Alcotest.(check int) "coeff" (-3) c
+  | None -> Alcotest.fail "expected linear decomposition");
+  Alcotest.(check bool) "i*j is not linear in i" true
+    (Solve.linear_in "i" (e "i*j") = None);
+  Alcotest.(check bool) "i-i has zero coefficient" true
+    (Solve.linear_in "i" (e "i - i + N") = None)
+
+(* ------------------------------------------------------------------ *)
+(* Per-iteration independence — the queries behind the loop→map
+   dependence tester (lib/autopar). *)
+
+let test_dim_apart () =
+  let d lo hi = Range.dim (e lo) (e hi) in
+  (* Symbolic bounds, apart for every value of i. *)
+  Alcotest.(check bool) "strictly below" true
+    (Range.dim_apart (d "i" "i+1") (d "i+2" "i+3"));
+  (* Off-by-one: sharing the single endpoint i+1 is an overlap. *)
+  Alcotest.(check bool) "touching endpoints" false
+    (Range.dim_apart (d "i" "i+1") (d "i+1" "i+2"));
+  Alcotest.(check bool) "adjacent singletons" true
+    (Range.dim_apart (d "i" "i") (d "i+1" "i+1"));
+  (* Unknown separation must stay "may overlap". *)
+  Alcotest.(check bool) "symbolic gap undecided" false
+    (Range.dim_apart (d "0" "N") (d "M" "M"))
+
+let test_iter_disjoint_indices () =
+  let idx s = [ Range.index (e s) ] in
+  let disj a b = Range.iter_disjoint ~sym:"i" (idx a) (idx b) in
+  (* Injective single indices: distinct iterations hit distinct cells. *)
+  Alcotest.(check bool) "A[i]" true (disj "i" "i");
+  Alcotest.(check bool) "A[2*i+1]" true (disj "2*i+1" "2*i+1");
+  (* Negative stride: descending accesses are injective too. *)
+  Alcotest.(check bool) "A[N-i]" true (disj "N-i" "N-i");
+  Alcotest.(check bool) "A[N-2*i]" true (disj "N-2*i" "N-2*i");
+  (* Index independent of i: every iteration hits the same cell. *)
+  Alcotest.(check bool) "A[j]" false (disj "j" "j");
+  (* Non-linear in i: not provably injective. *)
+  Alcotest.(check bool) "A[i*i]" false (disj "i*i" "i*i")
+
+let test_iter_disjoint_blocks () =
+  let blk lo hi = [ Range.dim (e lo) (e hi) ] in
+  let disj a b = Range.iter_disjoint ~sym:"i" a b in
+  (* Two-wide tiles with stride two: consecutive iterations just clear
+     each other. *)
+  Alcotest.(check bool) "tiles [2i:2i+1]" true
+    (disj (blk "2*i" "2*i+1") (blk "2*i" "2*i+1"));
+  (* Off-by-one endpoint: [2i:2i+2] tiles share cell 2i+2 with the next
+     iteration. *)
+  Alcotest.(check bool) "tiles [2i:2i+2] overlap" false
+    (disj (blk "2*i" "2*i+2") (blk "2*i" "2*i+2"));
+  (* Negative stride tiles, same width: still provably disjoint. *)
+  Alcotest.(check bool) "tiles [N-2i-1:N-2i]" true
+    (disj (blk "N-2*i-1" "N-2*i") (blk "N-2*i-1" "N-2*i"));
+  (* Mismatched coefficients between the two ranges: undecided. *)
+  Alcotest.(check bool) "coefficient mismatch" false
+    (disj (blk "i" "i") (blk "2*i" "2*i"))
+
+let test_range_widen () =
+  let w s = Range.widen ~sym:"i" ~lo:Expr.zero ~hi:(e "N-1") s in
+  (* Ascending bound: substitute the loop extremes directly. *)
+  (match w [ Range.index (e "i") ] with
+  | [ d ] ->
+      Alcotest.check expr "lo" Expr.zero d.lo;
+      Alcotest.check expr "hi" (e "N-1") d.hi
+  | _ -> Alcotest.fail "rank");
+  (* Descending bound (negative coefficient): extremes swap. *)
+  (match w [ Range.index (e "N-i") ] with
+  | [ d ] ->
+      Alcotest.check expr "lo" (e "1") d.lo;
+      Alcotest.check expr "hi" (e "N") d.hi
+  | _ -> Alcotest.fail "rank");
+  (* Non-linear bound: min/max of both substitutions. *)
+  (match Range.widen ~sym:"i" ~lo:Expr.zero ~hi:(Expr.int 3)
+           [ Range.index (e "i*i") ]
+   with
+  | [ d ] ->
+      Alcotest.check expr "lo" Expr.zero d.lo;
+      Alcotest.check expr "hi" (Expr.int 9) d.hi
+  | _ -> Alcotest.fail "rank");
+  (* Dimension not mentioning the symbol is untouched. *)
+  match w [ Range.dim (e "j") (e "j+1") ] with
+  | [ d ] ->
+      Alcotest.check expr "lo" (e "j") d.lo;
+      Alcotest.check expr "hi" (e "j+1") d.hi
+  | _ -> Alcotest.fail "rank"
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
@@ -207,6 +305,12 @@ let suite =
       Alcotest.test_case "solve linear" `Quick test_solve_linear;
       Alcotest.test_case "solve chain" `Quick test_solve_chain;
       Alcotest.test_case "solve nonlinear skipped" `Quick test_solve_nonlinear_skipped;
+      Alcotest.test_case "solve negative coefficients" `Quick test_solve_negative_coeff;
+      Alcotest.test_case "linear_in decomposition" `Quick test_linear_in;
+      Alcotest.test_case "dim_apart" `Quick test_dim_apart;
+      Alcotest.test_case "iter_disjoint indices" `Quick test_iter_disjoint_indices;
+      Alcotest.test_case "iter_disjoint blocks" `Quick test_iter_disjoint_blocks;
+      Alcotest.test_case "range widen" `Quick test_range_widen;
       QCheck_alcotest.to_alcotest prop_simplify_preserves_eval;
       QCheck_alcotest.to_alcotest prop_parse_print_roundtrip;
       QCheck_alcotest.to_alcotest prop_decide_sound;

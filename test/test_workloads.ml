@@ -88,6 +88,7 @@ let () =
       Test_dace_passes.suite;
       Test_obs.suite;
       Test_core.suite;
+      Test_autopar.suite;
       Test_fuzz.suite;
       suite;
     ]
