@@ -13,6 +13,10 @@
     multi-domain execution of auto-parallelized kernels); those rows are
     gated on bit-identity only — never on speedup, because the executor's
     contract is determinism and the CI host may have a single core.
+    Incident journals from chaos campaigns ([dcir-incidents/1], from
+    [dcir fuzz --chaos --journal FILE]) are gated on record-stream shape
+    and on the chaos oracle: all four fault kinds exercised, no case
+    ending in a wrong answer or an escaped exception.
     Exits non-zero with a message on any failure. *)
 
 module Json = Dcir_obs.Json
@@ -129,6 +133,85 @@ let check_parallel_bench (j : Json.t) : unit =
       | _ -> fail "%s: parallel execution diverged from serial" label)
     rows
 
+(* Incident journals from chaos campaigns ([dcir-incidents/1]). Gates
+   the record stream's shape — contiguous sequence numbers, known record
+   kinds, per-kind summary counts that match — and, when the journal
+   comes from a chaos campaign, that the campaign actually exercised the
+   whole fault model and that no case ended in an oracle violation. *)
+let check_incidents (j : Json.t) : unit =
+  let known_kinds =
+    [ "chaos-case"; "case-outcome"; "chaos-injected"; "pass-rollback";
+      "tier-failed"; "degraded"; "breaker-open"; "breaker-probation";
+      "breaker-close" ]
+  in
+  let incidents =
+    match Option.bind (Json.member "incidents" j) Json.to_list with
+    | Some rows -> rows
+    | None -> fail "missing or non-array \"incidents\""
+  in
+  List.iteri
+    (fun i row ->
+      (match Json.member "seq" row with
+      | Some (Json.Int s) when s = i -> ()
+      | Some (Json.Int s) -> fail "incident %d has seq %d (not contiguous)" i s
+      | _ -> fail "incident %d missing integer \"seq\"" i);
+      match Option.bind (Json.member "kind" row) Json.to_str with
+      | Some k when List.mem k known_kinds -> ()
+      | Some k -> fail "incident %d has unknown kind %S" i k
+      | None -> fail "incident %d missing \"kind\"" i)
+    incidents;
+  let count k =
+    List.length
+      (List.filter
+         (fun row -> Option.bind (Json.member "kind" row) Json.to_str = Some k)
+         incidents)
+  in
+  (match Option.bind (Json.member "summary" j) (function
+     | Json.Obj fields -> Some fields
+     | _ -> None)
+   with
+  | None -> fail "missing or non-object \"summary\""
+  | Some fields ->
+      List.iter
+        (fun (k, v) ->
+          if v <> Json.Int (count k) then
+            fail "summary says %s %s, incidents have %d" k (Json.to_string v)
+              (count k))
+        fields);
+  let cases =
+    List.filter
+      (fun row ->
+        Option.bind (Json.member "kind" row) Json.to_str = Some "chaos-case")
+      incidents
+  in
+  if cases <> [] then begin
+    let faults =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun row ->
+             match Option.bind (Json.member "faults" row) Json.to_list with
+             | Some fs -> List.filter_map Json.to_str fs
+             | None -> fail "chaos-case record missing \"faults\"")
+           cases)
+    in
+    if List.length faults < 4 then
+      fail "campaign exercised only %d fault kind(s): %s"
+        (List.length faults) (String.concat ", " faults);
+    List.iter
+      (fun row ->
+        match Option.bind (Json.member "outcome" row) Json.to_str with
+        | Some ("wrong-answer" | "escaped") ->
+            fail "journal records a chaos oracle violation: %s"
+              (Json.to_string row)
+        | Some _ -> ()
+        | None -> fail "case-outcome record missing \"outcome\"")
+      (List.filter
+         (fun row ->
+           Option.bind (Json.member "kind" row) Json.to_str
+           = Some "case-outcome")
+         incidents)
+  end
+
 let () =
   let path =
     if Array.length Sys.argv > 1 then Sys.argv.(1)
@@ -151,6 +234,7 @@ let () =
   | Some (Json.Str "dcir-interp-bench/2") ->
       check_interp_bench j;
       check_parallel_bench j
+  | Some (Json.Str "dcir-incidents/1") -> check_incidents j
   | Some s -> fail "unexpected schema %s" (Json.to_string s)
   | None -> fail "missing \"schema\" field");
   print_endline ("validate_report: " ^ path ^ " OK")

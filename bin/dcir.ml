@@ -21,6 +21,7 @@ open Cmdliner
 module Pipelines = Dcir_core.Pipelines
 module Obs = Dcir_obs.Obs
 module Json = Dcir_obs.Json
+module Budget = Dcir_resilience.Budget
 
 let read_file path =
   let ic = open_in_bin path in
@@ -99,6 +100,41 @@ let jobs_arg =
        & info [ "jobs"; "j" ] ~docv:"N"
            ~doc:"Worker domains for certified parallel maps. Outputs and \
                  machine metrics are bit-identical for every value.")
+
+(* ------------------------------------------------------------------ *)
+(* Resource-budget flags, shared by run/bench/fuzz (see README
+   "Resilience"). Cmdliner renders the defaults in --help. *)
+
+let max_steps_arg =
+  Arg.(value & opt int Budget.default.Budget.max_steps
+       & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Interpreter step budget per execution. Exhaustion aborts \
+                 with a one-line E-BUDGET-STEPS diagnostic instead of \
+                 hanging.")
+
+let max_fuel_arg =
+  Arg.(value & opt int Budget.default.Budget.max_fuel
+       & info [ "max-fuel" ] ~docv:"N"
+           ~doc:"Optimization fuel budget per compile: each pass \
+                 application burns one unit. Exhaustion aborts with \
+                 E-BUDGET-FUEL (or degrades, under $(b,--degrade)).")
+
+let degrade_arg =
+  Arg.(value & flag
+       & info [ "degrade" ]
+           ~doc:"Compile through the graceful-degradation ladder: when a \
+                 tier fails (budget exhaustion, verification failure, pass \
+                 crash) retry at the next lower tier (O2, O1, O0, \
+                 unoptimized) and report what was dropped, instead of \
+                 failing the build.")
+
+let budget_limits ~max_steps ~max_fuel =
+  { Budget.default with Budget.max_steps; Budget.max_fuel }
+
+let print_resilience_report (r : Pipelines.resilience_report) =
+  List.iter
+    (fun line -> Format.printf "%s@." line)
+    (Pipelines.resilience_report_lines r)
 
 let print_autopar_report ppf =
   match !Pipelines.last_autopar_report with
@@ -216,18 +252,32 @@ let run_cmd =
     Arg.(value & opt float 16.0
          & info [ "size" ] ~docv:"N" ~doc:"Value for scalar int arguments")
   in
-  let run file entry pipeline size parallel jobs verbose timing trace profile
-      =
+  let run file entry pipeline size parallel jobs max_steps max_fuel degrade
+      verbose timing trace profile =
     setup_obs ~verbose ~timing ~trace;
     let src = read_file file in
     let entry = default_entry src entry in
-    let compiled = Pipelines.compile ~autopar:parallel pipeline ~src ~entry in
+    let limits = budget_limits ~max_steps ~max_fuel in
+    let compiled =
+      if degrade then begin
+        let c, report =
+          Pipelines.compile_resilient ~limits ~autopar:parallel pipeline ~src
+            ~entry
+        in
+        print_resilience_report report;
+        c
+      end
+      else
+        Pipelines.compile ~autopar:parallel ~budget:(Budget.create ~limits ())
+          pipeline ~src ~entry
+    in
     let prof = if profile then Some (Obs.Profile.create ()) else None in
     let r =
       Obs.with_span ~cat:"run"
         ("run:" ^ Pipelines.kind_name pipeline)
         (fun () ->
-          Pipelines.run ?profile:prof ~jobs compiled ~entry
+          Pipelines.run ~budget:(Budget.create ~limits ()) ?profile:prof ~jobs
+            compiled ~entry
             (synth_args src entry size))
     in
     if parallel then print_autopar_report Format.std_formatter;
@@ -253,8 +303,8 @@ let run_cmd =
     Term.(
       ret
         (const run $ file_arg $ entry_arg $ pipeline_arg $ size_arg
-       $ parallel_arg $ jobs_arg $ verbose_arg $ timing_arg $ trace_arg
-       $ profile_arg))
+       $ parallel_arg $ jobs_arg $ max_steps_arg $ max_fuel_arg
+       $ degrade_arg $ verbose_arg $ timing_arg $ trace_arg $ profile_arg))
 
 let workloads () = Dcir_workloads.Polybench.all @ Dcir_workloads.Case_studies.all
 
@@ -269,7 +319,8 @@ let bench_cmd =
              ~doc:"Write the per-pipeline results as a machine-readable JSON \
                    report.")
   in
-  let run name json parallel jobs verbose timing trace profile =
+  let run name json parallel jobs max_steps max_fuel degrade verbose timing
+      trace profile =
     match
       List.find_opt
         (fun (w : Dcir_workloads.Workload.t) -> w.name = name)
@@ -279,17 +330,22 @@ let bench_cmd =
     | Some w ->
         setup_obs ~verbose ~timing ~trace;
         Format.printf "%s: %s@.@." w.name w.description;
-        Format.printf "  %-8s %14s %10s %10s %8s  %s@." "pipeline" "cycles"
-          "loads" "stores" "allocs" "correct";
+        Format.printf "  %-8s %14s %10s %10s %8s  %s%s@." "pipeline" "cycles"
+          "loads" "stores" "allocs" "correct"
+          (if degrade then "  tier" else "");
         let ms =
-          Pipelines.compare_pipelines ~with_profile:profile ~src:w.src
-            ~entry:w.entry (w.args ())
+          Pipelines.compare_pipelines ~with_profile:profile
+            ~limits:(budget_limits ~max_steps ~max_fuel)
+            ~degrade ~src:w.src ~entry:w.entry (w.args ())
         in
         List.iter
           (fun (m : Pipelines.measurement) ->
-            Format.printf "  %-8s %14.0f %10d %10d %8d  %b@." m.pipeline
+            Format.printf "  %-8s %14.0f %10d %10d %8d  %b%s@." m.pipeline
               m.cycles m.metrics.loads m.metrics.stores m.metrics.heap_allocs
-              m.correct)
+              m.correct
+              (match m.landed_tier with
+              | Some t -> "     " ^ t
+              | None -> ""))
           ms;
         if parallel then begin
           let compiled =
@@ -365,7 +421,8 @@ let bench_cmd =
     Term.(
       ret
         (const run $ name_arg $ json_arg $ parallel_arg $ jobs_arg
-       $ verbose_arg $ timing_arg $ trace_arg $ profile_arg))
+       $ max_steps_arg $ max_fuel_arg $ degrade_arg $ verbose_arg
+       $ timing_arg $ trace_arg $ profile_arg))
 
 let fuzz_cmd =
   let doc =
@@ -400,6 +457,22 @@ let fuzz_cmd =
              ~doc:"Report failures as generated, without delta-debugging \
                    minimization")
   in
+  let chaos_arg =
+    Arg.(value & flag
+         & info [ "chaos" ]
+             ~doc:"Chaos mode: arm a seeded fault plan (pass crashes, \
+                   corrupt rewrites, fuel starvation, allocation failures) \
+                   per case and assert the resilience machinery answers \
+                   every injected fault with either a correct (possibly \
+                   degraded) artifact or a structured diagnostic — never a \
+                   hang, an uncaught exception, or a wrong answer.")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"With $(b,--chaos): write the incident journal (schema \
+                   dcir-incidents/1) as JSON. Same seed, same bytes.")
+  in
   let write_reproducer dir (fc : Dcir_fuzz.Harness.failed_case) =
     let path =
       Filename.concat dir (Printf.sprintf "fuzz-seed-%d.c" fc.case.seed)
@@ -417,15 +490,64 @@ let fuzz_cmd =
       Some path
     with Sys_error _ -> None
   in
-  let run count seed checked parallel jobs out no_shrink verbose timing trace
-      =
+  let run_chaos ~count ~seed ~journal =
+    let module C = Dcir_fuzz.Chaos_campaign in
+    let report = C.run ~count ~seed () in
+    List.iter
+      (fun (cr : C.case_result) ->
+        if not (C.acceptable cr.cr_outcome) then
+          Format.printf "FAIL (case %d, seed %d): %s: %s@." cr.cr_index
+            cr.cr_seed
+            (C.outcome_name cr.cr_outcome)
+            (match cr.cr_outcome with
+            | C.Wrong msg | C.Escaped msg -> msg
+            | _ -> ""))
+      report.C.ch_cases;
+    (match journal with
+    | Some path -> (
+        try
+          C.write_journal report path;
+          Format.printf "journal written to %s@." path
+        with Sys_error msg ->
+          Format.eprintf "dcir: cannot write journal: %s@." msg;
+          exit 1)
+    | None -> ());
+    let tally name p =
+      match
+        List.length (List.filter (fun c -> p c.C.cr_outcome) report.C.ch_cases)
+      with
+      | 0 -> None
+      | n -> Some (Printf.sprintf "%d %s" n name)
+    in
+    let counts =
+      List.filter_map Fun.id
+        [
+          tally "correct" (fun o -> o = C.Correct);
+          tally "degraded-correct" (fun o -> o = C.Degraded_correct);
+          tally "diagnosed" (function C.Diagnosed _ -> true | _ -> false);
+          tally "wrong" (function C.Wrong _ -> true | _ -> false);
+          tally "escaped" (function C.Escaped _ -> true | _ -> false);
+        ]
+    in
+    Format.printf "chaos: %d cases, campaign seed %d: %s (%s)@."
+      report.C.ch_count report.C.ch_seed
+      (if C.ok report then "every fault answered"
+       else "ORACLE VIOLATIONS")
+      (String.concat ", " counts);
+    if C.ok report then `Ok () else exit 1
+  in
+  let run count seed checked parallel jobs max_steps max_fuel chaos journal
+      out no_shrink verbose timing trace =
     setup_obs ~verbose ~timing ~trace;
+    if chaos then run_chaos ~count ~seed ~journal
+    else begin
     let out_dir =
       match out with Some d -> d | None -> Filename.get_temp_dir_name ()
     in
     let jobs = if parallel && jobs <= 1 then 3 else jobs in
     let report =
       Dcir_fuzz.Harness.run ~checked ~parallel ~jobs ~shrink:(not no_shrink)
+        ~limits:(budget_limits ~max_steps ~max_fuel)
         ~reproducer_dir:out_dir ~count ~seed ()
     in
     List.iter
@@ -448,13 +570,14 @@ let fuzz_cmd =
        else Printf.sprintf "%d failing case(s)" (List.length report.failed));
     report_obs ~timing ~trace;
     if Dcir_fuzz.Harness.ok report then `Ok () else exit 1
+    end
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       ret
         (const run $ count_arg $ seed_arg $ checked_arg $ parallel_arg
-       $ jobs_arg $ out_arg $ no_shrink_arg $ verbose_arg $ timing_arg
-       $ trace_arg))
+       $ jobs_arg $ max_steps_arg $ max_fuel_arg $ chaos_arg $ journal_arg
+       $ out_arg $ no_shrink_arg $ verbose_arg $ timing_arg $ trace_arg))
 
 let list_cmd =
   let doc = "List the available workloads." in
@@ -493,9 +616,14 @@ let () =
         Format.eprintf "dcir: frontend error: %s@."
           (Dcir_support.Diagnostics.one_line msg);
         1
-    | Dcir_sdfg.Interp.Trap msg ->
+    | Dcir_sdfg.Interp.Trap msg | Dcir_mlir.Interp.Trap msg ->
         Format.eprintf "dcir: runtime trap: %s@."
           (Dcir_support.Diagnostics.one_line msg);
+        1
+    | Budget.Exhausted (k, limit) ->
+        (* One line naming the exceeded budget and the flag that raises
+           it — exhaustion is an answer, not a crash. *)
+        Format.eprintf "dcir: %s@." (Budget.message k limit);
         1
     | Dcir_machine.Machine.Fault msg ->
         Format.eprintf "dcir: machine fault: %s@."

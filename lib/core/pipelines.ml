@@ -23,6 +23,9 @@ module P = Dcir_mlir_passes
 module Sdfg = Dcir_sdfg.Sdfg
 module Obs = Dcir_obs.Obs
 module Json = Dcir_obs.Json
+module Budget = Dcir_resilience.Budget
+module Chaos = Dcir_resilience.Chaos
+module Journal = Dcir_resilience.Journal
 
 type kind = Gcc | Clang | Mlir | Dace | Dcir
 
@@ -66,6 +69,42 @@ let control_passes (kind : kind) : Pass.t list =
       base_passes @ [ P.Inline.pass; P.Licm.pass; P.Store_forward.pass ]
   | Dace -> []
 
+(* ------------------------------------------------------------------ *)
+(* Optimization tiers — the rungs of the graceful-degradation ladder. *)
+
+type tier = O2 | O1 | O0 | Unopt
+
+let tier_name = function
+  | O2 -> "O2"
+  | O1 -> "O1"
+  | O0 -> "O0"
+  | Unopt -> "unoptimized"
+
+let next_tier = function
+  | O2 -> Some O1
+  | O1 -> Some O0
+  | O0 -> Some Unopt
+  | Unopt -> None
+
+(* Control-centric pass set at each tier: [O2] is the pipeline's full
+   set, [O1] keeps only the base simplifications, below that nothing
+   runs. *)
+let control_passes_at (tier : tier) (kind : kind) : Pass.t list =
+  match tier with
+  | O2 -> control_passes kind
+  | O1 -> ( match kind with Dace -> [] | _ -> base_passes)
+  | O0 | Unopt -> []
+
+(* Data-centric stage selection: [O2] = full pipeline, [O1] drops memory
+   scheduling, [O0] keeps only simplify, [Unopt] runs no passes at all. *)
+let dace_levels_at (tier : tier) : bool * bool * bool =
+  (* (run_at_all, o1, o2) *)
+  match tier with
+  | O2 -> (true, true, true)
+  | O1 -> (true, true, false)
+  | O0 -> (true, false, false)
+  | Unopt -> (false, false, false)
+
 (* Compile phases, each recording an {!Obs} span (no-ops when telemetry is
    disabled) so `--timing`/`--trace` show where compile time goes. Each
    phase translates its subsystem's ad-hoc exceptions into a structured
@@ -85,12 +124,11 @@ let frontend_phase (src : string) : Ir.modul =
       | Dcir_cfront.Polygeist.Lower_error msg ->
           Diag.fail ~code:"E-LOWER" ~phase:Diag.Frontend "%s" msg)
 
-let control_phase ?(checked = false) ?reproducer_dir (kind : kind)
-    (m : Ir.modul) : unit =
+let control_phase ?(checked = false) ?budget ?reproducer_dir
+    ~(passes : Pass.t list) (m : Ir.modul) : unit =
   Obs.with_span ~cat:"phase" "control-passes" (fun () ->
       let _, (st : Pass.pipeline_stats) =
-        Pass.run_to_fixpoint_stats ~checked ?reproducer_dir
-          (control_passes kind) m
+        Pass.run_to_fixpoint_stats ~checked ?budget ?reproducer_dir passes m
       in
       Obs.set_args
         (("rounds", Json.Int st.rounds)
@@ -136,12 +174,12 @@ let autopar_phase (sdfg : Sdfg.t) : unit =
                   (fun (d : Dcir_sdfg.Validate.diagnostic) -> d.message)
                   errs)))
 
-let dace_phase ?(checked = false) ?reproducer_dir ~(disable : string list)
-    (sdfg : Sdfg.t) : unit =
+let dace_phase ?(checked = false) ?budget ?reproducer_dir ?(o1 = true)
+    ?(o2 = true) ~(disable : string list) (sdfg : Sdfg.t) : unit =
   Obs.with_span ~cat:"phase" "dace-optimize" (fun () ->
       let (st : Dcir_dace_passes.Driver.stats) =
-        Dcir_dace_passes.Driver.optimize ~disable ~checked ?reproducer_dir
-          sdfg
+        Dcir_dace_passes.Driver.optimize ~o1 ~o2 ~disable ~checked ?budget
+          ?reproducer_dir sdfg
       in
       Obs.set_args
         ([
@@ -159,17 +197,45 @@ let dace_phase ?(checked = false) ?reproducer_dir ~(disable : string list)
     additionally runs the loop→map auto-parallelizer on SDFG products
     (Dace/Dcir) after data-centric optimization, leaving the conflict
     report in {!last_autopar_report}; it is off by default so the standard
-    pipelines are unchanged. *)
+    pipelines are unchanged.
+
+    [tier] selects the optimization level ({!O2}, the default, is the
+    full pipeline); [budget] charges optimization fuel for every pass
+    application; [validate] re-validates SDFG products after data-centric
+    optimization (an [E-VALIDATE] diagnostic instead of latent
+    corruption — the degradation ladder always sets it). *)
 let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
-    ?(autopar = false) ?reproducer_dir (kind : kind) ~(src : string)
-    ~(entry : string) : compiled =
+    ?(autopar = false) ?budget ?(tier = O2) ?(validate = false)
+    ?reproducer_dir (kind : kind) ~(src : string) ~(entry : string) :
+    compiled =
+  let run_all, dace_o1, dace_o2 = dace_levels_at tier in
+  let control m =
+    match control_passes_at tier kind with
+    | [] -> ()
+    | passes -> control_phase ~checked ?budget ?reproducer_dir ~passes m
+  in
+  let dace_opt sdfg =
+    if optimize_sdfg && run_all then
+      dace_phase ~checked ?budget ?reproducer_dir ~o1:dace_o1 ~o2:dace_o2
+        ~disable sdfg;
+    if autopar then autopar_phase sdfg;
+    if validate then
+      match Dcir_sdfg.Validate.errors sdfg with
+      | [] -> ()
+      | errs ->
+          Diag.fail ~code:"E-VALIDATE" ~phase:Diag.Validate "%s"
+            (String.concat "; "
+               (List.map
+                  (fun (d : Dcir_sdfg.Validate.diagnostic) -> d.message)
+                  errs))
+  in
   Obs.with_span ~cat:"pipeline"
     ("compile:" ^ kind_name kind)
     (fun () ->
       match kind with
       | Gcc | Clang | Mlir ->
           let m = frontend_phase src in
-          control_phase ~checked ?reproducer_dir kind m;
+          control m;
           verify_phase m;
           CMlir m
       | Dace ->
@@ -186,12 +252,11 @@ let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
                 | Dcir_cfront.C_sema.Sema_error msg ->
                     Diag.fail ~code:"E-SEMA" ~phase:Diag.Frontend "%s" msg)
           in
-          if optimize_sdfg then dace_phase ~checked ?reproducer_dir ~disable sdfg;
-          if autopar then autopar_phase sdfg;
+          dace_opt sdfg;
           CSdfg sdfg
       | Dcir ->
           let m = frontend_phase src in
-          control_phase ~checked ?reproducer_dir kind m;
+          control m;
           verify_phase m;
           let converted =
             Obs.with_span ~cat:"phase" "convert" (fun () ->
@@ -205,9 +270,135 @@ let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
                 with Translator.Translation_error msg ->
                   Diag.fail ~code:"E-TRANSLATE" ~phase:Diag.Translate "%s" msg)
           in
-          if optimize_sdfg then dace_phase ~checked ?reproducer_dir ~disable sdfg;
-          if autopar then autopar_phase sdfg;
+          dace_opt sdfg;
           CSdfg sdfg)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: retry failed compiles down the tier ladder. *)
+
+type degradation = {
+  deg_tier : tier;  (** the tier that failed *)
+  deg_code : string;  (** stable classification (diagnostic/budget code) *)
+  deg_detail : string;  (** human-readable reason *)
+}
+
+type resilience_report = {
+  res_requested : tier;
+  res_landed : tier;
+  res_degradations : degradation list;  (** chronological, [[]] = clean *)
+  res_dropped : string list;
+      (** optimization work dropped relative to the request: control pass
+          names and data-centric stage names *)
+}
+
+let dace_stage_names (t : tier) (kind : kind) : string list =
+  match kind with
+  | Dace | Dcir -> (
+      match t with
+      | O2 -> [ "simplify"; "reduce-data-movement"; "memory-scheduling" ]
+      | O1 -> [ "simplify"; "reduce-data-movement" ]
+      | O0 -> [ "simplify" ]
+      | Unopt -> [])
+  | Gcc | Clang | Mlir -> []
+
+let dropped_between ~(requested : tier) ~(landed : tier) (kind : kind) :
+    string list =
+  let control t =
+    List.map (fun (p : Pass.t) -> p.Pass.pname) (control_passes_at t kind)
+  in
+  let keep_control = control landed and keep_stages = dace_stage_names landed kind in
+  List.filter (fun p -> not (List.mem p keep_control)) (control requested)
+  @ List.filter
+      (fun s -> not (List.mem s keep_stages))
+      (dace_stage_names requested kind)
+
+(* Stable classification of a compile failure — diagnostic codes, budget
+   codes, chaos fault names. Journal entries use only this (raw messages
+   can embed globally-allocated SSA ids, which would break journal
+   byte-reproducibility). *)
+let classify_exn (e : exn) : string =
+  match e with
+  | Budget.Exhausted (k, _) -> Budget.kind_code k
+  | Diag.Error d -> d.code
+  | Chaos.Injected (f, _) -> "chaos:" ^ Chaos.fault_name f
+  | Machine.Fault _ -> "E-FAULT"
+  | Failure _ -> "E-FAILURE"
+  | e -> "E-EXN:" ^ Printexc.exn_slot_name e
+
+let describe_exn (e : exn) : string =
+  match e with Diag.Error d -> Diag.to_string d | e -> Printexc.to_string e
+
+(** Compile with the graceful-degradation ladder: attempt [tier] (default
+    {!O2}); when a pass exhausts its fuel, fails verification, or
+    crashes, retry one tier lower (O2 → O1 → O0 → unoptimized), always
+    returning a runnable artifact plus the report of what was dropped and
+    why. Each attempt restarts from a fresh frontend module under a fresh
+    fuel budget built from [limits]. Frontend rejections (invalid input)
+    are not degradable and re-raise; so does a failure of the final
+    unoptimized rung (nothing is left to drop). *)
+let compile_resilient ?(tier = O2) ?(limits = Budget.default)
+    ?(checked = false) ?(autopar = false) ?(disable = []) ?reproducer_dir
+    (kind : kind) ~(src : string) ~(entry : string) :
+    compiled * resilience_report =
+  let rec attempt (t : tier) (degs : degradation list) =
+    let fuel = Chaos.fuel_limit ~default:limits.Budget.max_fuel in
+    let budget =
+      Budget.create ~limits:{ limits with Budget.max_fuel = fuel } ()
+    in
+    match
+      compile ~disable ~checked
+        ~autopar:(autopar && t <> Unopt)
+        ~budget ~tier:t ~validate:true ?reproducer_dir kind ~src ~entry
+    with
+    | compiled ->
+        let report =
+          {
+            res_requested = tier;
+            res_landed = t;
+            res_degradations = List.rev degs;
+            res_dropped = dropped_between ~requested:tier ~landed:t kind;
+          }
+        in
+        if degs <> [] then
+          Journal.note ~kind:"degraded"
+            [
+              ("pipeline", Json.Str (kind_name kind));
+              ("requested", Json.Str (tier_name tier));
+              ("landed", Json.Str (tier_name t));
+              ("dropped", Json.Int (List.length report.res_dropped));
+            ];
+        (compiled, report)
+    | exception (Diag.Error { phase = Diag.Frontend; _ } as e) -> raise e
+    | exception e -> (
+        let code = classify_exn e in
+        Journal.note ~kind:"tier-failed"
+          [
+            ("pipeline", Json.Str (kind_name kind));
+            ("tier", Json.Str (tier_name t));
+            ("reason", Json.Str code);
+          ];
+        let deg = { deg_tier = t; deg_code = code; deg_detail = describe_exn e } in
+        match next_tier t with
+        | Some t' -> attempt t' (deg :: degs)
+        | None -> raise e)
+  in
+  attempt tier []
+
+(** One line per ladder event, for CLI degradation reports. *)
+let resilience_report_lines (r : resilience_report) : string list =
+  if r.res_degradations = [] then []
+  else
+    List.map
+      (fun d ->
+        Printf.sprintf "degraded: tier %s failed (%s): %s" (tier_name d.deg_tier)
+          d.deg_code d.deg_detail)
+      r.res_degradations
+    @ [
+        Printf.sprintf "landed at tier %s; dropped: %s" (tier_name r.res_landed)
+          (match r.res_dropped with
+          | [] -> "(nothing)"
+          | l -> String.concat ", " l);
+      ]
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -306,10 +497,11 @@ let plan_for (sdfg : Sdfg.t) : Dcir_sdfg.Interp.plan =
               else !plan_cache);
       p
 
-let run ?(cfg = Cost.default) ?(profile : Obs.Profile.t option)
+let run ?(cfg = Cost.default) ?(budget : Budget.t option)
+    ?(profile : Obs.Profile.t option)
     ?(interp_mode : interp_mode = `Compiled) ?(jobs = 1)
     (compiled : compiled) ~(entry : string) (args : arg list) : run_result =
-  let machine = Machine.create ~cfg () in
+  let machine = Machine.create ~cfg ?budget () in
   let bufs = make_buffers machine args in
   match compiled with
   | CMlir m ->
@@ -439,13 +631,15 @@ type measurement = {
   correct : bool;
   profile : Obs.Profile.t option;
       (** runtime attribution, when requested via [with_profile] *)
+  landed_tier : string option;
+      (** the tier the degradation ladder landed at, in [~degrade] runs *)
 }
 
 (** Machine-readable form of one measurement — the schema `dcir bench
     --json` and `bench/main.exe --json` reports are built from. *)
 let measurement_json (m : measurement) : Json.t =
   Json.Obj
-    [
+    ([
       ("name", Json.Str m.pipeline);
       ("cycles", Json.Float m.cycles);
       ("loads", Json.Int m.metrics.loads);
@@ -458,6 +652,9 @@ let measurement_json (m : measurement) : Json.t =
       ("l3_misses", Json.Int m.metrics.l3_misses);
       ("correct", Json.Bool m.correct);
     ]
+    @ match m.landed_tier with
+      | Some t -> [ ("tier", Json.Str t) ]
+      | None -> [])
 
 (** Run a workload through every pipeline; correctness is checked against
     the unoptimized MLIR interpretation (return value and array outputs,
@@ -465,12 +662,14 @@ let measurement_json (m : measurement) : Json.t =
     runtime attribution for each pipeline into [measurement.profile]. *)
 let compare_pipelines ?(kinds = all_kinds) ?(cfg = Cost.default)
     ?(with_profile = false) ?(interp_mode : interp_mode = `Compiled)
-    ~(src : string) ~(entry : string) (args : arg list) : measurement list =
+    ?(limits = Budget.default) ?(degrade = false) ~(src : string)
+    ~(entry : string) (args : arg list) : measurement list =
+  let fresh_budget () = Budget.create ~limits () in
   (* Reference: direct lowering, no optimization at all. *)
   let reference =
     Obs.with_span ~cat:"run" "run:reference" (fun () ->
         let m = Dcir_cfront.Polygeist.compile src in
-        run ~cfg ~interp_mode (CMlir m) ~entry args)
+        run ~cfg ~budget:(fresh_budget ()) ~interp_mode (CMlir m) ~entry args)
   in
   (* Shape-safe: an optimized pipeline that produces outputs of a different
      shape than the reference must report [correct = false], never crash
@@ -488,12 +687,19 @@ let compare_pipelines ?(kinds = all_kinds) ?(cfg = Cost.default)
   in
   List.map
     (fun kind ->
-      let compiled = compile kind ~src ~entry in
+      let compiled, landed_tier =
+        if degrade then
+          let c, report = compile_resilient ~limits kind ~src ~entry in
+          (c, Some (tier_name report.res_landed))
+        else (compile ~budget:(fresh_budget ()) kind ~src ~entry, None)
+      in
       let profile = if with_profile then Some (Obs.Profile.create ()) else None in
       let r =
         Obs.with_span ~cat:"run"
           ("run:" ^ kind_name kind)
-          (fun () -> run ~cfg ?profile ~interp_mode compiled ~entry args)
+          (fun () ->
+            run ~cfg ~budget:(fresh_budget ()) ?profile ~interp_mode compiled
+              ~entry args)
       in
       let correct =
         (match (r.return_value, reference.return_value) with
@@ -508,5 +714,6 @@ let compare_pipelines ?(kinds = all_kinds) ?(cfg = Cost.default)
         metrics = r.metrics;
         correct;
         profile;
+        landed_tier;
       })
     kinds

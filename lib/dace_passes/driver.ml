@@ -24,11 +24,17 @@
     [dace.pass.rollbacks] {!Obs.Counter} plus a [rollback] span and a
     {!Dcir_support.Diagnostics.incident} in [stats.incidents]), a
     crash-reproducer file (pre-pass SDFG + the failing pass name) is
-    written, and the pass is disabled for the rest of the run. *)
+    written, and the pass's circuit breaker trips — open for a cooldown of
+    fixpoint rounds, probationally re-admitted afterwards, re-closed after
+    clean applications ({!Dcir_resilience.Breaker}). *)
 
 module Obs = Dcir_obs.Obs
 module Json = Dcir_obs.Json
 module Diag = Dcir_support.Diagnostics
+module Budget = Dcir_resilience.Budget
+module Breaker = Dcir_resilience.Breaker
+module Chaos = Dcir_resilience.Chaos
+module Journal = Dcir_resilience.Journal
 
 let log_src =
   Logs.Src.create "dcir.dace.driver" ~doc:"data-centric pass driver"
@@ -61,13 +67,13 @@ let sdfg_counts (sdfg : Dcir_sdfg.Sdfg.t) : int * int * int =
     Hashtbl.length sdfg.containers )
 
 (* Per-pass application accumulator shared by the stages of one optimize
-   run; also collects checked-mode incidents and disabled passes across
-   stages. *)
+   run; also collects checked-mode incidents and breaker state across
+   stages (session-scoped: one accum = one breaker lifetime). *)
 type accum = {
   apps : (string, int) Hashtbl.t;
   mutable total_rounds : int;
   mutable incidents : Diag.incident list;  (** reverse chronological *)
-  disabled : (string, unit) Hashtbl.t;
+  breaker : Breaker.t;
 }
 
 let new_accum () : accum =
@@ -75,12 +81,31 @@ let new_accum () : accum =
     apps = Hashtbl.create 16;
     total_rounds = 0;
     incidents = [];
-    disabled = Hashtbl.create 4;
+    breaker = Breaker.create ();
   }
+
+(* Chaos corruption for the data-centric IR: an access node naming a
+   container that does not exist — {!Dcir_sdfg.Validate} rejects it, so
+   checked execution rolls it back and unchecked pipelines catch it at
+   the next validation phase. *)
+let corrupt_sdfg (sdfg : Dcir_sdfg.Sdfg.t) : unit =
+  match Dcir_sdfg.Sdfg.states sdfg with
+  | s :: _ ->
+      ignore
+        (Dcir_sdfg.Sdfg.add_node s.s_graph
+           (Dcir_sdfg.Sdfg.Access "__chaos_bogus__"))
+  | [] -> ()
 
 let run_one ?(accum : accum option)
     ((name, p) : string * (Dcir_sdfg.Sdfg.t -> bool))
     (sdfg : Dcir_sdfg.Sdfg.t) : bool =
+  let inject = Chaos.tick_pass () in
+  (match inject with
+  | `Crash ->
+      Journal.note ~kind:"chaos-injected"
+        [ ("fault", Json.Str "pass-crash"); ("pass", Json.Str name) ];
+      raise (Chaos.Injected (Chaos.Pass_crash, name))
+  | `Ok | `Corrupt -> ());
   let c =
     if not (Obs.enabled ()) then p sdfg
     else
@@ -89,6 +114,12 @@ let run_one ?(accum : accum option)
           Obs.set_args [ ("changed", Json.Bool c) ];
           c)
   in
+  (match inject with
+  | `Corrupt ->
+      corrupt_sdfg sdfg;
+      Journal.note ~kind:"chaos-injected"
+        [ ("fault", Json.Str "corrupt-rewrite"); ("pass", Json.Str name) ]
+  | `Ok | `Crash -> ());
   if c then (
     Log.debug (fun f -> f "pass %s: changed" name);
     match accum with
@@ -123,6 +154,13 @@ let run_one_checked ?(accum : accum option) ~(round : int)
   | Ok changed -> (changed, None)
   | Error reason ->
       Dcir_sdfg.Sdfg.restore ~into:sdfg snapshot;
+      Journal.note ~kind:"pass-rollback"
+        [
+          ("domain", Json.Str "data");
+          ("pass", Json.Str name);
+          ("round", Json.Int round);
+          ("reason", Json.Str reason);
+        ];
       let reproducer =
         Dcir_mlir.Pass.write_reproducer ~ext:".sdfg" ~dir:reproducer_dir
           ~prefix:"dcir-repro-dace" ~pass_name:name ~reason
@@ -135,14 +173,16 @@ let run_one_checked ?(accum : accum option) ~(round : int)
       (false, Some { Diag.in_pass = name; in_round = round; reason; reproducer })
 
 (** Iterate [passes] to a fixpoint. With [~checked:true], every pass runs
-    under snapshot/validate/rollback; a failing pass is disabled for the
-    remaining rounds (persistently, when the same [accum] is shared across
-    stages) and its incident is recorded in [accum.incidents]. *)
-let fixpoint ?(max_rounds = 30) ?(accum : accum option) ?(checked = false)
+    under snapshot/validate/rollback; a failing pass trips its breaker in
+    [accum.breaker] (persistently, when the same [accum] is shared across
+    stages) and its incident is recorded in [accum.incidents]. [budget]
+    charges one unit of optimization fuel per pass application. *)
+let fixpoint ?(max_rounds = 30) ?(accum : accum option)
+    ?(budget : Budget.t option) ?(checked = false)
     ?(reproducer_dir = Filename.get_temp_dir_name ())
     (passes : (string * (Dcir_sdfg.Sdfg.t -> bool)) list)
     (sdfg : Dcir_sdfg.Sdfg.t) : bool =
-  (* Checked mode needs somewhere to record incidents/disabled passes even
+  (* Checked mode needs somewhere to record incidents/breaker state even
      when the caller did not supply an accumulator. *)
   let acc = match accum with Some a -> a | None -> new_accum () in
   let changed = ref false in
@@ -157,21 +197,25 @@ let fixpoint ?(max_rounds = 30) ?(accum : accum option) ?(checked = false)
         (fun () ->
           List.fold_left
             (fun any ((name, _) as pass) ->
-              if Hashtbl.mem acc.disabled name then any
-              else if not checked then run_one ~accum:acc pass sdfg || any
+              if not (Breaker.admits acc.breaker name) then any
               else begin
-                let c, incident =
-                  run_one_checked ~accum:acc ~round:!rounds ~reproducer_dir
-                    pass sdfg
-                in
-                (match incident with
-                | Some i ->
-                    acc.incidents <- i :: acc.incidents;
-                    Hashtbl.replace acc.disabled name ()
-                | None -> ());
-                c || any
+                Option.iter Budget.burn_fuel budget;
+                if not checked then run_one ~accum:acc pass sdfg || any
+                else begin
+                  let c, incident =
+                    run_one_checked ~accum:acc ~round:!rounds ~reproducer_dir
+                      pass sdfg
+                  in
+                  (match incident with
+                  | Some i ->
+                      acc.incidents <- i :: acc.incidents;
+                      Breaker.record_failure acc.breaker name
+                  | None -> Breaker.record_success acc.breaker name);
+                  c || any
+                end
               end)
             false passes);
+    Breaker.end_round acc.breaker;
     Log.debug (fun f ->
         f "fixpoint round %d: %s" !rounds
           (if !progress then "progress" else "stable"));
@@ -231,7 +275,8 @@ let reset_counters () : unit =
     ablation hook used by the benchmark harness. Returns the populated
     statistics of this run. *)
 let optimize ?(o1 = true) ?(o2 = true) ?(disable = []) ?(checked = false)
-    ?reproducer_dir (sdfg : Dcir_sdfg.Sdfg.t) : stats =
+    ?(budget : Budget.t option) ?reproducer_dir (sdfg : Dcir_sdfg.Sdfg.t) :
+    stats =
   let keep passes =
     List.filter (fun (n, _) -> not (List.mem n disable)) passes
   in
@@ -243,7 +288,8 @@ let optimize ?(o1 = true) ?(o2 = true) ?(disable = []) ?(checked = false)
       (Obs.with_span ~cat:"dace-stage" name (fun () ->
            let s0, e0, c0 = sdfg_counts sdfg in
            let changed =
-             fixpoint ~accum ~checked ?reproducer_dir (keep passes) sdfg
+             fixpoint ~accum ?budget ~checked ?reproducer_dir (keep passes)
+               sdfg
            in
            let s1, e1, c1 = sdfg_counts sdfg in
            Obs.set_args

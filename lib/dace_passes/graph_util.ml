@@ -22,6 +22,51 @@ let expr_analyzable (syms : (string, unit) Hashtbl.t) (e : Expr.t) : bool =
 let subset_analyzable (syms : (string, unit) Hashtbl.t) (r : Range.t) : bool =
   List.for_all (fun s -> Hashtbl.mem syms s) (Range.free_syms r)
 
+(** Every name a graph reads {e symbolically} — in memlet subsets, map
+    ranges, native tasklet expressions, or declared tasklet symbol reads
+    (recursively through map bodies). Before scalar-to-symbol promotion
+    these may be scalar-container pseudo-symbols, which the interpreter
+    resolves by loading the container at evaluation time — so a state
+    writing such a container must stay strictly ordered before any state
+    reading it symbolically. *)
+let rec symbol_reads (g : Sdfg.graph) : string list =
+  let module S = Set.Make (String) in
+  let acc = ref S.empty in
+  let add ss = List.iter (fun s -> acc := S.add s !acc) ss in
+  let add_range (r : Range.t) = add (Range.free_syms r) in
+  let rec texpr (e : Texpr.t) =
+    match e with
+    | Texpr.TSym s -> acc := S.add s !acc
+    | Texpr.TFloat _ | TInt _ | TIn _ -> ()
+    | Texpr.TIndex (_, idxs) -> List.iter texpr idxs
+    | Texpr.TBin (_, a, b) | TCmp (_, a, b) -> texpr a; texpr b
+    | Texpr.TSelect (a, b, c) -> texpr a; texpr b; texpr c
+    | Texpr.TUn (_, a) -> texpr a
+    | Texpr.TCall (_, args) -> List.iter texpr args
+  in
+  List.iter
+    (fun (e : Sdfg.edge) ->
+      match e.e_memlet with
+      | Some m ->
+          add_range m.subset;
+          Option.iter add_range m.other
+      | None -> ())
+    (Sdfg.edges g);
+  List.iter
+    (fun (n : Sdfg.node) ->
+      match n.kind with
+      | Sdfg.Access _ -> ()
+      | Sdfg.TaskletN t -> (
+          add t.t_syms;
+          match t.code with
+          | Sdfg.Native code -> List.iter (fun (_, e) -> texpr e) code
+          | Sdfg.Opaque _ -> ())
+      | Sdfg.MapN mn ->
+          add_range mn.m_ranges;
+          add (symbol_reads mn.m_body))
+    (Sdfg.nodes g);
+  S.elements !acc
+
 (** Edges writing into access nodes of [name] in graph [g] (recursively,
     maps included), with the graph they live in. *)
 let rec writer_edges (g : Sdfg.graph) (name : string) :

@@ -13,12 +13,29 @@
 
 open Dcir_sdfg
 
+(* Fusion sequences conflicting accesses through dependency edges between
+   event NODES — it cannot order a write against a *symbolic* read (a
+   scalar-container pseudo-symbol inside a memlet subset, map range, or
+   tasklet expression), because those reads happen at evaluation sites,
+   not at nodes. Until scalar-to-symbol promotes such scalars, a state
+   writing one must not be fused with a state reading it symbolically:
+   the state boundary is the only thing ordering them. *)
+let symbol_order_safe (s1 : Sdfg.state) (s2 : Sdfg.state) : bool =
+  let module S = Set.Make (String) in
+  let writes g = S.of_list (Sdfg.written_containers g) in
+  let sym_reads g = S.of_list (Graph_util.symbol_reads g) in
+  S.disjoint (writes s1.s_graph) (sym_reads s2.s_graph)
+  && S.disjoint (writes s2.s_graph) (sym_reads s1.s_graph)
+
 let fusable (sdfg : Sdfg.t) (e : Sdfg.istate_edge) : bool =
   e.ie_cond = Dcir_symbolic.Bexpr.Bool true
   && e.ie_assign = []
   && (not (String.equal e.ie_src e.ie_dst))
   && List.length (Sdfg.out_edges sdfg e.ie_src) = 1
   && List.length (Sdfg.in_edges sdfg e.ie_dst) = 1
+  && symbol_order_safe
+       (Option.get (Sdfg.find_state sdfg e.ie_src))
+       (Option.get (Sdfg.find_state sdfg e.ie_dst))
 
 let fuse_pair (sdfg : Sdfg.t) (e : Sdfg.istate_edge) : unit =
   let s1 = Option.get (Sdfg.find_state sdfg e.ie_src) in

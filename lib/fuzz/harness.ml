@@ -27,14 +27,16 @@ let ok (r : report) : bool = r.failed = []
 (** Run the campaign. [on_case] is called after each oracle verdict (for
     progress output). [~shrink:false] skips delta debugging. *)
 let run ?(cfg = Gen.default_cfg) ?(checked = false) ?(shrink = true)
-    ?(parallel = false) ?(jobs = 3) ?reproducer_dir
+    ?(parallel = false) ?(jobs = 3) ?limits ?reproducer_dir
     ?(on_case : (int -> Gen.case -> Oracle.failure list -> unit) option)
     ~(count : int) ~(seed : int) () : report =
   Obs.with_span ~cat:"fuzz" "fuzz-campaign" (fun () ->
       let failed = ref [] in
       for i = 0 to count - 1 do
         let case = Gen.generate ~cfg (Rng.derive seed i) in
-        let failures = Oracle.check ~checked ~parallel ~jobs ?reproducer_dir case in
+        let failures =
+          Oracle.check ~checked ~parallel ~jobs ?limits ?reproducer_dir case
+        in
         (match on_case with Some f -> f i case failures | None -> ());
         if failures <> [] then begin
           let shrunk, shrunk_failures =

@@ -17,6 +17,7 @@
 module Pipelines = Dcir_core.Pipelines
 module Diag = Dcir_support.Diagnostics
 module Value = Dcir_machine.Value
+module Budget = Dcir_resilience.Budget
 
 type failure_kind =
   | Crash of string  (** exception out of compile or run *)
@@ -182,13 +183,19 @@ let autopar_failures ~(checked : bool) ?reproducer_dir ~(jobs : int)
     [~checked] forwards to {!Pipelines.compile} (snapshot / re-verify /
     rollback around every optimization pass). [~parallel] adds the sixth,
     auto-parallelizing pipeline, whose [~jobs]-domain execution must match
-    its serial execution bit-for-bit. *)
-let check ?(checked = false) ?(parallel = false) ?(jobs = 3) ?reproducer_dir
-    (case : Gen.case) : failure list =
+    its serial execution bit-for-bit. [~limits] caps every compile (fuel)
+    and run (steps, allocations) with a fresh budget; an exhausted budget
+    surfaces as a crash failure naming the exceeded ceiling. *)
+let check ?(checked = false) ?(parallel = false) ?(jobs = 3)
+    ?(limits = Budget.default) ?reproducer_dir (case : Gen.case) :
+    failure list =
+  let fresh_budget () = Budget.create ~limits () in
   let reference =
     try
       let m = Dcir_cfront.Polygeist.compile case.src in
-      Ok (Pipelines.run (Pipelines.CMlir m) ~entry:case.entry (case.args ()))
+      Ok
+        (Pipelines.run ~budget:(fresh_budget ()) (Pipelines.CMlir m)
+           ~entry:case.entry (case.args ()))
     with e -> Error e
   in
   match reference with
@@ -200,10 +207,12 @@ let check ?(checked = false) ?(parallel = false) ?(jobs = 3) ?reproducer_dir
           match
             try
               let compiled =
-                Pipelines.compile ~checked ?reproducer_dir kind ~src:case.src
-                  ~entry:case.entry
+                Pipelines.compile ~checked ~budget:(fresh_budget ())
+                  ?reproducer_dir kind ~src:case.src ~entry:case.entry
               in
-              Ok (Pipelines.run compiled ~entry:case.entry (case.args ()))
+              Ok
+                (Pipelines.run ~budget:(fresh_budget ()) compiled
+                   ~entry:case.entry (case.args ()))
             with e -> Error e
           with
           | Error e -> Some (crash_failure name e)

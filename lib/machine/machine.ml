@@ -24,15 +24,21 @@ type buffer = {
   mutable freed : bool;
 }
 
+module Budget = Dcir_resilience.Budget
+module Chaos = Dcir_resilience.Chaos
+
 type t = {
   cfg : Cost.config;
   metrics : Metrics.t;
+  budget : Budget.t;
+      (** governs allocations here and interpreter steps upstream *)
   l1 : Cache.t;
   l2 : Cache.t;
   l3 : Cache.t;
   mutable brk : int;
   mutable stack_top : int;
   mutable next_id : int;
+  mutable alloc_ordinal : int;  (** chaos fault-site counter, 1-based *)
 }
 
 exception Fault of string
@@ -42,10 +48,11 @@ let fault fmt = Fmt.kstr (fun s -> raise (Fault s)) fmt
 let line_bytes = 64
 let page_bytes = 4096
 
-let create ?(cfg = Cost.default) () : t =
+let create ?(cfg = Cost.default) ?(budget = Budget.create ()) () : t =
   {
     cfg;
     metrics = Metrics.create ();
+    budget;
     l1 = Cache.create ~name:"L1" ~size_bytes:(32 * 1024) ~assoc:8 ~line_bytes;
     l2 = Cache.create ~name:"L2" ~size_bytes:(1024 * 1024) ~assoc:16 ~line_bytes;
     l3 =
@@ -56,9 +63,11 @@ let create ?(cfg = Cost.default) () : t =
     brk = 0x4000_0000;
     stack_top = 0x1000_0000;
     next_id = 0;
+    alloc_ordinal = 0;
   }
 
 let metrics (m : t) : Metrics.t = m.metrics
+let budget (m : t) : Budget.t = m.budget
 
 (** A fresh machine continuing [m]'s address space: cold caches, zeroed
     metrics, but the same allocation cursors — the substrate of one parallel
@@ -66,7 +75,7 @@ let metrics (m : t) : Metrics.t = m.metrics
     matter which worker (or how many) performs them, which is what keeps
     cache behaviour, and hence every metric, independent of the schedule. *)
 let fork (m : t) : t =
-  let f = create ~cfg:m.cfg () in
+  let f = create ~cfg:m.cfg ~budget:(Budget.fork m.budget) () in
   f.brk <- m.brk;
   f.stack_top <- m.stack_top;
   f.next_id <- m.next_id;
@@ -119,6 +128,15 @@ let round_up v align = (v + align - 1) / align * align
 let alloc (m : t) ~(storage : storage) ~(elems : int) ~(elem_bytes : int)
     ~(zero_init : Value.t) : buffer =
   if elems < 0 then fault "negative allocation size (%d elems)" elems;
+  m.alloc_ordinal <- m.alloc_ordinal + 1;
+  (match Chaos.alloc_failure_at () with
+  | Some k when k = m.alloc_ordinal ->
+      fault "chaos: injected allocation failure (allocation #%d, %d elems)"
+        m.alloc_ordinal elems
+  | _ -> ());
+  (match storage with
+  | Heap | Stack -> Budget.alloc m.budget
+  | Register -> ());
   let id = m.next_id in
   m.next_id <- id + 1;
   let bytes = max 1 (elems * elem_bytes) in

@@ -36,6 +36,9 @@ type cfunc = {
 
 type env = {
   machine : Machine.t;
+  budget : Dcir_resilience.Budget.t;
+      (** the machine's budget, cached; charged one step per executed op
+          in both tree and compiled modes so the two trap identically *)
   modul : Ir.modul;
   bindings : (int, rtval) Hashtbl.t;  (** vid -> runtime value *)
   mutable call_depth : int;
@@ -113,6 +116,7 @@ let rec exec_ops (env : env) (ops : Ir.op list) : Value.t list option =
   match ops with
   | [] -> None
   | o :: rest -> (
+      Dcir_resilience.Budget.step env.budget;
       match exec_op env o with
       | `Return vals -> Some vals
       | `Continue -> exec_ops env rest)
@@ -337,6 +341,7 @@ and exec_region_with_yield (env : env) (ops : Ir.op list) :
   let rec go = function
     | [] -> None
     | o :: rest ->
+        Dcir_resilience.Budget.step env.budget;
         if String.equal o.Ir.name "scf.yield" then
           Some (List.map (lookup env) o.operands)
         else (
@@ -388,12 +393,18 @@ and call_func (env : env) (f : Ir.func) (args : rtval list) : Value.t list =
 
 type mode = Tree | Compiled
 
-(* Run a compiled op sequence until a terminator produces control. *)
-let run_seq (ops : (unit -> kctrl) array) : kctrl =
+(* Run a compiled op sequence until a terminator produces control.
+   Charges one budget step per executed closure — the compiled-mode twin
+   of the per-op charge in [exec_ops]/[exec_region_with_yield]. *)
+let run_seq (env : env) (ops : (unit -> kctrl) array) : kctrl =
   let n = Array.length ops in
+  let budget = env.budget in
   let rec go i =
     if i = n then KContinue
-    else match ops.(i) () with KContinue -> go (i + 1) | c -> c
+    else begin
+      Dcir_resilience.Budget.step budget;
+      match ops.(i) () with KContinue -> go (i + 1) | c -> c
+    end
   in
   go 0
 
@@ -638,7 +649,7 @@ let rec compile_op (env : env) ~(structured : bool) (o : Ir.op) :
           Machine.charge_op m Branch;
           bind env iv (Scalar (VInt !i));
           List.iter2 (fun arg v -> bind env arg v) carried_args !carried;
-          (match run_seq cbody with
+          (match run_seq env cbody with
           | KYield vals -> carried := vals
           | KContinue ->
               if carried_args <> [] then trap "scf.for: missing yield"
@@ -657,7 +668,7 @@ let rec compile_op (env : env) ~(structured : bool) (o : Ir.op) :
         Machine.charge_op m Branch;
         let c = int_of env c_v in
         let chosen = if c <> 0 then cthen else celse in
-        (match run_seq chosen with
+        (match run_seq env chosen with
         | KYield vals -> List.iter2 (fun res v -> bind env res v) results vals
         | KContinue ->
             if results <> [] then trap "scf.if: branch yielded no values"
@@ -723,7 +734,7 @@ and call_cfunc (env : env) (cf : cfunc) (args : rtval list) : Value.t list =
             Some (mt.cycles, mt.loads, mt.stores)
       in
       let result =
-        match run_seq cf.cf_body with
+        match run_seq env cf.cf_body with
         | KReturn vals -> Some vals
         | KContinue -> None
         | KYield _ -> assert false (* scf.yield compiles to a trap here *)
@@ -756,6 +767,7 @@ let prepare ?(profile : Dcir_obs.Obs.Profile.t option)
         p_env =
           {
             machine;
+            budget = Machine.budget machine;
             modul = m;
             bindings = Hashtbl.create 256;
             call_depth = 0;
@@ -785,6 +797,7 @@ let run ?(machine : Machine.t option)
       let env =
         {
           machine;
+          budget = Machine.budget machine;
           modul = m;
           bindings = Hashtbl.create 256;
           call_depth = 0;

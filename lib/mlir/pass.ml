@@ -16,12 +16,18 @@
     [mlir.pass.rollbacks] {!Obs.Counter} plus a [rollback] span and a
     {!Dcir_support.Diagnostics.incident} in the stats), a crash-reproducer
     file (pre-pass IR + the single-pass pipeline that triggers the fault,
-    MLIR-style) is written, and the pass is disabled for the remainder of
-    the fixpoint loop — degraded output beats a crash. *)
+    MLIR-style) is written, and the pass's circuit breaker trips: it stays
+    open for a cooldown of fixpoint rounds, is then probationally
+    re-admitted, and re-closes only after clean applications
+    ({!Dcir_resilience.Breaker}) — degraded output beats a crash. *)
 
 module Obs = Dcir_obs.Obs
 module Json = Dcir_obs.Json
 module Diag = Dcir_support.Diagnostics
+module Budget = Dcir_resilience.Budget
+module Breaker = Dcir_resilience.Breaker
+module Chaos = Dcir_resilience.Chaos
+module Journal = Dcir_resilience.Journal
 
 let log_src = Logs.Src.create "dcir.mlir.pass" ~doc:"MLIR pass manager"
 
@@ -39,9 +45,36 @@ let count_ops (m : Ir.modul) : int =
   Ir.walk_module m (fun _ -> incr n);
   !n
 
+(* Chaos corruption: prepend an op whose operand is a fresh value no op
+   ever defines — a use-before-def the verifier's dominance check is
+   guaranteed to reject. This is the "rewrite that produces invalid IR"
+   fault: checked execution must roll it back, unchecked pipelines must
+   catch it at the next verification phase. *)
+let corrupt_module (m : Ir.modul) : unit =
+  match
+    List.find_opt (fun (f : Ir.func) -> f.Ir.fbody <> None) m.Ir.funcs
+  with
+  | Some { fbody = Some r; _ } ->
+      let ghost = Ir.new_value ~hint:"chaos" Types.I64 in
+      let res = Ir.new_value ~hint:"chaos" Types.I64 in
+      let bogus =
+        Ir.new_op ~operands:[ ghost; ghost ] ~results:[ res ] "arith.addi"
+      in
+      r.rops <- bogus :: r.rops
+  | _ -> ()
+
 (* Run one pass, recording a telemetry span (wall time, changed flag,
-   op-count delta) when collection is enabled. *)
+   op-count delta) when collection is enabled. Consults the ambient chaos
+   plan: a crash site raises {!Chaos.Injected} in place of the pass; a
+   corrupt site runs the pass and then invalidates its output. *)
 let run_one (p : t) (m : Ir.modul) : bool =
+  let inject = Chaos.tick_pass () in
+  (match inject with
+  | `Crash ->
+      Journal.note ~kind:"chaos-injected"
+        [ ("fault", Json.Str "pass-crash"); ("pass", Json.Str p.pname) ];
+      raise (Chaos.Injected (Chaos.Pass_crash, p.pname))
+  | `Ok | `Corrupt -> ());
   let c =
     if not (Obs.enabled ()) then p.run m
     else
@@ -56,6 +89,12 @@ let run_one (p : t) (m : Ir.modul) : bool =
             ];
           c)
   in
+  (match inject with
+  | `Corrupt ->
+      corrupt_module m;
+      Journal.note ~kind:"chaos-injected"
+        [ ("fault", Json.Str "corrupt-rewrite"); ("pass", Json.Str p.pname) ]
+  | `Ok | `Crash -> ());
   Log.debug (fun f ->
       f "pass %s: %s" p.pname (if c then "changed" else "no change"));
   c
@@ -124,15 +163,31 @@ let run_one_checked ~(round : int) ~(reproducer_dir : string) (p : t)
         with
         | [] -> Ok changed
         | errs ->
+            (* The stable summary avoids SSA value names (globally
+               allocated ids), keeping journals byte-reproducible. *)
             Error
-              (String.concat "\n"
-                 (List.map (fun d -> Fmt.str "%a" Verifier.pp_diagnostic d) errs)))
-    | exception exn -> Error ("pass raised: " ^ Printexc.to_string exn)
+              ( String.concat "\n"
+                  (List.map
+                     (fun d -> Fmt.str "%a" Verifier.pp_diagnostic d)
+                     errs),
+                Printf.sprintf "verification failed (%d error%s)"
+                  (List.length errs)
+                  (if List.length errs = 1 then "" else "s") ))
+    | exception exn ->
+        let s = "pass raised: " ^ Printexc.to_string exn in
+        Error (s, s)
   in
   match outcome with
   | Ok changed -> (changed, None)
-  | Error reason ->
+  | Error (reason, stable) ->
       Ir.restore_module ~into:m snapshot;
+      Journal.note ~kind:"pass-rollback"
+        [
+          ("domain", Json.Str "control");
+          ("pass", Json.Str p.pname);
+          ("round", Json.Int round);
+          ("reason", Json.Str stable);
+        ];
       let reproducer =
         write_reproducer ~dir:reproducer_dir ~prefix:"dcir-repro"
           ~pass_name:p.pname ~reason
@@ -157,18 +212,22 @@ type pipeline_stats = {
 
 (** Like {!run_to_fixpoint}, additionally reporting per-pass change counts
     and the round count. With [~checked:true], every pass runs under
-    snapshot/verify/rollback (see the module doc); a pass that fails is
-    disabled for the remaining rounds and reported in
-    [stats.incidents]. [reproducer_dir] is where crash reproducers are
-    written (default: the system temp directory). *)
+    snapshot/verify/rollback (see the module doc); a pass that fails trips
+    its circuit [breaker] — open for a cooldown, then probationally
+    re-admitted — and is reported in [stats.incidents]. [budget] charges
+    one unit of optimization fuel per pass application; [breaker] defaults
+    to a fresh (session-scoped) instance but callers may share one across
+    fixpoint runs. [reproducer_dir] is where crash reproducers are written
+    (default: the system temp directory). *)
 let run_to_fixpoint_stats ?(max_iters = 20) ?(checked = false)
+    ?(budget : Budget.t option) ?(breaker : Breaker.t option)
     ?(reproducer_dir = Filename.get_temp_dir_name ()) (passes : t list)
     (m : Ir.modul) : bool * pipeline_stats =
+  let breaker = match breaker with Some b -> b | None -> Breaker.create () in
   let apps = Hashtbl.create (List.length passes) in
   let bump name =
     Hashtbl.replace apps name (1 + Option.value ~default:0 (Hashtbl.find_opt apps name))
   in
-  let disabled : (string, unit) Hashtbl.t = Hashtbl.create 4 in
   let incidents = ref [] in
   let changed_once = ref false in
   let continue_ = ref true in
@@ -181,8 +240,9 @@ let run_to_fixpoint_stats ?(max_iters = 20) ?(checked = false)
         (fun () ->
           List.fold_left
             (fun changed p ->
-              if Hashtbl.mem disabled p.pname then changed
+              if not (Breaker.admits breaker p.pname) then changed
               else begin
+                Option.iter Budget.burn_fuel budget;
                 let c =
                   if not checked then run_one p m
                   else begin
@@ -192,8 +252,8 @@ let run_to_fixpoint_stats ?(max_iters = 20) ?(checked = false)
                     (match incident with
                     | Some i ->
                         incidents := i :: !incidents;
-                        Hashtbl.replace disabled p.pname ()
-                    | None -> ());
+                        Breaker.record_failure breaker p.pname
+                    | None -> Breaker.record_success breaker p.pname);
                     c
                   end
                 in
@@ -202,6 +262,7 @@ let run_to_fixpoint_stats ?(max_iters = 20) ?(checked = false)
               end)
             false passes)
     in
+    Breaker.end_round breaker;
     Log.debug (fun f ->
         f "fixpoint round %d: %s" !iters (if c then "progress" else "stable"));
     changed_once := !changed_once || c;

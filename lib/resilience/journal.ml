@@ -1,0 +1,63 @@
+(** Incident journal (schema [dcir-incidents/1]).
+
+    A journal collects structured incident records — pass rollbacks,
+    circuit-breaker transitions, budget exhaustions, injected faults,
+    tier degradations, chaos case outcomes — and serializes them through
+    the in-repo JSON emitter. Records carry sequence numbers instead of
+    timestamps and never embed randomized paths, so a campaign replayed
+    with the same seed produces a byte-identical journal.
+
+    Producers report through the ambient {!note} hook, which is a no-op
+    unless a journal is {!install}ed; the drivers and the resilience
+    machinery stay journal-agnostic. *)
+
+module Json = Dcir_obs.Json
+
+type entry = { seq : int; kind : string; fields : (string * Json.t) list }
+
+type t = { mutable entries : entry list (* reversed *); mutable next_seq : int }
+
+let create () : t = { entries = []; next_seq = 0 }
+
+let record (j : t) ~(kind : string) (fields : (string * Json.t) list) : unit =
+  j.entries <- { seq = j.next_seq; kind; fields } :: j.entries;
+  j.next_seq <- j.next_seq + 1
+
+let length (j : t) : int = j.next_seq
+
+(* Ambient journal: one per chaos campaign / CLI invocation. *)
+let ambient : t option ref = ref None
+let install (j : t) : unit = ambient := Some j
+let clear () : unit = ambient := None
+
+let note ~(kind : string) (fields : (string * Json.t) list) : unit =
+  match !ambient with None -> () | Some j -> record j ~kind fields
+
+let entry_json (e : entry) : Json.t =
+  Json.Obj (("seq", Json.Int e.seq) :: ("kind", Json.Str e.kind) :: e.fields)
+
+(* Per-kind counts, sorted by kind name for deterministic output. *)
+let summary (j : t) : Json.t =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (e : entry) ->
+      Hashtbl.replace counts e.kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.kind)))
+    j.entries;
+  let kinds = Hashtbl.fold (fun k n acc -> (k, Json.Int n) :: acc) counts [] in
+  Json.Obj (List.sort (fun (a, _) (b, _) -> compare a b) kinds)
+
+let to_json ?(header = []) (j : t) : Json.t =
+  Json.Obj
+    ([ ("schema", Json.Str "dcir-incidents/1") ]
+    @ header
+    @ [
+        ("incidents", Json.List (List.rev_map entry_json j.entries));
+        ("summary", summary j);
+      ])
+
+let write ?header (j : t) (path : string) : unit =
+  let oc = open_out_bin path in
+  output_string oc (Json.to_string (to_json ?header j));
+  output_char oc '\n';
+  close_out oc

@@ -35,7 +35,9 @@ type runtime = {
   last_outputs : (string, Value.t) Hashtbl.t;
       (** "nid:conn" -> value of the most recent execution, for direct
           tasklet-to-tasklet value edges created by scalar elimination *)
-  mutable steps : int;
+  budget : Dcir_resilience.Budget.t;
+      (** the machine's budget, cached; every executed graph and state
+          transition charges one step against it *)
   profile : Dcir_obs.Obs.Profile.t option;
       (** when set, cycles/loads/stores attribution per state (partitioning
           total execution) and per tasklet (inclusive) *)
@@ -46,6 +48,12 @@ type runtime = {
       (** worker domains for certified parallel maps; 1 = run the chunked
           schedule on the calling domain (bit-identical either way) *)
 }
+
+(* The single budget-charged step helper — replaces the two hard-coded
+   200M-step checks that previously guarded [exec_graph] and
+   [exec_cgraph], and the 100M transition counters in both state-machine
+   walks. Exhaustion raises [Budget.Exhausted] instead of a trap. *)
+let charge_step (rt : runtime) : unit = Dcir_resilience.Budget.step rt.budget
 
 let metric_snap (rt : runtime) : (float * int * int) option =
   match rt.profile with
@@ -475,17 +483,21 @@ let exec_par_chunks (rt : runtime) (cert : Sdfg.par_cert)
           Hashtbl.remove buffers nm;
           Hashtbl.remove cdims nm)
         privates;
+      (* The forked machine carries fresh budget counters (same limits),
+         preserving the old per-chunk [steps = 0] semantics: a chunk's
+         charges are independent of which worker runs it. *)
+      let cmachine = Machine.fork rt.machine in
       let crt =
         {
           rt with
-          machine = Machine.fork rt.machine;
+          machine = cmachine;
+          budget = Machine.budget cmachine;
           buffers;
           dims = cdims;
           symbols = Hashtbl.copy rt.symbols;
           topo_cache = Hashtbl.copy rt.topo_cache;
           alloc_charged = Hashtbl.copy rt.alloc_charged;
           last_outputs = Hashtbl.copy rt.last_outputs;
-          steps = 0;
           profile = None;
           prepared = Hashtbl.create 8;
           jobs = 1;
@@ -549,7 +561,7 @@ let exec_par_chunks (rt : runtime) (cert : Sdfg.par_cert)
       Metrics.add_into
         ~into:(Machine.metrics rt.machine)
         (Machine.metrics crt.machine);
-      rt.steps <- rt.steps + crt.steps
+      Dcir_resilience.Budget.merge_steps ~into:rt.budget crt.budget
     in
     let settle c =
       match failures.(c) with None -> merge c | Some e -> raise e
@@ -578,8 +590,7 @@ let exec_par_chunks (rt : runtime) (cert : Sdfg.par_cert)
   end
 
 let rec exec_graph (rt : runtime) (g : Sdfg.graph) : unit =
-  rt.steps <- rt.steps + 1;
-  if rt.steps > 200_000_000 then trap "execution step limit exceeded";
+  charge_step rt;
   List.iter
     (fun (n : Sdfg.node) ->
       match n.kind with
@@ -843,10 +854,9 @@ let run_tree (rt : runtime) : unit =
   let machine = rt.machine in
   let sdfg = rt.sdfg in
   let cur = ref (Sdfg.find_state sdfg sdfg.start_state) in
-  let transitions = ref 0 in
   while !cur <> None do
-    incr transitions;
-    if !transitions > 100_000_000 then trap "state machine did not terminate";
+    (* each interstate transition is one budget step — the hang guard *)
+    charge_step rt;
     let s = Option.get !cur in
     let snap = metric_snap rt in
     exec_state rt s;
@@ -1415,8 +1425,7 @@ let exec_ccopy (rt : runtime) (cc : ccopy) : unit =
   end
 
 let rec exec_cgraph (rt : runtime) (g : cgraph) : unit =
-  rt.steps <- rt.steps + 1;
-  if rt.steps > 200_000_000 then trap "execution step limit exceeded";
+  charge_step rt;
   Array.iter
     (fun (cn : cnode) ->
       match cn with
@@ -1550,10 +1559,9 @@ let exec_cstate (rt : runtime) (cs : cstate) : unit =
 let run_compiled (rt : runtime) (pl : plan) : unit =
   let machine = rt.machine in
   let cur = ref (plan_state pl rt.sdfg.start_state) in
-  let transitions = ref 0 in
   while !cur <> None do
-    incr transitions;
-    if !transitions > 100_000_000 then trap "state machine did not terminate";
+    (* each interstate transition is one budget step — the hang guard *)
+    charge_step rt;
     let cs = Option.get !cur in
     let snap = metric_snap rt in
     exec_cstate rt cs;
@@ -1619,7 +1627,7 @@ let run ?(machine : Machine.t option)
       topo_cache = Hashtbl.create 32;
       alloc_charged = Hashtbl.create 16;
       last_outputs = Hashtbl.create 32;
-      steps = 0;
+      budget = Machine.budget machine;
       profile;
       prepared = Hashtbl.create 8;
       jobs = max 1 jobs;

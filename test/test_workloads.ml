@@ -90,5 +90,6 @@ let () =
       Test_core.suite;
       Test_autopar.suite;
       Test_fuzz.suite;
+      Test_resilience.suite;
       suite;
     ]
