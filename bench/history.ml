@@ -1,0 +1,176 @@
+(** Append-only bench-report history with a regression gate.
+
+    [history.exe record REPORT.json DIR] wraps a [dcir-bench/1|/2] report
+    in a [dcir-bench-history/1] envelope and appends it to DIR as
+    [NNNN-<workload>.json], where NNNN is one past the highest index
+    already present. Envelopes carry no timestamps — the simulated cost
+    model is deterministic, so a committed snapshot is byte-stable and
+    diffs across commits are real behavioural changes.
+
+    [history.exe compare BASELINE.json REPORT.json [--rtol R]] prints a
+    side-by-side metric table and exits non-zero if any gated metric of
+    the report regressed past the tolerance (default 10%), if a pipeline
+    lost correctness, or if a pipeline vanished.
+
+    [history.exe selftest] exercises the gate on synthetic reports: a
+    byte-equal report must pass, an inflated-cycles report must fail.
+    Run under [dune runtest] so the gate itself cannot rot. *)
+
+module Json = Dcir_obs.Json
+
+let fail fmt =
+  Format.kasprintf
+    (fun msg ->
+      prerr_endline ("history: " ^ msg);
+      exit 1)
+    fmt
+
+let usage () =
+  fail "usage: history (record REPORT.json DIR | compare BASELINE.json \
+        REPORT.json [--rtol R] | selftest)"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse path =
+  let text =
+    try read_file path with Sys_error msg -> fail "cannot read: %s" msg
+  in
+  match Json.parse text with
+  | Ok j -> j
+  | Error e -> fail "%s does not parse: %s" path e
+
+(* ------------------------------------------------------------------ *)
+(* record *)
+
+(* Entry names are [NNNN-<workload>.json]; the next index is one past
+   the highest already recorded. *)
+let index_of_entry (name : string) : int option =
+  if not (Filename.check_suffix name ".json") then None
+  else
+    match String.index_opt name '-' with
+    | Some i when i > 0 -> int_of_string_opt (String.sub name 0 i)
+    | _ -> None
+
+let next_index (dir : string) : int =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.fold_left
+    (fun acc name ->
+      match index_of_entry name with Some i -> max acc i | None -> acc)
+    0 entries
+  + 1
+
+let record (report_path : string) (dir : string) : unit =
+  let report = parse report_path in
+  (match Json.member "schema" report with
+  | Some (Json.Str ("dcir-bench/1" | "dcir-bench/2" | "dcir-bench-report/1"))
+    -> ()
+  | Some s -> fail "not a bench report (schema %s)" (Json.to_string s)
+  | None -> fail "not a bench report (no schema)");
+  let workload =
+    match Option.bind (Json.member "workload" report) Json.to_str with
+    | Some w -> w
+    | None -> "report"
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let index = next_index dir in
+  let name = Printf.sprintf "%04d-%s.json" index workload in
+  let path = Filename.concat dir name in
+  let envelope =
+    Json.Obj
+      [
+        ("schema", Json.Str "dcir-bench-history/1");
+        ("index", Json.Int index);
+        ("workload", Json.Str workload);
+        ("report", report);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string envelope);
+  output_char oc '\n';
+  close_out oc;
+  print_endline ("history: recorded " ^ path)
+
+(* ------------------------------------------------------------------ *)
+(* compare *)
+
+let compare_cmd (baseline_path : string) (report_path : string)
+    (rtol : float) : unit =
+  let baseline = parse baseline_path and report = parse report_path in
+  Format.printf "%a" (fun ppf () -> Report_compare.pp_diff ppf ~baseline ~report ()) ();
+  match Report_compare.regressions ~rtol ~baseline ~report () with
+  | [] -> print_endline "history: no regressions"
+  | regs ->
+      List.iter (fun m -> prerr_endline ("history: REGRESSION: " ^ m)) regs;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* selftest *)
+
+let synthetic ~(cycles : float) ~(correct : bool) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str "dcir-bench/2");
+      ("workload", Json.Str "selftest");
+      ( "pipelines",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("name", Json.Str "dcir");
+                ("cycles", Json.Float cycles);
+                ("loads", Json.Int 100);
+                ("stores", Json.Int 50);
+                ("heap_allocs", Json.Int 3);
+                ("correct", Json.Bool correct);
+              ];
+          ] );
+    ]
+
+let selftest () : unit =
+  let baseline = synthetic ~cycles:1000.0 ~correct:true in
+  let check label expected_regression report =
+    let regs = Report_compare.regressions ~baseline ~report () in
+    if expected_regression && regs = [] then
+      fail "selftest: %s should have been flagged as a regression" label;
+    if (not expected_regression) && regs <> [] then
+      fail "selftest: %s falsely flagged: %s" label (String.concat "; " regs)
+  in
+  check "identical report" false (synthetic ~cycles:1000.0 ~correct:true);
+  check "within tolerance" false (synthetic ~cycles:1050.0 ~correct:true);
+  check "cycles +50%" true (synthetic ~cycles:1500.0 ~correct:true);
+  check "lost correctness" true (synthetic ~cycles:1000.0 ~correct:false);
+  (* The envelope must be transparent to the gate. *)
+  let wrapped =
+    Json.Obj
+      [
+        ("schema", Json.Str "dcir-bench-history/1");
+        ("index", Json.Int 1);
+        ("workload", Json.Str "selftest");
+        ("report", synthetic ~cycles:1500.0 ~correct:true);
+      ]
+  in
+  if Report_compare.regressions ~baseline ~report:wrapped () = [] then
+    fail "selftest: history envelope hid a regression";
+  print_endline "history: selftest OK"
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "record" :: report :: dir :: [] -> record report dir
+  | _ :: "compare" :: baseline :: report :: rest ->
+      let rtol =
+        match rest with
+        | [] -> 0.10
+        | [ "--rtol"; r ] -> (
+            match float_of_string_opt r with
+            | Some f when f >= 0.0 -> f
+            | _ -> fail "bad --rtol %s" r)
+        | _ -> usage ()
+      in
+      compare_cmd baseline report rtol
+  | _ :: "selftest" :: [] -> selftest ()
+  | _ -> usage ()

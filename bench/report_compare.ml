@@ -1,0 +1,126 @@
+(** Shared diff/regression logic for bench reports.
+
+    Compares two [dcir-bench/1|/2] reports (or [dcir-bench-history/1]
+    wrappers around them) pipeline-by-pipeline on the simulated cost
+    model's metrics. Because the machine model is deterministic, any
+    metric drift between two commits is a real behavioural change, not
+    measurement noise — the relative tolerance exists to absorb
+    *intentional* small shifts (a pass reordering that costs a few loads),
+    not host variance. Used by [history.exe compare] and by
+    [validate_report.exe --baseline]. *)
+
+module Json = Dcir_obs.Json
+
+(** Metrics gated for regressions: lower is better for all of them. *)
+let gated_metrics = [ "cycles"; "loads"; "stores"; "heap_allocs" ]
+
+(** Unwrap a [dcir-bench-history/1] envelope down to the report it
+    records; any other document is returned unchanged. *)
+let unwrap (j : Json.t) : Json.t =
+  match Json.member "schema" j with
+  | Some (Json.Str "dcir-bench-history/1") -> (
+      match Json.member "report" j with Some r -> r | None -> j)
+  | _ -> j
+
+let num (row : Json.t) (key : string) : float option =
+  match Json.member key row with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let workload (j : Json.t) : string =
+  match Option.bind (Json.member "workload" (unwrap j)) Json.to_str with
+  | Some w -> w
+  | None -> "?"
+
+(** Per-pipeline metric rows of a report:
+    [(pipeline, correct, [(metric, value); ...]); ...]. *)
+let rows (j : Json.t) : (string * bool * (string * float) list) list =
+  match Option.bind (Json.member "pipelines" (unwrap j)) Json.to_list with
+  | None -> []
+  | Some rs ->
+      List.filter_map
+        (fun row ->
+          Option.bind (Json.member "name" row) Json.to_str
+          |> Option.map (fun name ->
+                 let correct =
+                   Json.member "correct" row = Some (Json.Bool true)
+                 in
+                 let metrics =
+                   List.filter_map
+                     (fun m -> Option.map (fun v -> (m, v)) (num row m))
+                     gated_metrics
+                 in
+                 (name, correct, metrics)))
+        rs
+
+(** Regressions of [report] against [baseline]: a pipeline that was
+    correct and no longer is, or a gated metric worse than
+    [baseline * (1 + rtol)]. Pipelines present on only one side are
+    reported as drift (a silently vanished pipeline is its own kind of
+    regression). Returns human-readable messages; empty means clean. *)
+let regressions ?(rtol = 0.10) ~(baseline : Json.t) ~(report : Json.t) () :
+    string list =
+  let out = ref [] in
+  let reg fmt = Format.kasprintf (fun m -> out := m :: !out) fmt in
+  let bw = workload baseline and rw = workload report in
+  if bw <> rw then reg "workload mismatch: baseline %s vs report %s" bw rw
+  else begin
+    let brows = rows baseline and rrows = rows report in
+    let find name l =
+      List.find_opt (fun (n, _, _) -> n = name) l
+      |> Option.map (fun (_, c, m) -> (c, m))
+    in
+    List.iter
+      (fun (name, bcorrect, bmetrics) ->
+        match find name rrows with
+        | None -> reg "%s/%s: pipeline disappeared from the report" rw name
+        | Some (rcorrect, rmetrics) ->
+            if bcorrect && not rcorrect then
+              reg "%s/%s: was correct in the baseline, now incorrect" rw name;
+            List.iter
+              (fun (metric, bv) ->
+                match List.assoc_opt metric rmetrics with
+                | None -> reg "%s/%s: metric %s disappeared" rw name metric
+                | Some rv ->
+                    if rv > (bv *. (1.0 +. rtol)) +. 1e-9 then
+                      reg
+                        "%s/%s: %s regressed %.0f -> %.0f (+%.1f%%, tolerance \
+                         %.0f%%)"
+                        rw name metric bv rv
+                        ((rv -. bv) /. Float.max bv 1e-9 *. 100.0)
+                        (rtol *. 100.0))
+              bmetrics)
+      brows;
+    List.iter
+      (fun (name, _, _) ->
+        if find name brows = None then
+          reg "%s/%s: pipeline absent from the baseline (record a new one)" rw
+            name)
+      rrows
+  end;
+  List.rev !out
+
+(** Side-by-side metric table, for [history.exe compare]'s output. *)
+let pp_diff (ppf : Format.formatter) ~(baseline : Json.t) ~(report : Json.t)
+    () : unit =
+  Format.fprintf ppf "workload %s: baseline vs report@." (workload report);
+  Format.fprintf ppf "  %-8s %-12s %14s %14s %9s@." "pipeline" "metric"
+    "baseline" "report" "delta";
+  List.iter
+    (fun (name, _, bmetrics) ->
+      match
+        List.find_opt (fun (n, _, _) -> n = name) (rows report)
+      with
+      | None -> ()
+      | Some (_, _, rmetrics) ->
+          List.iter
+            (fun (metric, bv) ->
+              match List.assoc_opt metric rmetrics with
+              | None -> ()
+              | Some rv ->
+                  Format.fprintf ppf "  %-8s %-12s %14.0f %14.0f %+8.1f%%@."
+                    name metric bv rv
+                    ((rv -. bv) /. Float.max bv 1e-9 *. 100.0))
+            bmetrics)
+    (rows baseline)

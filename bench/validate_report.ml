@@ -1,10 +1,19 @@
 (** Smoke check for the machine-readable bench reports ([dune runtest]).
 
     Reads a JSON report produced by either [dcir bench W --json FILE]
-    (schema [dcir-bench/1]) or [bench/main.exe ... --json FILE] (schema
-    [dcir-bench-report/1]), validates that it parses, and that every
-    "pipelines" array it contains has a row for each of the five
-    pipelines. Also accepts interpreter micro-benchmark reports
+    (schema [dcir-bench/1], or [/2] which adds plan-cache telemetry) or
+    [bench/main.exe ... --json FILE] (schema [dcir-bench-report/1]),
+    validates that it parses, and that every "pipelines" array it
+    contains has a row for each of the five pipelines.
+    Decision-event streams ([dcir-events/1], from [dcir explain --events]
+    or [dcir fuzz --coverage --events]) are gated on contiguous sequence
+    numbers, codes drawn from the closed catalogue, and a non-empty
+    conflict witness on every autopar refusal. Bench-history envelopes
+    ([dcir-bench-history/1], from [bench/history.exe record]) are
+    unwrapped and their inner report validated; with
+    [--baseline BASE.json [--rtol R]] the report is additionally gated
+    against a recorded history snapshot and the run fails on any metric
+    regression past the tolerance. Also accepts interpreter micro-benchmark reports
     ([dcir-interp-bench/1] and [/2], from [bench/interp_bench.exe]) and
     acts as the perf smoke test for compiled execution plans: every row
     must be bit-identical to the tree walker AND at least as fast — a
@@ -212,29 +221,115 @@ let check_incidents (j : Json.t) : unit =
          incidents)
   end
 
-let () =
-  let path =
-    if Array.length Sys.argv > 1 then Sys.argv.(1)
-    else fail "usage: validate_report FILE.json"
+(* Plan-cache telemetry carried by [dcir-bench/2] reports: all four
+   fields present, integer, non-negative. *)
+let check_plan_cache (j : Json.t) : unit =
+  let fields =
+    match Json.member "plan_cache" j with
+    | Some (Json.Obj fields) -> fields
+    | _ -> fail "dcir-bench/2 report missing \"plan_cache\" object"
   in
-  let text =
-    try read_file path with Sys_error msg -> fail "cannot read: %s" msg
+  List.iter
+    (fun key ->
+      match List.assoc_opt key fields with
+      | Some (Json.Int n) when n >= 0 -> ()
+      | Some v -> fail "plan_cache.%s is %s, not a count" key (Json.to_string v)
+      | None -> fail "plan_cache missing %S" key)
+    [ "hits"; "misses"; "evictions"; "size" ]
+
+(* Decision-event streams ([dcir-events/1]): contiguous sequence numbers
+   starting at 0, every code in the closed catalogue, and a non-empty
+   conflict witness on every autopar refusal — an unexplained refusal is
+   a provenance bug, not an optimization decision. *)
+let check_events (j : Json.t) : unit =
+  let events =
+    match Option.bind (Json.member "events" j) Json.to_list with
+    | Some rows -> rows
+    | None -> fail "missing or non-array \"events\""
   in
-  let j =
-    match Json.parse text with
-    | Ok j -> j
-    | Error e -> fail "%s does not parse: %s" path e
-  in
-  (match Json.member "schema" j with
-  | Some (Json.Str ("dcir-bench/1" | "dcir-bench-report/1")) -> (
-      match pipelines_arrays j with
-      | [] -> fail "no \"pipelines\" arrays found in %s" path
-      | arrs -> List.iter check_pipelines arrs)
+  (match Json.member "count" j with
+  | Some (Json.Int n) when n = List.length events -> ()
+  | Some (Json.Int n) ->
+      fail "\"count\" says %d, stream has %d event(s)" n (List.length events)
+  | _ -> fail "missing integer \"count\"");
+  List.iteri
+    (fun i row ->
+      (match Json.member "seq" row with
+      | Some (Json.Int s) when s = i -> ()
+      | Some (Json.Int s) -> fail "event %d has seq %d (not contiguous)" i s
+      | _ -> fail "event %d missing integer \"seq\"" i);
+      let code =
+        match Option.bind (Json.member "code" row) Json.to_str with
+        | Some c -> c
+        | None -> fail "event %d missing \"code\"" i
+      in
+      if not (Dcir_obs.Events.is_known code) then
+        fail "event %d has code %S outside the catalogue" i code;
+      if code = "APAR-REFUSE" then
+        match Option.bind (Json.member "witness" row) Json.to_str with
+        | Some w when String.trim w <> "" -> ()
+        | _ -> fail "event %d: APAR-REFUSE without a conflict witness" i)
+    events
+
+let check_bench ~(plan_cache : bool) (path : string) (j : Json.t) : unit =
+  (match pipelines_arrays j with
+  | [] -> fail "no \"pipelines\" arrays found in %s" path
+  | arrs -> List.iter check_pipelines arrs);
+  if plan_cache then check_plan_cache j
+
+let dispatch (path : string) (j : Json.t) : unit =
+  match Json.member "schema" j with
+  | Some (Json.Str ("dcir-bench/1" | "dcir-bench-report/1")) ->
+      check_bench ~plan_cache:false path j
+  | Some (Json.Str "dcir-bench/2") -> check_bench ~plan_cache:true path j
+  | Some (Json.Str "dcir-bench-history/1") -> (
+      match Json.member "report" j with
+      | Some r -> check_bench ~plan_cache:false path r
+      | None -> fail "history envelope missing \"report\"")
   | Some (Json.Str "dcir-interp-bench/1") -> check_interp_bench j
   | Some (Json.Str "dcir-interp-bench/2") ->
       check_interp_bench j;
       check_parallel_bench j
   | Some (Json.Str "dcir-incidents/1") -> check_incidents j
+  | Some (Json.Str "dcir-events/1") -> check_events j
   | Some s -> fail "unexpected schema %s" (Json.to_string s)
-  | None -> fail "missing \"schema\" field");
+  | None -> fail "missing \"schema\" field"
+
+let () =
+  let path, baseline, rtol =
+    match Array.to_list Sys.argv with
+    | _ :: path :: rest -> (
+        match rest with
+        | [] -> (path, None, 0.10)
+        | [ "--baseline"; base ] -> (path, Some base, 0.10)
+        | [ "--baseline"; base; "--rtol"; r ] -> (
+            match float_of_string_opt r with
+            | Some f when f >= 0.0 -> (path, Some base, f)
+            | _ -> fail "bad --rtol %s" r)
+        | _ ->
+            fail
+              "usage: validate_report FILE.json [--baseline BASE.json \
+               [--rtol R]]")
+    | _ -> fail "usage: validate_report FILE.json [--baseline BASE.json]"
+  in
+  let parse path =
+    let text =
+      try read_file path with Sys_error msg -> fail "cannot read: %s" msg
+    in
+    match Json.parse text with
+    | Ok j -> j
+    | Error e -> fail "%s does not parse: %s" path e
+  in
+  let j = parse path in
+  dispatch path j;
+  (match baseline with
+  | None -> ()
+  | Some base -> (
+      match
+        Report_compare.regressions ~rtol ~baseline:(parse base) ~report:j ()
+      with
+      | [] -> ()
+      | regs ->
+          List.iter (fun m -> prerr_endline ("validate_report: REGRESSION: " ^ m)) regs;
+          exit 1));
   print_endline ("validate_report: " ^ path ^ " OK")

@@ -306,6 +306,67 @@ let run_cmd =
        $ parallel_arg $ jobs_arg $ max_steps_arg $ max_fuel_arg
        $ degrade_arg $ verbose_arg $ timing_arg $ trace_arg $ profile_arg))
 
+let explain_cmd =
+  let doc =
+    "Compile (and run) a program, narrating every optimization decision: \
+     passes admitted/skipped, loops certified or refused (with the conflict \
+     witness), breaker and degradation-ladder activity, budget spend, and \
+     plan-cache traffic. Each line carries its stable event code."
+  in
+  let size_arg =
+    Arg.(value & opt float 16.0
+         & info [ "size" ] ~docv:"N" ~doc:"Value for scalar int arguments")
+  in
+  let events_arg =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"FILE"
+             ~doc:"Write the decision-event stream (schema dcir-events/1) as \
+                   JSON. Byte-identical across runs for the same input.")
+  in
+  let no_run_arg =
+    Arg.(value & flag
+         & info [ "no-run" ]
+             ~doc:"Explain the compile only; skip executing the artifact.")
+  in
+  let unchecked_arg =
+    Arg.(value & flag
+         & info [ "unchecked" ]
+             ~doc:"Run passes unchecked, like plain $(b,compile)/$(b,run). \
+                   By default explain uses checked pass execution, which \
+                   also narrates rollbacks the strict validator forces.")
+  in
+  let run file entry pipeline size jobs max_steps max_fuel events no_run
+      unchecked verbose timing trace =
+    setup_obs ~verbose ~timing ~trace;
+    let src = read_file file in
+    let entry = default_entry src entry in
+    let limits = budget_limits ~max_steps ~max_fuel in
+    let x =
+      Dcir_core.Explain.explain ~limits ~checked:(not unchecked)
+        ~run:(not no_run) ~jobs pipeline ~src ~entry
+        ~args:(fun () -> synth_args src entry size)
+        ()
+    in
+    Format.printf "%a" Dcir_core.Explain.pp x;
+    (match events with
+    | Some path -> (
+        try
+          Dcir_core.Explain.write_events x path;
+          Format.printf "events written to %s@." path
+        with Sys_error msg ->
+          Format.eprintf "dcir: cannot write events: %s@." msg;
+          exit 1)
+    | None -> ());
+    report_obs ~timing ~trace;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      ret
+        (const run $ file_arg $ entry_arg $ pipeline_arg $ size_arg $ jobs_arg
+       $ max_steps_arg $ max_fuel_arg $ events_arg $ no_run_arg
+       $ unchecked_arg $ verbose_arg $ timing_arg $ trace_arg))
+
 let workloads () = Dcir_workloads.Polybench.all @ Dcir_workloads.Case_studies.all
 
 let bench_cmd =
@@ -396,12 +457,15 @@ let bench_cmd =
             let report =
               Json.Obj
                 [
-                  ("schema", Json.Str "dcir-bench/1");
+                  ("schema", Json.Str "dcir-bench/2");
                   ("workload", Json.Str w.name);
                   ("description", Json.Str w.description);
                   ("entry", Json.Str w.entry);
                   ( "pipelines",
                     Json.List (List.map Pipelines.measurement_json ms) );
+                  (* Plan-cache telemetry across this invocation's runs,
+                     from the always-on metrics registry (schema /2). *)
+                  ("plan_cache", Json.Obj (Pipelines.plan_cache_stats ()));
                 ]
             in
             (try
@@ -473,6 +537,21 @@ let fuzz_cmd =
              ~doc:"With $(b,--chaos): write the incident journal (schema \
                    dcir-incidents/1) as JSON. Same seed, same bytes.")
   in
+  let coverage_arg =
+    Arg.(value & flag
+         & info [ "coverage" ]
+             ~doc:"Coverage dashboard: run a seeded, chaos-armed, \
+                   compile-only campaign and aggregate per-construct \
+                   autopar / rollback / breaker / degradation rates from \
+                   the decision-event stream.")
+  in
+  let events_arg =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"FILE"
+             ~doc:"With $(b,--coverage): write the campaign's decision-event \
+                   stream (schema dcir-events/1) as JSON. Same seed, same \
+                   bytes.")
+  in
   let write_reproducer dir (fc : Dcir_fuzz.Harness.failed_case) =
     let path =
       Filename.concat dir (Printf.sprintf "fuzz-seed-%d.c" fc.case.seed)
@@ -536,10 +615,26 @@ let fuzz_cmd =
       (String.concat ", " counts);
     if C.ok report then `Ok () else exit 1
   in
+  let run_coverage ~count ~seed ~events =
+    let module Cov = Dcir_fuzz.Coverage in
+    let r = Cov.run ~count ~seed () in
+    Format.printf "%a" Cov.pp r;
+    (match events with
+    | Some path -> (
+        try
+          Cov.write_events r path;
+          Format.printf "events written to %s@." path
+        with Sys_error msg ->
+          Format.eprintf "dcir: cannot write events: %s@." msg;
+          exit 1)
+    | None -> ());
+    `Ok ()
+  in
   let run count seed checked parallel jobs max_steps max_fuel chaos journal
-      out no_shrink verbose timing trace =
+      coverage events out no_shrink verbose timing trace =
     setup_obs ~verbose ~timing ~trace;
-    if chaos then run_chaos ~count ~seed ~journal
+    if coverage then run_coverage ~count ~seed ~events
+    else if chaos then run_chaos ~count ~seed ~journal
     else begin
     let out_dir =
       match out with Some d -> d | None -> Filename.get_temp_dir_name ()
@@ -577,7 +672,8 @@ let fuzz_cmd =
       ret
         (const run $ count_arg $ seed_arg $ checked_arg $ parallel_arg
        $ jobs_arg $ max_steps_arg $ max_fuel_arg $ chaos_arg $ journal_arg
-       $ out_arg $ no_shrink_arg $ verbose_arg $ timing_arg $ trace_arg))
+       $ coverage_arg $ events_arg $ out_arg $ no_shrink_arg $ verbose_arg
+       $ timing_arg $ trace_arg))
 
 let list_cmd =
   let doc = "List the available workloads." in
@@ -594,7 +690,8 @@ let () =
   let doc = "DCIR: bridging control-centric and data-centric optimization" in
   let info = Cmd.info "dcir" ~version:"1.0.0" ~doc in
   let group =
-    Cmd.group info [ compile_cmd; run_cmd; bench_cmd; fuzz_cmd; list_cmd ]
+    Cmd.group info
+      [ compile_cmd; run_cmd; explain_cmd; bench_cmd; fuzz_cmd; list_cmd ]
   in
   (* Compile/verify/validate/run failures become a one-line diagnostic and
      exit code 1 — never an uncaught-exception backtrace. *)

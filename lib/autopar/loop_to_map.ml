@@ -12,6 +12,12 @@ open Dcir_support
 open Dcir_symbolic
 open Dcir_sdfg
 module Loop_analysis = Dcir_dace_passes.Loop_analysis
+module Events = Dcir_obs.Events
+module Json = Dcir_obs.Json
+module Om = Dcir_obs.Metrics
+
+let certified_counter = Om.Counter.make "autopar.certified"
+let refused_counter = Om.Counter.make "autopar.refused"
 
 type outcome =
   | Converted of {
@@ -691,4 +697,34 @@ let parallelize ?(max_rounds = 32) (sdfg : Sdfg.t) : report =
     end
   in
   round 0;
-  List.rev_map (Hashtbl.find entries) !order
+  let final = List.rev_map (Hashtbl.find entries) !order in
+  (* Provenance: one event per final verdict (post-dedup, so an outer loop
+     rejected early but converted later reports only its certification).
+     A refusal always carries the race detector's witness. *)
+  List.iter
+    (fun (e : entry) ->
+      match e.en_outcome with
+      | Converted { co_state; co_classes } ->
+          Om.Counter.incr certified_counter;
+          Events.emit ~code:"APAR-CERT"
+            [
+              ("loop", Json.Str e.en_guard);
+              ("sym", Json.Str e.en_sym);
+              ("state", Json.Str co_state);
+              ( "classes",
+                Json.Str
+                  (String.concat ", "
+                     (List.map
+                        (fun (n, c) -> n ^ ":" ^ class_to_string c)
+                        co_classes)) );
+            ]
+      | Rejected msg ->
+          Om.Counter.incr refused_counter;
+          Events.emit ~code:"APAR-REFUSE"
+            [
+              ("loop", Json.Str e.en_guard);
+              ("sym", Json.Str e.en_sym);
+              ("witness", Json.Str msg);
+            ])
+    final;
+  final

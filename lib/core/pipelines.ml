@@ -23,6 +23,8 @@ module P = Dcir_mlir_passes
 module Sdfg = Dcir_sdfg.Sdfg
 module Obs = Dcir_obs.Obs
 module Json = Dcir_obs.Json
+module Events = Dcir_obs.Events
+module Om = Dcir_obs.Metrics
 module Budget = Dcir_resilience.Budget
 module Chaos = Dcir_resilience.Chaos
 module Journal = Dcir_resilience.Journal
@@ -106,14 +108,39 @@ let dace_levels_at (tier : tier) : bool * bool * bool =
   | Unopt -> (false, false, false)
 
 (* Compile phases, each recording an {!Obs} span (no-ops when telemetry is
-   disabled) so `--timing`/`--trace` show where compile time goes. Each
-   phase translates its subsystem's ad-hoc exceptions into a structured
-   {!Diag.Error} carrying a stable code and the phase name, so the CLI (and
-   the fuzz oracle) can render one-line diagnostics with meaningful exit
-   codes instead of backtraces. *)
+   disabled) so `--timing`/`--trace` show where compile time goes, and a
+   PHASE decision event when a stream is installed. Each phase translates
+   its subsystem's ad-hoc exceptions into a structured {!Diag.Error}
+   carrying a stable code and the phase name, so the CLI (and the fuzz
+   oracle) can render one-line diagnostics with meaningful exit codes
+   instead of backtraces. *)
+
+let phase_span (name : string) (f : unit -> 'a) : 'a =
+  Events.emit ~code:"PHASE" [ ("name", Json.Str name) ];
+  Obs.with_span ~cat:"phase" name f
+
+(* Charge-back accounting: when a budget and an event stream are both
+   live, report the fuel a phase consumed as a BUDGET-SPEND event — also
+   on the exhaustion path, where the spend is exactly what tripped the
+   ladder. *)
+let with_fuel_spend ?(budget : Budget.t option) (phase : string)
+    (f : unit -> 'a) : 'a =
+  match budget with
+  | Some b when Events.active () ->
+      let fuel0 = b.Budget.fuel in
+      Fun.protect
+        ~finally:(fun () ->
+          Events.emit ~code:"BUDGET-SPEND"
+            [
+              ("phase", Json.Str phase);
+              ("resource", Json.Str "fuel");
+              ("spent", Json.Int (b.Budget.fuel - fuel0));
+            ])
+        f
+  | _ -> f ()
 
 let frontend_phase (src : string) : Ir.modul =
-  Obs.with_span ~cat:"phase" "c-frontend" (fun () ->
+  phase_span "c-frontend" (fun () ->
       try Dcir_cfront.Polygeist.compile src with
       | Dcir_cfront.C_lexer.Lex_error msg ->
           Diag.fail ~code:"E-LEX" ~phase:Diag.Frontend "%s" msg
@@ -126,7 +153,7 @@ let frontend_phase (src : string) : Ir.modul =
 
 let control_phase ?(checked = false) ?budget ?reproducer_dir
     ~(passes : Pass.t list) (m : Ir.modul) : unit =
-  Obs.with_span ~cat:"phase" "control-passes" (fun () ->
+  phase_span "control-passes" (fun () ->
       let _, (st : Pass.pipeline_stats) =
         Pass.run_to_fixpoint_stats ~checked ?budget ?reproducer_dir passes m
       in
@@ -137,7 +164,7 @@ let control_phase ?(checked = false) ?budget ?reproducer_dir
          else [ ("rollbacks", Json.Int (List.length st.incidents)) ])))
 
 let verify_phase (m : Ir.modul) : unit =
-  Obs.with_span ~cat:"phase" "verify" (fun () ->
+  phase_span "verify" (fun () ->
       try Verifier.verify_exn m
       with Failure msg -> Diag.fail ~code:"E-VERIFY" ~phase:Diag.Verify "%s" msg)
 
@@ -148,7 +175,7 @@ let last_autopar_report : Dcir_autopar.Loop_to_map.report option ref =
   ref None
 
 let autopar_phase (sdfg : Sdfg.t) : unit =
-  Obs.with_span ~cat:"phase" "autopar" (fun () ->
+  phase_span "autopar" (fun () ->
       let report = Dcir_autopar.Loop_to_map.parallelize sdfg in
       last_autopar_report := Some report;
       let converted =
@@ -176,7 +203,7 @@ let autopar_phase (sdfg : Sdfg.t) : unit =
 
 let dace_phase ?(checked = false) ?budget ?reproducer_dir ?(o1 = true)
     ?(o2 = true) ~(disable : string list) (sdfg : Sdfg.t) : unit =
-  Obs.with_span ~cat:"phase" "dace-optimize" (fun () ->
+  phase_span "dace-optimize" (fun () ->
       let (st : Dcir_dace_passes.Driver.stats) =
         Dcir_dace_passes.Driver.optimize ~o1 ~o2 ~disable ~checked ?budget
           ?reproducer_dir sdfg
@@ -212,12 +239,15 @@ let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
   let control m =
     match control_passes_at tier kind with
     | [] -> ()
-    | passes -> control_phase ~checked ?budget ?reproducer_dir ~passes m
+    | passes ->
+        with_fuel_spend ?budget "control-passes" (fun () ->
+            control_phase ~checked ?budget ?reproducer_dir ~passes m)
   in
   let dace_opt sdfg =
     if optimize_sdfg && run_all then
-      dace_phase ~checked ?budget ?reproducer_dir ~o1:dace_o1 ~o2:dace_o2
-        ~disable sdfg;
+      with_fuel_spend ?budget "dace-optimize" (fun () ->
+          dace_phase ~checked ?budget ?reproducer_dir ~o1:dace_o1 ~o2:dace_o2
+            ~disable sdfg);
     if autopar then autopar_phase sdfg;
     if validate then
       match Dcir_sdfg.Validate.errors sdfg with
@@ -240,7 +270,7 @@ let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
           CMlir m
       | Dace ->
           let sdfg =
-            Obs.with_span ~cat:"phase" "dace-frontend" (fun () ->
+            phase_span "dace-frontend" (fun () ->
                 try Dace_frontend.compile src ~entry with
                 | Dace_frontend.Frontend_error msg ->
                     Diag.fail ~code:"E-DACE-FRONTEND" ~phase:Diag.Frontend
@@ -259,13 +289,13 @@ let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
           control m;
           verify_phase m;
           let converted =
-            Obs.with_span ~cat:"phase" "convert" (fun () ->
+            phase_span "convert" (fun () ->
                 try Converter.convert_module m
                 with Converter.Conversion_error msg ->
                   Diag.fail ~code:"E-CONVERT" ~phase:Diag.Convert "%s" msg)
           in
           let sdfg =
-            Obs.with_span ~cat:"phase" "translate" (fun () ->
+            phase_span "translate" (fun () ->
                 try Translator.translate_module converted ~entry
                 with Translator.Translation_error msg ->
                   Diag.fail ~code:"E-TRANSLATE" ~phase:Diag.Translate "%s" msg)
@@ -345,6 +375,11 @@ let compile_resilient ?(tier = O2) ?(limits = Budget.default)
     let budget =
       Budget.create ~limits:{ limits with Budget.max_fuel = fuel } ()
     in
+    Events.emit ~code:"TIER-TRY"
+      [
+        ("pipeline", Json.Str (kind_name kind));
+        ("tier", Json.Str (tier_name t));
+      ];
     match
       compile ~disable ~checked
         ~autopar:(autopar && t <> Unopt)
@@ -359,6 +394,14 @@ let compile_resilient ?(tier = O2) ?(limits = Budget.default)
             res_dropped = dropped_between ~requested:tier ~landed:t kind;
           }
         in
+        Events.emit ~code:"TIER-LAND"
+          [
+            ("pipeline", Json.Str (kind_name kind));
+            ("requested", Json.Str (tier_name tier));
+            ("landed", Json.Str (tier_name t));
+            ("degradations", Json.Int (List.length report.res_degradations));
+            ("dropped", Json.Int (List.length report.res_dropped));
+          ];
         if degs <> [] then
           Journal.note ~kind:"degraded"
             [
@@ -482,27 +525,81 @@ type interp_mode = [ `Tree | `Compiled ]
    bounded so abandoned SDFGs don't accumulate. *)
 let plan_cache : Dcir_sdfg.Interp.plan list ref = ref []
 
+(* Cache telemetry: always-on counters (surfaced by `dcir bench --json`
+   and the future `dcir serve`) plus per-lookup decision events. *)
+let pc_hits = Om.Counter.make "plan_cache.hits"
+let pc_misses = Om.Counter.make "plan_cache.misses"
+let pc_evictions = Om.Counter.make "plan_cache.evictions"
+let pc_size = Om.Gauge.make "plan_cache.size"
+
+let plan_cache_stats () : (string * Json.t) list =
+  [
+    ("hits", Json.Int (Om.Counter.value pc_hits));
+    ("misses", Json.Int (Om.Counter.value pc_misses));
+    ("evictions", Json.Int (Om.Counter.value pc_evictions));
+    ("size", Json.Int (Om.Gauge.value pc_size));
+  ]
+
 let plan_for (sdfg : Sdfg.t) : Dcir_sdfg.Interp.plan =
   match
     List.find_opt
       (fun (p : Dcir_sdfg.Interp.plan) -> p.pl_sdfg == sdfg)
       !plan_cache
   with
-  | Some p -> p
+  | Some p ->
+      Om.Counter.incr pc_hits;
+      Events.emit ~code:"PLAN-HIT"
+        [ ("size", Json.Int (List.length !plan_cache)) ];
+      p
   | None ->
+      Om.Counter.incr pc_misses;
+      let evicting = List.length !plan_cache >= 8 in
+      if evicting then begin
+        Om.Counter.incr pc_evictions;
+        Events.emit ~code:"PLAN-EVICT"
+          [ ("size", Json.Int (List.length !plan_cache)) ]
+      end;
       let p = Dcir_sdfg.Interp.compile_plan sdfg in
       plan_cache :=
-        p :: (if List.length !plan_cache >= 8 then
-                List.filteri (fun i _ -> i < 7) !plan_cache
+        p :: (if evicting then List.filteri (fun i _ -> i < 7) !plan_cache
               else !plan_cache);
+      Om.Gauge.set pc_size (List.length !plan_cache);
+      Events.emit ~code:"PLAN-MISS"
+        [ ("size", Json.Int (List.length !plan_cache)) ];
       p
 
 let run ?(cfg = Cost.default) ?(budget : Budget.t option)
     ?(profile : Obs.Profile.t option)
     ?(interp_mode : interp_mode = `Compiled) ?(jobs = 1)
     (compiled : compiled) ~(entry : string) (args : arg list) : run_result =
+  Events.emit ~code:"EXEC-MODE"
+    [
+      ( "mode",
+        Json.Str (match interp_mode with `Tree -> "tree" | `Compiled -> "compiled")
+      );
+      ("ir", Json.Str (match compiled with CMlir _ -> "mlir" | CSdfg _ -> "sdfg"));
+      ("jobs", Json.Int jobs);
+    ];
+  let emit_run_spend () =
+    match budget with
+    | Some b when Events.active () ->
+        Events.emit ~code:"BUDGET-SPEND"
+          [
+            ("phase", Json.Str "execute");
+            ("resource", Json.Str "steps");
+            ("spent", Json.Int b.Budget.steps);
+          ];
+        Events.emit ~code:"BUDGET-SPEND"
+          [
+            ("phase", Json.Str "execute");
+            ("resource", Json.Str "allocs");
+            ("spent", Json.Int b.Budget.allocs);
+          ]
+    | _ -> ()
+  in
   let machine = Machine.create ~cfg ?budget () in
   let bufs = make_buffers machine args in
+  let result =
   match compiled with
   | CMlir m ->
       let rt_args =
@@ -620,6 +717,9 @@ let run ?(cfg = Cost.default) ?(budget : Budget.t option)
         outputs = snapshot_outputs bufs;
         metrics = Machine.metrics machine;
       }
+  in
+  emit_run_spend ();
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Whole-benchmark helper: compile once, run, verify against a reference. *)

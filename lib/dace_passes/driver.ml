@@ -35,6 +35,8 @@ module Budget = Dcir_resilience.Budget
 module Breaker = Dcir_resilience.Breaker
 module Chaos = Dcir_resilience.Chaos
 module Journal = Dcir_resilience.Journal
+module Events = Dcir_obs.Events
+module Om = Dcir_obs.Metrics
 
 let log_src =
   Logs.Src.create "dcir.dace.driver" ~doc:"data-centric pass driver"
@@ -197,22 +199,45 @@ let fixpoint ?(max_rounds = 30) ?(accum : accum option)
         (fun () ->
           List.fold_left
             (fun any ((name, _) as pass) ->
-              if not (Breaker.admits acc.breaker name) then any
+              if not (Breaker.admits acc.breaker name) then begin
+                if Events.active () then
+                  Events.emit ~code:"PASS-SKIP"
+                    [
+                      ("domain", Json.Str "data");
+                      ("pass", Json.Str name);
+                      ("round", Json.Int !rounds);
+                      ("breaker", Json.Str (Breaker.state_name acc.breaker name));
+                      ( "failures",
+                        Json.Int (Breaker.failure_count acc.breaker name) );
+                    ];
+                any
+              end
               else begin
                 Option.iter Budget.burn_fuel budget;
-                if not checked then run_one ~accum:acc pass sdfg || any
-                else begin
-                  let c, incident =
-                    run_one_checked ~accum:acc ~round:!rounds ~reproducer_dir
-                      pass sdfg
-                  in
-                  (match incident with
-                  | Some i ->
-                      acc.incidents <- i :: acc.incidents;
-                      Breaker.record_failure acc.breaker name
-                  | None -> Breaker.record_success acc.breaker name);
-                  c || any
-                end
+                let c =
+                  if not checked then run_one ~accum:acc pass sdfg
+                  else begin
+                    let c, incident =
+                      run_one_checked ~accum:acc ~round:!rounds ~reproducer_dir
+                        pass sdfg
+                    in
+                    (match incident with
+                    | Some i ->
+                        acc.incidents <- i :: acc.incidents;
+                        Breaker.record_failure acc.breaker name
+                    | None -> Breaker.record_success acc.breaker name);
+                    c
+                  end
+                in
+                if Events.active () then
+                  Events.emit ~code:"PASS-ADMIT"
+                    [
+                      ("domain", Json.Str "data");
+                      ("pass", Json.Str name);
+                      ("round", Json.Int !rounds);
+                      ("changed", Json.Bool c);
+                    ];
+                c || any
               end)
             false passes);
     Breaker.end_round acc.breaker;
@@ -222,6 +247,12 @@ let fixpoint ?(max_rounds = 30) ?(accum : accum option)
     if !progress then changed := true
   done;
   !changed
+
+(* Rounds-to-convergence distribution per full data-centric [optimize]
+   (total across its stages' fixpoints). *)
+let rounds_hist =
+  Om.Histogram.make "dace.fixpoint.rounds"
+    ~edges:[| 3.; 6.; 9.; 15.; 24.; 40. |]
 
 let inference : (string * (Dcir_sdfg.Sdfg.t -> bool)) list =
   [
@@ -309,6 +340,7 @@ let optimize ?(o1 = true) ?(o2 = true) ?(disable = []) ?(checked = false)
   if o2 then
     stage "memory-scheduling" (simplify_passes @ o1_passes @ o2_passes);
   let states_after, edges_after, containers_after = sdfg_counts sdfg in
+  Om.Histogram.observe rounds_hist (float_of_int accum.total_rounds);
   {
     rounds = accum.total_rounds;
     applications =

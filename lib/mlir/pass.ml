@@ -26,6 +26,8 @@ module Json = Dcir_obs.Json
 module Diag = Dcir_support.Diagnostics
 module Budget = Dcir_resilience.Budget
 module Breaker = Dcir_resilience.Breaker
+module Events = Dcir_obs.Events
+module Om = Dcir_obs.Metrics
 module Chaos = Dcir_resilience.Chaos
 module Journal = Dcir_resilience.Journal
 
@@ -219,6 +221,11 @@ type pipeline_stats = {
     to a fresh (session-scoped) instance but callers may share one across
     fixpoint runs. [reproducer_dir] is where crash reproducers are written
     (default: the system temp directory). *)
+(* Rounds-to-convergence distribution across every control-side fixpoint
+   run in the process (one observation per run). *)
+let rounds_hist =
+  Om.Histogram.make "mlir.fixpoint.rounds" ~edges:[| 1.; 2.; 3.; 5.; 8.; 13. |]
+
 let run_to_fixpoint_stats ?(max_iters = 20) ?(checked = false)
     ?(budget : Budget.t option) ?(breaker : Breaker.t option)
     ?(reproducer_dir = Filename.get_temp_dir_name ()) (passes : t list)
@@ -240,7 +247,19 @@ let run_to_fixpoint_stats ?(max_iters = 20) ?(checked = false)
         (fun () ->
           List.fold_left
             (fun changed p ->
-              if not (Breaker.admits breaker p.pname) then changed
+              if not (Breaker.admits breaker p.pname) then begin
+                if Events.active () then
+                  Events.emit ~code:"PASS-SKIP"
+                    [
+                      ("domain", Json.Str "control");
+                      ("pass", Json.Str p.pname);
+                      ("round", Json.Int !iters);
+                      ("breaker", Json.Str (Breaker.state_name breaker p.pname));
+                      ( "failures",
+                        Json.Int (Breaker.failure_count breaker p.pname) );
+                    ];
+                changed
+              end
               else begin
                 Option.iter Budget.burn_fuel budget;
                 let c =
@@ -257,6 +276,14 @@ let run_to_fixpoint_stats ?(max_iters = 20) ?(checked = false)
                     c
                   end
                 in
+                if Events.active () then
+                  Events.emit ~code:"PASS-ADMIT"
+                    [
+                      ("domain", Json.Str "control");
+                      ("pass", Json.Str p.pname);
+                      ("round", Json.Int !iters);
+                      ("changed", Json.Bool c);
+                    ];
                 if c then bump p.pname;
                 changed || c
               end)
@@ -268,6 +295,7 @@ let run_to_fixpoint_stats ?(max_iters = 20) ?(checked = false)
     changed_once := !changed_once || c;
     continue_ := c
   done;
+  Om.Histogram.observe rounds_hist (float_of_int !iters);
   ( !changed_once,
     {
       rounds = !iters;

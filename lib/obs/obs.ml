@@ -31,6 +31,7 @@ type span = {
   sp_start : float;  (** seconds since epoch *)
   mutable sp_end : float;
   mutable sp_args : (string * Json.t) list;
+  sp_tid : int;  (** trace lane; 1 = the coordinating domain *)
   mutable sp_children : span list;  (** reverse chronological while open *)
 }
 
@@ -49,7 +50,7 @@ let st : collector = { enabled = false; stack = []; finished = []; epoch = 0.0 }
 
 let enabled () : bool = st.enabled
 
-let reset () : unit =
+let reset_spans () : unit =
   st.stack <- [];
   st.finished <- [];
   st.epoch <- now_s ()
@@ -73,6 +74,7 @@ let with_span ?(cat : string = "") ?(args : (string * Json.t) list = [])
         sp_start = now_s ();
         sp_end = 0.0;
         sp_args = args;
+        sp_tid = 1;
         sp_children = [];
       }
     in
@@ -102,6 +104,30 @@ let set_args (kvs : (string * Json.t) list) : unit =
     match st.stack with
     | sp :: _ -> sp.sp_args <- sp.sp_args @ kvs
     | [] -> ()
+
+(** Record an already-measured scope as a child of the innermost open span
+    (or as a root). For work measured off the collector's domain — e.g.
+    parallel map chunks timed on worker domains and registered by the
+    coordinating domain after the join, with a per-worker [tid] so the
+    Chrome trace renders one lane per domain. *)
+let add_complete ?(cat = "") ?(args : (string * Json.t) list = []) ?(tid = 1)
+    ~(start_s : float) ~(end_s : float) (name : string) : unit =
+  if st.enabled then begin
+    let sp =
+      {
+        sp_name = name;
+        sp_cat = cat;
+        sp_start = start_s;
+        sp_end = end_s;
+        sp_args = args;
+        sp_tid = tid;
+        sp_children = [];
+      }
+    in
+    match st.stack with
+    | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+    | [] -> st.finished <- sp :: st.finished
+  end
 
 (** Completed top-level spans, oldest first. *)
 let roots () : span list = List.rev st.finished
@@ -154,7 +180,7 @@ let rec span_events (sp : span) : Json.t list =
         ("ts", Json.Float (micros sp.sp_start));
         ("dur", Json.Float ((sp.sp_end -. sp.sp_start) *. 1e6));
         ("pid", Json.Int 1);
-        ("tid", Json.Int 1);
+        ("tid", Json.Int sp.sp_tid);
         ("args", Json.Obj sp.sp_args);
       ]
   in
@@ -208,6 +234,19 @@ module Counter = struct
       (fun n -> (n, (Hashtbl.find registry n).c_value))
       !order
 end
+
+(** Restore a fully fresh collector: span state cleared, the trace epoch
+    re-anchored, and every counter and metric value zeroed (registrations
+    — and handles held by callers — survive). Without the counter/epoch
+    part, telemetry from one [compile_resilient] ladder tier would leak
+    into the next. *)
+let reset () : unit =
+  reset_spans ();
+  Counter.reset_all ();
+  Metrics.reset_all ()
+
+(** Trace time origin (seconds since Unix epoch); re-anchored by [reset]. *)
+let epoch_s () : float = st.epoch
 
 (* ------------------------------------------------------------------ *)
 (* Runtime profiles *)

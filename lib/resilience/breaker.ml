@@ -43,6 +43,9 @@ let state_name (b : t) (pass : string) : string =
   | Open _ -> "open"
   | Probation _ -> "probation"
 
+(** Total failures recorded against [pass] so far this session. *)
+let failure_count (b : t) (pass : string) : int = (entry b pass).failures
+
 (** May this pass run right now? Open breakers reject; probation admits. *)
 let admits (b : t) (pass : string) : bool =
   match (entry b pass).phase with Open _ -> false | Closed | Probation _ -> true

@@ -9,9 +9,16 @@
 
     Producers report through the ambient {!note} hook, which is a no-op
     unless a journal is {!install}ed; the drivers and the resilience
-    machinery stay journal-agnostic. *)
+    machinery stay journal-agnostic.
+
+    Every record is also forwarded onto the ambient decision-event stream
+    ([Dcir_obs.Events]) under the corresponding stable event code, so a
+    single [dcir-events/1] stream carries incidents and ordinary
+    optimization decisions in one causal order. The journal's own schema
+    and byte-for-byte determinism are unchanged by the forwarding. *)
 
 module Json = Dcir_obs.Json
+module Events = Dcir_obs.Events
 
 type entry = { seq : int; kind : string; fields : (string * Json.t) list }
 
@@ -19,7 +26,28 @@ type t = { mutable entries : entry list (* reversed *); mutable next_seq : int }
 
 let create () : t = { entries = []; next_seq = 0 }
 
+(* Journal kind -> decision-event code. [None] suppresses forwarding:
+   "degraded" is covered by the richer TIER-LAND event emitted directly by
+   the degradation ladder. *)
+let event_code_of_kind : string -> string option = function
+  | "pass-rollback" -> Some "PASS-ROLLBACK"
+  | "breaker-open" -> Some "BRK-OPEN"
+  | "breaker-probation" -> Some "BRK-PROBATION"
+  | "breaker-close" -> Some "BRK-CLOSE"
+  | "chaos-injected" -> Some "CHAOS-INJECT"
+  | "tier-failed" -> Some "TIER-FAIL"
+  | "chaos-case" -> Some "CHAOS-CASE"
+  | "case-outcome" -> Some "CHAOS-OUTCOME"
+  | "degraded" -> None
+  | _ -> Some "NOTE"
+
+let forward (kind : string) (fields : (string * Json.t) list) : unit =
+  match event_code_of_kind kind with
+  | Some code -> Events.emit ~code fields
+  | None -> ()
+
 let record (j : t) ~(kind : string) (fields : (string * Json.t) list) : unit =
+  forward kind fields;
   j.entries <- { seq = j.next_seq; kind; fields } :: j.entries;
   j.next_seq <- j.next_seq + 1
 
@@ -30,8 +58,13 @@ let ambient : t option ref = ref None
 let install (j : t) : unit = ambient := Some j
 let clear () : unit = ambient := None
 
+(* Even without an installed journal, notes still reach an installed event
+   stream — [dcir explain] sees breaker/rollback incidents without
+   arming a journal. *)
 let note ~(kind : string) (fields : (string * Json.t) list) : unit =
-  match !ambient with None -> () | Some j -> record j ~kind fields
+  match !ambient with
+  | None -> forward kind fields
+  | Some j -> record j ~kind fields
 
 let entry_json (e : entry) : Json.t =
   Json.Obj (("seq", Json.Int e.seq) :: ("kind", Json.Str e.kind) :: e.fields)

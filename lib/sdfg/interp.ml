@@ -525,9 +525,21 @@ let exec_par_chunks (rt : runtime) (cert : Sdfg.par_cert)
     in
     let chunks = Array.init k (fun _ -> mk_chunk ()) in
     let failures : exn option array = Array.make k None in
-    let run_chunk c =
+    (* Per-chunk timing for `--trace`: workers write only into their own
+       slots of these plain arrays (the shared Obs collector is not
+       touched off the master domain); the master registers the spans
+       after the join, with one trace lane (tid) per worker domain. *)
+    let obs_on = Dcir_obs.Obs.enabled () in
+    let chunk_t0 = Array.make k 0.0 in
+    let chunk_t1 = Array.make k 0.0 in
+    let chunk_lane = Array.make k 0 in
+    let run_chunk ?(worker = 0) c =
       let crt, _ = chunks.(c) in
       let clo, chi = chunk_range c in
+      if obs_on then begin
+        chunk_lane.(c) <- worker;
+        chunk_t0.(c) <- Unix.gettimeofday ()
+      end;
       (* The loop nest below replicates the serial map walker's charge
          sequence per iteration, on the chunk's machine. *)
       let rec iter prms dims =
@@ -544,9 +556,10 @@ let exec_par_chunks (rt : runtime) (cert : Sdfg.par_cert)
             done
         | _ -> trap "map params/ranges mismatch"
       in
-      match iter (p0 :: ps) ((clo, chi, step) :: ds) with
+      (match iter (p0 :: ps) ((clo, chi, step) :: ds) with
       | () -> ()
-      | exception e -> failures.(c) <- Some e
+      | exception e -> failures.(c) <- Some e);
+      if obs_on then chunk_t1.(c) <- Unix.gettimeofday ()
     in
     let merge c =
       let crt, accus = chunks.(c) in
@@ -566,11 +579,35 @@ let exec_par_chunks (rt : runtime) (cert : Sdfg.par_cert)
     let settle c =
       match failures.(c) with None -> merge c | Some e -> raise e
     in
-    if rt.jobs <= 1 || k = 1 then
+    let parallel = rt.jobs > 1 && k > 1 in
+    (* Spans are registered before [settle] so a failing chunk still
+       leaves its lane in the trace. Serial execution stays on lane 1
+       (the master); workers get lanes 2..nd+1. *)
+    let record_chunk_spans () =
+      if obs_on then
+        for c = 0 to k - 1 do
+          let clo, chi = chunk_range c in
+          Dcir_obs.Obs.add_complete ~cat:"par-map"
+            ~tid:(if parallel then chunk_lane.(c) + 2 else 1)
+            ~args:
+              [
+                ("chunk", Dcir_obs.Json.Int c);
+                ("lo", Dcir_obs.Json.Int clo);
+                ("hi", Dcir_obs.Json.Int chi);
+              ]
+            ~start_s:chunk_t0.(c) ~end_s:chunk_t1.(c)
+            (Printf.sprintf "map-chunk %d" c)
+        done
+    in
+    if not parallel then begin
       for c = 0 to k - 1 do
-        run_chunk c;
+        run_chunk c
+      done;
+      record_chunk_spans ();
+      for c = 0 to k - 1 do
         settle c
       done
+    end
     else begin
       let nd = min rt.jobs k in
       let doms =
@@ -578,11 +615,12 @@ let exec_par_chunks (rt : runtime) (cert : Sdfg.par_cert)
             Domain.spawn (fun () ->
                 let c = ref d in
                 while !c < k do
-                  run_chunk !c;
+                  run_chunk ~worker:d !c;
                   c := !c + nd
                 done))
       in
       Array.iter Domain.join doms;
+      record_chunk_spans ();
       for c = 0 to k - 1 do
         settle c
       done

@@ -1,0 +1,11 @@
+/* Fixture for `dcir explain` tests: one loop the auto-parallelizer
+ * certifies (pure elementwise map) and one it must refuse with a
+ * loop-carried-dependence witness (prefix sum). */
+void kernel(int n, double A[64], double B[64]) {
+  for (int i = 0; i < n; i++) {
+    B[i] = A[i] * 2.0 + 1.0;
+  }
+  for (int i = 1; i < n; i++) {
+    A[i] = A[i] + A[i - 1];
+  }
+}

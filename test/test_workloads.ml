@@ -87,6 +87,7 @@ let () =
       Test_interp_plans.suite;
       Test_dace_passes.suite;
       Test_obs.suite;
+      Test_events.suite;
       Test_core.suite;
       Test_autopar.suite;
       Test_fuzz.suite;
