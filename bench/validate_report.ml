@@ -26,6 +26,10 @@
     [dcir fuzz --chaos --journal FILE]) are gated on record-stream shape
     and on the chaos oracle: all four fault kinds exercised, no case
     ending in a wrong answer or an escaped exception.
+    Serving journals ([dcir-serve-journal/1], from [dcir serve]) are
+    gated on contiguous sequence numbers, catalogued SRV-* codes,
+    attributable rejections/sheds, well-formed responses and a
+    self-consistent summary.
     Exits non-zero with a message on any failure. *)
 
 module Json = Dcir_obs.Json
@@ -221,8 +225,8 @@ let check_incidents (j : Json.t) : unit =
          incidents)
   end
 
-(* Plan-cache telemetry carried by [dcir-bench/2] reports: all four
-   fields present, integer, non-negative. *)
+(* Plan-cache telemetry carried by [dcir-bench/2] reports and serving
+   journal summaries: all four fields present, integer, non-negative. *)
 let check_plan_cache (j : Json.t) : unit =
   let fields =
     match Json.member "plan_cache" j with
@@ -236,6 +240,104 @@ let check_plan_cache (j : Json.t) : unit =
       | Some v -> fail "plan_cache.%s is %s, not a count" key (Json.to_string v)
       | None -> fail "plan_cache missing %S" key)
     [ "hits"; "misses"; "evictions"; "size" ]
+
+(* Serving journals ([dcir-serve-journal/1], from [dcir serve]). The
+   journal is the serving engine's decision record, so the gate holds it
+   to the same standard as the event stream: contiguous sequence
+   numbers, every code drawn from the closed catalogue, every rejection
+   and shed attributable (tenant + reason), well-formed responses, and a
+   summary whose counts are recomputable from the stream itself. *)
+let check_serve_journal (j : Json.t) : unit =
+  let entries =
+    match Option.bind (Json.member "entries" j) Json.to_list with
+    | Some rows -> rows
+    | None -> fail "missing or non-array \"entries\""
+  in
+  List.iteri
+    (fun i row ->
+      (match Json.member "seq" row with
+      | Some (Json.Int s) when s = i -> ()
+      | Some (Json.Int s) -> fail "entry %d has seq %d (not contiguous)" i s
+      | _ -> fail "entry %d missing integer \"seq\"" i);
+      let code =
+        match Option.bind (Json.member "code" row) Json.to_str with
+        | Some c -> c
+        | None -> fail "entry %d missing \"code\"" i
+      in
+      if not (Dcir_obs.Events.is_known code) then
+        fail "entry %d has code %S outside the catalogue" i code;
+      (* Every rejection, shed and deadline kill must be attributable. *)
+      if List.mem code [ "SRV-REJECT"; "SRV-SHED"; "SRV-DEADLINE" ] then
+        List.iter
+          (fun key ->
+            match Option.bind (Json.member key row) Json.to_str with
+            | Some v when String.trim v <> "" -> ()
+            | _ -> fail "entry %d (%s) missing %S" i code key)
+          [ "tenant"; "reason" ])
+    entries;
+  let responses =
+    match Option.bind (Json.member "responses" j) Json.to_list with
+    | Some rows -> rows
+    | None -> fail "missing or non-array \"responses\""
+  in
+  let statuses =
+    List.mapi
+      (fun i row ->
+        List.iter
+          (fun key ->
+            match Option.bind (Json.member key row) Json.to_str with
+            | Some _ -> ()
+            | None -> fail "response %d missing %S" i key)
+          [ "id"; "tenant"; "code" ];
+        (match Json.member "attempts" row with
+        | Some (Json.Int n) when n >= 0 -> ()
+        | _ -> fail "response %d missing non-negative \"attempts\"" i);
+        match Option.bind (Json.member "status" row) Json.to_str with
+        | Some (("ok" | "rejected" | "failed") as s) -> s
+        | Some s -> fail "response %d has unknown status %S" i s
+        | None -> fail "response %d missing \"status\"" i)
+      responses
+  in
+  let summary =
+    match Json.member "summary" j with
+    | Some (Json.Obj fields) -> fields
+    | _ -> fail "missing or non-object \"summary\""
+  in
+  let summary_int key =
+    match List.assoc_opt key summary with
+    | Some (Json.Int n) -> n
+    | _ -> fail "summary missing integer %S" key
+  in
+  let expect key actual =
+    let claimed = summary_int key in
+    if claimed <> actual then
+      fail "summary says %s %d, journal has %d" key claimed actual
+  in
+  let status_count s = List.length (List.filter (( = ) s) statuses) in
+  let code_count c =
+    List.length
+      (List.filter
+         (fun row -> Option.bind (Json.member "code" row) Json.to_str = Some c)
+         entries)
+  in
+  expect "requests" (List.length responses);
+  expect "ok" (status_count "ok");
+  expect "rejected" (status_count "rejected");
+  expect "failed" (status_count "failed");
+  expect "retries" (code_count "SRV-RETRY");
+  expect "shed" (code_count "SRV-SHED");
+  (match List.assoc_opt "codes" summary with
+  | Some (Json.Obj codes) ->
+      List.iter
+        (fun (c, v) ->
+          if v <> Json.Int (code_count c) then
+            fail "summary codes say %s %s, entries have %d" c
+              (Json.to_string v) (code_count c))
+        codes
+  | _ -> fail "summary missing \"codes\" object");
+  match List.assoc_opt "plan_cache" summary with
+  | Some pc -> check_plan_cache (Json.Obj [ ("plan_cache", pc) ])
+  | None -> fail "summary missing \"plan_cache\""
 
 (* Decision-event streams ([dcir-events/1]): contiguous sequence numbers
    starting at 0, every code in the closed catalogue, and a non-empty
@@ -292,6 +394,7 @@ let dispatch (path : string) (j : Json.t) : unit =
       check_parallel_bench j
   | Some (Json.Str "dcir-incidents/1") -> check_incidents j
   | Some (Json.Str "dcir-events/1") -> check_events j
+  | Some (Json.Str "dcir-serve-journal/1") -> check_serve_journal j
   | Some s -> fail "unexpected schema %s" (Json.to_string s)
   | None -> fail "missing \"schema\" field"
 

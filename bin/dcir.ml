@@ -22,6 +22,7 @@ module Pipelines = Dcir_core.Pipelines
 module Obs = Dcir_obs.Obs
 module Json = Dcir_obs.Json
 module Budget = Dcir_resilience.Budget
+module Breaker = Dcir_resilience.Breaker
 
 let read_file path =
   let ic = open_in_bin path in
@@ -531,11 +532,28 @@ let fuzz_cmd =
                    degraded) artifact or a structured diagnostic — never a \
                    hang, an uncaught exception, or a wrong answer.")
   in
+  let serve_arg =
+    Arg.(value & flag
+         & info [ "serve" ]
+             ~doc:"Serve chaos mode: drive a seeded multi-tenant request \
+                   batch (generated programs, poison requests, tight \
+                   deadlines) through the serving engine with fault plans \
+                   armed per (request, attempt), and assert zero wrong \
+                   answers, zero escaped exceptions, and tenant isolation \
+                   (each tenant's responses byte-identical to a solo run).")
+  in
+  let tenants_arg =
+    Arg.(value & opt int 3
+         & info [ "tenants" ] ~docv:"K"
+             ~doc:"With $(b,--serve): number of tenants in the batch")
+  in
   let journal_arg =
     Arg.(value & opt (some string) None
          & info [ "journal" ] ~docv:"FILE"
              ~doc:"With $(b,--chaos): write the incident journal (schema \
-                   dcir-incidents/1) as JSON. Same seed, same bytes.")
+                   dcir-incidents/1) as JSON; with $(b,--serve): write the \
+                   serve response journal (schema dcir-serve-journal/1). \
+                   Same seed, same bytes.")
   in
   let coverage_arg =
     Arg.(value & flag
@@ -615,6 +633,21 @@ let fuzz_cmd =
       (String.concat ", " counts);
     if C.ok report then `Ok () else exit 1
   in
+  let run_serve ~count ~seed ~tenants ~journal =
+    let module S = Dcir_fuzz.Serve_campaign in
+    let report = S.run ~tenants ~count ~seed () in
+    (match (journal, report.S.sv_engine) with
+    | Some path, Some er -> (
+        try
+          Dcir_serve.Engine.write er path;
+          Format.printf "journal written to %s@." path
+        with Sys_error msg ->
+          Format.eprintf "dcir: cannot write journal: %s@." msg;
+          exit 1)
+    | _ -> ());
+    List.iter (Format.printf "%s@.") (S.summary_lines report);
+    if S.ok report then `Ok () else exit 1
+  in
   let run_coverage ~count ~seed ~events =
     let module Cov = Dcir_fuzz.Coverage in
     let r = Cov.run ~count ~seed () in
@@ -630,10 +663,11 @@ let fuzz_cmd =
     | None -> ());
     `Ok ()
   in
-  let run count seed checked parallel jobs max_steps max_fuel chaos journal
-      coverage events out no_shrink verbose timing trace =
+  let run count seed checked parallel jobs max_steps max_fuel chaos serve
+      tenants journal coverage events out no_shrink verbose timing trace =
     setup_obs ~verbose ~timing ~trace;
-    if coverage then run_coverage ~count ~seed ~events
+    if serve then run_serve ~count ~seed ~tenants ~journal
+    else if coverage then run_coverage ~count ~seed ~events
     else if chaos then run_chaos ~count ~seed ~journal
     else begin
     let out_dir =
@@ -671,9 +705,147 @@ let fuzz_cmd =
     Term.(
       ret
         (const run $ count_arg $ seed_arg $ checked_arg $ parallel_arg
-       $ jobs_arg $ max_steps_arg $ max_fuel_arg $ chaos_arg $ journal_arg
-       $ coverage_arg $ events_arg $ out_arg $ no_shrink_arg $ verbose_arg
-       $ timing_arg $ trace_arg))
+       $ jobs_arg $ max_steps_arg $ max_fuel_arg $ chaos_arg $ serve_arg
+       $ tenants_arg $ journal_arg $ coverage_arg $ events_arg $ out_arg
+       $ no_shrink_arg $ verbose_arg $ timing_arg $ trace_arg))
+
+let serve_cmd =
+  let doc =
+    "Process a batch of compile/run requests through the fault-tolerant \
+     serving engine and emit the response journal."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads a request batch (JSON, schema dcir-serve-requests/1) from \
+         $(i,FILE) (or stdin when $(i,FILE) is $(b,-)) and processes every \
+         request through admission control, per-tenant quotas and circuit \
+         breakers, budget-step deadlines, retry-with-degradation, and the \
+         content-addressed plan cache. The response journal (schema \
+         dcir-serve-journal/1) is deterministic: the same request file, \
+         seed and configuration produce byte-identical output.";
+    ]
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"Request batch (JSON); $(b,-) reads standard input")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Write the response journal here instead of stdout")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Seed recorded in the journal header")
+  in
+  let queue_arg =
+    Arg.(value & opt int Dcir_serve.Engine.default_config.cfg_queue
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue capacity; overload sheds the \
+                   lowest-priority, oldest request")
+  in
+  let plan_cache_arg =
+    Arg.(value & opt int Pipelines.default_plan_cache_capacity
+         & info [ "plan-cache" ] ~docv:"N"
+             ~doc:"Content-addressed plan store capacity (0 disables \
+                   caching)")
+  in
+  let tenant_steps_arg =
+    Arg.(value & opt int Budget.default.Budget.max_steps
+         & info [ "tenant-steps" ] ~docv:"N"
+             ~doc:"Per-tenant interpreter-step quota across all requests")
+  in
+  let tenant_fuel_arg =
+    Arg.(value & opt int Budget.default.Budget.max_fuel
+         & info [ "tenant-fuel" ] ~docv:"N"
+             ~doc:"Per-tenant optimization-fuel quota across all requests")
+  in
+  let trip_after_arg =
+    Arg.(value & opt int Breaker.default_config.Breaker.trip_after
+         & info [ "trip-after" ] ~docv:"N"
+             ~doc:"Tenant breaker: consecutive terminal failures before \
+                   opening")
+  in
+  let cooldown_arg =
+    Arg.(value & opt int Breaker.default_config.Breaker.cooldown_rounds
+         & info [ "cooldown" ] ~docv:"N"
+             ~doc:"Tenant breaker: rounds spent open before probation")
+  in
+  let probation_arg =
+    Arg.(value & opt int Breaker.default_config.Breaker.probation_successes
+         & info [ "probation" ] ~docv:"N"
+             ~doc:"Tenant breaker: clean requests before re-closing")
+  in
+  let retries_arg =
+    Arg.(value & opt int Dcir_serve.Engine.default_config.cfg_retries
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Default retry bound per request (each retry re-queues \
+                   with backoff at the next lower tier)")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "deadline" ] ~docv:"N"
+             ~doc:"Default per-request deadline in budget steps, measured \
+                   against the tenant's own spend")
+  in
+  let run file journal seed queue plan_cache tenant_steps tenant_fuel
+      trip_after cooldown probation retries deadline =
+    let text =
+      if file = "-" then In_channel.input_all stdin else read_file file
+    in
+    match Dcir_serve.Request.parse text with
+    | Error msg ->
+        Format.eprintf "dcir: %s@." msg;
+        exit 1
+    | Ok requests ->
+        let breaker =
+          try
+            Breaker.make_config ~trip_after ~cooldown_rounds:cooldown
+              ~probation_successes:probation ()
+          with Invalid_argument msg ->
+            Format.eprintf "dcir: %s@." msg;
+            exit 1
+        in
+        let config =
+          {
+            Dcir_serve.Engine.cfg_seed = seed;
+            cfg_queue = queue;
+            cfg_plan_cache = plan_cache;
+            cfg_limits =
+              {
+                Budget.default with
+                Budget.max_steps = tenant_steps;
+                max_fuel = tenant_fuel;
+              };
+            cfg_breaker = breaker;
+            cfg_retries = retries;
+            cfg_deadline = deadline;
+            cfg_chaos = None;
+          }
+        in
+        let report = Dcir_serve.Engine.run ~config requests in
+        (match journal with
+        | Some path -> (
+            try Dcir_serve.Engine.write report path
+            with Sys_error msg ->
+              Format.eprintf "dcir: cannot write journal: %s@." msg;
+              exit 1)
+        | None ->
+            print_string
+              (Dcir_obs.Json.to_string (Dcir_serve.Engine.to_json report));
+            print_newline ());
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      ret
+        (const run $ file_arg $ journal_arg $ seed_arg $ queue_arg
+       $ plan_cache_arg $ tenant_steps_arg $ tenant_fuel_arg $ trip_after_arg
+       $ cooldown_arg $ probation_arg $ retries_arg $ deadline_arg))
 
 let list_cmd =
   let doc = "List the available workloads." in
@@ -691,7 +863,10 @@ let () =
   let info = Cmd.info "dcir" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ compile_cmd; run_cmd; explain_cmd; bench_cmd; fuzz_cmd; list_cmd ]
+      [
+        compile_cmd; run_cmd; explain_cmd; bench_cmd; fuzz_cmd; serve_cmd;
+        list_cmd;
+      ]
   in
   (* Compile/verify/validate/run failures become a one-line diagnostic and
      exit code 1 — never an uncaught-exception backtrace. *)

@@ -88,6 +88,9 @@ let next_tier = function
   | O0 -> Some Unopt
   | Unopt -> None
 
+(* Higher rank = more optimization. *)
+let tier_rank = function O2 -> 3 | O1 -> 2 | O0 -> 1 | Unopt -> 0
+
 (* Control-centric pass set at each tier: [O2] is the pipeline's full
    set, [O1] keeps only the base simplifications, below that nothing
    runs. *)
@@ -365,15 +368,30 @@ let describe_exn (e : exn) : string =
     why. Each attempt restarts from a fresh frontend module under a fresh
     fuel budget built from [limits]. Frontend rejections (invalid input)
     are not degradable and re-raise; so does a failure of the final
-    unoptimized rung (nothing is left to drop). *)
-let compile_resilient ?(tier = O2) ?(limits = Budget.default)
-    ?(checked = false) ?(autopar = false) ?(disable = []) ?reproducer_dir
-    (kind : kind) ~(src : string) ~(entry : string) :
+    unoptimized rung (nothing is left to drop).
+
+    [floor] (default {!Unopt}) bounds the ladder from below: the
+    degradation stops — re-raising the failure — rather than attempt a
+    tier below it. [~floor] equal to [~tier] makes a single-rung ladder,
+    which is how [dcir serve] distributes the ladder across its retry
+    queue: each attempt runs exactly one tier, and the serve-side
+    escalator re-queues the request at the next tier with backoff.
+
+    [budget], when given, is charged instead of a fresh per-rung budget
+    built from [limits] — the caller reads the spend off it afterwards
+    (serve uses this for cross-request tenant accounting) and is then
+    responsible for applying {!Chaos.fuel_limit} itself. *)
+let compile_resilient ?(tier = O2) ?(floor = Unopt) ?(limits = Budget.default)
+    ?budget ?(checked = false) ?(autopar = false) ?(disable = [])
+    ?reproducer_dir (kind : kind) ~(src : string) ~(entry : string) :
     compiled * resilience_report =
   let rec attempt (t : tier) (degs : degradation list) =
-    let fuel = Chaos.fuel_limit ~default:limits.Budget.max_fuel in
     let budget =
-      Budget.create ~limits:{ limits with Budget.max_fuel = fuel } ()
+      match budget with
+      | Some b -> b
+      | None ->
+          let fuel = Chaos.fuel_limit ~default:limits.Budget.max_fuel in
+          Budget.create ~limits:{ limits with Budget.max_fuel = fuel } ()
     in
     Events.emit ~code:"TIER-TRY"
       [
@@ -422,8 +440,9 @@ let compile_resilient ?(tier = O2) ?(limits = Budget.default)
           ];
         let deg = { deg_tier = t; deg_code = code; deg_detail = describe_exn e } in
         match next_tier t with
-        | Some t' -> attempt t' (deg :: degs)
-        | None -> raise e)
+        | Some t' when tier_rank t' >= tier_rank floor ->
+            attempt t' (deg :: degs)
+        | Some _ | None -> raise e)
   in
   attempt tier []
 
@@ -520,17 +539,70 @@ let snapshot_outputs (bufs : (arg * Machine.buffer option) list) :
     the modes differ only in host-side wall-clock. *)
 type interp_mode = [ `Tree | `Compiled ]
 
-(* Compiled SDFG plans are reusable across runs of the same (un-mutated)
-   SDFG — bench repetitions in particular. Keyed by physical identity;
-   bounded so abandoned SDFGs don't accumulate. *)
-let plan_cache : Dcir_sdfg.Interp.plan list ref = ref []
+(* Compiled SDFG plans are reusable across runs — bench repetitions, and
+   (the compile-once/run-many payoff of the shared representation) across
+   independent requests of a serving session. The store is
+   content-addressed: plans are keyed by a digest of the printed program
+   ({!Dcir_support.Digest} over {!Dcir_sdfg.Printer}), so two
+   structurally identical SDFGs — e.g. the same source submitted by two
+   tenants — share one compiled plan. Sharded buckets + LRU eviction
+   with a configurable capacity live in {!Dcir_support.Cstore}. *)
+
+module Cstore = Dcir_support.Cstore
+module Cdigest = Dcir_support.Digest
+
+let default_plan_cache_capacity = 16
+
+let plan_store : Dcir_sdfg.Interp.plan Cstore.t ref =
+  ref (Cstore.create ~capacity:default_plan_cache_capacity ())
+
+(* Printing a large SDFG on every lookup would tax the hot bench path, so
+   digests are memoized by physical identity (the old cache's key),
+   bounded like the store itself. A mutated SDFG keeps its stale digest —
+   exactly the staleness contract of the identity-keyed cache this store
+   replaces; passes never mutate an SDFG after compilation. *)
+let digest_memo : (Sdfg.t * string) list ref = ref []
+let digest_memo_cap = 32
+
+let digest_of_sdfg (sdfg : Sdfg.t) : string =
+  match
+    List.find_opt (fun (s, _) -> s == sdfg) !digest_memo
+  with
+  | Some (_, d) -> d
+  | None ->
+      (* Canonicalize before hashing: printed node ids come from a
+         process-global counter, so the raw text depends on compilation
+         history; the digest must be a pure function of structure. *)
+      let d =
+        Cdigest.of_string
+          (Cdigest.canonical (Dcir_sdfg.Printer.to_string sdfg))
+      in
+      digest_memo :=
+        (sdfg, d)
+        :: (if List.length !digest_memo >= digest_memo_cap then
+              List.filteri (fun i _ -> i < digest_memo_cap - 1) !digest_memo
+            else !digest_memo);
+      d
 
 (* Cache telemetry: always-on counters (surfaced by `dcir bench --json`
-   and the future `dcir serve`) plus per-lookup decision events. *)
+   and the `dcir serve` journal) plus per-lookup decision events. *)
 let pc_hits = Om.Counter.make "plan_cache.hits"
 let pc_misses = Om.Counter.make "plan_cache.misses"
 let pc_evictions = Om.Counter.make "plan_cache.evictions"
 let pc_size = Om.Gauge.make "plan_cache.size"
+
+(** Resize the artifact store (used by [dcir serve --plan-cache]); drops
+    every cached plan. Capacity 0 disables caching entirely. *)
+let set_plan_cache_capacity ?shards (capacity : int) : unit =
+  plan_store := Cstore.create ?shards ~capacity ();
+  digest_memo := [];
+  Om.Gauge.set pc_size 0
+
+(** Drop all cached plans and digest memos without changing capacity. *)
+let reset_plan_cache () : unit =
+  Cstore.clear !plan_store;
+  digest_memo := [];
+  Om.Gauge.set pc_size 0
 
 let plan_cache_stats () : (string * Json.t) list =
   [
@@ -540,32 +612,32 @@ let plan_cache_stats () : (string * Json.t) list =
     ("size", Json.Int (Om.Gauge.value pc_size));
   ]
 
+(** The compiled plan for [sdfg], through the content-addressed store: a
+    hit may return a plan compiled from a {e different} (but
+    print-identical) SDFG — callers execute [plan.pl_sdfg], which the
+    cached-vs-fresh differential test pins to bit-identical outputs and
+    machine metrics. *)
 let plan_for (sdfg : Sdfg.t) : Dcir_sdfg.Interp.plan =
-  match
-    List.find_opt
-      (fun (p : Dcir_sdfg.Interp.plan) -> p.pl_sdfg == sdfg)
-      !plan_cache
-  with
+  let key = digest_of_sdfg sdfg in
+  match Cstore.find !plan_store key with
   | Some p ->
       Om.Counter.incr pc_hits;
       Events.emit ~code:"PLAN-HIT"
-        [ ("size", Json.Int (List.length !plan_cache)) ];
+        [ ("size", Json.Int (Cstore.length !plan_store)) ];
       p
   | None ->
       Om.Counter.incr pc_misses;
-      let evicting = List.length !plan_cache >= 8 in
-      if evicting then begin
-        Om.Counter.incr pc_evictions;
-        Events.emit ~code:"PLAN-EVICT"
-          [ ("size", Json.Int (List.length !plan_cache)) ]
-      end;
       let p = Dcir_sdfg.Interp.compile_plan sdfg in
-      plan_cache :=
-        p :: (if evicting then List.filteri (fun i _ -> i < 7) !plan_cache
-              else !plan_cache);
-      Om.Gauge.set pc_size (List.length !plan_cache);
+      let evicted = Cstore.add !plan_store key p in
+      List.iter
+        (fun _ ->
+          Om.Counter.incr pc_evictions;
+          Events.emit ~code:"PLAN-EVICT"
+            [ ("size", Json.Int (Cstore.length !plan_store)) ])
+        evicted;
+      Om.Gauge.set pc_size (Cstore.length !plan_store);
       Events.emit ~code:"PLAN-MISS"
-        [ ("size", Json.Int (List.length !plan_cache)) ];
+        [ ("size", Json.Int (Cstore.length !plan_store)) ];
       p
 
 let run ?(cfg = Cost.default) ?(budget : Budget.t option)
@@ -638,7 +710,18 @@ let run ?(cfg = Cost.default) ?(budget : Budget.t option)
         outputs = snapshot_outputs bufs;
         metrics = Machine.metrics machine;
       }
-  | CSdfg sdfg ->
+  | CSdfg fresh_sdfg ->
+      (* Resolve the execution plan first: a content-addressed store hit
+         may substitute a print-identical SDFG compiled earlier, and all
+         argument binding below must target the SDFG the plan closes
+         over. Tree mode always walks the SDFG it was handed. *)
+      let plan, sdfg =
+        match interp_mode with
+        | `Tree -> (None, fresh_sdfg)
+        | `Compiled ->
+            let p = plan_for fresh_sdfg in
+            (Some p, p.Dcir_sdfg.Interp.pl_sdfg)
+      in
       if List.length sdfg.param_order <> List.length args then
         raise
           (Pipeline_error
@@ -702,14 +785,14 @@ let run ?(cfg = Cost.default) ?(budget : Budget.t option)
                       !pos pname entry)))
         sdfg.param_order bufs;
       let res =
-        match interp_mode with
-        | `Tree ->
+        match plan with
+        | None ->
             Dcir_sdfg.Interp.run ~machine ?profile ~jobs
               ~mode:Dcir_sdfg.Interp.Tree sdfg ~buffers:!buffers
               ~symbols:!symbols ()
-        | `Compiled ->
+        | Some plan ->
             Dcir_sdfg.Interp.run ~machine ?profile ~jobs
-              ~mode:Dcir_sdfg.Interp.Compiled ~plan:(plan_for sdfg) sdfg
+              ~mode:Dcir_sdfg.Interp.Compiled ~plan sdfg
               ~buffers:!buffers ~symbols:!symbols ()
       in
       {

@@ -1,0 +1,250 @@
+(** Serve chaos campaign: multi-tenant fault injection against the
+    serving engine.
+
+    Builds a seeded batch of requests spread across several tenants —
+    generated programs ({!Gen}), a fraction of poison requests (sources
+    the frontend must reject), occasional compile-only requests and
+    tight deadlines — arms chaos fault plans per (request, attempt), and
+    drives the whole batch through {!Dcir_serve.Engine}. The oracle then
+    asserts the three serving invariants:
+
+    - {b no wrong answers}: every successful [run] response matches a
+      chaos-free unoptimized reference within floating-point tolerance;
+    - {b no escaped exceptions}: the engine answers every request —
+      poison, starvation, crashes included — with a structured response;
+      nothing propagates out of [Engine.run];
+    - {b tenant isolation}: each tenant's responses are byte-identical
+      to a solo run of only that tenant's requests under the same
+      config — no quota, breaker, deadline or ordering leakage across
+      tenants.
+
+    Every decision derives from the campaign seed, so a failing seed is
+    a complete reproducer. *)
+
+module Pipelines = Dcir_core.Pipelines
+module Budget = Dcir_resilience.Budget
+module Chaos = Dcir_resilience.Chaos
+module Json = Dcir_obs.Json
+module Request = Dcir_serve.Request
+module Engine = Dcir_serve.Engine
+module Sjournal = Dcir_serve.Sjournal
+module Synth = Dcir_serve.Synth
+
+type report = {
+  sv_seed : int;
+  sv_count : int;  (** requests in the batch *)
+  sv_tenants : int;
+  sv_poison : int;  (** poison requests included *)
+  sv_wrong : (string * string) list;  (** request id -> divergence *)
+  sv_escaped : string option;  (** exception escaping the engine *)
+  sv_isolation : (string * string) list;  (** tenant -> first mismatch *)
+  sv_engine : Engine.report option;  (** the multi-tenant run *)
+}
+
+(** Zero wrong answers, zero escapes, zero cross-tenant leakage. *)
+let ok (r : report) : bool =
+  r.sv_wrong = [] && r.sv_escaped = None && r.sv_isolation = []
+
+(* Deterministic fold of a request id, for chaos derivation keyed by
+   (request, attempt) — position-independent, so a request draws the
+   same faults in a multi-tenant batch and a solo rerun. *)
+let fold_id (s : string) : int =
+  String.fold_left (fun h c -> ((h * 131) + Char.code c) land 0x3FFFFFFF) 7 s
+
+let poison_sources =
+  [|
+    "int broken(int n) { return m; }" (* sema: undefined variable *);
+    "int broken(int n) { n +; }" (* parse error *);
+    "double broken(double x) { return broken(x, 1); }" (* arity *);
+  |]
+
+(* One request of the batch, tagged: poison, compile-only, or a run
+   request remembering its source and entry for the reference oracle. *)
+type tag = Poison | Compile_only | Run_case of string * string
+
+let build_request ~(seed : int) ~(tenants : int) (i : int) : Request.t * tag =
+  let rng = Rng.make (Rng.derive seed i) in
+  let tenant = Printf.sprintf "t%d" (i mod tenants) in
+  let id = Printf.sprintf "r%d" i in
+  let priority = Rng.int rng 3 in
+  if Rng.int rng 8 = 0 then
+    (* Poison: the frontend must reject it, terminally and quietly. *)
+    let src = poison_sources.(Rng.int rng (Array.length poison_sources)) in
+    ( {
+        Request.rq_id = id;
+        rq_tenant = tenant;
+        rq_op = Request.Run;
+        rq_source = Request.Inline { src; entry = Some "broken" };
+        rq_kind = Pipelines.Dcir;
+        rq_tier = Pipelines.O2;
+        rq_priority = priority;
+        rq_deadline = None;
+        rq_retries = None;
+        rq_size = 16.0;
+      },
+      Poison )
+  else
+    let case = Gen.generate (Rng.derive seed (0x9e37 + i)) in
+    let op = if Rng.int rng 5 = 0 then Request.Compile else Request.Run in
+    let deadline =
+      (* An occasional tight deadline: expires against the tenant's own
+         spend, exercising SRV-DEADLINE without breaking determinism. *)
+      if Rng.int rng 16 = 0 then Some (1 + Rng.int rng 5000) else None
+    in
+    ( {
+        Request.rq_id = id;
+        rq_tenant = tenant;
+        rq_op = op;
+        rq_source =
+          Request.Inline { src = case.Gen.src; entry = Some case.Gen.entry };
+        rq_kind = Pipelines.Dcir;
+        rq_tier = Pipelines.O2;
+        rq_priority = priority;
+        rq_deadline = deadline;
+        rq_retries = None;
+        rq_size = 16.0;
+      },
+      if op = Request.Run then Run_case (case.Gen.src, case.Gen.entry)
+      else Compile_only )
+
+let campaign_config ~(seed : int) ~(count : int) : Engine.config =
+  {
+    Engine.default_config with
+    Engine.cfg_seed = seed;
+    (* Room for the whole batch: shedding is covered by unit tests; the
+       campaign's isolation oracle wants every request processed. *)
+    cfg_queue = max count 1;
+    (* Tight enough that heavy tenants exhaust their quota mid-batch. *)
+    cfg_limits =
+      { Budget.max_steps = 4_000_000; max_fuel = 6_000; max_allocs = 200_000 };
+    cfg_chaos =
+      Some
+        (fun ~id ~attempt ->
+          let k = Rng.derive (seed lxor 0x5e_c4a0) ((fold_id id * 37) + attempt) in
+          if abs k mod 2 = 0 then Some (Chaos.plan ~seed:k ()) else None);
+  }
+
+(** Run the campaign: [count] requests over [tenants] tenants. *)
+let run ?(tenants = 3) ~(count : int) ~(seed : int) () : report =
+  let built = List.init count (fun i -> build_request ~seed ~tenants i) in
+  let requests = List.map (fun (rq, _) -> Ok rq) built in
+  let sources =
+    List.filter_map
+      (fun ((rq : Request.t), tag) ->
+        match tag with
+        | Run_case (src, entry) -> Some (rq.Request.rq_id, (src, entry))
+        | Poison | Compile_only -> None)
+      built
+  in
+  let poison =
+    List.length (List.filter (fun (_, tag) -> tag = Poison) built)
+  in
+  let config = campaign_config ~seed ~count in
+  match Engine.run ~config requests with
+  | exception e ->
+      {
+        sv_seed = seed;
+        sv_count = count;
+        sv_tenants = tenants;
+        sv_poison = poison;
+        sv_wrong = [];
+        sv_escaped = Some (Pipelines.classify_exn e);
+        sv_isolation = [];
+        sv_engine = None;
+      }
+  | engine_report ->
+      (* Wrong answers: every successful run against its chaos-free
+         unoptimized reference. *)
+      let wrong =
+        List.filter_map
+          (fun (id, result) ->
+            match List.assoc_opt id sources with
+            | None -> None
+            | Some (src, entry) -> (
+                let reference =
+                  let m = Dcir_cfront.Polygeist.compile src in
+                  Pipelines.run (Pipelines.CMlir m) ~entry
+                    (Synth.args src entry ~size:16.0)
+                in
+                match Oracle.divergence reference result with
+                | Some msg -> Some (id, msg)
+                | None -> None))
+          engine_report.Engine.rp_results
+      in
+      (* Isolation: each tenant solo, same config and chaos derivation;
+         its responses must be byte-identical. *)
+      let tenant_names =
+        List.init tenants (fun k -> Printf.sprintf "t%d" k)
+      in
+      let isolation =
+        List.filter_map
+          (fun tn ->
+            let solo =
+              List.filter_map
+                (fun ((rq : Request.t), _) ->
+                  if rq.Request.rq_tenant = tn then Some (Ok rq) else None)
+                built
+            in
+            let solo_report = Engine.run ~config solo in
+            let multi_view =
+              Sjournal.responses_for_tenant
+                engine_report.Engine.rp_responses tn
+            in
+            let solo_view =
+              Sjournal.responses_for_tenant solo_report.Engine.rp_responses
+                tn
+            in
+            if multi_view = solo_view then None
+            else
+              (* First divergent response pair, for the reproducer. *)
+              let rec first_diff i a b =
+                match (a, b) with
+                | [], [] -> Printf.sprintf "(lists equal up to position %d)" i
+                | x :: xs, y :: ys ->
+                    if x = y then first_diff (i + 1) xs ys
+                    else
+                      Printf.sprintf "position %d: multi %s, solo %s" i x y
+                | x :: _, [] -> Printf.sprintf "position %d: multi %s, solo (end)" i x
+                | [], y :: _ -> Printf.sprintf "position %d: multi (end), solo %s" i y
+              in
+              Some
+                ( tn,
+                  Printf.sprintf
+                    "responses diverge between multi-tenant (%d) and solo \
+                     (%d) runs: %s"
+                    (List.length multi_view) (List.length solo_view)
+                    (first_diff 0 multi_view solo_view) ))
+          tenant_names
+      in
+      {
+        sv_seed = seed;
+        sv_count = count;
+        sv_tenants = tenants;
+        sv_poison = poison;
+        sv_wrong = wrong;
+        sv_escaped = None;
+        sv_isolation = isolation;
+        sv_engine = Some engine_report;
+      }
+
+let summary_lines (r : report) : string list =
+  let base =
+    Printf.sprintf
+      "serve chaos: %d requests, %d tenants, %d poison, campaign seed %d"
+      r.sv_count r.sv_tenants r.sv_poison r.sv_seed
+  in
+  let verdict =
+    if ok r then
+      [ "zero wrong answers, zero escaped exceptions, zero isolation leaks" ]
+    else
+      List.map
+        (fun (id, msg) -> Printf.sprintf "WRONG ANSWER %s: %s" id msg)
+        r.sv_wrong
+      @ (match r.sv_escaped with
+        | Some code -> [ Printf.sprintf "ESCAPED EXCEPTION: %s" code ]
+        | None -> [])
+      @ List.map
+          (fun (tn, msg) -> Printf.sprintf "ISOLATION LEAK %s: %s" tn msg)
+          r.sv_isolation
+  in
+  base :: verdict

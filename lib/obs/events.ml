@@ -52,6 +52,18 @@ let catalogue : (string * string) list =
     ("CHAOS-CASE", "chaos campaign: generated case summary");
     ("CHAOS-OUTCOME", "chaos campaign: per-case verdict");
     ("NOTE", "uncategorized incident-journal note");
+    (* Serving engine (dcir serve) — mirrored from the response journal
+       (schema dcir-serve-journal/1, see Dcir_serve.Sjournal). *)
+    ("SRV-ADMIT", "serve: request admitted to the queue");
+    ("SRV-REJECT", "serve: request rejected fast (breaker/quota/malformed)");
+    ("SRV-SHED", "serve: request shed from a full admission queue");
+    ("SRV-DEADLINE", "serve: request expired its budget-step deadline");
+    ("SRV-RETRY", "serve: failed attempt re-queued at a lower tier");
+    ("SRV-DONE", "serve: request completed");
+    ("SRV-FAIL", "serve: request failed terminally");
+    ("SRV-BRK-OPEN", "serve: per-tenant breaker opened");
+    ("SRV-BRK-PROBATION", "serve: per-tenant breaker moved to probation");
+    ("SRV-BRK-CLOSE", "serve: per-tenant breaker re-closed");
   ]
 
 let is_known (code : string) : bool = List.mem_assoc code catalogue

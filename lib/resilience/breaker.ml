@@ -17,6 +17,17 @@ type config = {
 
 let default_config = { trip_after = 1; cooldown_rounds = 2; probation_successes = 2 }
 
+(** Build a config by overriding individual thresholds; defaults are the
+    historical constants in {!default_config}. [dcir serve] exposes these
+    as [--trip-after] / [--cooldown] / [--probation] flags for its
+    per-tenant breakers. Thresholds must be at least 1. *)
+let make_config ?(trip_after = default_config.trip_after)
+    ?(cooldown_rounds = default_config.cooldown_rounds)
+    ?(probation_successes = default_config.probation_successes) () : config =
+  if trip_after < 1 || cooldown_rounds < 1 || probation_successes < 1 then
+    invalid_arg "Breaker.make_config: thresholds must be >= 1";
+  { trip_after; cooldown_rounds; probation_successes }
+
 type phase =
   | Closed
   | Open of int  (** rounds spent open so far *)

@@ -1,0 +1,107 @@
+(** Bounded admission queue with deterministic shedding and backoff.
+
+    The queue holds at most [capacity] entries. When a request arrives
+    at a full queue, the shed victim is chosen deterministically:
+    lowest priority first, oldest admission ordinal breaking ties — and
+    the incoming request itself is a candidate, so a low-priority
+    arrival at a full queue of higher-priority work is shed on the spot.
+
+    Retries re-enter the queue at a position computed from the attempt
+    number (deterministic exponential backoff expressed as insertion
+    depth, not wall time): attempt [k] re-inserts behind [2^k] queued
+    entries {e of the same group} (same tenant, in the serve engine) —
+    or at the very back when the group has fewer queued — so repeated
+    failures drift backwards and give other traffic a turn. Counting
+    same-group entries only keeps a tenant's internal ordering a
+    function of its own history: a tenant's responses are byte-identical
+    whether or not other tenants share the queue. *)
+
+type 'a entry = {
+  qe_order : int;  (** admission ordinal (age; smaller = older) *)
+  qe_priority : int;
+  qe_item : 'a;
+}
+
+type 'a t = {
+  capacity : int;
+  mutable entries : 'a entry list;  (** front of queue first *)
+  mutable next_order : int;
+}
+
+let create ~(capacity : int) : 'a t =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  { capacity; entries = []; next_order = 0 }
+
+let length (t : 'a t) : int = List.length t.entries
+let capacity (t : 'a t) : int = t.capacity
+
+type 'a admit_outcome =
+  | Admitted
+  | Shed_incoming  (** the incoming request itself was the victim *)
+  | Shed of 'a entry  (** a queued entry was shed to make room *)
+
+(* The shed victim among [candidates]: minimum priority, then oldest. *)
+let victim_of (candidates : 'a entry list) : 'a entry =
+  match candidates with
+  | [] -> invalid_arg "Admission.victim_of: no candidates"
+  | first :: rest ->
+      List.fold_left
+        (fun best e ->
+          if
+            e.qe_priority < best.qe_priority
+            || (e.qe_priority = best.qe_priority && e.qe_order < best.qe_order)
+          then e
+          else best)
+        first rest
+
+(** [admit t ~priority item] — append to the back, shedding first if
+    full. *)
+let admit (t : 'a t) ~(priority : int) (item : 'a) : 'a admit_outcome =
+  let entry = { qe_order = t.next_order; qe_priority = priority; qe_item = item } in
+  t.next_order <- t.next_order + 1;
+  if List.length t.entries < t.capacity then begin
+    t.entries <- t.entries @ [ entry ];
+    Admitted
+  end
+  else
+    let victim = victim_of (entry :: t.entries) in
+    if victim == entry then Shed_incoming
+    else begin
+      t.entries <-
+        List.filter (fun e -> e != victim) t.entries @ [ entry ];
+      Shed victim
+    end
+
+let pop (t : 'a t) : 'a entry option =
+  match t.entries with
+  | [] -> None
+  | e :: rest ->
+      t.entries <- rest;
+      Some e
+
+(** [reinsert t entry ~attempt ~same] — backoff re-insertion for retry
+    number [attempt] (1-based): the entry re-enters immediately behind
+    the [2^attempt]-th queued entry satisfying [same] (its own tenant's
+    traffic), or at the very back when fewer such entries are queued.
+    The entry keeps its original admission ordinal (its age for future
+    shed decisions). Returns the number of same-group entries skipped.
+    Re-insertion never sheds: the entry just popped, so the queue has
+    room. *)
+let reinsert (t : 'a t) (entry : 'a entry) ~(attempt : int)
+    ~(same : 'a -> bool) : int =
+  let target = 1 lsl min attempt 20 in
+  let group = List.filter (fun e -> same e.qe_item) t.entries in
+  if List.length group < target then begin
+    t.entries <- t.entries @ [ entry ];
+    List.length group
+  end
+  else begin
+    let rec insert passed = function
+      | rest when passed = target -> entry :: rest
+      | [] -> [ entry ]
+      | e :: rest ->
+          e :: insert (if same e.qe_item then passed + 1 else passed) rest
+    in
+    t.entries <- insert 0 t.entries;
+    target
+  end

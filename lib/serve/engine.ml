@@ -1,0 +1,559 @@
+(** The serving engine: deterministic batch request processing.
+
+    [run] takes a parsed request batch and drives every request through
+    admission control, the bounded queue, and the resilient compilation
+    pipeline, producing a {!Sjournal} response journal. The engine is a
+    pure function of (requests, config, seed): no wall clocks, no host
+    randomness — deadlines are budget-step clocks, backoff is queue
+    position, breaker cooldown is round counts — so the same batch under
+    the same config yields a byte-identical journal.
+
+    Request lifecycle:
+
+    - {b admission}: malformed requests and unknown workloads are
+      rejected ([SRV-REJECT]); the rest enter the bounded queue
+      ([SRV-ADMIT]), shedding deterministically when full ([SRV-SHED],
+      lowest priority then oldest — the incoming request included).
+    - {b dequeue checks}: an open tenant breaker rejects fast
+      ([SRV-REJECT] reason [breaker-open], aging the breaker toward
+      probation); an exhausted tenant quota rejects ([quota-exhausted]);
+      an expired budget-step deadline fails the request
+      ([SRV-DEADLINE]).
+    - {b attempt}: one degradation-ladder rung
+      ({!Dcir_core.Pipelines.compile_resilient} with [floor = tier]),
+      plus execution for [run] requests, all charged to a budget carved
+      from the tenant's remaining quota. Chaos faults, if configured,
+      are armed per (request, attempt) — never from global state, so
+      tenant histories stay independent.
+    - {b outcome}: success journals [SRV-DONE] and feeds the tenant
+      breaker a success; a retryable failure re-enters the queue at the
+      next ladder tier with exponential-backoff insertion depth
+      ([SRV-RETRY]); a terminal failure journals [SRV-FAIL] and feeds
+      the breaker (frontend rejections — poison requests — are never
+      retried). Breaker transitions surface as [SRV-BRK-*] entries. *)
+
+module Json = Dcir_obs.Json
+module Pipelines = Dcir_core.Pipelines
+module Budget = Dcir_resilience.Budget
+module Breaker = Dcir_resilience.Breaker
+module Chaos = Dcir_resilience.Chaos
+module Diag = Dcir_support.Diagnostics
+
+type config = {
+  cfg_seed : int;  (** recorded in the journal header *)
+  cfg_queue : int;  (** admission queue capacity *)
+  cfg_plan_cache : int;  (** artifact store capacity (0 disables) *)
+  cfg_limits : Budget.limits;  (** per-tenant quota across requests *)
+  cfg_breaker : Breaker.config;  (** per-tenant breaker thresholds *)
+  cfg_retries : int;  (** default retry bound per request *)
+  cfg_deadline : int option;  (** default budget-step deadline *)
+  cfg_chaos : (id:string -> attempt:int -> Chaos.plan option) option;
+      (** fault plans keyed by (request, attempt) — deterministic and
+          position-independent, preserving tenant isolation *)
+}
+
+let default_config : config =
+  {
+    cfg_seed = 0;
+    cfg_queue = 64;
+    cfg_plan_cache = Pipelines.default_plan_cache_capacity;
+    cfg_limits = Budget.default;
+    cfg_breaker = Breaker.default_config;
+    cfg_retries = 2;
+    cfg_deadline = None;
+    cfg_chaos = None;
+  }
+
+let config_fields (c : config) : (string * Json.t) list =
+  [
+    ("queue", Json.Int c.cfg_queue);
+    ("plan_cache", Json.Int c.cfg_plan_cache);
+    ("tenant_steps", Json.Int c.cfg_limits.Budget.max_steps);
+    ("tenant_fuel", Json.Int c.cfg_limits.Budget.max_fuel);
+    ("tenant_allocs", Json.Int c.cfg_limits.Budget.max_allocs);
+    ("trip_after", Json.Int c.cfg_breaker.Breaker.trip_after);
+    ("cooldown", Json.Int c.cfg_breaker.Breaker.cooldown_rounds);
+    ("probation", Json.Int c.cfg_breaker.Breaker.probation_successes);
+    ("retries", Json.Int c.cfg_retries);
+    ( "deadline",
+      match c.cfg_deadline with Some d -> Json.Int d | None -> Json.Null );
+  ]
+
+type report = {
+  rp_seed : int;
+  rp_config : (string * Json.t) list;
+  rp_journal : Sjournal.t;
+  rp_responses : Sjournal.response list;  (** completion order *)
+  rp_results : (string * Pipelines.run_result) list;
+      (** request id -> in-memory result for successful [run] requests —
+          not serialized; the chaos campaign's correctness oracle *)
+  rp_plan_cache : (string * Json.t) list;  (** store telemetry delta *)
+}
+
+let to_json (r : report) : Json.t =
+  Sjournal.to_json ~seed:r.rp_seed ~config:r.rp_config
+    ~responses:r.rp_responses ~plan_cache:r.rp_plan_cache r.rp_journal
+
+let write (r : report) (path : string) : unit =
+  Sjournal.write ~seed:r.rp_seed ~config:r.rp_config
+    ~responses:r.rp_responses ~plan_cache:r.rp_plan_cache r.rp_journal path
+
+(* ---- internals --------------------------------------------------- *)
+
+(* One queued unit of work; [jb_tier] escalates down the ladder across
+   retries, [jb_attempts] counts attempts consumed. *)
+type job = {
+  jb_rq : Request.t;
+  jb_src : string;
+  jb_entry : string option;  (* None: derive from source at attempt time *)
+  jb_args : (unit -> Pipelines.arg list) option;  (* workload-provided *)
+  mutable jb_tier : Pipelines.tier;
+  mutable jb_attempts : int;
+}
+
+let workloads : Dcir_workloads.Workload.t list Lazy.t =
+  lazy Dcir_workloads.(Polybench.all @ Case_studies.all)
+
+let find_workload (name : string) : Dcir_workloads.Workload.t option =
+  List.find_opt
+    (fun (w : Dcir_workloads.Workload.t) -> w.name = name)
+    (Lazy.force workloads)
+
+let pc_counts () : int * int * int =
+  let get k =
+    match List.assoc_opt k (Pipelines.plan_cache_stats ()) with
+    | Some (Json.Int n) -> n
+    | _ -> 0
+  in
+  (get "hits", get "misses", get "evictions")
+
+let artifact_digest : Pipelines.compiled -> string = function
+  | Pipelines.CSdfg sdfg -> Pipelines.digest_of_sdfg sdfg
+  | Pipelines.CMlir m ->
+      Dcir_support.Digest.of_string
+        (Dcir_support.Digest.canonical (Dcir_mlir.Printer.module_to_string m))
+
+(* Frontend rejections — poison requests — are never retried: the input
+   is invalid, and no amount of tier degradation or backoff changes
+   that. The raw exceptions appear when the parser/sema rejects before
+   the pipeline wraps them in a [Diag.Error]. *)
+let is_frontend_error : exn -> bool = function
+  | Diag.Error { phase = Diag.Frontend; _ }
+  | Dcir_cfront.C_lexer.Lex_error _
+  | Dcir_cfront.C_parser.Parse_error _
+  | Dcir_cfront.C_sema.Sema_error _
+  | Dcir_cfront.Polygeist.Lower_error _ ->
+      true
+  | _ -> false
+
+let run ?(config = default_config) (requests : (Request.t, Request.rejected) result list)
+    : report =
+  (* A fresh, empty store of the configured capacity: cache hits and
+     misses are part of the journal's determinism contract, so the run
+     must not inherit plans from earlier in the process. *)
+  Pipelines.set_plan_cache_capacity config.cfg_plan_cache;
+  let pc_hits0, pc_misses0, pc_evictions0 = pc_counts () in
+  let journal = Sjournal.create () in
+  let tenants : (string, Tenant.t) Hashtbl.t = Hashtbl.create 8 in
+  let tenant_of (name : string) : Tenant.t =
+    match Hashtbl.find_opt tenants name with
+    | Some t -> t
+    | None ->
+        let t =
+          Tenant.create ~name ~limits:config.cfg_limits
+            ~breaker:config.cfg_breaker
+        in
+        Hashtbl.replace tenants name t;
+        t
+  in
+  let queue : job Admission.t = Admission.create ~capacity:config.cfg_queue in
+  let rev_responses : Sjournal.response list ref = ref [] in
+  let results : (string * Pipelines.run_result) list ref = ref [] in
+  let respond (r : Sjournal.response) : unit =
+    rev_responses := r :: !rev_responses
+  in
+  let reject_response ~id ~tenant ~code ~attempts =
+    respond
+      {
+        Sjournal.rs_id = id;
+        rs_tenant = tenant;
+        rs_status = Sjournal.Rejected;
+        rs_code = code;
+        rs_tier = None;
+        rs_attempts = attempts;
+        rs_cycles = None;
+        rs_loads = None;
+        rs_stores = None;
+        rs_return = None;
+        rs_digest = None;
+      }
+  in
+  (* Surface a breaker transition as its SRV-BRK-* journal entry. *)
+  let journal_breaker_transition (tn : Tenant.t) (before : string)
+      (after : string) : unit =
+    if before <> after then
+      let code =
+        match after with
+        | "open" -> "SRV-BRK-OPEN"
+        | "probation" -> "SRV-BRK-PROBATION"
+        | _ -> "SRV-BRK-CLOSE"
+      in
+      Sjournal.record journal ~code
+        [
+          ("tenant", Json.Str tn.Tenant.tn_name);
+          ("from", Json.Str before);
+          ("to", Json.Str after);
+        ]
+  in
+
+  (* ---- admission phase ------------------------------------------- *)
+  List.iter
+    (fun parsed ->
+      match parsed with
+      | Error { Request.rej_id; rej_tenant; rej_reason } ->
+          Sjournal.record journal ~code:"SRV-REJECT"
+            [
+              ("id", Json.Str rej_id);
+              ("tenant", Json.Str rej_tenant);
+              ("reason", Json.Str rej_reason);
+            ];
+          reject_response ~id:rej_id ~tenant:rej_tenant ~code:rej_reason
+            ~attempts:0
+      | Ok rq -> (
+          let mk_job ~src ~entry ~args =
+            {
+              jb_rq = rq;
+              jb_src = src;
+              jb_entry = entry;
+              jb_args = args;
+              jb_tier = rq.Request.rq_tier;
+              jb_attempts = 0;
+            }
+          in
+          let job =
+            match rq.Request.rq_source with
+            | Request.Inline { src; entry } ->
+                Ok (mk_job ~src ~entry ~args:None)
+            | Request.Workload name -> (
+                match find_workload name with
+                | Some w ->
+                    Ok
+                      (mk_job ~src:w.src ~entry:(Some w.entry)
+                         ~args:(Some w.args))
+                | None -> Error ("unknown-workload: " ^ name))
+          in
+          match job with
+          | Error reason ->
+              Sjournal.record journal ~code:"SRV-REJECT"
+                [
+                  ("id", Json.Str rq.Request.rq_id);
+                  ("tenant", Json.Str rq.Request.rq_tenant);
+                  ("reason", Json.Str reason);
+                ];
+              reject_response ~id:rq.Request.rq_id
+                ~tenant:rq.Request.rq_tenant ~code:reason ~attempts:0
+          | Ok job -> (
+              let shed (victim : job Admission.entry) =
+                let v = victim.Admission.qe_item.jb_rq in
+                Sjournal.record journal ~code:"SRV-SHED"
+                  [
+                    ("id", Json.Str v.Request.rq_id);
+                    ("tenant", Json.Str v.Request.rq_tenant);
+                    ("reason", Json.Str "queue-full");
+                    ("priority", Json.Int victim.Admission.qe_priority);
+                  ];
+                reject_response ~id:v.Request.rq_id
+                  ~tenant:v.Request.rq_tenant ~code:"shed:queue-full"
+                  ~attempts:victim.Admission.qe_item.jb_attempts
+              in
+              let admitted () =
+                Sjournal.record journal ~code:"SRV-ADMIT"
+                  [
+                    ("id", Json.Str rq.Request.rq_id);
+                    ("tenant", Json.Str rq.Request.rq_tenant);
+                    ("op", Json.Str (Request.op_name rq.Request.rq_op));
+                    ("tier", Json.Str (Pipelines.tier_name rq.Request.rq_tier));
+                    ("priority", Json.Int rq.Request.rq_priority);
+                  ]
+              in
+              match
+                Admission.admit queue ~priority:rq.Request.rq_priority job
+              with
+              | Admission.Admitted -> admitted ()
+              | Admission.Shed_incoming ->
+                  Sjournal.record journal ~code:"SRV-SHED"
+                    [
+                      ("id", Json.Str rq.Request.rq_id);
+                      ("tenant", Json.Str rq.Request.rq_tenant);
+                      ("reason", Json.Str "queue-full");
+                      ("priority", Json.Int rq.Request.rq_priority);
+                    ];
+                  reject_response ~id:rq.Request.rq_id
+                    ~tenant:rq.Request.rq_tenant ~code:"shed:queue-full"
+                    ~attempts:0
+              | Admission.Shed victim ->
+                  shed victim;
+                  admitted ())))
+    requests;
+
+  (* ---- drain phase ------------------------------------------------ *)
+  let process (entry : job Admission.entry) : unit =
+    let job = entry.Admission.qe_item in
+    let rq = job.jb_rq in
+    let id = rq.Request.rq_id and tn_name = rq.Request.rq_tenant in
+    let tenant = tenant_of tn_name in
+    let deadline =
+      match rq.Request.rq_deadline with
+      | Some d -> Some d
+      | None -> config.cfg_deadline
+    in
+    if not (Tenant.admits tenant) then begin
+      Sjournal.record journal ~code:"SRV-REJECT"
+        [
+          ("id", Json.Str id);
+          ("tenant", Json.Str tn_name);
+          ("reason", Json.Str "breaker-open");
+        ];
+      reject_response ~id ~tenant:tn_name ~code:"breaker-open"
+        ~attempts:job.jb_attempts;
+      (* Fast rejections still age the breaker, else the tenant never
+         reaches probation. *)
+      let before, after = Tenant.age tenant in
+      journal_breaker_transition tenant before after
+    end
+    else if Tenant.exhausted tenant then begin
+      Sjournal.record journal ~code:"SRV-REJECT"
+        [
+          ("id", Json.Str id);
+          ("tenant", Json.Str tn_name);
+          ("reason", Json.Str "quota-exhausted");
+        ];
+      reject_response ~id ~tenant:tn_name ~code:"quota-exhausted"
+        ~attempts:job.jb_attempts
+    end
+    else
+      match deadline with
+      | Some d when Tenant.spend tenant > d ->
+          Sjournal.record journal ~code:"SRV-DEADLINE"
+            [
+              ("id", Json.Str id);
+              ("tenant", Json.Str tn_name);
+              ("reason", Json.Str "deadline-expired");
+              ("deadline", Json.Int d);
+              ("spend", Json.Int (Tenant.spend tenant));
+            ];
+          respond
+            {
+              Sjournal.rs_id = id;
+              rs_tenant = tn_name;
+              rs_status = Sjournal.Failed;
+              rs_code = "deadline-expired";
+              rs_tier = None;
+              rs_attempts = job.jb_attempts;
+              rs_cycles = None;
+              rs_loads = None;
+              rs_stores = None;
+              rs_return = None;
+              rs_digest = None;
+            }
+      | _ -> (
+          job.jb_attempts <- job.jb_attempts + 1;
+          let armed =
+            match config.cfg_chaos with
+            | None -> false
+            | Some f -> (
+                match f ~id ~attempt:job.jb_attempts with
+                | Some plan ->
+                    Chaos.install plan;
+                    true
+                | None -> false)
+          in
+          (* Arm before carving the budget: fuel starvation applies to
+             this attempt's ceiling. *)
+          let limits = Tenant.remaining tenant in
+          let fuel = Chaos.fuel_limit ~default:limits.Budget.max_fuel in
+          let budget =
+            Budget.create ~limits:{ limits with Budget.max_fuel = fuel } ()
+          in
+          let outcome =
+            match
+              Fun.protect
+                ~finally:(fun () -> if armed then Chaos.clear ())
+                (fun () ->
+                  let entry_name =
+                    match job.jb_entry with
+                    | Some e -> e
+                    | None -> (
+                        match Synth.default_entry job.jb_src with
+                        | Some e -> e
+                        | None ->
+                            raise
+                              (Diag.Error
+                                 {
+                                   Diag.code = "E-NO-ENTRY";
+                                   phase = Diag.Frontend;
+                                   message = "source defines no function";
+                                 }))
+                  in
+                  let compiled, report =
+                    Pipelines.compile_resilient ~tier:job.jb_tier
+                      ~floor:job.jb_tier ~budget rq.Request.rq_kind
+                      ~src:job.jb_src ~entry:entry_name
+                  in
+                  match rq.Request.rq_op with
+                  | Request.Compile ->
+                      (* Warm the plan store: the artifact digest is the
+                         store key, so a later run of the same program
+                         hits. Invisible to the tenant — the compile was
+                         already paid for above either way. *)
+                      (match compiled with
+                      | Pipelines.CSdfg sdfg -> ignore (Pipelines.plan_for sdfg)
+                      | Pipelines.CMlir _ -> ());
+                      (report, None, Some (artifact_digest compiled))
+                  | Request.Run ->
+                      let args =
+                        match job.jb_args with
+                        | Some f -> f ()
+                        | None ->
+                            Synth.args job.jb_src entry_name
+                              ~size:rq.Request.rq_size
+                      in
+                      let result =
+                        Pipelines.run ~budget compiled ~entry:entry_name args
+                      in
+                      (report, Some result, None))
+            with
+            | v -> Ok v
+            | exception e -> Error e
+          in
+          Tenant.charge tenant budget;
+          match outcome with
+          | Ok (report, result, digest) ->
+              let landed =
+                Pipelines.tier_name report.Pipelines.res_landed
+              in
+              Sjournal.record journal ~code:"SRV-DONE"
+                [
+                  ("id", Json.Str id);
+                  ("tenant", Json.Str tn_name);
+                  ("tier", Json.Str landed);
+                  ("attempts", Json.Int job.jb_attempts);
+                ];
+              let before, after = Tenant.record_outcome tenant ~ok:true in
+              journal_breaker_transition tenant before after;
+              (match result with
+              | Some r -> results := (id, r) :: !results
+              | None -> ());
+              respond
+                {
+                  Sjournal.rs_id = id;
+                  rs_tenant = tn_name;
+                  rs_status = Sjournal.Done;
+                  rs_code = "ok";
+                  rs_tier = Some landed;
+                  rs_attempts = job.jb_attempts;
+                  rs_cycles =
+                    Option.map
+                      (fun (r : Pipelines.run_result) ->
+                        r.Pipelines.metrics.Dcir_machine.Metrics.cycles)
+                      result;
+                  rs_loads =
+                    Option.map
+                      (fun (r : Pipelines.run_result) ->
+                        r.Pipelines.metrics.Dcir_machine.Metrics.loads)
+                      result;
+                  rs_stores =
+                    Option.map
+                      (fun (r : Pipelines.run_result) ->
+                        r.Pipelines.metrics.Dcir_machine.Metrics.stores)
+                      result;
+                  rs_return =
+                    Option.bind result (fun (r : Pipelines.run_result) ->
+                        Option.map Dcir_machine.Value.to_string
+                          r.Pipelines.return_value);
+                  rs_digest = digest;
+                }
+          | Error e ->
+              let code = Pipelines.classify_exn e in
+              let retries =
+                match rq.Request.rq_retries with
+                | Some r -> r
+                | None -> config.cfg_retries
+              in
+              if (not (is_frontend_error e)) && job.jb_attempts <= retries
+              then begin
+                let next =
+                  match Pipelines.next_tier job.jb_tier with
+                  | Some t -> t
+                  | None -> job.jb_tier
+                in
+                job.jb_tier <- next;
+                let depth =
+                  Admission.reinsert queue entry ~attempt:job.jb_attempts
+                    ~same:(fun (j : job) ->
+                      j.jb_rq.Request.rq_tenant = tn_name)
+                in
+                Sjournal.record journal ~code:"SRV-RETRY"
+                  [
+                    ("id", Json.Str id);
+                    ("tenant", Json.Str tn_name);
+                    ("reason", Json.Str code);
+                    ("tier", Json.Str (Pipelines.tier_name next));
+                    ("attempt", Json.Int job.jb_attempts);
+                    ("depth", Json.Int depth);
+                  ]
+              end
+              else begin
+                Sjournal.record journal ~code:"SRV-FAIL"
+                  [
+                    ("id", Json.Str id);
+                    ("tenant", Json.Str tn_name);
+                    ("reason", Json.Str code);
+                    ("attempts", Json.Int job.jb_attempts);
+                  ];
+                let before, after = Tenant.record_outcome tenant ~ok:false in
+                journal_breaker_transition tenant before after;
+                respond
+                  {
+                    Sjournal.rs_id = id;
+                    rs_tenant = tn_name;
+                    rs_status = Sjournal.Failed;
+                    rs_code = code;
+                    rs_tier = None;
+                    rs_attempts = job.jb_attempts;
+                    rs_cycles = None;
+                    rs_loads = None;
+                    rs_stores = None;
+                    rs_return = None;
+                    rs_digest = None;
+                  }
+              end)
+  in
+  let rec drain () =
+    match Admission.pop queue with
+    | None -> ()
+    | Some entry ->
+        process entry;
+        drain ()
+  in
+  drain ();
+  let pc_hits1, pc_misses1, pc_evictions1 = pc_counts () in
+  let size =
+    match List.assoc_opt "size" (Pipelines.plan_cache_stats ()) with
+    | Some (Json.Int n) -> Json.Int n
+    | _ -> Json.Int 0
+  in
+  {
+    rp_seed = config.cfg_seed;
+    rp_config = config_fields config;
+    rp_journal = journal;
+    rp_responses = List.rev !rev_responses;
+    rp_results = List.rev !results;
+    rp_plan_cache =
+      [
+        ("hits", Json.Int (pc_hits1 - pc_hits0));
+        ("misses", Json.Int (pc_misses1 - pc_misses0));
+        ("evictions", Json.Int (pc_evictions1 - pc_evictions0));
+        ("size", size);
+      ];
+  }

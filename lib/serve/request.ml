@@ -1,0 +1,183 @@
+(** Serve request parsing (JSON schema [dcir-serve-requests/1]).
+
+    A request file is a batch: either a top-level object
+    [{"schema": "dcir-serve-requests/1", "requests": [...]}] or a bare
+    JSON list of request objects. Each request object names a tenant and
+    an operation over a program source:
+
+    {v
+    { "id": "r1", "tenant": "acme", "op": "run",
+      "source": { "inline": "int f(int n) { ... }", "entry": "f" },
+      "tier": "O2", "priority": 1, "deadline": 50000,
+      "retries": 2, "size": 16 }
+    v}
+
+    [source] is either [{"inline": <C source>, "entry": <name>}] or
+    [{"workload": <name>}] (a workload from the built-in suites). Only
+    [tenant] and [source] are required; everything else defaults.
+
+    Parsing is total: a malformed request never raises — it becomes a
+    {!rejected} carrying whatever id/tenant could be salvaged plus a
+    stable reason, which the engine turns into an [SRV-REJECT] at
+    admission. Deterministic ids ([r<index>]) are minted for requests
+    that omit one, so journals stay byte-reproducible. *)
+
+module Json = Dcir_obs.Json
+module Pipelines = Dcir_core.Pipelines
+
+type op = Compile | Run
+
+let op_name = function Compile -> "compile" | Run -> "run"
+
+type source =
+  | Inline of { src : string; entry : string option }
+      (** C source text; [entry] defaults to the first function *)
+  | Workload of string  (** a named workload from the built-in suites *)
+
+type t = {
+  rq_id : string;
+  rq_tenant : string;
+  rq_op : op;
+  rq_source : source;
+  rq_kind : Pipelines.kind;  (** pipeline; default [Dcir] *)
+  rq_tier : Pipelines.tier;  (** requested tier; default [O2] *)
+  rq_priority : int;  (** shed policy rank; default 0, higher survives *)
+  rq_deadline : int option;
+      (** budget-step deadline against the tenant's own spend *)
+  rq_retries : int option;  (** [None] = engine default *)
+  rq_size : float;  (** scalar-int argument value for synthetic args *)
+}
+
+(** A request that failed validation: rejected at admission with a
+    stable reason, under whatever identity could be recovered. *)
+type rejected = { rej_id : string; rej_tenant : string; rej_reason : string }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let str_member key j = Option.bind (Json.member key j) Json.to_str
+
+let int_member key j =
+  match Json.member key j with Some (Json.Int n) -> Some n | _ -> None
+
+let float_member key j =
+  match Json.member key j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let tier_of_string = function
+  | "O2" -> Some Pipelines.O2
+  | "O1" -> Some Pipelines.O1
+  | "O0" -> Some Pipelines.O0
+  | "unoptimized" | "unopt" -> Some Pipelines.Unopt
+  | _ -> None
+
+let kind_of_string = function
+  | "dcir" -> Some Pipelines.Dcir
+  | "dace" -> Some Pipelines.Dace
+  | "mlir" -> Some Pipelines.Mlir
+  | "gcc" -> Some Pipelines.Gcc
+  | "clang" -> Some Pipelines.Clang
+  | _ -> None
+
+(** [of_json ~index j] — parse one request object; [Error] carries the
+    salvaged identity and a stable [malformed: ...] reason. *)
+let of_json ~(index : int) (j : Json.t) : (t, rejected) result =
+  let id =
+    match str_member "id" j with
+    | Some s when s <> "" -> s
+    | _ -> Printf.sprintf "r%d" index
+  in
+  let tenant = Option.value (str_member "tenant" j) ~default:"" in
+  let fail reason =
+    Error
+      {
+        rej_id = id;
+        rej_tenant = (if tenant = "" then "unknown" else tenant);
+        rej_reason = "malformed: " ^ reason;
+      }
+  in
+  match j with
+  | Json.Obj _ ->
+      if tenant = "" then fail "missing tenant"
+      else
+        let op =
+          match str_member "op" j with
+          | None | Some "run" -> Ok Run
+          | Some "compile" -> Ok Compile
+          | Some other -> Error ("unknown op " ^ other)
+        in
+        let source =
+          match Json.member "source" j with
+          | None -> Error "missing source"
+          | Some s -> (
+              match (str_member "inline" s, str_member "workload" s) with
+              | Some src, None ->
+                  Ok (Inline { src; entry = str_member "entry" s })
+              | None, Some w -> Ok (Workload w)
+              | Some _, Some _ -> Error "source has both inline and workload"
+              | None, None -> Error "source needs inline or workload")
+        in
+        let tier =
+          match str_member "tier" j with
+          | None -> Ok Pipelines.O2
+          | Some s -> (
+              match tier_of_string s with
+              | Some t -> Ok t
+              | None -> Error ("unknown tier " ^ s))
+        in
+        let kind =
+          match str_member "pipeline" j with
+          | None -> Ok Pipelines.Dcir
+          | Some s -> (
+              match kind_of_string s with
+              | Some k -> Ok k
+              | None -> Error ("unknown pipeline " ^ s))
+        in
+        (match (op, source, tier, kind) with
+        | Ok op, Ok source, Ok tier, Ok kind ->
+            Ok
+              {
+                rq_id = id;
+                rq_tenant = tenant;
+                rq_op = op;
+                rq_source = source;
+                rq_kind = kind;
+                rq_tier = tier;
+                rq_priority = Option.value (int_member "priority" j) ~default:0;
+                rq_deadline = int_member "deadline" j;
+                rq_retries = int_member "retries" j;
+                rq_size = Option.value (float_member "size" j) ~default:16.0;
+              }
+        | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
+        | _, _, _, Error e ->
+            fail e)
+  | _ -> fail "request is not an object"
+
+(** [of_batch_json j] — the request list of a batch document (top-level
+    object with a [requests] member, or a bare list). *)
+let of_batch_json (j : Json.t) : ((t, rejected) result list, string) result =
+  let items =
+    match j with
+    | Json.List items -> Ok items
+    | Json.Obj _ -> (
+        (match str_member "schema" j with
+        | Some s when s <> "dcir-serve-requests/1" ->
+            Error (Printf.sprintf "unknown request schema %s" s)
+        | _ -> Ok ())
+        |> function
+        | Error e -> Error e
+        | Ok () -> (
+            match Option.bind (Json.member "requests" j) Json.to_list with
+            | Some items -> Ok items
+            | None -> Error "batch object has no requests list"))
+    | _ -> Error "request document must be a list or a batch object"
+  in
+  Result.map (List.mapi (fun i item -> of_json ~index:i item)) items
+
+(** Parse a full request document from its text. *)
+let parse (text : string) : ((t, rejected) result list, string) result =
+  match Json.parse text with
+  | Error e -> Error ("request file: " ^ e)
+  | Ok j -> of_batch_json j

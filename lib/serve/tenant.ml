@@ -1,0 +1,86 @@
+(** Per-tenant serve state: quota accounting and backpressure.
+
+    Each tenant owns a resource quota ({!Dcir_resilience.Budget.limits}
+    spread across all of its requests) and a circuit breaker
+    ({!Dcir_resilience.Breaker} keyed by the tenant name) that converts
+    repeated terminal failures into fast [SRV-REJECT]s until a cooldown
+    and probation clear.
+
+    Isolation invariant: everything here is a function of the tenant's
+    {e own} request stream — spend, breaker rounds, deadline clocks. No
+    field advances because of another tenant's traffic, which is what
+    makes a tenant's responses byte-identical between a multi-tenant run
+    and a solo run of the same requests (the [dcir fuzz --serve] oracle
+    checks exactly that). *)
+
+module Budget = Dcir_resilience.Budget
+module Breaker = Dcir_resilience.Breaker
+
+type t = {
+  tn_name : string;
+  tn_limits : Budget.limits;  (** quota across all requests *)
+  tn_breaker : Breaker.t;  (** single entry, keyed by [tn_name] *)
+  mutable tn_steps : int;  (** interpreter steps spent so far *)
+  mutable tn_fuel : int;  (** optimization fuel spent so far *)
+  mutable tn_allocs : int;  (** machine allocations so far *)
+}
+
+let create ~(name : string) ~(limits : Budget.limits)
+    ~(breaker : Breaker.config) : t =
+  {
+    tn_name = name;
+    tn_limits = limits;
+    tn_breaker = Breaker.create ~config:breaker ();
+    tn_steps = 0;
+    tn_fuel = 0;
+    tn_allocs = 0;
+  }
+
+(** Quota left, clamped at zero — the ceilings for the next attempt's
+    budget. *)
+let remaining (t : t) : Budget.limits =
+  {
+    Budget.max_steps = max 0 (t.tn_limits.Budget.max_steps - t.tn_steps);
+    max_fuel = max 0 (t.tn_limits.Budget.max_fuel - t.tn_fuel);
+    max_allocs = max 0 (t.tn_limits.Budget.max_allocs - t.tn_allocs);
+  }
+
+let exhausted (t : t) : bool =
+  let r = remaining t in
+  r.Budget.max_steps = 0 || r.Budget.max_fuel = 0 || r.Budget.max_allocs = 0
+
+(** Fold an attempt's spend into the tenant's account. *)
+let charge (t : t) (b : Budget.t) : unit =
+  t.tn_steps <- t.tn_steps + b.Budget.steps;
+  t.tn_fuel <- t.tn_fuel + b.Budget.fuel;
+  t.tn_allocs <- t.tn_allocs + b.Budget.allocs
+
+(** The tenant's deadline clock: total budget units it has consumed.
+    Deadlines are measured against this — a pure function of the
+    tenant's own history, never of wall time or other tenants. *)
+let spend (t : t) : int = t.tn_steps + t.tn_fuel + t.tn_allocs
+
+(* ---- breaker ----------------------------------------------------- *)
+
+let admits (t : t) : bool = Breaker.admits t.tn_breaker t.tn_name
+let breaker_state (t : t) : string = Breaker.state_name t.tn_breaker t.tn_name
+
+(** Record a terminal request outcome and advance the tenant's breaker
+    round; returns [(before, after)] breaker states so the engine can
+    journal [SRV-BRK-*] transitions. Retried (non-terminal) attempts are
+    not recorded: with [trip_after = 1] a breaker that counted every
+    attempt would open mid-retry and starve its own escalator. *)
+let record_outcome (t : t) ~(ok : bool) : string * string =
+  let before = breaker_state t in
+  (if ok then Breaker.record_success t.tn_breaker t.tn_name
+   else Breaker.record_failure t.tn_breaker t.tn_name);
+  Breaker.end_round t.tn_breaker;
+  (before, breaker_state t)
+
+(** Advance the round without an attempt outcome (fast rejections also
+    age an open breaker toward probation — otherwise a tripped tenant
+    could never recover). *)
+let age (t : t) : string * string =
+  let before = breaker_state t in
+  Breaker.end_round t.tn_breaker;
+  (before, breaker_state t)

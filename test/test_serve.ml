@@ -1,0 +1,371 @@
+(** The serving layer: content digests, the sharded LRU artifact store,
+    the admission queue, and the batch engine itself. The invariants
+    under test are the serving contract: digests are pure functions of
+    program structure (canonicalized against process-global counters),
+    store telemetry is a deterministic function of the operation
+    sequence, a cache hit is invisible in outputs and metrics, a
+    tenant's responses are byte-identical whether it shares the engine
+    with a noisy neighbor or runs alone, and the whole journal replays
+    byte-for-byte from its seed. *)
+
+module Cdigest = Dcir_support.Digest
+module Cstore = Dcir_support.Cstore
+module Pipelines = Dcir_core.Pipelines
+module Budget = Dcir_resilience.Budget
+module Breaker = Dcir_resilience.Breaker
+module Json = Dcir_obs.Json
+module Request = Dcir_serve.Request
+module Admission = Dcir_serve.Admission
+module Engine = Dcir_serve.Engine
+module Sjournal = Dcir_serve.Sjournal
+
+(* ------------------------------------------------------------------ *)
+(* Digests *)
+
+let test_digest_stability () =
+  (* Pinned vectors: the digest is part of the journal format, so a
+     silent change to the hash is a format break, not a refactor. *)
+  Alcotest.(check string)
+    "empty" "f52a15e9a9b5e89be220a8397b1dcdaf"
+    (Cdigest.of_string "");
+  Alcotest.(check string)
+    "abc" "0dd490490804b508351d88a9dce78d10"
+    (Cdigest.of_string "abc");
+  Alcotest.(check bool) "distinct inputs, distinct digests" true
+    (Cdigest.of_string "abc" <> Cdigest.of_string "abd");
+  Alcotest.(check int) "32 hex chars" 32
+    (String.length (Cdigest.of_string "anything"))
+
+let test_digest_canonical () =
+  (* Serial tokens renumber by first occurrence, consistently. *)
+  Alcotest.(check string)
+    "node ids" "#0 -> #1 ; #0" (Cdigest.canonical "#12 -> #7 ; #12");
+  (* Prefixes are preserved, each with its own counter. *)
+  Alcotest.(check string)
+    "per-prefix" "%x0 %y0 %x1" (Cdigest.canonical "%x9 %y9 %x3");
+  (* Numeric literals pass through untouched. *)
+  Alcotest.(check string)
+    "literals" "1.5e10 + 0x1A - 42" (Cdigest.canonical "1.5e10 + 0x1A - 42");
+  (* Names without a digit suffix are untouched. *)
+  Alcotest.(check string) "plain names" "gemm(A, B)"
+    (Cdigest.canonical "gemm(A, B)");
+  (* The property the store needs: same structure, different serials,
+     same canonical form — hence same digest. *)
+  Alcotest.(check string) "alpha-equivalent serials agree"
+    (Cdigest.of_string (Cdigest.canonical "#4 [#4 -> #5]"))
+    (Cdigest.of_string (Cdigest.canonical "#90 [#90 -> #91]"))
+
+(* Compiling the same source twice in one process must yield the same
+   digest even though printed node ids come from a global counter. *)
+let test_digest_position_independent () =
+  let src = "int dbl(int n) { return n + n; }" in
+  let digest () =
+    match Pipelines.compile Pipelines.Dcir ~src ~entry:"dbl" with
+    | Pipelines.CSdfg sdfg -> Pipelines.digest_of_sdfg sdfg
+    | Pipelines.CMlir _ -> Alcotest.fail "expected an SDFG"
+  in
+  let d1 = digest () in
+  (* Burn some node ids with an unrelated compilation in between. *)
+  ignore
+    (Pipelines.compile Pipelines.Dcir
+       ~src:"double tri(double x) { return x * 3.0; }" ~entry:"tri");
+  Alcotest.(check string) "digest survives process history" d1 (digest ())
+
+(* ------------------------------------------------------------------ *)
+(* The artifact store *)
+
+let test_store_lru_determinism () =
+  let trajectory () =
+    let s = Cstore.create ~shards:1 ~capacity:2 () in
+    let evicted = ref [] in
+    let add k v = evicted := !evicted @ List.map fst (Cstore.add s k v) in
+    add "k1" 1;
+    add "k2" 2;
+    ignore (Cstore.find s "k1") (* k1 now most recent *);
+    add "k3" 3 (* must evict k2, the LRU *);
+    (!evicted, Cstore.keys s)
+  in
+  let evicted, keys = trajectory () in
+  Alcotest.(check (list string)) "LRU victim" [ "k2" ] evicted;
+  Alcotest.(check (list string)) "survivors" [ "k1"; "k3" ] keys;
+  (* Same operation sequence, same trajectory — determinism is the
+     contract, not an accident. *)
+  Alcotest.(check bool) "replay identical" true (trajectory () = (evicted, keys))
+
+let test_store_capacity_edges () =
+  (* Capacity 1: every insertion evicts the previous occupant. *)
+  let s1 = Cstore.create ~capacity:1 () in
+  Alcotest.(check (list string)) "first insert evicts nothing" []
+    (List.map fst (Cstore.add s1 "a" 1));
+  Alcotest.(check (list string)) "second evicts first" [ "a" ]
+    (List.map fst (Cstore.add s1 "b" 2));
+  Alcotest.(check bool) "only b lives" true
+    (Cstore.find s1 "b" = Some 2 && Cstore.find s1 "a" = None);
+  (* Capacity 0 disables the store: nothing stored, every find misses,
+     no eviction ever reported. *)
+  let s0 = Cstore.create ~capacity:0 () in
+  Alcotest.(check (list string)) "zero-capacity add evicts nothing" []
+    (List.map fst (Cstore.add s0 "a" 1));
+  Alcotest.(check bool) "zero-capacity find misses" true
+    (Cstore.find s0 "a" = None);
+  Alcotest.(check int) "zero-capacity stays empty" 0 (Cstore.length s0)
+
+(* The differential that justifies caching at all: a plan served from
+   the store is bit-identical to a fresh compile — outputs AND metrics —
+   and the hit is visible in the telemetry. *)
+let test_cached_vs_fresh_identical () =
+  Pipelines.reset_plan_cache ();
+  let src =
+    "double scale(double a[32], double s) { for (int i = 0; i < 32; i++) { \
+     a[i] = a[i] * s; } return a[0]; }"
+  in
+  let args () =
+    [
+      Pipelines.AFloatArr (Array.init 32 (fun i -> float_of_int i *. 0.5), [| 32 |]);
+      Pipelines.AFloat 3.0;
+    ]
+  in
+  let stat k =
+    match List.assoc_opt k (Pipelines.plan_cache_stats ()) with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.fail ("plan_cache_stats missing " ^ k)
+  in
+  let go () =
+    let compiled = Pipelines.compile Pipelines.Dcir ~src ~entry:"scale" in
+    Pipelines.run compiled ~entry:"scale" (args ())
+  in
+  let fresh = go () in
+  let hits_before = stat "hits" in
+  let cached = go () in
+  Alcotest.(check int) "second run hits the store" (hits_before + 1)
+    (stat "hits");
+  (* Bit-identical, not merely close: same plan, same arithmetic. *)
+  Alcotest.(check bool) "return values identical" true
+    (fresh.Pipelines.return_value = cached.Pipelines.return_value);
+  Alcotest.(check bool) "outputs identical" true
+    (fresh.Pipelines.outputs = cached.Pipelines.outputs);
+  let m1 = fresh.Pipelines.metrics and m2 = cached.Pipelines.metrics in
+  Alcotest.(check (float 0.0)) "cycles identical"
+    m1.Dcir_machine.Metrics.cycles m2.Dcir_machine.Metrics.cycles;
+  Alcotest.(check int) "loads identical" m1.Dcir_machine.Metrics.loads
+    m2.Dcir_machine.Metrics.loads;
+  Alcotest.(check int) "stores identical" m1.Dcir_machine.Metrics.stores
+    m2.Dcir_machine.Metrics.stores
+
+(* ------------------------------------------------------------------ *)
+(* Admission queue *)
+
+let test_admission_shed () =
+  let q = Admission.create ~capacity:2 in
+  Alcotest.(check bool) "admit 1" true
+    (Admission.admit q ~priority:1 "a" = Admission.Admitted);
+  Alcotest.(check bool) "admit 2" true
+    (Admission.admit q ~priority:2 "b" = Admission.Admitted);
+  (* Full queue, lower-priority incoming: shed on the spot. *)
+  Alcotest.(check bool) "incoming victim" true
+    (Admission.admit q ~priority:0 "c" = Admission.Shed_incoming);
+  (* Full queue, higher-priority incoming: oldest lowest-priority queued
+     entry is the victim. *)
+  (match Admission.admit q ~priority:3 "d" with
+  | Admission.Shed e -> Alcotest.(check string) "queued victim" "a" e.Admission.qe_item
+  | _ -> Alcotest.fail "expected a queued shed");
+  Alcotest.(check int) "still at capacity" 2 (Admission.length q)
+
+let test_admission_backoff () =
+  let q = Admission.create ~capacity:8 in
+  List.iter
+    (fun (p, x) -> ignore (Admission.admit q ~priority:p x))
+    [ (0, "A1"); (0, "B1"); (0, "A2"); (0, "B2"); (0, "A3") ];
+  let retry = { Admission.qe_order = 99; qe_priority = 0; qe_item = "Ax" } in
+  let same x = x.[0] = 'A' in
+  (* Attempt 1: behind 2^1 = 2 same-group entries — between A2 and A3,
+     regardless of the interleaved B traffic. *)
+  Alcotest.(check int) "depth counts own group only" 2
+    (Admission.reinsert q retry ~attempt:1 ~same);
+  let order = List.map (fun e -> e.Admission.qe_item) q.Admission.entries in
+  Alcotest.(check (list string)) "insertion point"
+    [ "A1"; "B1"; "A2"; "Ax"; "B2"; "A3" ]
+    order;
+  (* A huge attempt number lands at the very back, not in a 2^k loop. *)
+  let q2 = Admission.create ~capacity:8 in
+  ignore (Admission.admit q2 ~priority:0 "A1");
+  Alcotest.(check int) "overshoot goes to the back" 1
+    (Admission.reinsert q2 retry ~attempt:30 ~same)
+
+(* ------------------------------------------------------------------ *)
+(* The engine *)
+
+let inline ~id ~tenant ?(op = Request.Run) ?deadline (src, entry) : Request.t =
+  {
+    Request.rq_id = id;
+    rq_tenant = tenant;
+    rq_op = op;
+    rq_source = Request.Inline { src; entry = Some entry };
+    rq_kind = Pipelines.Dcir;
+    rq_tier = Pipelines.O2;
+    rq_priority = 0;
+    rq_deadline = deadline;
+    rq_retries = None;
+    rq_size = 8.0;
+  }
+
+let tiny = ("int ident(int n) { return n; }", "ident")
+
+let heavy =
+  ( "double sweep(double a[64][64]) { double s = 0.0; for (int i = 0; i < 64; \
+     i++) { for (int j = 0; j < 64; j++) { a[i][j] = a[i][j] * 1.5 + s; s = s \
+     + a[i][j]; } } return s; }",
+    "sweep" )
+
+let response_of (report : Engine.report) (id : string) : Sjournal.response =
+  match
+    List.find_opt
+      (fun (r : Sjournal.response) -> r.Sjournal.rs_id = id)
+      report.Engine.rp_responses
+  with
+  | Some r -> r
+  | None -> Alcotest.fail ("no response for " ^ id)
+
+(* Tenant A exhausts its quota and trips its breaker; tenant B's
+   responses must be byte-identical to a B-only run — the noisy
+   neighbor is invisible. *)
+let test_tenant_isolation () =
+  let requests =
+    [
+      inline ~id:"a1" ~tenant:"A" heavy;
+      inline ~id:"b1" ~tenant:"B" tiny;
+      inline ~id:"a2" ~tenant:"A" heavy;
+      inline ~id:"b2" ~tenant:"B" tiny;
+      inline ~id:"a3" ~tenant:"A" heavy;
+    ]
+  in
+  let config =
+    {
+      Engine.default_config with
+      (* Fuel covers B's trivial program but not A's loop nest: A's
+         first attempt exhausts the quota and the failure trips the
+         breaker (trip_after defaults to 1). *)
+      Engine.cfg_limits =
+        { Budget.max_steps = 2_000; max_fuel = 1_000_000; max_allocs = 100_000 };
+      (* No retries: a1's budget failure is terminal, so the breaker
+         trip and the later quota rejections are all visible. *)
+      cfg_retries = 0;
+    }
+  in
+  let multi = Engine.run ~config (List.map (fun r -> Ok r) requests) in
+  (* A saw structured trouble: a budget failure, then rejections. *)
+  let a1 = response_of multi "a1" in
+  Alcotest.(check string) "a1 failed" "failed"
+    (Sjournal.status_name a1.Sjournal.rs_status);
+  Alcotest.(check bool) "a1 diagnosed with a budget code" true
+    (String.length a1.Sjournal.rs_code >= 8
+    && String.sub a1.Sjournal.rs_code 0 8 = "E-BUDGET");
+  List.iter
+    (fun id ->
+      let r = response_of multi id in
+      Alcotest.(check string) (id ^ " rejected") "rejected"
+        (Sjournal.status_name r.Sjournal.rs_status);
+      Alcotest.(check bool) (id ^ " reason is attributable") true
+        (List.mem r.Sjournal.rs_code [ "breaker-open"; "quota-exhausted" ]))
+    [ "a2"; "a3" ];
+  (* B is untouched... *)
+  List.iter
+    (fun id ->
+      Alcotest.(check string) (id ^ " ok") "ok"
+        (Sjournal.status_name (response_of multi id).Sjournal.rs_status))
+    [ "b1"; "b2" ];
+  (* ...and byte-identical to a world where A never existed. *)
+  let solo =
+    Engine.run ~config
+      (List.filter_map
+         (fun (r : Request.t) ->
+           if r.Request.rq_tenant = "B" then Some (Ok r) else None)
+         requests)
+  in
+  Alcotest.(check (list string)) "B's responses identical"
+    (Sjournal.responses_for_tenant solo.Engine.rp_responses "B")
+    (Sjournal.responses_for_tenant multi.Engine.rp_responses "B")
+
+(* Deadlines are budget steps, not wall time: a tenant whose spend has
+   passed a request's deadline gets a structured kill, deterministic on
+   every replay. *)
+let test_deadline () =
+  let requests =
+    [
+      inline ~id:"warm" ~tenant:"T" heavy;
+      inline ~id:"late" ~tenant:"T" ~deadline:1 tiny;
+    ]
+  in
+  let report = Engine.run (List.map (fun r -> Ok r) requests) in
+  let late = response_of report "late" in
+  Alcotest.(check string) "deadline kill is a failure" "failed"
+    (Sjournal.status_name late.Sjournal.rs_status);
+  Alcotest.(check string) "with its own code" "deadline-expired"
+    late.Sjournal.rs_code;
+  Alcotest.(check int) "no attempt was burned" 0 late.Sjournal.rs_attempts
+
+(* Same requests, same config: the rendered journal must be
+   byte-identical — cache state, counters and all. *)
+let test_journal_double_run () =
+  let requests =
+    List.map
+      (fun r -> Ok r)
+      [
+        inline ~id:"r1" ~tenant:"x" tiny;
+        inline ~id:"r2" ~tenant:"y" heavy;
+        inline ~id:"r3" ~tenant:"x" ~op:Request.Compile tiny;
+      ]
+  in
+  let render () = Json.to_string (Engine.to_json (Engine.run requests)) in
+  Alcotest.(check string) "byte-identical journals" (render ()) (render ())
+
+(* Malformed batch entries are salvaged as structured rejections, never
+   dropped, never fatal to their neighbors. *)
+let test_request_salvage () =
+  let text =
+    {|{"schema":"dcir-serve-requests/1","requests":[
+       {"id":"good","tenant":"t","op":"run",
+        "source":{"inline":"int one(int n) { return 1; }","entry":"one"}},
+       {"id":"bad","tenant":"t","op":"frobnicate",
+        "source":{"inline":"int f(int n) { return n; }"}},
+       {"id":"nosrc","tenant":"t","op":"run"}
+     ]}|}
+  in
+  match Request.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok items ->
+      let ok, rejected = List.partition Result.is_ok items in
+      Alcotest.(check int) "one good" 1 (List.length ok);
+      Alcotest.(check int) "two salvaged" 2 (List.length rejected);
+      List.iter
+        (function
+          | Error (r : Request.rejected) ->
+              Alcotest.(check bool) "reason present" true
+                (String.length r.Request.rej_reason > 0);
+              Alcotest.(check bool) "identity salvaged" true
+                (List.mem r.Request.rej_id [ "bad"; "nosrc" ])
+          | Ok _ -> ())
+        rejected
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "digest stability" `Quick test_digest_stability;
+      Alcotest.test_case "digest canonicalization" `Quick test_digest_canonical;
+      Alcotest.test_case "digest position independence" `Quick
+        test_digest_position_independent;
+      Alcotest.test_case "store LRU determinism" `Quick
+        test_store_lru_determinism;
+      Alcotest.test_case "store capacity edges" `Quick
+        test_store_capacity_edges;
+      Alcotest.test_case "cached vs fresh bit-identical" `Quick
+        test_cached_vs_fresh_identical;
+      Alcotest.test_case "admission shedding" `Quick test_admission_shed;
+      Alcotest.test_case "retry backoff depth" `Quick test_admission_backoff;
+      Alcotest.test_case "tenant isolation" `Quick test_tenant_isolation;
+      Alcotest.test_case "budget-step deadlines" `Quick test_deadline;
+      Alcotest.test_case "journal double-run identity" `Quick
+        test_journal_double_run;
+      Alcotest.test_case "malformed request salvage" `Quick
+        test_request_salvage;
+    ] )

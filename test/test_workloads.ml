@@ -92,5 +92,6 @@ let () =
       Test_autopar.suite;
       Test_fuzz.suite;
       Test_resilience.suite;
+      Test_serve.suite;
       suite;
     ]
