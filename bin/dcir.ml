@@ -522,6 +522,18 @@ let fuzz_cmd =
              ~doc:"Report failures as generated, without delta-debugging \
                    minimization")
   in
+  let traps_arg =
+    Arg.(value & flag
+         & info [ "traps" ]
+             ~doc:"Trap grammar: also generate zero-trip loops (the \
+                   symbolic bound n bound to 0 at run time, degenerate \
+                   constant ranges) and integer divisions whose divisor \
+                   can be zero. The oracle then checks trap parity: every \
+                   pipeline must trap exactly when the unoptimized \
+                   reference traps, with the same kind — an optimized \
+                   build that traps where the reference ran clean has \
+                   speculated a trapping op onto a new path.")
+  in
   let chaos_arg =
     Arg.(value & flag
          & info [ "chaos" ]
@@ -664,7 +676,8 @@ let fuzz_cmd =
     `Ok ()
   in
   let run count seed checked parallel jobs max_steps max_fuel chaos serve
-      tenants journal coverage events out no_shrink verbose timing trace =
+      tenants journal coverage events out no_shrink traps verbose timing
+      trace =
     setup_obs ~verbose ~timing ~trace;
     if serve then run_serve ~count ~seed ~tenants ~journal
     else if coverage then run_coverage ~count ~seed ~events
@@ -674,8 +687,12 @@ let fuzz_cmd =
       match out with Some d -> d | None -> Filename.get_temp_dir_name ()
     in
     let jobs = if parallel && jobs <= 1 then 3 else jobs in
+    let cfg =
+      if traps then Dcir_fuzz.Gen.trap_cfg else Dcir_fuzz.Gen.default_cfg
+    in
     let report =
-      Dcir_fuzz.Harness.run ~checked ~parallel ~jobs ~shrink:(not no_shrink)
+      Dcir_fuzz.Harness.run ~cfg ~checked ~parallel ~jobs
+        ~shrink:(not no_shrink)
         ~limits:(budget_limits ~max_steps ~max_fuel)
         ~reproducer_dir:out_dir ~count ~seed ()
     in
@@ -707,7 +724,7 @@ let fuzz_cmd =
         (const run $ count_arg $ seed_arg $ checked_arg $ parallel_arg
        $ jobs_arg $ max_steps_arg $ max_fuel_arg $ chaos_arg $ serve_arg
        $ tenants_arg $ journal_arg $ coverage_arg $ events_arg $ out_arg
-       $ no_shrink_arg $ verbose_arg $ timing_arg $ trace_arg))
+       $ no_shrink_arg $ traps_arg $ verbose_arg $ timing_arg $ trace_arg))
 
 let serve_cmd =
   let doc =

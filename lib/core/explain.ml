@@ -155,6 +155,18 @@ let pp (ppf : Format.formatter) (x : t) : unit =
       | "PASS-ADMIT" ->
           agg_admit agg (s "pass")
             (Events.field e "changed" = Some (Json.Bool true))
+      | "PASS-LCM" ->
+          flush ();
+          if s "placement" = "local" then
+            Format.fprintf ppf
+              "    [PASS-LCM] %s: %d locally redundant %s occurrence(s) \
+               reused@."
+              (s "func") (i "deletes") (s "op")
+          else
+            Format.fprintf ppf
+              "    [PASS-LCM] %s: moved %s to a %s insertion, %d \
+               occurrence(s) deleted@."
+              (s "func") (s "op") (s "placement") (i "deletes")
       | "PASS-SKIP" ->
           flush ();
           Format.fprintf ppf

@@ -58,17 +58,24 @@ let control_passes (kind : kind) : Pass.t list =
   match kind with
   | Gcc ->
       base_passes
-      @ [ P.Inline.pass; P.Licm.pass; P.Loop_fusion.pass; P.Reg_promote.pass ]
+      @ [
+          P.Inline.pass; P.Licm.pass; P.Lcm.pass; P.Loop_fusion.pass;
+          P.Reg_promote.pass;
+        ]
   | Clang ->
       base_passes
       @ [
-          P.Inline.pass; P.Licm.pass; P.Store_forward.pass; P.Loop_fusion.pass;
-          P.Reg_promote.pass;
+          P.Inline.pass; P.Licm.pass; P.Store_forward.pass; P.Lcm.pass;
+          P.Loop_fusion.pass; P.Reg_promote.pass;
         ]
-  | Mlir | Dcir ->
-      (* loop-invariant code motion, DCE, CSE, inlining (§4) — no fusion or
-         register promotion at the memref level. *)
+  | Mlir ->
+      (* loop-invariant code motion, DCE, CSE, inlining (§4) — no fusion,
+         register promotion, or PRE at the memref level: the paper's
+         MLIR proxy is deliberately the weakest control pipeline. *)
       base_passes @ [ P.Inline.pass; P.Licm.pass; P.Store_forward.pass ]
+  | Dcir ->
+      base_passes
+      @ [ P.Inline.pass; P.Licm.pass; P.Store_forward.pass; P.Lcm.pass ]
   | Dace -> []
 
 (* ------------------------------------------------------------------ *)
@@ -240,7 +247,14 @@ let compile ?(optimize_sdfg = true) ?(disable = []) ?(checked = false)
     compiled =
   let run_all, dace_o1, dace_o2 = dace_levels_at tier in
   let control m =
-    match control_passes_at tier kind with
+    (* [disable] names passes by pname on both sides of the bridge: a name
+       matching a control pass drops it here, anything else is forwarded to
+       the data-centric driver below. *)
+    match
+      List.filter
+        (fun (p : Pass.t) -> not (List.mem p.Pass.pname disable))
+        (control_passes_at tier kind)
+    with
     | [] -> ()
     | passes ->
         with_fuel_spend ?budget "control-passes" (fun () ->

@@ -22,10 +22,17 @@ let rec bexpr_equal (a : Bexpr.t) (b : Bexpr.t) : bool =
   | Bexpr.Not x, Bexpr.Not y -> bexpr_equal x y
   | _ -> false
 
-(* Rename a symbol inside one graph (subsets + tasklet code + map ranges). *)
+(* Rename a symbol inside one graph (subsets + tasklet code + declared
+   tasklet symbols + map ranges). [t_syms] must be renamed for both tasklet
+   kinds: the interpreter binds those names against the interstate-edge
+   environment at run time, and the old induction symbol is no longer
+   assigned after fusion. Opaque bodies bind symbols positionally through
+   [t_syms], but any residual [sdfg.sym] expression attributes are rewritten
+   too so the graph's free-symbol accounting stays truthful. *)
 let rename_sym_in_graph (g : Sdfg.graph) ~(from_ : string) ~(to_ : string) :
     unit =
   let lookup s = if String.equal s from_ then Some (Expr.sym to_) else None in
+  let rename_name s = if String.equal s from_ then to_ else s in
   let rec go (g : Sdfg.graph) =
     List.iter
       (fun (e : Sdfg.edge) ->
@@ -51,12 +58,29 @@ let rename_sym_in_graph (g : Sdfg.graph) ~(from_ : string) ~(to_ : string) :
                   Sdfg.TaskletN
                     {
                       t with
+                      t_syms = List.map rename_name t.t_syms;
                       code =
                         Sdfg.Native
                           (List.map
                              (fun (o, e) -> (o, Texpr.subst_syms lookup e))
                              assigns);
                     };
+              }
+          | Sdfg.TaskletN ({ code = Opaque f; _ } as t) ->
+              (match f.Dcir_mlir.Ir.fbody with
+              | Some r ->
+                  Dcir_mlir.Ir.walk_region r (fun o ->
+                      match Dcir_mlir.Sdfg_d.sym_expr o with
+                      | Some e ->
+                          Dcir_mlir.Ir.set_attr o Dcir_mlir.Sdfg_d.k_expr
+                            (Dcir_mlir.Attr.AExpr (Expr.subst lookup e))
+                      | None -> ())
+              | None -> ());
+              {
+                n with
+                kind =
+                  Sdfg.TaskletN
+                    { t with t_syms = List.map rename_name t.t_syms };
               }
           | Sdfg.MapN mn ->
               mn.m_ranges <- Range.subst lookup mn.m_ranges;

@@ -12,10 +12,19 @@
     - array subscripts are provably in bounds (loop bounds are tied to
       array dimensions; the symbolic bound [n] is bound at run time to the
       smallest array dimension);
-    - every division's denominator is [fabs(e) + 1.0] or a nonzero
-      constant; [log]/[sqrt] arguments are forced nonnegative;
+    - every floating-point division's denominator is [fabs(e) + 1.0] or a
+      nonzero constant; [log]/[sqrt] arguments are forced nonnegative;
     - loops have constant or [n]-bounded trip counts, so every program
       terminates.
+
+    With [cfg.traps] set the generator deliberately abandons two of those
+    guarantees — [n] may be bound to 0 (zero-trip loops), constant loop
+    ranges may be degenerate, and integer divisions may divide by zero on
+    some executions. Traps are defined behaviour (the machine stops with a
+    trap in every dialect), so the differential oracle then checks trap
+    parity instead of output equality; what it must never see is an
+    optimized pipeline trapping where the reference ran clean, which is
+    exactly the speculation-bug signal this grammar exists to catch.
 
     The same seed always regenerates the identical program and argument
     values ({!Rng} is a fixed splitmix64, not [Random]). *)
@@ -28,9 +37,21 @@ type cfg = {
   max_dim : int;  (** upper bound on a static array dimension *)
   max_stmts : int;  (** statements per block (at least 1) *)
   max_depth : int;  (** loop/branch nesting depth *)
+  traps : bool;
+      (** trap grammar: zero-trip loops (the symbolic bound [n] bound to 0
+          at run time, degenerate constant ranges) and integer divisions
+          whose divisor can be zero on some executions. Off by default:
+          the plain campaigns then keep their historical programs. *)
 }
 
-let default_cfg = { max_arrays = 3; max_dim = 6; max_stmts = 4; max_depth = 3 }
+let default_cfg =
+  { max_arrays = 3; max_dim = 6; max_stmts = 4; max_depth = 3; traps = false }
+
+(** The trap-hunting campaign configuration: same size bounds, plus the
+    zero-trip / zero-divisor productions that make speculation bugs in the
+    control-centric passes observable (see ISSUE 8 / MLIR-Smith on
+    grammar-coverage gaps). *)
+let trap_cfg = { default_cfg with traps = true }
 
 type case = {
   seed : int;
@@ -101,6 +122,49 @@ let rec int_expr (g : gstate) (depth : int) : expr =
     | 2 -> EBinop (Mul, a, b)
     | _ -> EBinop (Mod, a, EInt (Rng.range g.rng 2 7))
 
+(* Trap grammar: an integer divisor that is zero on some (but usually not
+   all) executions — the symbolic bound [n] (bound to 0 at run time in a
+   third of the [traps] programs), or a loop-variable expression that hits
+   zero on some iteration. [None] when neither is in scope. *)
+let trap_divisor (g : gstate) : expr option =
+  let choices =
+    (* [n] is weighted: it is the loop-invariant divisor, the one a broken
+       LICM/LCM hoists out of an [n]-bounded (possibly zero-trip) loop. *)
+    (match g.n_val with
+    | Some _ -> [ (fun () -> EVar "n"); (fun () -> EVar "n"); (fun () -> EVar "n") ]
+    | None -> [])
+    @ List.concat_map
+        (fun (v, _, _) ->
+          [
+            (* zero when the loop reaches v = c *)
+            (fun () -> EBinop (Sub, EVar v, EInt (Rng.range g.rng 1 4)));
+            (* zero whenever v is a multiple of k *)
+            (fun () -> EBinop (Mod, EVar v, EInt (Rng.range g.rng 2 5)));
+            (* never zero: exercises must-not-hoist without trapping *)
+            (fun () -> EBinop (Add, EVar v, EInt 1));
+          ])
+        g.loops
+  in
+  if choices = [] then None else Some ((Rng.pick g.rng choices) ())
+
+(* A dividend that neither is the literal 0 nor syntactically equals the
+   divisor: the symbolic dialect folds [0/e -> 0] and [e/e -> 1] (symbols
+   are assumed nonnegative there), which would erase at compile time a trap
+   the unoptimized reference executes — a semantics gap of the symbolic
+   subset, not a pass bug, so the generator stays out of it. *)
+let trap_dividend (g : gstate) (divisor : expr) : expr =
+  let base =
+    match
+      (match g.n_val with Some _ -> [ (fun () -> EVar "n") ] | None -> [])
+      @ List.map (fun (v, _, _) () -> EVar v) g.loops
+    with
+    | [] -> EInt (Rng.range g.rng 1 7)
+    | vars ->
+        if Rng.one_in g.rng 3 then EInt (Rng.range g.rng 1 7)
+        else EBinop (Add, (Rng.pick g.rng vars) (), EInt (Rng.range g.rng 1 7))
+  in
+  if base = divisor then EBinop (Add, base, EInt 1) else base
+
 let cond_expr (g : gstate) (float_operand : gstate -> int -> expr) : expr =
   let cmp = Rng.pick g.rng [ Lt; Le; Gt; Ge; Eq; Ne ] in
   if Rng.one_in g.rng 2 then EBinop (cmp, int_expr g 1, int_expr g 1)
@@ -109,6 +173,19 @@ let cond_expr (g : gstate) (float_operand : gstate -> int -> expr) : expr =
        with an ordering instead. *)
     let cmp = match cmp with Eq | Ne -> Lt | c -> c in
     EBinop (cmp, float_operand g 1, float_operand g 1)
+
+(* Trap grammar: a possibly-trapping integer division or remainder, as a
+   float term. Only {!array_store} splices these in: parameter arrays are
+   outputs, so no dialect may discard the computation as dead — a local
+   scalar would let the data-centric dead-dataflow pass (which, like DaCe,
+   removes every unobservable computation) erase a trap the reference
+   executes. *)
+let trap_division (g : gstate) : expr option =
+  match trap_divisor g with
+  | Some d ->
+      let op = if Rng.one_in g.rng 3 then Mod else Div in
+      Some (ECast (TDouble, EBinop (op, trap_dividend g d, d)))
+  | None -> None
 
 let rec float_expr (g : gstate) (depth : int) : expr =
   let atom () =
@@ -168,7 +245,15 @@ let array_store (g : gstate) : stmt option =
         Rng.pick g.rng
           [ OpAssign; OpAssign; OpAddAssign; OpSubAssign; OpMulAssign ]
       in
-      Some (SAssign (lhs, op, float_expr g 2))
+      let rhs = float_expr g 2 in
+      let rhs =
+        if g.cfg.traps && Rng.one_in g.rng 2 then
+          match trap_division g with
+          | Some d -> EBinop (Add, rhs, d)
+          | None -> rhs
+        else rhs
+      in
+      Some (SAssign (lhs, op, rhs))
 
 let scalar_assign (g : gstate) : stmt option =
   match g.scalars with
@@ -186,9 +271,19 @@ let loop_header (g : gstate) : for_header * expr * int =
     List.concat_map (fun (_, dims) -> List.map (fun d -> (EInt d, d)) dims)
       g.arrays
     @
-    match g.n_val with Some nv -> [ (EVar "n", nv) ] | None -> []
+    (* Under the trap grammar [n]-bounded loops are weighted: they are the
+       possibly-zero-trip loops a broken pass speculates out of. *)
+    match g.n_val with
+    | Some nv when g.cfg.traps -> [ (EVar "n", nv); (EVar "n", nv); (EVar "n", nv) ]
+    | Some nv -> [ (EVar "n", nv) ]
+    | None -> []
   in
-  let bound_expr, bound_val = Rng.pick g.rng bounds in
+  let bound_expr, bound_val =
+    (* Trap grammar: degenerate constant ranges — the loop body (and any
+       trapping op inside it) must never execute. *)
+    if g.cfg.traps && Rng.one_in g.rng 5 then (EInt 0, 0)
+    else Rng.pick g.rng bounds
+  in
   let var = fresh_name g "i" in
   if Rng.one_in g.rng 3 then
     (* Descending: for (int i = bound-1; i >= 0; i--). *)
@@ -203,7 +298,35 @@ let loop_header (g : gstate) : for_header * expr * int =
       bound_val )
   else ({ var; init = EInt 0; cmp = Lt; bound = bound_expr; step = 1 }, bound_expr, bound_val)
 
+(* Trap grammar: the hoist bait — an [n]-bounded loop whose body stores an
+   accumulation of a loop-invariant division by [n]. With n = 0 at run time
+   the reference never executes the division; any pass that speculates it
+   above the loop header (LICM without a trip-count proof, an unguarded
+   LCM insertion) turns a clean run into a trap. With n > 0 the same shape
+   checks that legitimate hoisting preserves values. *)
+let trap_bait_loop (g : gstate) : stmt option =
+  match (g.arrays, g.n_val) with
+  | [], _ | _, None -> None
+  | arrays, Some nv ->
+      let divisor = EVar "n" in
+      let op = if Rng.one_in g.rng 3 then Mod else Div in
+      let div =
+        ECast (TDouble, EBinop (op, trap_dividend g divisor, divisor))
+      in
+      let var = fresh_name g "i" in
+      let saved_loops = g.loops in
+      g.loops <- (var, EVar "n", nv) :: g.loops;
+      let name, dims = Rng.pick g.rng arrays in
+      let lhs = EIndex (EVar name, List.map (index_expr g) dims) in
+      let body = [ SAssign (lhs, OpAddAssign, EBinop (Add, float_expr g 1, div)) ] in
+      g.loops <- saved_loops;
+      Some
+        (SFor ({ var; init = EInt 0; cmp = Lt; bound = EVar "n"; step = 1 }, body))
+
 let rec gen_stmt (g : gstate) (depth : int) : stmt option =
+  if g.cfg.traps && g.n_val <> None && Rng.one_in g.rng 8 then
+    trap_bait_loop g
+  else
   let roll = Rng.int g.rng 10 in
   if roll < 3 then array_store g
   else if roll < 5 then scalar_assign g
@@ -282,7 +405,14 @@ let generate ?(cfg = default_cfg) (seed : int) : case =
       max_int arrays
   in
   let with_n = Rng.one_in rng 2 in
-  let n_val = if with_n then Some min_dim else None in
+  let n_val =
+    if not with_n then None
+      (* Trap grammar: a third of the [n]-programs bind n = 0 at run time,
+         so every n-bounded loop is zero-trip and every division by [n]
+         would trap — but only if something actually executes it. *)
+    else if cfg.traps && Rng.one_in rng 2 then Some 0
+    else Some min_dim
+  in
   let n_fscalars = Rng.int rng 3 in
   let fscalar_names = [ "alpha"; "beta" ] in
   let fscalars =
@@ -327,7 +457,7 @@ let generate ?(cfg = default_cfg) (seed : int) : case =
                 float_of_int (x land 0x3FFFFFFF) /. 1073741824.0),
             Array.of_list dims ) )
       arrays
-    @ (if with_n then [ Pipelines.AInt min_dim ] else [])
+    @ (match n_val with Some nv -> [ Pipelines.AInt nv ] | None -> [])
     @ List.map (fun (_, v) -> Pipelines.AFloat v) fscalars
   in
   { seed; prog; src = Cprint.program_str prog; entry; args }

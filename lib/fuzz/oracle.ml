@@ -7,7 +7,10 @@
     oracle when it either crashes (any exception out of compile or run) or
     diverges (return value or any array output differs from the reference
     beyond floating-point reassociation tolerance, or has a different
-    shape).
+    shape). A trapping reference (integer division by zero — reachable
+    only under the {!Gen.trap_cfg} grammar) flips the oracle into
+    trap-parity mode: every pipeline must then trap with the same kind,
+    and an optimized pipeline that runs to completion has erased a trap.
 
     Crashes caused by the frontend rejecting the program (lex / parse /
     sema / lowering errors) are flagged [f_invalid]: the generator never
@@ -54,6 +57,46 @@ let is_frontend_reject (e : exn) : bool =
   | Dcir_cfront.C_sema.Sema_error _
   | Dcir_cfront.Polygeist.Lower_error _ -> true
   | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Trap parity.
+
+   Traps are defined behaviour in this machine: an integer division or
+   remainder by zero stops execution, in every dialect — the mini-MLIR
+   interpreter and the SDFG tasklet evaluator raise [Trap], the symbolic
+   expression evaluator (interstate conditions, memlet subsets) raises
+   [Invalid_argument]. When the unoptimized reference traps, a pipeline
+   agrees with it by trapping with the same kind; it fails the oracle by
+   running to completion (an optimization deleted or bypassed the trap) or
+   by trapping with a different kind. Which partial outputs were written
+   before the trap is deliberately not part of the contract: passes may
+   legally reorder independent work around a trapping op. Division and
+   remainder share one kind, since CSE/LCM may legally change which of two
+   same-divisor ops fires first. *)
+
+type trap_kind = Div_by_zero
+
+let trap_kind_name = function Div_by_zero -> "division/remainder by zero"
+
+let contains_substring (msg : string) (sub : string) : bool =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+let trap_kind_of_exn (e : exn) : trap_kind option =
+  let classify msg =
+    if
+      contains_substring msg "division by zero"
+      || contains_substring msg "remainder by zero"
+      || contains_substring msg "modulo by zero"
+    then Some Div_by_zero
+    else None
+  in
+  match e with
+  | Dcir_mlir.Interp.Trap msg | Dcir_sdfg.Interp.Trap msg
+  | Invalid_argument msg ->
+      classify msg
+  | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Output comparison (shape-safe; rtol matches compare_pipelines) *)
@@ -199,7 +242,49 @@ let check ?(checked = false) ?(parallel = false) ?(jobs = 3)
     with e -> Error e
   in
   match reference with
-  | Error e -> [ crash_failure "reference" e ]
+  | Error e -> (
+      match trap_kind_of_exn e with
+      | None -> [ crash_failure "reference" e ]
+      | Some k ->
+          (* Trap-parity mode: the reference trapped, so every pipeline
+             must trap with the same kind. The serial-vs-parallel
+             bit-comparison of the autopar pipeline is skipped here — the
+             partial outputs at a trap depend on domain scheduling — but
+             the trap itself must still fire. *)
+          let must_trap name run =
+            match (try Ok (run ()) with e -> Error e) with
+            | Ok (_ : Pipelines.run_result) ->
+                Some
+                  { f_pipeline = name;
+                    f_kind =
+                      Divergence
+                        (Printf.sprintf
+                           "ran to completion, reference trapped (%s)"
+                           (trap_kind_name k));
+                    f_invalid = false }
+            | Error e' when trap_kind_of_exn e' = Some k -> None
+            | Error e' -> Some (crash_failure name e')
+          in
+          List.filter_map
+            (fun kind ->
+              must_trap (Pipelines.kind_name kind) (fun () ->
+                  let compiled =
+                    Pipelines.compile ~checked ~budget:(fresh_budget ())
+                      ?reproducer_dir kind ~src:case.src ~entry:case.entry
+                  in
+                  Pipelines.run ~budget:(fresh_budget ()) compiled
+                    ~entry:case.entry (case.args ())))
+            Pipelines.all_kinds
+          @
+          if parallel then
+            Option.to_list
+              (must_trap "dcir-autopar" (fun () ->
+                   let compiled =
+                     Pipelines.compile ~checked ?reproducer_dir ~autopar:true
+                       Pipelines.Dcir ~src:case.src ~entry:case.entry
+                   in
+                   Pipelines.run compiled ~entry:case.entry (case.args ())))
+          else [])
   | Ok ref_r ->
       List.filter_map
         (fun kind ->

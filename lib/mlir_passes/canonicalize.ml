@@ -4,20 +4,10 @@
 
 open Dcir_mlir
 
-(* Map vid -> constant attr for arith.constant results in scope. Built per
-   function each iteration (cheap at our IR sizes). *)
-let build_const_map (body : Ir.region) : (int, Attr.t) Hashtbl.t =
-  let tbl = Hashtbl.create 64 in
-  Ir.walk_region body (fun o ->
-      match Arith.const_value o with
-      | Some a -> Hashtbl.replace tbl (Ir.result o).vid a
-      | None -> ());
-  tbl
-
-let const_int (tbl : (int, Attr.t) Hashtbl.t) (v : Ir.value) : int option =
-  match Hashtbl.find_opt tbl v.vid with
-  | Some (Attr.AInt n) -> Some n
-  | _ -> None
+(* Constant lookup shared with the other passes; rebuilt per fixpoint
+   iteration (cheap at our IR sizes). *)
+let build_const_map = Pass_util.const_map
+let const_int = Pass_util.const_int
 
 let const_float (tbl : (int, Attr.t) Hashtbl.t) (v : Ir.value) : float option
     =

@@ -2,38 +2,70 @@
 
     Works scope-wise: a table of available expressions keyed by op signature
     is threaded down into nested regions (values from enclosing regions
-    dominate the nested ones), and region-local entries are dropped on exit. *)
+    dominate the nested ones), and region-local entries are dropped on exit.
+
+    Trapping-but-pure ops ([arith.divsi]/[arith.remsi]) get a stricter rule:
+    two identical trapping ops may be merged only when the surviving one
+    sits {e in the same region} before the duplicate. Same operands mean
+    both trap together or compute the same value, and the earlier op in the
+    same straight-line region is guaranteed to have executed (trapped or
+    passed) before the duplicate — whereas an entry inherited from an
+    enclosing region proves dominance but would let a later pass treat the
+    merged result as freely placeable, so we keep the conservative
+    same-region rule. *)
 
 open Dcir_mlir
+
+(* A table entry: canonical results, plus the region the defining op lives
+   in when that op can trap ([None] for never-trapping entries). *)
+type entry = { e_results : Ir.value list; e_trap_region : Ir.region option }
 
 let run_on_func (f : Ir.func) : bool =
   match f.fbody with
   | None -> false
   | Some body ->
       let changed = ref false in
-      (* signature -> canonical result values. The table is scoped with an
-         undo trail per region. *)
-      let table : (string, Ir.value list) Hashtbl.t = Hashtbl.create 64 in
+      (* signature -> entry. The table is scoped with an undo trail per
+         region. *)
+      let table : (string, entry) Hashtbl.t = Hashtbl.create 64 in
       let rec process_region (r : Ir.region) =
         let added = ref [] in
         let keep =
           List.filter
             (fun (o : Ir.op) ->
-              (* First rewrite operands via pending replacements (done eagerly
-                 below), then try to match. *)
-              if Pass_util.is_pure o && o.results <> [] then begin
+              let cse_able =
+                (Pass_util.is_pure o || Pass_util.is_trapping_pure o)
+                && o.results <> []
+              in
+              if cse_able then begin
                 let sg = Pass_util.signature o in
-                match Hashtbl.find_opt table sg with
-                | Some canon ->
+                let merge_target =
+                  match Hashtbl.find_opt table sg with
+                  | Some e when not (Pass_util.is_trapping_pure o) -> Some e
+                  | Some ({ e_trap_region = Some tr; _ } as e) when tr == r ->
+                      Some e
+                  | _ -> None
+                in
+                match merge_target with
+                | Some e ->
                     (* Replace uses of this op's results everywhere below. *)
                     List.iter2
                       (fun (dup : Ir.value) (orig : Ir.value) ->
                         Ir.replace_uses_in_region body ~from_:dup ~to_:orig)
-                      o.results canon;
+                      o.results e.e_results;
                     changed := true;
                     false
                 | None ->
-                    Hashtbl.add table sg o.results;
+                    (* Trapping duplicates from an enclosing region shadow
+                       the old entry so the same-region rule sees the
+                       nearest candidate. *)
+                    Hashtbl.add table sg
+                      {
+                        e_results = o.results;
+                        e_trap_region =
+                          (if Pass_util.is_trapping_pure o then Some r
+                           else None);
+                      };
                     added := sg :: !added;
                     List.iter process_region o.regions;
                     true

@@ -2,9 +2,44 @@
     never used, iterating to a fixpoint so use-chains collapse. A heap
     allocation whose only remaining user is its [memref.dealloc] is removed
     together with the dealloc — the malloc-elision production compilers
-    perform. *)
+    perform.
+
+    A trap is an observable effect, so an unused [arith.divsi]/[arith.remsi]
+    is {e not} dead: deleting it would erase a division-by-zero stop. The
+    one exception is an unused trapping op with an identical op (same
+    signature) earlier on every path to it — the dominating occurrence has
+    already trapped or passed with the same operands, so the duplicate's
+    trap is unreachable-or-redundant and it may go. The scoped walk below
+    keeps the first occurrence in every scope chain, which guarantees the
+    dominating witness itself is never deleted by the same rule. *)
 
 open Dcir_mlir
+
+(* Oids of trapping ops with an identical dominating occurrence: the scoped
+   walk threads a signature table into nested regions (an entry from an
+   enclosing region dominates, as does an earlier entry in the same region)
+   and marks every non-first occurrence. *)
+let redundant_traps (body : Ir.region) : (int, unit) Hashtbl.t =
+  let marked : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let table : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec go (r : Ir.region) =
+    let added = ref [] in
+    List.iter
+      (fun (o : Ir.op) ->
+        if Pass_util.is_trapping_pure o then begin
+          let sg = Pass_util.signature o in
+          if Hashtbl.mem table sg then Hashtbl.replace marked o.oid ()
+          else begin
+            Hashtbl.add table sg ();
+            added := sg :: !added
+          end
+        end;
+        List.iter go o.regions)
+      r.rops;
+    List.iter (fun sg -> Hashtbl.remove table sg) !added
+  in
+  go body;
+  marked
 
 let run_on_func (f : Ir.func) : bool =
   match f.fbody with
@@ -40,6 +75,7 @@ let run_on_func (f : Ir.func) : bool =
                 if !non_dealloc_uses = 0 then
                   Hashtbl.replace dead_allocs res.vid ()
             | _ -> ());
+        let redundant = redundant_traps body in
         let is_dead (o : Ir.op) =
           match o.name with
           | "memref.dealloc" ->
@@ -47,7 +83,8 @@ let run_on_func (f : Ir.func) : bool =
                 (fun (v : Ir.value) -> Hashtbl.mem dead_allocs v.vid)
                 o.operands
           | _ ->
-              Pass_util.is_removable_if_unused o
+              (Pass_util.is_removable_if_unused o
+              || (Pass_util.is_trapping_pure o && Hashtbl.mem redundant o.oid))
               && o.results <> []
               && not (List.exists used o.results)
         in

@@ -1,10 +1,17 @@
 (** Loop-invariant code motion.
 
     Hoists out of [scf.for] bodies:
-    - pure ops whose operands are all defined outside the loop;
+    - non-trapping pure ops whose operands are all defined outside the loop
+      (executing these on a zero-trip path is unobservable);
+    - trapping-but-pure ops ([arith.divsi]/[arith.remsi]) only when the loop
+      has a {e proven nonzero trip count} — hoisting a division out of a
+      loop that may run zero times introduces a div-by-zero trap the
+      original program never executed;
     - [memref.load]s with invariant operands, when the loop body contains no
       store to the same memref and no call (conservative aliasing on memref
-      SSA identity — sound here because the frontend never creates views).
+      SSA identity — sound here because the frontend never creates views),
+      again only under a proven nonzero trip count (a hoisted load may be
+      out of bounds on the zero-trip path).
 
     This is the pass that (together with tasklet raising) fixes the syrk
     weakness of the DaCe C frontend: hoisting [alpha * A[i][k]] out of the
@@ -17,6 +24,7 @@ let run_on_func (f : Ir.func) : bool =
   | None -> false
   | Some body ->
       let changed = ref false in
+      let nonzero = Dataflow.nonzero_trip_loops body in
       (* Process innermost-first so multi-level hoisting happens in one
          sweep per fixpoint iteration. *)
       let rec process_region (r : Ir.region) =
@@ -39,6 +47,10 @@ let run_on_func (f : Ir.func) : bool =
                 in
                 let stores = Pass_util.written_memrefs loop_body in
                 let has_calls = Pass_util.region_has_calls loop_body in
+                (* Top-level body ops run once per iteration, so a proven
+                   nonzero trip count means they execute at least once and
+                   moving them just before the loop is not speculation. *)
+                let executes_once = Hashtbl.mem nonzero o.oid in
                 let hoisted = ref [] in
                 let rec hoist_ops () =
                   let moved = ref false in
@@ -48,7 +60,10 @@ let run_on_func (f : Ir.func) : bool =
                         let hoistable =
                           List.for_all invariant op.operands
                           && (Pass_util.is_pure op
-                             || (Pass_util.is_read_only op && (not has_calls)
+                             || (Pass_util.is_trapping_pure op
+                                && executes_once)
+                             || (Pass_util.is_read_only op && executes_once
+                                && (not has_calls)
                                 &&
                                 match Pass_util.read_memref op with
                                 | Some mr -> not (Hashtbl.mem stores mr.vid)

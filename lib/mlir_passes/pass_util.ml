@@ -3,13 +3,30 @@
 
 open Dcir_mlir
 
-(** Ops with no side effects and no memory reads — safe to CSE, DCE, hoist. *)
+(** Ops that can trap at runtime: integer division and remainder stop
+    execution on a zero divisor (defined behaviour in this machine, see the
+    interpreter). A trap is an observable effect — these ops must never be
+    speculated onto a path that did not already execute them. *)
+let is_trapping (o : Ir.op) : bool =
+  match o.Ir.name with "arith.divsi" | "arith.remsi" -> true | _ -> false
+
+(** Ops with no side effects, no memory reads, and no possible trap — safe
+    to CSE, DCE, hoist, and speculate freely. Floating-point division never
+    traps (IEEE semantics: inf/nan), and the math ops are total over floats,
+    so only the integer div/rem family is excluded. *)
 let is_pure (o : Ir.op) : bool =
   let n = o.Ir.name in
-  (String.length n > 6 && String.equal (String.sub n 0 6) "arith.")
-  || Math_d.is_math_op n
-  || String.equal n "memref.dim"
-  || String.equal n "sdfg.sym"
+  (not (is_trapping o))
+  && ((String.length n > 6 && String.equal (String.sub n 0 6) "arith.")
+     || Math_d.is_math_op n
+     || String.equal n "memref.dim"
+     || String.equal n "sdfg.sym")
+
+(** Deterministic value ops whose only observable effect is a possible trap:
+    given equal operands they trap together or compute equal values. They
+    may be merged with a dominating identical op, and may move only to
+    points where they were already guaranteed to execute. *)
+let is_trapping_pure (o : Ir.op) : bool = is_trapping o
 
 (** Ops whose only effect is reading memory — removable when unused,
     hoistable when memory is provably unmodified. *)
@@ -65,6 +82,21 @@ let region_has_calls (r : Ir.region) : bool =
   Ir.walk_region r (fun o ->
       if String.equal o.Ir.name "func.call" then found := true);
   !found
+
+(** Map vid -> constant attribute for every [arith.constant] result in the
+    region. Built per function; cheap at our IR sizes. *)
+let const_map (body : Ir.region) : (int, Attr.t) Hashtbl.t =
+  let tbl = Hashtbl.create 64 in
+  Ir.walk_region body (fun o ->
+      match Arith.const_value o with
+      | Some a -> Hashtbl.replace tbl (Ir.result o).vid a
+      | None -> ());
+  tbl
+
+let const_int (tbl : (int, Attr.t) Hashtbl.t) (v : Ir.value) : int option =
+  match Hashtbl.find_opt tbl v.vid with
+  | Some (Attr.AInt n) -> Some n
+  | _ -> None
 
 (** Structural signature for CSE: name + operand ids + attributes. Two pure
     ops with equal signatures compute the same value. *)

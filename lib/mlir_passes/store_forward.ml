@@ -14,20 +14,34 @@ let access_key (mr : Ir.value) (idxs : Ir.value list) : string =
   Printf.sprintf "%d[%s]" mr.vid
     (String.concat "," (List.map (fun (v : Ir.value) -> string_of_int v.vid) idxs))
 
+(* Two index vectors provably address different elements when some position
+   holds distinct constants. Equal vids (or unprovable) means may-alias. *)
+let provably_distinct (consts : (int, Dcir_mlir.Attr.t) Hashtbl.t)
+    (a : Ir.value list) (b : Ir.value list) : bool =
+  List.length a = List.length b
+  && List.exists2
+       (fun (x : Ir.value) (y : Ir.value) ->
+         x.vid <> y.vid
+         &&
+         match (Pass_util.const_int consts x, Pass_util.const_int consts y)
+         with
+         | Some cx, Some cy -> cx <> cy
+         | _ -> false)
+       a b
+
 let run_on_func (f : Ir.func) : bool =
   match f.fbody with
   | None -> false
   | Some body ->
       let changed = ref false in
+      let consts = Pass_util.const_map body in
       let rec process_region (r : Ir.region) =
-        (* available: access key -> stored value; per-memref key sets allow
-           invalidating a whole memref on an unknown-index store. *)
+        (* available: access key -> stored value; per-memref key lists
+           (accumulated across stores, not rebound) allow invalidating
+           exactly the entries a new store may alias. *)
         let available : (string, Ir.value) Hashtbl.t = Hashtbl.create 16 in
-        let keys_of_memref : (int, string list) Hashtbl.t = Hashtbl.create 8 in
-        let invalidate_memref (mr : Ir.value) =
-          List.iter (Hashtbl.remove available)
-            (Option.value ~default:[] (Hashtbl.find_opt keys_of_memref mr.vid));
-          Hashtbl.remove keys_of_memref mr.vid
+        let keys_of_memref : (int, (string * Ir.value list) list) Hashtbl.t =
+          Hashtbl.create 8
         in
         let invalidate_all () =
           Hashtbl.reset available;
@@ -38,12 +52,29 @@ let run_on_func (f : Ir.func) : bool =
             match o.name with
             | "memref.store" ->
                 let v, mr, idxs = Memref_d.store_parts o in
-                (* A store with new indices may alias every tracked element
-                   of this memref. *)
-                invalidate_memref mr;
+                (* Drop only the tracked entries this store may alias:
+                   entries at provably different constant indices survive,
+                   so multiple elements of one memref stay forwardable at
+                   once. *)
+                let keys =
+                  Option.value ~default:[]
+                    (Hashtbl.find_opt keys_of_memref mr.vid)
+                in
+                let survivors =
+                  List.filter
+                    (fun (key, kidxs) ->
+                      if provably_distinct consts idxs kidxs then true
+                      else begin
+                        Hashtbl.remove available key;
+                        false
+                      end)
+                    keys
+                in
                 let key = access_key mr idxs in
                 Hashtbl.replace available key v;
-                Hashtbl.replace keys_of_memref mr.vid [ key ]
+                Hashtbl.replace keys_of_memref mr.vid
+                  ((key, idxs)
+                  :: List.filter (fun (k, _) -> k <> key) survivors)
             | "memref.load" -> (
                 let mr, idxs = Memref_d.load_parts o in
                 match Hashtbl.find_opt available (access_key mr idxs) with

@@ -38,6 +38,7 @@ let catalogue : (string * string) list =
     ("PASS-ADMIT", "pass driver: pass ran (changed flag, domain, round)");
     ("PASS-SKIP", "pass driver: pass skipped by an open circuit breaker");
     ("PASS-ROLLBACK", "checked pass application failed and was rolled back");
+    ("PASS-LCM", "lazy code motion: one realized motion (op, placement, deletes)");
     ("BRK-OPEN", "circuit breaker opened for a pass");
     ("BRK-PROBATION", "circuit breaker moved to probation");
     ("BRK-CLOSE", "circuit breaker closed after a clean probe");

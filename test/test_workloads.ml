@@ -83,6 +83,7 @@ let () =
       Test_mlir.suite;
       Test_cfront.suite;
       Test_mlir_passes.suite;
+      Test_trapsafe.suite;
       Test_sdfg.suite;
       Test_interp_plans.suite;
       Test_dace_passes.suite;
