@@ -1,14 +1,17 @@
-(** Interpreter micro-benchmark: compiled execution plans vs tree walking,
-    plus serial vs multi-domain parallel maps.
+(** Interpreter micro-benchmark: the three execution tiers (tree walker,
+    compiled plans, flat bytecode VM), plus serial vs multi-domain
+    parallel maps.
 
-    Part one runs representative workloads through both interpreter modes
-    ([Pipelines.run ~interp_mode]) on the same compiled artifact, asserting
-    first that outputs, return values and {e every} machine metric are
-    bit-identical, then timing repeated runs of each mode. The compiled
-    plans only remove host-side interpretation overhead (tree dispatch,
-    assoc-list connector lookups, repeated topological sorts); any metric
-    divergence is a bug, and any slowdown defeats their purpose — both are
-    hard failures here and in [validate_report].
+    Part one runs representative workloads through all three interpreter
+    modes ([Pipelines.run ~interp_mode]) on the same compiled artifact,
+    asserting first that outputs, return values and {e every} machine
+    metric are bit-identical across tiers, then timing repeated runs of
+    each. The faster tiers only remove host-side interpretation overhead
+    (tree dispatch, closure chains, per-tasklet allocation); any metric
+    divergence is a bug, and any slowdown defeats their purpose — both
+    are hard failures here and in [validate_report]. [--sweep] widens
+    the subject list to the full Polybench suite (dcir pipeline) — the
+    bytecode acceptance geomean is measured there.
 
     Part two compiles kernels with [~autopar:true] (loop→map conversion)
     and runs the result serially and with [--jobs N] worker domains. The
@@ -18,18 +21,21 @@
     times are reported but {e not} gated — the host may have a single core,
     where domain fan-out can only break even at best.
 
-    Usage: [interp_bench.exe [--reps N] [--jobs N] [--json FILE]]. The
-    JSON report uses schema [dcir-interp-bench/2]:
+    Usage: [interp_bench.exe [--reps N] [--jobs N] [--json FILE] [--sweep]].
+    The JSON report uses schema [dcir-interp-bench/3]:
 
     {v
-    { "schema": "dcir-interp-bench/2",
+    { "schema": "dcir-interp-bench/3",
       "benchmarks": [ { "name", "pipeline", "reps",
-                        "tree_wall_s", "compiled_wall_s",
-                        "speedup", "identical" } ],
+                        "tree_wall_s", "compiled_wall_s", "bytecode_wall_s",
+                        "speedup", "bytecode_speedup", "identical" } ],
       "parallel":   [ { "name", "pipeline", "jobs", "reps",
                         "serial_wall_s", "parallel_wall_s",
                         "speedup", "identical" } ] }
-    v} *)
+    v}
+
+    ["speedup"] is tree/compiled (the plan tier's win over walking);
+    ["bytecode_speedup"] is compiled/bytecode (the VM's win over plans). *)
 
 open Dcir_workloads
 module Pipelines = Dcir_core.Pipelines
@@ -74,6 +80,7 @@ type row = {
   reps : int;
   tree_s : float;
   compiled_s : float;
+  bytecode_s : float;
   identical : bool;
 }
 
@@ -81,6 +88,7 @@ let speedup_of (baseline : float) (contender : float) : float =
   baseline /. Float.max 1e-9 contender
 
 let speedup (r : row) : float = speedup_of r.tree_s r.compiled_s
+let bc_speedup (r : row) : float = speedup_of r.compiled_s r.bytecode_s
 
 let row_json (r : row) : Json.t =
   Json.Obj
@@ -90,7 +98,9 @@ let row_json (r : row) : Json.t =
       ("reps", Json.Int r.reps);
       ("tree_wall_s", Json.Float r.tree_s);
       ("compiled_wall_s", Json.Float r.compiled_s);
+      ("bytecode_wall_s", Json.Float r.bytecode_s);
       ("speedup", Json.Float (speedup r));
+      ("bytecode_speedup", Json.Float (bc_speedup r));
       ("identical", Json.Bool r.identical);
     ]
 
@@ -129,19 +139,22 @@ let time_runs (mode : Pipelines.interp_mode) (reps : int)
 let bench_one ~(reps : int) (kind : Pipelines.kind) (w : Workload.t) : row =
   let compiled = Pipelines.compile kind ~src:w.src ~entry:w.entry in
   let args = w.args () in
-  (* Identity check first; it also warms the plan cache so the timed
-     compiled runs measure steady-state execution, not compilation. *)
+  (* Identity check first; it also warms the artifact caches so the
+     timed runs measure steady-state execution, not compilation. *)
   let rt = Pipelines.run ~interp_mode:`Tree compiled ~entry:w.entry args in
   let rc = Pipelines.run ~interp_mode:`Compiled compiled ~entry:w.entry args in
-  let identical = results_identical rt rc in
+  let rb = Pipelines.run ~interp_mode:`Bytecode compiled ~entry:w.entry args in
+  let identical = results_identical rt rc && results_identical rt rb in
   let tree_s = time_runs `Tree reps compiled ~entry:w.entry args in
   let compiled_s = time_runs `Compiled reps compiled ~entry:w.entry args in
+  let bytecode_s = time_runs `Bytecode reps compiled ~entry:w.entry args in
   {
     name = w.name;
     pipeline = Pipelines.kind_name kind;
     reps;
     tree_s;
     compiled_s;
+    bytecode_s;
     identical;
   }
 
@@ -171,6 +184,7 @@ let bench_par ~(jobs : int) (w : Workload.t) : par_row =
 
 let () =
   let json_path = ref None and reps = ref 5 and jobs = ref 3 in
+  let sweep = ref false in
   let int_arg flag r v rest scan =
     (match int_of_string_opt v with
     | Some n when n > 0 -> r := n
@@ -187,6 +201,9 @@ let () =
         scan rest
     | "--reps" :: n :: rest -> int_arg "--reps" reps n rest scan
     | "--jobs" :: n :: rest -> int_arg "--jobs" jobs n rest scan
+    | "--sweep" :: rest ->
+        sweep := true;
+        scan rest
     | [ "--json" ] | [ "--reps" ] | [ "--jobs" ] ->
         prerr_endline "interp_bench: missing argument";
         exit 2
@@ -200,29 +217,36 @@ let () =
      an opaque-tasklet pipeline (dace: MLIR bodies behind connectors) and a
      pure-MLIR pipeline, so both interpreters' plans are exercised. *)
   let subjects : (Pipelines.kind * Workload.t) list =
-    [
-      (Pipelines.Dcir, Polybench.gemm);
-      (Pipelines.Dcir, Polybench.durbin);
-      (Pipelines.Dace, Polybench.gemm);
-      (Pipelines.Mlir, Polybench.gemm);
-    ]
+    if !sweep then
+      (* The acceptance sweep: every Polybench kernel through the dcir
+         pipeline, all three tiers. *)
+      List.map (fun w -> (Pipelines.Dcir, w)) Polybench.all
+    else
+      [
+        (Pipelines.Dcir, Polybench.gemm);
+        (Pipelines.Dcir, Polybench.durbin);
+        (Pipelines.Dace, Polybench.gemm);
+        (Pipelines.Mlir, Polybench.gemm);
+      ]
   in
-  pr "== interpreter micro-benchmark: tree vs compiled plans (%d reps) ==@."
+  pr "== interpreter micro-benchmark: tree vs plan vs bytecode (%d reps) ==@."
     reps;
-  pr "  %-10s %-8s %12s %12s %9s %10s@." "workload" "pipeline" "tree (s)"
-    "compiled (s)" "speedup" "identical";
+  pr "  %-14s %-8s %11s %11s %11s %8s %8s %10s@." "workload" "pipeline"
+    "tree (s)" "plan (s)" "bytecode" "t/p" "p/b" "identical";
   let rows = List.map (fun (k, w) -> bench_one ~reps k w) subjects in
   List.iter
     (fun r ->
-      pr "  %-10s %-8s %12.4f %12.4f %8.2fx %10b@." r.name r.pipeline r.tree_s
-        r.compiled_s (speedup r) r.identical)
+      pr "  %-14s %-8s %11.4f %11.4f %11.4f %7.2fx %7.2fx %10b@." r.name
+        r.pipeline r.tree_s r.compiled_s r.bytecode_s (speedup r)
+        (bc_speedup r) r.identical)
     rows;
-  let geo =
+  let geomean f =
     exp
-      (List.fold_left (fun acc r -> acc +. log (speedup r)) 0.0 rows
+      (List.fold_left (fun acc r -> acc +. log (f r)) 0.0 rows
       /. float_of_int (List.length rows))
   in
-  pr "  geomean speedup: %.2fx@." geo;
+  pr "  geomean speedup: tree/plan %.2fx, plan/bytecode %.2fx@."
+    (geomean speedup) (geomean bc_speedup);
   (* Auto-parallelized kernels: certified maps fan out over [jobs] domains.
      The gate is bit-identity to serial, not speed (see module doc). *)
   let par_subjects = [ Polybench.gemm; Polybench.mvt ] in
@@ -242,7 +266,7 @@ let () =
       let report =
         Json.Obj
           [
-            ("schema", Json.Str "dcir-interp-bench/2");
+            ("schema", Json.Str "dcir-interp-bench/3");
             ("benchmarks", Json.List (List.map row_json rows));
             ("parallel", Json.List (List.map par_row_json par_rows));
           ]
@@ -259,7 +283,7 @@ let () =
   | None -> ());
   if List.exists (fun r -> not r.identical) rows then begin
     prerr_endline
-      "interp_bench: FAIL — compiled plans diverged from the tree walker";
+      "interp_bench: FAIL — a faster tier diverged from the tree walker";
     exit 1
   end;
   if List.exists (fun r -> not r.p_identical) par_rows then begin

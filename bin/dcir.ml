@@ -102,6 +102,21 @@ let jobs_arg =
            ~doc:"Worker domains for certified parallel maps. Outputs and \
                  machine metrics are bit-identical for every value.")
 
+let interp_conv : Pipelines.interp_mode Arg.conv =
+  Arg.enum
+    [ ("tree", `Tree); ("compiled", `Compiled); ("bytecode", `Bytecode);
+      ("adaptive", `Adaptive) ]
+
+let interp_arg =
+  Arg.(value & opt interp_conv `Compiled
+       & info [ "interp" ] ~docv:"TIER"
+           ~doc:"Execution tier for SDFG pipelines: $(b,tree) (reference \
+                 walker), $(b,compiled) (closure plans), $(b,bytecode) \
+                 (flat VM with preallocated frames), or $(b,adaptive) \
+                 (profiler-driven tier-up between plans and bytecode). \
+                 Outputs, traps and machine metrics are bit-identical \
+                 across tiers.")
+
 (* ------------------------------------------------------------------ *)
 (* Resource-budget flags, shared by run/bench/fuzz (see README
    "Resilience"). Cmdliner renders the defaults in --help. *)
@@ -253,8 +268,8 @@ let run_cmd =
     Arg.(value & opt float 16.0
          & info [ "size" ] ~docv:"N" ~doc:"Value for scalar int arguments")
   in
-  let run file entry pipeline size parallel jobs max_steps max_fuel degrade
-      verbose timing trace profile =
+  let run file entry pipeline size parallel jobs interp max_steps max_fuel
+      degrade verbose timing trace profile =
     setup_obs ~verbose ~timing ~trace;
     let src = read_file file in
     let entry = default_entry src entry in
@@ -278,7 +293,7 @@ let run_cmd =
         ("run:" ^ Pipelines.kind_name pipeline)
         (fun () ->
           Pipelines.run ~budget:(Budget.create ~limits ()) ?profile:prof ~jobs
-            compiled ~entry
+            ~interp_mode:interp compiled ~entry
             (synth_args src entry size))
     in
     if parallel then print_autopar_report Format.std_formatter;
@@ -304,7 +319,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ file_arg $ entry_arg $ pipeline_arg $ size_arg
-       $ parallel_arg $ jobs_arg $ max_steps_arg $ max_fuel_arg
+       $ parallel_arg $ jobs_arg $ interp_arg $ max_steps_arg $ max_fuel_arg
        $ degrade_arg $ verbose_arg $ timing_arg $ trace_arg $ profile_arg))
 
 let explain_cmd =
@@ -336,15 +351,15 @@ let explain_cmd =
                    By default explain uses checked pass execution, which \
                    also narrates rollbacks the strict validator forces.")
   in
-  let run file entry pipeline size jobs max_steps max_fuel events no_run
-      unchecked verbose timing trace =
+  let run file entry pipeline size jobs interp max_steps max_fuel events
+      no_run unchecked verbose timing trace =
     setup_obs ~verbose ~timing ~trace;
     let src = read_file file in
     let entry = default_entry src entry in
     let limits = budget_limits ~max_steps ~max_fuel in
     let x =
       Dcir_core.Explain.explain ~limits ~checked:(not unchecked)
-        ~run:(not no_run) ~jobs pipeline ~src ~entry
+        ~run:(not no_run) ~jobs ~interp pipeline ~src ~entry
         ~args:(fun () -> synth_args src entry size)
         ()
     in
@@ -365,7 +380,7 @@ let explain_cmd =
     Term.(
       ret
         (const run $ file_arg $ entry_arg $ pipeline_arg $ size_arg $ jobs_arg
-       $ max_steps_arg $ max_fuel_arg $ events_arg $ no_run_arg
+       $ interp_arg $ max_steps_arg $ max_fuel_arg $ events_arg $ no_run_arg
        $ unchecked_arg $ verbose_arg $ timing_arg $ trace_arg))
 
 let workloads () = Dcir_workloads.Polybench.all @ Dcir_workloads.Case_studies.all
@@ -381,8 +396,8 @@ let bench_cmd =
              ~doc:"Write the per-pipeline results as a machine-readable JSON \
                    report.")
   in
-  let run name json parallel jobs max_steps max_fuel degrade verbose timing
-      trace profile =
+  let run name json parallel jobs interp max_steps max_fuel degrade verbose
+      timing trace profile =
     match
       List.find_opt
         (fun (w : Dcir_workloads.Workload.t) -> w.name = name)
@@ -397,6 +412,7 @@ let bench_cmd =
           (if degrade then "  tier" else "");
         let ms =
           Pipelines.compare_pipelines ~with_profile:profile
+            ~interp_mode:interp
             ~limits:(budget_limits ~max_steps ~max_fuel)
             ~degrade ~src:w.src ~entry:w.entry (w.args ())
         in
@@ -486,7 +502,7 @@ let bench_cmd =
     Term.(
       ret
         (const run $ name_arg $ json_arg $ parallel_arg $ jobs_arg
-       $ max_steps_arg $ max_fuel_arg $ degrade_arg $ verbose_arg
+       $ interp_arg $ max_steps_arg $ max_fuel_arg $ degrade_arg $ verbose_arg
        $ timing_arg $ trace_arg $ profile_arg))
 
 let fuzz_cmd =
@@ -810,7 +826,7 @@ let serve_cmd =
                    against the tenant's own spend")
   in
   let run file journal seed queue plan_cache tenant_steps tenant_fuel
-      trip_after cooldown probation retries deadline =
+      trip_after cooldown probation retries deadline interp =
     let text =
       if file = "-" then In_channel.input_all stdin else read_file file
     in
@@ -842,6 +858,7 @@ let serve_cmd =
             cfg_retries = retries;
             cfg_deadline = deadline;
             cfg_chaos = None;
+            cfg_interp = interp;
           }
         in
         let report = Dcir_serve.Engine.run ~config requests in
@@ -862,7 +879,8 @@ let serve_cmd =
       ret
         (const run $ file_arg $ journal_arg $ seed_arg $ queue_arg
        $ plan_cache_arg $ tenant_steps_arg $ tenant_fuel_arg $ trip_after_arg
-       $ cooldown_arg $ probation_arg $ retries_arg $ deadline_arg))
+       $ cooldown_arg $ probation_arg $ retries_arg $ deadline_arg
+       $ interp_arg))
 
 let list_cmd =
   let doc = "List the available workloads." in

@@ -1,0 +1,550 @@
+(** Lowering from SDFGs to flat bytecode programs.
+
+    Structurally this mirrors {!Dcir_sdfg.Interp}'s plan compiler
+    ([compile_state] / [compile_graph] / [compile_tasklet]) — the same
+    walks, in the same order, producing the same closures for symbolic
+    expressions and general tasklet bodies — but emits a single flat
+    code array with preallocated frame slots instead of a closure tree:
+
+    - tasklet connector slots and assignment results get fixed indices
+      in the frame's value array (no per-execution [Array.make]);
+    - serial map nests flatten into register loops ([LoopInit] /
+      [LoopHead] / [LoopIter] / [LoopNext]);
+    - interstate conditions are pre-evaluated into branch targets: each
+      state's edge tests chain via [if_false] pcs and taken edges [Jmp]
+      straight to the destination state's entry pc.
+
+    States lower eagerly. The compiled tier compiles states lazily, so
+    a malformed state (e.g. a cyclic dataflow graph) only raises when
+    first executed; to keep failure timing identical, each state is
+    probed with [Interp.compile_state] first and a failing state's
+    entry points become [Reraise] instructions carrying the probe's
+    exception — executed exactly where the lazy compile would have
+    raised. *)
+
+module Interp = Dcir_sdfg.Interp
+module Sdfg = Dcir_sdfg.Sdfg
+module Texpr = Dcir_sdfg.Texpr
+module Range = Dcir_symbolic.Range
+open Isa
+
+(* ------------------------------------------------------------------ *)
+(* Code builder: reversed instruction list + patch thunks resolved once
+   every pc is known. *)
+
+type builder = {
+  mutable rev : instr list;
+  mutable len : int;
+  mutable patches : (int * (unit -> instr)) list;
+  mutable nvals : int;
+  mutable nints : int;
+  mutable nsaves : int;
+  mutable nsnaps : int;
+  cslots : (string, int) Hashtbl.t;
+  mutable ncslots : int;
+}
+
+let new_builder () : builder =
+  {
+    rev = [];
+    len = 0;
+    patches = [];
+    nvals = 0;
+    nints = 0;
+    nsaves = 0;
+    nsnaps = 0;
+    cslots = Hashtbl.create 16;
+    ncslots = 0;
+  }
+
+let emit (b : builder) (i : instr) : int =
+  let pc = b.len in
+  b.rev <- i :: b.rev;
+  b.len <- pc + 1;
+  pc
+
+(* Reserve a pc whose instruction is computed after layout. *)
+let emit_patch (b : builder) (f : unit -> instr) : int =
+  let pc = emit b Halt in
+  b.patches <- (pc, f) :: b.patches;
+  pc
+
+let alloc_val (b : builder) : int =
+  let s = b.nvals in
+  b.nvals <- s + 1;
+  s
+
+let alloc_vals (b : builder) (n : int) : int =
+  let s = b.nvals in
+  b.nvals <- s + n;
+  s
+
+let alloc_int (b : builder) : int =
+  let s = b.nints in
+  b.nints <- s + 1;
+  s
+
+let alloc_ints (b : builder) (n : int) : int =
+  let s = b.nints in
+  b.nints <- s + n;
+  s
+
+let alloc_save (b : builder) : int =
+  let s = b.nsaves in
+  b.nsaves <- s + 1;
+  s
+
+let alloc_snap (b : builder) : int =
+  let s = b.nsnaps in
+  b.nsnaps <- s + 1;
+  s
+
+(* One frame-cached (buffer, dims) slot per container name per program. *)
+let cslot (b : builder) (name : string) : int =
+  match Hashtbl.find_opt b.cslots name with
+  | Some s -> s
+  | None ->
+      let s = b.ncslots in
+      b.ncslots <- s + 1;
+      Hashtbl.replace b.cslots name s;
+      s
+
+let finish (b : builder) (sdfg : Sdfg.t) : program =
+  let code = Array.of_list (List.rev b.rev) in
+  List.iter (fun (pc, f) -> code.(pc) <- f ()) b.patches;
+  {
+    p_sdfg = sdfg;
+    p_code = code;
+    p_nvals = b.nvals;
+    p_nints = b.nints;
+    p_nsaves = b.nsaves;
+    p_nsnaps = b.nsnaps;
+    p_ncslots = b.ncslots;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tasklets. Mirrors [Interp.compile_tasklet]: bindings accumulate in
+   in-edge order, List.assoc picks the first occurrence, shadowed
+   scalar fills still execute (and charge). The binding environment
+   holds absolute frame-slot indices, so [Interp.compile_texpr] bodies
+   evaluate directly over the frame's value array. *)
+
+let lower_index_exprs (subset : Range.t) : iexpr array =
+  Array.of_list
+    (List.map (fun (d : Range.dim) -> Interp.compile_expr d.lo) subset)
+
+let lower_tasklet (b : builder) (g : Sdfg.graph) (n : Sdfg.node)
+    (t : Sdfg.tasklet) : unit =
+  let snap = alloc_snap b in
+  ignore (emit b (TaskSnap { slot = snap }));
+  let array_conns = Interp.tasklet_array_conns t in
+  let benv = ref [] in
+  List.iter
+    (fun (e : Sdfg.edge) ->
+      match (e.e_dst_conn, e.e_memlet) with
+      | Some conn, Some m ->
+          if List.mem conn array_conns then
+            benv := (conn, Interp.CBArray m.data) :: !benv
+          else begin
+            let slot = alloc_val b in
+            let i =
+              if List.for_all Range.is_index m.subset then
+                LoadIdx
+                  {
+                    dst = slot;
+                    data = m.data;
+                    cslot = cslot b m.data;
+                    idxs = lower_index_exprs m.subset;
+                  }
+              else
+                TrapNow
+                  (Printf.sprintf
+                     "tasklet '%s': scalar connector '%s' with non-index \
+                      subset %s"
+                     t.tname conn
+                     (Range.to_string m.subset))
+            in
+            ignore (emit b i);
+            benv := (conn, Interp.CBScalar slot) :: !benv
+          end
+      | Some conn, None -> (
+          match e.e_src_conn with
+          | Some src_conn ->
+              let key = Printf.sprintf "%d:%s" e.e_src src_conn in
+              let slot = alloc_val b in
+              ignore (emit b (LoadLast { dst = slot; key; tname = t.tname }));
+              benv := (conn, Interp.CBScalar slot) :: !benv
+          | None -> ())
+      | _ -> ())
+    (Sdfg.node_in_edges g n);
+  let benv = List.rev !benv in
+  (* Body: assignment results land in a contiguous frame region so the
+     writes can index them like the plan's output-value array. *)
+  let body_instrs, outnames, obase =
+    match t.code with
+    | Sdfg.Native assigns ->
+        let nouts = List.length assigns in
+        let obase = alloc_vals b nouts in
+        let instrs =
+          List.mapi
+            (fun i (_, e) ->
+              let dst = obase + i in
+              match e with
+              | Texpr.TBin (op, Texpr.TIn ca, Texpr.TIn cb) -> (
+                  match (List.assoc_opt ca benv, List.assoc_opt cb benv) with
+                  | Some (Interp.CBScalar a), Some (Interp.CBScalar bb) -> (
+                      match op with
+                      | Texpr.BDiv -> DivT { dst; a; b = bb }
+                      | Texpr.BMod -> RemT { dst; a; b = bb }
+                      | _ -> Bin { dst; op; a; b = bb })
+                  | _ -> Eval { dst; f = Interp.compile_texpr benv e })
+              | _ -> Eval { dst; f = Interp.compile_texpr benv e })
+            assigns
+        in
+        (instrs, List.map fst assigns, obase)
+    | Sdfg.Opaque f ->
+        let modul = Dcir_mlir.Ir.new_module () in
+        modul.funcs <- [ f ];
+        let nouts = List.length t.t_outputs in
+        let obase = alloc_vals b nouts in
+        let keys =
+          Array.of_list
+            (List.map (fun c -> Printf.sprintf "%d:%s" n.nid c) t.t_outputs)
+        in
+        let args =
+          Array.of_list
+            (List.map
+               (fun conn ->
+                 match List.assoc_opt conn benv with
+                 | Some (Interp.CBScalar i) -> OScalar i
+                 | Some (Interp.CBArray data) -> OArray data
+                 | None -> OUnbound conn)
+               t.t_inputs)
+        in
+        ( [
+            CallOpaque
+              {
+                tname = t.tname;
+                overhead = t.t_overhead;
+                modul;
+                entry = f.Dcir_mlir.Ir.fname;
+                nid = n.nid;
+                syms = t.t_syms;
+                args;
+                keys;
+                obase;
+              };
+          ],
+          t.t_outputs,
+          obase )
+  in
+  let outkeys =
+    List.map (fun c -> Printf.sprintf "%d:%s" n.nid c) outnames
+  in
+  let setouts =
+    List.mapi (fun i key -> SetOut { key; src = obase + i }) outkeys
+  in
+  (* Writes, per out-edge in edge order; [compile_write] semantics. *)
+  let rec index_of i conn = function
+    | [] -> None
+    | x :: _ when String.equal x conn -> Some i
+    | _ :: r -> index_of (i + 1) conn r
+  in
+  let writes =
+    List.filter_map
+      (fun (e : Sdfg.edge) ->
+        match (e.e_src_conn, e.e_memlet) with
+        | Some conn, Some m ->
+            Some
+              (match index_of 0 conn outnames with
+              | None ->
+                  TrapNow
+                    (Printf.sprintf
+                       "no value computed for output connector '%s'" conn)
+              | Some i ->
+                  if List.for_all Range.is_index m.subset then
+                    StoreIdx
+                      {
+                        src = obase + i;
+                        data = m.data;
+                        cslot = cslot b m.data;
+                        wcr = m.wcr;
+                        idxs = lower_index_exprs m.subset;
+                      }
+                  else
+                    TrapNow
+                      (Printf.sprintf
+                         "write memlet must be a single element (%s)" m.data))
+        | _ -> None)
+      (Sdfg.node_out_edges g n)
+  in
+  (* Peephole: a single two-operand assignment with a single indexed
+     write fuses into one load-op-store dispatch. Same effects, same
+     order (result slot, then last_outputs, then the store). *)
+  let fuse_parts = function
+    | Bin { dst; op; a; b } -> Some (dst, op, a, b)
+    | DivT { dst; a; b } -> Some (dst, Texpr.BDiv, a, b)
+    | RemT { dst; a; b } -> Some (dst, Texpr.BMod, a, b)
+    | _ -> None
+  in
+  (match (body_instrs, setouts, writes) with
+  | ( [ bi ],
+      [ SetOut { key; src } ],
+      [ StoreIdx { src = wsrc; data; cslot = cs; wcr; idxs } ] )
+    when (match fuse_parts bi with
+         | Some (dst, _, _, _) -> src = dst && wsrc = dst
+         | None -> false) ->
+      let dst, op, a, bb =
+        match fuse_parts bi with Some p -> p | None -> assert false
+      in
+      ignore
+        (emit b (FusedBin { dst; op; a; b = bb; key; data; cslot = cs; wcr; idxs }))
+  | _ ->
+      List.iter (fun i -> ignore (emit b i)) body_instrs;
+      List.iter (fun i -> ignore (emit b i)) setouts;
+      List.iter (fun i -> ignore (emit b i)) writes);
+  ignore (emit b (TaskRec { slot = snap; name = t.tname }))
+
+(* ------------------------------------------------------------------ *)
+(* Graphs: one [Step] at entry (exec_cgraph's budget charge), then the
+   nodes in topological order. *)
+
+let rec lower_graph (b : builder) (sdfg : Sdfg.t) (g : Sdfg.graph) : unit =
+  ignore (emit b Step);
+  List.iter
+    (fun (n : Sdfg.node) ->
+      match n.kind with
+      | Sdfg.Access _ ->
+          List.iter
+            (fun (e : Sdfg.edge) ->
+              match ((Sdfg.node_by_id g e.e_dst).kind, e.e_memlet) with
+              | Sdfg.Access dst_name, Some m ->
+                  let dst_subset =
+                    match m.other with
+                    | Some o -> o
+                    | None -> m.subset (* same-region copy *)
+                  in
+                  lower_copy b ~src:m.data ~dst:dst_name ~wcr:m.wcr
+                    ~src_subset:m.subset ~dst_subset
+              | _ -> ())
+            (Sdfg.node_out_edges g n)
+      | Sdfg.TaskletN t -> lower_tasklet b g n t
+      | Sdfg.MapN mn -> lower_map b sdfg mn)
+    (Sdfg.topo_order g)
+
+and lower_copy (b : builder) ~(src : string) ~(dst : string)
+    ~(wcr : Sdfg.wcr option) ~(src_subset : Range.t) ~(dst_subset : Range.t) :
+    unit =
+  let i =
+    match (src_subset, dst_subset) with
+    | [], [] ->
+        Copy0 { src; sslot = cslot b src; dst; dslot = cslot b dst; wcr }
+    | [ sd ], [ dd ] ->
+        Copy1
+          {
+            src;
+            sslot = cslot b src;
+            dst;
+            dslot = cslot b dst;
+            wcr;
+            sr = Interp.compile_range_dim sd;
+            dr = Interp.compile_range_dim dd;
+          }
+    | _ ->
+        CopyND
+          {
+            Interp.cc_src = src;
+            cc_dst = dst;
+            cc_wcr = wcr;
+            cc_src_dims = List.map Interp.compile_range_dim src_subset;
+            cc_dst_dims = List.map Interp.compile_range_dim dst_subset;
+          }
+  in
+  ignore (emit b i)
+
+and lower_map (b : builder) (sdfg : Sdfg.t) (mn : Sdfg.map_node) : unit =
+  match mn.m_par with
+  | Some cert when mn.m_params <> [] ->
+      let body = lower_body sdfg mn.m_body in
+      ignore
+        (emit b
+           (ParMap
+              {
+                cert;
+                params = mn.m_params;
+                ranges = List.map Interp.compile_range_dim mn.m_ranges;
+                body;
+              }))
+  | Some _ | None ->
+      (* Serial nest: all range bounds evaluate up front (lo, hi, step
+         per range, in range order), then the saved symbol bindings, then
+         the register loops. A params/ranges arity mismatch traps at the
+         depth where the walk diverges — outer loops still run. *)
+      let nranges = List.length mn.m_ranges in
+      let nparams = List.length mn.m_params in
+      let regs =
+        List.map
+          (fun rd ->
+            let lo = alloc_int b and hi = alloc_int b and step = alloc_int b in
+            ignore
+              (emit b
+                 (EvalRange { lo; hi; step; r = Interp.compile_range_dim rd }));
+            (lo, hi, step))
+          mn.m_ranges
+      in
+      let saves =
+        List.map
+          (fun p ->
+            let slot = alloc_save b in
+            ignore (emit b (SaveSym { slot; sym = p }));
+            (p, slot))
+          mn.m_params
+      in
+      let depth = min nparams nranges in
+      let rec nest k params regs =
+        if k = depth then
+          if nparams <> nranges then
+            ignore (emit b (TrapNow "map params/ranges mismatch"))
+          else lower_graph b sdfg mn.m_body
+        else
+          match (params, regs) with
+          | p :: ps, (lo, hi, step) :: rs ->
+              let iv = alloc_int b in
+              ignore (emit b (LoopInit { iv; lo }));
+              let head = b.len in
+              let exit_ref = ref (-1) in
+              ignore
+                (emit_patch b (fun () ->
+                     LoopHead { iv; hi; exit_ = !exit_ref }));
+              ignore (emit b (LoopIter { sym = p; iv }));
+              nest (k + 1) ps rs;
+              ignore (emit b (LoopNext { iv; step; head }));
+              exit_ref := b.len
+          | _ -> assert false
+      in
+      nest 0 mn.m_params regs;
+      List.iter
+        (fun (p, slot) -> ignore (emit b (RestoreSym { slot; sym = p })))
+        saves
+
+and lower_body (sdfg : Sdfg.t) (g : Sdfg.graph) : program =
+  let b = new_builder () in
+  lower_graph b sdfg g;
+  ignore (emit b Halt);
+  finish b sdfg
+
+(* ------------------------------------------------------------------ *)
+(* States and the flattened interstate machine. *)
+
+let lower_state (b : builder) (sdfg : Sdfg.t) (s : Sdfg.state)
+    ~(state_pc : (string, int) Hashtbl.t)
+    ~(failed : (string, exn) Hashtbl.t) : unit =
+  ignore (emit b Step);
+  let snap = alloc_snap b in
+  ignore (emit b (StateSnap { slot = snap }));
+  (* Allocation-charge candidates in container-table iteration order
+     (same Hashtbl.iter as the tree walker and [compile_state]). *)
+  let allocs = ref [] in
+  Hashtbl.iter
+    (fun _ (c : Sdfg.container) ->
+      if c.alloc_state = Some s.s_label && c.storage = Sdfg.Heap then
+        allocs := (c, List.map Interp.compile_expr c.shape) :: !allocs)
+    sdfg.containers;
+  List.iter
+    (fun (c, shape) -> ignore (emit b (AllocState { c; shape })))
+    (List.rev !allocs);
+  lower_graph b sdfg s.s_graph;
+  let outs = Sdfg.out_edges sdfg s.s_label in
+  if List.length outs > 1 then ignore (emit b ChargeBranch);
+  (* Transition tail shared by every taken edge and the fallthrough:
+     run_compiled resolves the next state (which may raise for a
+     malformed destination) before recording the profile entry, so the
+     [Reraise] slot precedes [StateRec]. *)
+  let emit_tail (dst : string option) : unit =
+    (match dst with
+    | Some d when Hashtbl.mem failed d || not (Hashtbl.mem state_pc d) ->
+        (* patched below once all states are laid out *)
+        ignore
+          (emit_patch b (fun () ->
+               match Hashtbl.find_opt failed d with
+               | Some e -> Reraise e
+               | None -> StateRec { slot = snap; label = s.s_label }))
+    | _ -> ignore (emit b (StateRec { slot = snap; label = s.s_label })));
+    match dst with
+    | None -> ignore (emit b Halt)
+    | Some d ->
+        ignore
+          (emit_patch b (fun () ->
+               if Hashtbl.mem failed d then Halt (* unreachable *)
+               else
+                 match Hashtbl.find_opt state_pc d with
+                 | Some pc -> Jmp pc
+                 | None -> Halt (* missing destination state *)))
+  in
+  List.iter
+    (fun (e : Sdfg.istate_edge) ->
+      let skip = ref (-1) in
+      let cond = Interp.compile_bexpr e.ie_cond in
+      ignore
+        (emit_patch b (fun () ->
+             EdgeCond
+               { cond; src = e.ie_src; dst = e.ie_dst; if_false = !skip }));
+      (match e.ie_assign with
+      | [] -> ()
+      | assigns ->
+          let items =
+            Array.of_list
+              (List.map
+                 (fun (sym, ex) -> (sym, Interp.compile_expr ex))
+                 assigns)
+          in
+          let base = alloc_ints b (Array.length items) in
+          ignore (emit b (EdgeAssigns { base; items })));
+      emit_tail (Some e.ie_dst);
+      skip := b.len)
+    outs;
+  emit_tail None
+
+(* The StateRec-vs-Reraise choice above keys off [failed] and
+   [state_pc], which are only complete after every state has been laid
+   out — hence the always-patch form for edges to unknown-at-emit-time
+   destinations. Edges to already-laid-out healthy states still go
+   through the patch list, which is resolved in [finish]. *)
+
+let lower (sdfg : Sdfg.t) : program =
+  let b = new_builder () in
+  let state_pc : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let failed : (string, exn) Hashtbl.t = Hashtbl.create 4 in
+  (* Probe every state with the plan compiler so a lowering failure
+     carries exactly the exception lazy compilation would raise. *)
+  List.iter
+    (fun (s : Sdfg.state) ->
+      match Interp.compile_state sdfg s with
+      | (_ : Interp.cstate) -> ()
+      | exception e -> Hashtbl.replace failed s.s_label e)
+    (Sdfg.states sdfg);
+  let entry_ref = ref (-1) in
+  ignore (emit_patch b (fun () -> Jmp !entry_ref));
+  List.iter
+    (fun (s : Sdfg.state) ->
+      if not (Hashtbl.mem failed s.s_label) then begin
+        Hashtbl.replace state_pc s.s_label b.len;
+        lower_state b sdfg s ~state_pc ~failed
+      end)
+    (Sdfg.states sdfg);
+  (* Entry: run_compiled looks up the start state before its loop — a
+     missing start halts without charging a step; a failed one raises
+     before anything else. *)
+  let halt_pc = emit b Halt in
+  (entry_ref :=
+     match Hashtbl.find_opt failed sdfg.start_state with
+     | Some _ -> halt_pc (* overridden below *)
+     | None -> (
+         match Hashtbl.find_opt state_pc sdfg.start_state with
+         | Some pc -> pc
+         | None -> halt_pc));
+  let p = finish b sdfg in
+  (match Hashtbl.find_opt failed sdfg.start_state with
+  | Some e -> p.p_code.(0) <- Reraise e
+  | None -> ());
+  p

@@ -1,0 +1,143 @@
+(** Deterministic tier-up policy: interpret → plan → bytecode.
+
+    In [`Adaptive] mode every run of an SDFG consults this registry,
+    keyed by the program's content digest. A program is promoted to the
+    bytecode tier either {e statically} — a saturating bottom-up cost
+    estimate in the style of Manticore's [ast-cost.sml] says the program
+    is heavy enough that lowering pays for itself on the first run — or
+    {e dynamically}, once the cumulative cycles attributed to the digest
+    by {!Dcir_obs.Obs.Profile} cross a threshold. Promotion is sticky
+    for the registry's lifetime.
+
+    Everything here is a pure function of (program, prior runs in this
+    process): no wall-clock, no randomness. Both promotion triggers emit
+    a [TIER-UP] event and every adaptive run emits [EXEC-TIER] (from
+    [Pipelines]), so two processes replaying the same request sequence
+    produce byte-identical event streams — the property the serve
+    determinism tests pin down. [Pipelines] resets the registry whenever
+    it resets its artifact caches. *)
+
+module Sdfg = Dcir_sdfg.Sdfg
+module Expr = Dcir_symbolic.Expr
+module Range = Dcir_symbolic.Range
+module Events = Dcir_obs.Events
+module Json = Dcir_obs.Json
+module Profile = Dcir_obs.Obs.Profile
+
+type entry = {
+  mutable cycles : float;  (** cumulative observed cycles across runs *)
+  mutable runs : int;
+  mutable promoted : bool;
+}
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 32
+
+let reset () : unit = Hashtbl.reset registry
+
+(** Static-cost promotion threshold: programs estimated at or above this
+    weight skip the plan tier entirely. *)
+let static_threshold = 200
+
+(** Dynamic promotion threshold on cumulative observed cycles. *)
+let cycle_threshold = 100_000.0
+
+let entry_of (digest : string) : entry =
+  match Hashtbl.find_opt registry digest with
+  | Some e -> e
+  | None ->
+      let e = { cycles = 0.0; runs = 0; promoted = false } in
+      Hashtbl.replace registry digest e;
+      e
+
+let short (d : string) : string =
+  if String.length d > 12 then String.sub d 0 12 else d
+
+(* -- static cost estimate (ast-cost.sml style) ----------------------- *)
+
+let cost_cap = 1_000_000
+
+(* Constant-bound trip counts contribute up to 64 iterations; symbolic
+   bounds get a fixed default so the estimate stays input-independent. *)
+let est_trips (r : Range.dim) : int =
+  match (r.lo, r.hi, r.step) with
+  | Expr.Int lo, Expr.Int hi, Expr.Int step when step > 0 ->
+      if hi < lo then 0 else min 64 (((hi - lo) / step) + 1)
+  | _ -> 16
+
+let rec graph_cost (g : Sdfg.graph) : int =
+  List.fold_left
+    (fun acc (n : Sdfg.node) ->
+      let c =
+        match n.kind with
+        | Sdfg.Access _ -> 1
+        | Sdfg.TaskletN t -> (
+            match t.code with
+            | Sdfg.Native assigns -> 2 + List.length assigns
+            | Sdfg.Opaque _ -> 8)
+        | Sdfg.MapN mn ->
+            let trips =
+              List.fold_left
+                (fun acc r -> min cost_cap (acc * max 1 (est_trips r)))
+                1 mn.m_ranges
+            in
+            2 + min cost_cap (graph_cost mn.m_body * trips)
+      in
+      min cost_cap (acc + c))
+    0 (Sdfg.nodes g)
+
+(** Saturating weight of a whole SDFG — roughly "dispatched operations
+    per execution", the quantity bytecode lowering amortizes. *)
+let static_cost (sdfg : Sdfg.t) : int =
+  List.fold_left
+    (fun acc (s : Sdfg.state) -> min cost_cap (acc + graph_cost s.s_graph))
+    0 (Sdfg.states sdfg)
+
+(* -- policy ----------------------------------------------------------- *)
+
+(** [decide ~digest sdfg] — the tier for this run, with the reason that
+    the [EXEC-TIER] event records. Promotes (and emits [TIER-UP]) when
+    the static estimate clears the threshold. *)
+let decide ~(digest : string) (sdfg : Sdfg.t) : [ `Bytecode | `Plan ] * string
+    =
+  let e = entry_of digest in
+  if e.promoted then (`Bytecode, "profile-hot")
+  else
+    let cost = static_cost sdfg in
+    if cost >= static_threshold then begin
+      e.promoted <- true;
+      Events.emit ~code:"TIER-UP"
+        [
+          ("digest", Json.Str (short digest));
+          ("trigger", Json.Str "static");
+          ("cost", Json.Int cost);
+        ];
+      (`Bytecode, "static-hot")
+    end
+    else (`Plan, "cold")
+
+(** [observe ~digest ?profile ~cycles ()] — account one finished run.
+    Crossing the cumulative-cycle threshold promotes the digest and
+    emits [TIER-UP] with the hottest state when a profile is present. *)
+let observe ~(digest : string) ?profile ~(cycles : float) () : unit =
+  let e = entry_of digest in
+  e.runs <- e.runs + 1;
+  e.cycles <- e.cycles +. cycles;
+  if (not e.promoted) && e.cycles >= cycle_threshold then begin
+    e.promoted <- true;
+    let hot =
+      match (profile : Profile.t option) with
+      | Some p -> (
+          match Profile.entries p ~kind:"state" with
+          | (name, _) :: _ -> name
+          | [] -> "")
+      | None -> ""
+    in
+    Events.emit ~code:"TIER-UP"
+      ([
+         ("digest", Json.Str (short digest));
+         ("trigger", Json.Str "profile");
+         ("runs", Json.Int e.runs);
+         ("cycles", Json.Int (int_of_float e.cycles));
+       ]
+      @ if hot = "" then [] else [ ("hot_state", Json.Str hot) ])
+  end

@@ -1,0 +1,332 @@
+(** The bytecode dispatch loop — one [while] over a flat code array.
+
+    Every instruction drives the same {!Dcir_machine.Machine} charge
+    helpers as the tree walker and the compiled plans, in the same
+    order, so outputs, traps and machine metrics are bit-identical
+    across all three tiers (the fuzz oracle and
+    [test/test_interp_plans.ml] enforce this). What disappears is pure
+    interpretation overhead: per-tasklet slot-array allocation, index
+    lists, closure-tree dispatch, and the interstate edge scan.
+
+    Certified parallel maps delegate to {!Interp.exec_par_chunks} — the
+    chunked schedule, forked machines and deterministic metric merge are
+    shared with the compiled tier; only the chunk bodies execute as
+    bytecode. *)
+
+open Dcir_machine
+module Interp = Dcir_sdfg.Interp
+module Sdfg = Dcir_sdfg.Sdfg
+module Expr = Dcir_symbolic.Expr
+open Isa
+
+(* Per-frame (buffer, dims) cache: the first touch goes through
+   [Interp.buffer_of] (which may lazily allocate a transient, with the
+   tree walker's exact charge suppression); later touches skip the
+   hashtable. Buffer bindings never change within a run, so the cache
+   is sound; parallel chunk bodies get fresh frames. *)
+let cached (rt : Interp.runtime) (fr : frame) (slot : int) (name : string) :
+    Machine.buffer * int array =
+  match fr.bufs.(slot) with
+  | Some bd -> bd
+  | None ->
+      let buf = Interp.buffer_of rt name in
+      let dims =
+        match Hashtbl.find_opt rt.dims name with
+        | Some d -> d
+        | None -> Interp.trap "no dims for container '%s'" name
+      in
+      let bd = (buf, dims) in
+      fr.bufs.(slot) <- Some bd;
+      bd
+
+let rank_trap (name : string) (n : int) (rank : int) : unit =
+  Interp.trap "container '%s': %d indices for rank %d" name n rank
+
+(* Evaluate a single-element subset and linearize it with [linearize]'s
+   exact charge sequence (rank trap first, one Int_alu per dimension
+   past the first), without allocating an index list. *)
+let load_linear (rt : Interp.runtime) (fr : frame) ~(data : string)
+    ~(cslot : int) (idxs : iexpr array) : Machine.buffer * int =
+  match Array.length idxs with
+  | 0 ->
+      let buf, dims = cached rt fr cslot data in
+      if Array.length dims <> 0 then rank_trap data 0 (Array.length dims);
+      (buf, 0)
+  | 1 ->
+      let i0 = Interp.ceval idxs.(0) rt in
+      let buf, dims = cached rt fr cslot data in
+      if Array.length dims <> 1 then rank_trap data 1 (Array.length dims);
+      (buf, i0)
+  | 2 ->
+      let i0 = Interp.ceval idxs.(0) rt in
+      let i1 = Interp.ceval idxs.(1) rt in
+      let buf, dims = cached rt fr cslot data in
+      if Array.length dims <> 2 then rank_trap data 2 (Array.length dims);
+      Machine.charge_op rt.machine Cost.Int_alu;
+      (buf, (i0 * dims.(1)) + i1)
+  | n ->
+      let tmp = Array.make n 0 in
+      for k = 0 to n - 1 do
+        tmp.(k) <- Interp.ceval idxs.(k) rt
+      done;
+      let buf, dims = cached rt fr cslot data in
+      if Array.length dims <> n then rank_trap data n (Array.length dims);
+      let lin = ref tmp.(0) in
+      for k = 1 to n - 1 do
+        Machine.charge_op rt.machine Cost.Int_alu;
+        lin := (!lin * dims.(k)) + tmp.(k)
+      done;
+      (buf, !lin)
+
+let do_store (rt : Interp.runtime) (buf : Machine.buffer) (lin : int)
+    (wcr : Sdfg.wcr option) (v : Value.t) : unit =
+  match wcr with
+  | None -> Machine.store rt.machine buf lin v
+  | Some w ->
+      let old_v = Machine.load rt.machine buf lin in
+      Machine.store rt.machine buf lin (Interp.apply_wcr rt w old_v v)
+
+let rec exec (rt : Interp.runtime) (p : program) : unit =
+  let fr = make_frame p in
+  let code = p.p_code in
+  let m = rt.machine in
+  let pc = ref 0 in
+  let halted = ref false in
+  while not !halted do
+    let ip = !pc in
+    pc := ip + 1;
+    match code.(ip) with
+    | Halt -> halted := true
+    | Jmp t -> pc := t
+    | Step -> Interp.charge_step rt
+    | Reraise e -> raise e
+    | TrapNow msg -> raise (Interp.Trap msg)
+    (* -- state machine --------------------------------------------- *)
+    | StateSnap { slot } -> fr.snaps.(slot) <- Interp.metric_snap rt
+    | StateRec { slot; label } ->
+        Interp.profile_record rt fr.snaps.(slot) ~kind:"state" ~name:label
+    | AllocState { c; shape } ->
+        if c.alloc_in_loop || not (Hashtbl.mem rt.alloc_charged c.cname)
+        then begin
+          Hashtbl.replace rt.alloc_charged c.cname ();
+          let bytes =
+            List.fold_left
+              (fun acc cd -> acc * max 1 (Interp.ceval cd rt))
+              1 shape
+            * Sdfg.elem_bytes c
+          in
+          let pages = (bytes + 4095) / 4096 in
+          Machine.charge m
+            (m.cfg.malloc_cost
+            +. (m.cfg.malloc_per_page *. float_of_int pages)
+            +. if c.alloc_in_loop then m.cfg.free_cost else 0.0);
+          (Machine.metrics m).heap_allocs <- (Machine.metrics m).heap_allocs + 1
+        end
+    | ChargeBranch -> Machine.charge_op m Cost.Branch
+    | EdgeCond { cond; src; dst; if_false } ->
+        let taken =
+          match cond rt with
+          | v -> v
+          | exception Expr.Unbound_symbol sym ->
+              Interp.trap "condition on edge %s->%s reads unbound symbol '%s'"
+                src dst sym
+        in
+        if not taken then pc := if_false
+    | EdgeAssigns { base; items } ->
+        let n = Array.length items in
+        for j = 0 to n - 1 do
+          Machine.charge_op m Cost.Int_alu;
+          fr.ints.(base + j) <- Interp.ceval (snd items.(j)) rt
+        done;
+        for j = 0 to n - 1 do
+          Hashtbl.replace rt.symbols (fst items.(j)) fr.ints.(base + j)
+        done
+    (* -- serial map loops ------------------------------------------ *)
+    | EvalRange { lo; hi; step; r } ->
+        let l, h, s = Interp.eval_crange rt r in
+        fr.ints.(lo) <- l;
+        fr.ints.(hi) <- h;
+        fr.ints.(step) <- s
+    | SaveSym { slot; sym } ->
+        fr.saves.(slot) <- Hashtbl.find_opt rt.symbols sym
+    | RestoreSym { slot; sym } -> (
+        match fr.saves.(slot) with
+        | Some v -> Hashtbl.replace rt.symbols sym v
+        | None -> Hashtbl.remove rt.symbols sym)
+    | LoopInit { iv; lo } -> fr.ints.(iv) <- fr.ints.(lo)
+    | LoopHead { iv; hi; exit_ } ->
+        if fr.ints.(iv) > fr.ints.(hi) then pc := exit_
+    | LoopIter { sym; iv } ->
+        Machine.charge_op m Cost.Int_alu;
+        Machine.charge_op m Cost.Branch;
+        Hashtbl.replace rt.symbols sym fr.ints.(iv)
+    | LoopNext { iv; step; head } ->
+        fr.ints.(iv) <- fr.ints.(iv) + fr.ints.(step);
+        pc := head
+    (* -- certified parallel maps ----------------------------------- *)
+    | ParMap { cert; params; ranges; body } ->
+        let dims = List.map (Interp.eval_crange rt) ranges in
+        Interp.exec_par_chunks rt cert ~params ~dims ~body:(fun crt ->
+            exec crt body)
+    (* -- memlet copies --------------------------------------------- *)
+    | CopyND cc -> Interp.exec_ccopy rt cc
+    | Copy1 { src; sslot; dst; dslot; wcr; sr; dr } ->
+        let sbuf, sdims = cached rt fr sslot src in
+        let dbuf, ddims = cached rt fr dslot dst in
+        let slo, shi, sstep = Interp.eval_crange rt sr in
+        let dlo, dhi, dstep = Interp.eval_crange rt dr in
+        if slo = shi && dlo = dhi then begin
+          if Array.length sdims <> 1 then rank_trap src 1 (Array.length sdims);
+          let v = Machine.load m sbuf slo in
+          if Array.length ddims <> 1 then rank_trap dst 1 (Array.length ddims);
+          do_store rt dbuf dlo wcr v
+        end
+        else begin
+          let i = ref slo and k = ref 0 in
+          while !i <= shi do
+            if Array.length sdims <> 1 then
+              rank_trap src 1 (Array.length sdims);
+            let v = Machine.load m sbuf !i in
+            if Array.length ddims <> 1 then
+              rank_trap dst 1 (Array.length ddims);
+            do_store rt dbuf (dlo + (!k * dstep)) wcr v;
+            i := !i + sstep;
+            incr k
+          done
+        end
+    | Copy0 { src; sslot; dst; dslot; wcr } ->
+        let sbuf, sdims = cached rt fr sslot src in
+        let dbuf, ddims = cached rt fr dslot dst in
+        if Array.length sdims <> 0 then rank_trap src 0 (Array.length sdims);
+        let v = Machine.load m sbuf 0 in
+        if Array.length ddims <> 0 then rank_trap dst 0 (Array.length ddims);
+        do_store rt dbuf 0 wcr v
+    (* -- tasklets -------------------------------------------------- *)
+    | TaskSnap { slot } -> fr.snaps.(slot) <- Interp.metric_snap rt
+    | TaskRec { slot; name } ->
+        Interp.profile_record rt fr.snaps.(slot) ~kind:"tasklet" ~name
+    | LoadIdx { dst; data; cslot; idxs } ->
+        let buf, lin = load_linear rt fr ~data ~cslot idxs in
+        fr.vals.(dst) <- Machine.load m buf lin
+    | LoadLast { dst; key; tname } -> (
+        match Hashtbl.find_opt rt.last_outputs key with
+        | Some v -> fr.vals.(dst) <- v
+        | None ->
+            Interp.trap "tasklet '%s': value edge source %s not yet executed"
+              tname key)
+    | Eval { dst; f } -> fr.vals.(dst) <- f rt fr.vals
+    | Bin { dst; op; a; b } ->
+        fr.vals.(dst) <- Interp.apply_binop m op fr.vals.(a) fr.vals.(b)
+    | DivT { dst; a; b } -> (
+        match (fr.vals.(a), fr.vals.(b)) with
+        | Value.VInt x, Value.VInt y ->
+            Machine.charge_op m Cost.Int_div;
+            if y = 0 then Interp.trap "division by zero in tasklet"
+            else fr.vals.(dst) <- Value.VInt (x / y)
+        | va, vb -> fr.vals.(dst) <- Interp.apply_binop m Texpr.BDiv va vb)
+    | RemT { dst; a; b } -> (
+        match (fr.vals.(a), fr.vals.(b)) with
+        | Value.VInt x, Value.VInt y ->
+            Machine.charge_op m Cost.Int_div;
+            if y = 0 then Interp.trap "modulo by zero in tasklet"
+            else fr.vals.(dst) <- Value.VInt (x mod y)
+        | va, vb -> fr.vals.(dst) <- Interp.apply_binop m Texpr.BMod va vb)
+    | SetOut { key; src } ->
+        Hashtbl.replace rt.last_outputs key fr.vals.(src)
+    | StoreIdx { src; data; cslot; wcr; idxs } ->
+        let buf, lin = load_linear rt fr ~data ~cslot idxs in
+        do_store rt buf lin wcr fr.vals.(src)
+    | FusedBin { dst; op; a; b; key; data; cslot; wcr; idxs } ->
+        let v = Interp.apply_binop m op fr.vals.(a) fr.vals.(b) in
+        fr.vals.(dst) <- v;
+        Hashtbl.replace rt.last_outputs key v;
+        let buf, lin = load_linear rt fr ~data ~cslot idxs in
+        do_store rt buf lin wcr v
+    | CallOpaque { tname; overhead; modul; entry; nid; syms; args; keys; obase }
+      ->
+        Machine.charge m overhead;
+        let sym_args =
+          List.map
+            (fun s ->
+              match Interp.sym_env rt s with
+              | Some v -> Dcir_mlir.Interp.Scalar (Value.VInt v)
+              | None ->
+                  Interp.trap "opaque tasklet '%s': unbound symbol '%s'" tname
+                    s)
+            syms
+        in
+        let margs =
+          List.map
+            (fun (a : oarg) ->
+              match a with
+              | OScalar i -> Dcir_mlir.Interp.Scalar fr.vals.(i)
+              | OArray data ->
+                  Dcir_mlir.Interp.Buf
+                    { buf = Interp.buffer_of rt data; dims = Interp.dims_of rt data }
+              | OUnbound conn ->
+                  Interp.trap "opaque tasklet '%s': unbound connector '%s'"
+                    tname conn)
+            (Array.to_list args)
+        in
+        let prep =
+          match Hashtbl.find_opt rt.prepared nid with
+          | Some p -> p
+          | None ->
+              let p =
+                Dcir_mlir.Interp.prepare ?profile:rt.profile
+                  ~machine:rt.machine modul ~entry
+              in
+              Hashtbl.replace rt.prepared nid p;
+              p
+        in
+        let results = Dcir_mlir.Interp.run_prepared prep (sym_args @ margs) in
+        let vals =
+          Array.of_list
+            (List.map2 (fun _ v -> v) (Array.to_list keys) results)
+        in
+        Array.blit vals 0 fr.vals obase (Array.length vals)
+  done
+
+(** [run p ~buffers ~symbols] executes a lowered program; mirrors
+    {!Interp.run}'s runtime construction, argument binding, missing-
+    buffer validation and return-value logic exactly. *)
+let run ?(machine : Machine.t option)
+    ?(profile : Dcir_obs.Obs.Profile.t option) ?(jobs : int = 1)
+    (p : program) ~(buffers : (string * Machine.buffer * int array) list)
+    ~(symbols : (string * int) list) () : Interp.result =
+  let machine = match machine with Some m -> m | None -> Machine.create () in
+  let rt =
+    {
+      Interp.machine;
+      sdfg = p.p_sdfg;
+      buffers = Hashtbl.create 32;
+      dims = Hashtbl.create 32;
+      symbols = Hashtbl.create 32;
+      topo_cache = Hashtbl.create 32;
+      alloc_charged = Hashtbl.create 16;
+      last_outputs = Hashtbl.create 32;
+      budget = Machine.budget machine;
+      profile;
+      prepared = Hashtbl.create 8;
+      jobs = max 1 jobs;
+    }
+  in
+  List.iter (fun (s, v) -> Hashtbl.replace rt.Interp.symbols s v) symbols;
+  List.iter
+    (fun (name, buf, dims) ->
+      Hashtbl.replace rt.Interp.buffers name buf;
+      Hashtbl.replace rt.Interp.dims name dims)
+    buffers;
+  Hashtbl.iter
+    (fun name (c : Sdfg.container) ->
+      if (not c.transient) && not (Hashtbl.mem rt.Interp.buffers name) then
+        Interp.trap "missing buffer for argument '%s'" name)
+    p.p_sdfg.containers;
+  exec rt p;
+  let return_value =
+    match (p.p_sdfg.return_scalar, p.p_sdfg.return_expr) with
+    | Some name, _ -> Some (Machine.peek (Interp.buffer_of rt name) 0)
+    | None, Some e -> Some (Value.VInt (Interp.eval_expr rt e))
+    | None, None -> None
+  in
+  { Interp.return_value; machine }

@@ -490,6 +490,9 @@ type run_result = {
   outputs : (int * Value.t array) list;
       (** arg position -> final contents, for array args *)
   metrics : Metrics.t;
+  exec_tier : string;
+      (** the tier that actually executed: "tree", "plan" or "bytecode" —
+          for [`Adaptive] runs, the {!Dcir_bytecode.Tierup} decision *)
 }
 
 let reset_metrics (m : Metrics.t) : unit =
@@ -549,9 +552,16 @@ let snapshot_outputs (bufs : (arg * Machine.buffer option) list) :
 
 (** Interpreter execution strategy, for both IRs: [`Compiled] (default)
     builds one-time execution plans (closure arrays / per-state compiled
-    programs); [`Tree] walks the IR directly. Metrics are bit-identical —
-    the modes differ only in host-side wall-clock. *)
-type interp_mode = [ `Tree | `Compiled ]
+    programs); [`Tree] walks the IR directly; [`Bytecode] lowers SDFG
+    products one level further, to the flat register VM of
+    {!Dcir_bytecode}; [`Adaptive] picks plan vs bytecode per program via
+    the deterministic {!Dcir_bytecode.Tierup} policy (interpret → plan →
+    bytecode laddering), journaling the choice as [EXEC-TIER] events.
+    Outputs, traps and machine metrics are bit-identical across all
+    modes — they differ only in host-side wall-clock. MLIR products have
+    no bytecode lowering; [`Bytecode]/[`Adaptive] fall back to the
+    compiled closure interpreter there. *)
+type interp_mode = [ `Tree | `Compiled | `Bytecode | `Adaptive ]
 
 (* Compiled SDFG plans are reusable across runs — bench repetitions, and
    (the compile-once/run-many payoff of the shared representation) across
@@ -605,18 +615,39 @@ let pc_misses = Om.Counter.make "plan_cache.misses"
 let pc_evictions = Om.Counter.make "plan_cache.evictions"
 let pc_size = Om.Gauge.make "plan_cache.size"
 
-(** Resize the artifact store (used by [dcir serve --plan-cache]); drops
-    every cached plan. Capacity 0 disables caching entirely. *)
+(* Bytecode programs live in a second content-addressed store under the
+   same digests, so a serve session can hold both artifacts for a hot
+   program (the adaptive policy may run it at either tier over its
+   lifetime). Cache events share the PLAN-* codes, distinguished by an
+   ["artifact"] field. *)
+let program_store : Dcir_bytecode.Isa.program Cstore.t ref =
+  ref (Cstore.create ~capacity:default_plan_cache_capacity ())
+
+let bc_hits = Om.Counter.make "bytecode_cache.hits"
+let bc_misses = Om.Counter.make "bytecode_cache.misses"
+let bc_evictions = Om.Counter.make "bytecode_cache.evictions"
+let bc_size = Om.Gauge.make "bytecode_cache.size"
+
+(** Resize the artifact stores (used by [dcir serve --plan-cache]); drops
+    every cached plan and bytecode program, and resets the tier-up
+    registry. Capacity 0 disables caching entirely. *)
 let set_plan_cache_capacity ?shards (capacity : int) : unit =
   plan_store := Cstore.create ?shards ~capacity ();
+  program_store := Cstore.create ?shards ~capacity ();
+  Dcir_bytecode.Tierup.reset ();
   digest_memo := [];
-  Om.Gauge.set pc_size 0
+  Om.Gauge.set pc_size 0;
+  Om.Gauge.set bc_size 0
 
-(** Drop all cached plans and digest memos without changing capacity. *)
+(** Drop all cached artifacts, digest memos and tier-up state without
+    changing capacity. *)
 let reset_plan_cache () : unit =
   Cstore.clear !plan_store;
+  Cstore.clear !program_store;
+  Dcir_bytecode.Tierup.reset ();
   digest_memo := [];
-  Om.Gauge.set pc_size 0
+  Om.Gauge.set pc_size 0;
+  Om.Gauge.set bc_size 0
 
 let plan_cache_stats () : (string * Json.t) list =
   [
@@ -654,6 +685,42 @@ let plan_for (sdfg : Sdfg.t) : Dcir_sdfg.Interp.plan =
         [ ("size", Json.Int (Cstore.length !plan_store)) ];
       p
 
+(** The lowered bytecode program for [sdfg], through the second
+    content-addressed store — same hit semantics as {!plan_for}: callers
+    execute [program.p_sdfg]. *)
+let program_for (sdfg : Sdfg.t) : Dcir_bytecode.Isa.program =
+  let key = digest_of_sdfg sdfg in
+  match Cstore.find !program_store key with
+  | Some p ->
+      Om.Counter.incr bc_hits;
+      Events.emit ~code:"PLAN-HIT"
+        [
+          ("artifact", Json.Str "bytecode");
+          ("size", Json.Int (Cstore.length !program_store));
+        ];
+      p
+  | None ->
+      Om.Counter.incr bc_misses;
+      let p = Dcir_bytecode.Lower.lower sdfg in
+      let evicted = Cstore.add !program_store key p in
+      List.iter
+        (fun _ ->
+          Om.Counter.incr bc_evictions;
+          Events.emit ~code:"PLAN-EVICT"
+            [
+              ("artifact", Json.Str "bytecode");
+              ("size", Json.Int (Cstore.length !program_store));
+            ])
+        evicted;
+      Om.Gauge.set bc_size (Cstore.length !program_store);
+      Events.emit ~code:"PLAN-MISS"
+        [
+          ("artifact", Json.Str "bytecode");
+          ("size", Json.Int (Cstore.length !program_store));
+          ("instrs", Json.Int (Dcir_bytecode.Isa.size p));
+        ];
+      p
+
 let run ?(cfg = Cost.default) ?(budget : Budget.t option)
     ?(profile : Obs.Profile.t option)
     ?(interp_mode : interp_mode = `Compiled) ?(jobs = 1)
@@ -661,8 +728,12 @@ let run ?(cfg = Cost.default) ?(budget : Budget.t option)
   Events.emit ~code:"EXEC-MODE"
     [
       ( "mode",
-        Json.Str (match interp_mode with `Tree -> "tree" | `Compiled -> "compiled")
-      );
+        Json.Str
+          (match interp_mode with
+          | `Tree -> "tree"
+          | `Compiled -> "compiled"
+          | `Bytecode -> "bytecode"
+          | `Adaptive -> "adaptive") );
       ("ir", Json.Str (match compiled with CMlir _ -> "mlir" | CSdfg _ -> "sdfg"));
       ("jobs", Json.Int jobs);
     ];
@@ -713,28 +784,55 @@ let run ?(cfg = Cost.default) ?(budget : Budget.t option)
                         i entry)))
           bufs
       in
+      (* MLIR products have no bytecode lowering — the register VM is an
+         SDFG-side tier; bytecode/adaptive requests run the compiled
+         closure interpreter here. *)
       let mode =
         match interp_mode with
         | `Tree -> Interp.Tree
-        | `Compiled -> Interp.Compiled
+        | `Compiled | `Bytecode | `Adaptive -> Interp.Compiled
       in
       let results, _ = Interp.run ~machine ?profile ~mode m ~entry rt_args in
       {
         return_value = (match results with v :: _ -> Some v | [] -> None);
         outputs = snapshot_outputs bufs;
         metrics = Machine.metrics machine;
+        exec_tier = (match mode with Interp.Tree -> "tree" | _ -> "plan");
       }
   | CSdfg fresh_sdfg ->
-      (* Resolve the execution plan first: a content-addressed store hit
-         may substitute a print-identical SDFG compiled earlier, and all
-         argument binding below must target the SDFG the plan closes
-         over. Tree mode always walks the SDFG it was handed. *)
-      let plan, sdfg =
+      (* Resolve the execution artifact first: a content-addressed store
+         hit may substitute a print-identical SDFG compiled earlier, and
+         all argument binding below must target the SDFG the artifact
+         closes over. Tree mode always walks the SDFG it was handed. *)
+      let tier =
         match interp_mode with
-        | `Tree -> (None, fresh_sdfg)
-        | `Compiled ->
-            let p = plan_for fresh_sdfg in
-            (Some p, p.Dcir_sdfg.Interp.pl_sdfg)
+        | `Tree -> `TreeT
+        | `Compiled -> `PlanT (plan_for fresh_sdfg)
+        | `Bytecode -> `ByteT (program_for fresh_sdfg)
+        | `Adaptive -> (
+            let digest = digest_of_sdfg fresh_sdfg in
+            let choice, reason =
+              Dcir_bytecode.Tierup.decide ~digest fresh_sdfg
+            in
+            Events.emit ~code:"EXEC-TIER"
+              [
+                ( "tier",
+                  Json.Str
+                    (match choice with
+                    | `Bytecode -> "bytecode"
+                    | `Plan -> "plan") );
+                ("reason", Json.Str reason);
+                ("digest", Json.Str (Dcir_bytecode.Tierup.short digest));
+              ];
+            match choice with
+            | `Bytecode -> `ByteT (program_for fresh_sdfg)
+            | `Plan -> `PlanT (plan_for fresh_sdfg))
+      in
+      let sdfg =
+        match tier with
+        | `TreeT -> fresh_sdfg
+        | `PlanT p -> p.Dcir_sdfg.Interp.pl_sdfg
+        | `ByteT prog -> prog.Dcir_bytecode.Isa.p_sdfg
       in
       if List.length sdfg.param_order <> List.length args then
         raise
@@ -799,20 +897,35 @@ let run ?(cfg = Cost.default) ?(budget : Budget.t option)
                       !pos pname entry)))
         sdfg.param_order bufs;
       let res =
-        match plan with
-        | None ->
+        match tier with
+        | `TreeT ->
             Dcir_sdfg.Interp.run ~machine ?profile ~jobs
               ~mode:Dcir_sdfg.Interp.Tree sdfg ~buffers:!buffers
               ~symbols:!symbols ()
-        | Some plan ->
+        | `PlanT plan ->
             Dcir_sdfg.Interp.run ~machine ?profile ~jobs
               ~mode:Dcir_sdfg.Interp.Compiled ~plan sdfg
               ~buffers:!buffers ~symbols:!symbols ()
+        | `ByteT prog ->
+            Dcir_bytecode.Vm.run ~machine ?profile ~jobs prog
+              ~buffers:!buffers ~symbols:!symbols ()
       in
+      (match interp_mode with
+      | `Adaptive ->
+          Dcir_bytecode.Tierup.observe
+            ~digest:(digest_of_sdfg fresh_sdfg)
+            ?profile
+            ~cycles:(Machine.metrics machine).cycles ()
+      | _ -> ());
       {
         return_value = res.return_value;
         outputs = snapshot_outputs bufs;
         metrics = Machine.metrics machine;
+        exec_tier =
+          (match tier with
+          | `TreeT -> "tree"
+          | `PlanT _ -> "plan"
+          | `ByteT _ -> "bytecode");
       }
   in
   emit_run_spend ();

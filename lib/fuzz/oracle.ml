@@ -1,5 +1,7 @@
-(** Differential oracle: run one generated program through all five
-    pipelines and compare against the unoptimized reference.
+(** Differential oracle: run one generated program through all the
+    pipelines — the five compilation pipelines, the bytecode execution
+    tier, and (optionally) the auto-parallelizing pipeline — and compare
+    against the unoptimized reference.
 
     The reference is the direct Polygeist lowering executed with no
     optimization at all — the same baseline
@@ -163,35 +165,39 @@ let bits_equal (a : Value.t) (b : Value.t) : bool =
   | Value.VInt x, Value.VInt y -> x = y
   | _ -> false
 
-let serial_par_divergence (serial : Pipelines.run_result)
-    (par : Pipelines.run_result) : string option =
+let bitwise_divergence ~(what : string) (a : Pipelines.run_result)
+    (b : Pipelines.run_result) : string option =
   if
     not
-      (match (serial.return_value, par.return_value) with
-      | Some a, Some b -> bits_equal a b
+      (match (a.return_value, b.return_value) with
+      | Some x, Some y -> bits_equal x y
       | None, None -> true
       | _ -> false)
-  then Some "return value differs between serial and parallel runs"
+  then Some (Printf.sprintf "return value differs between %s" what)
   else if
     not
-      (List.length serial.outputs = List.length par.outputs
+      (List.length a.outputs = List.length b.outputs
       && List.for_all2
            (fun (i, xs) (j, ys) ->
              i = j
              && Array.length xs = Array.length ys
              && Array.for_all2 bits_equal xs ys)
-           serial.outputs par.outputs)
-  then Some "array outputs differ bitwise between serial and parallel runs"
+           a.outputs b.outputs)
+  then Some (Printf.sprintf "array outputs differ bitwise between %s" what)
   else if
-    not (Dcir_machine.Metrics.equal serial.metrics par.metrics)
+    not (Dcir_machine.Metrics.equal a.metrics b.metrics)
   then
     Some
       (Printf.sprintf
-         "machine metrics differ between serial and parallel runs \
-          (serial %.0f cycles / %d loads, parallel %.0f cycles / %d loads)"
-         serial.metrics.cycles serial.metrics.loads par.metrics.cycles
-         par.metrics.loads)
+         "machine metrics differ between %s \
+          (%.0f cycles / %d loads vs %.0f cycles / %d loads)"
+         what a.metrics.cycles a.metrics.loads b.metrics.cycles
+         b.metrics.loads)
   else None
+
+let serial_par_divergence (serial : Pipelines.run_result)
+    (par : Pipelines.run_result) : string option =
+  bitwise_divergence ~what:"serial and parallel runs" serial par
 
 let autopar_failures ~(checked : bool) ?reproducer_dir ~(jobs : int)
     (case : Gen.case) (ref_r : Pipelines.run_result) : failure list =
@@ -221,14 +227,59 @@ let autopar_failures ~(checked : bool) ?reproducer_dir ~(jobs : int)
                 f_invalid = false } ]
         | None -> [])
 
+(* ------------------------------------------------------------------ *)
+(* Seventh pipeline: the bytecode execution tier. Checked two ways — the
+   bytecode run must still agree with the reference (within rtol, like
+   any pipeline), and it must be BIT-IDENTICAL to the compiled-plan tier
+   on the same artifact: same output bits, same trap behaviour, same
+   value of every machine metric. The tiers only differ in host-side
+   dispatch, so any divergence at all is a lowering or VM bug. *)
+
+let bytecode_failures ~(checked : bool) ?reproducer_dir (case : Gen.case)
+    (ref_r : Pipelines.run_result) : failure list =
+  match
+    try
+      let compiled =
+        Pipelines.compile ~checked ?reproducer_dir Pipelines.Dcir
+          ~src:case.src ~entry:case.entry
+      in
+      let plan =
+        Pipelines.run ~interp_mode:`Compiled compiled ~entry:case.entry
+          (case.args ())
+      in
+      let byte =
+        Pipelines.run ~interp_mode:`Bytecode compiled ~entry:case.entry
+          (case.args ())
+      in
+      Ok (plan, byte)
+    with e -> Error e
+  with
+  | Error e -> [ crash_failure "dcir-bytecode" e ]
+  | Ok (plan, byte) ->
+      (match divergence ref_r byte with
+      | Some msg ->
+          [ { f_pipeline = "dcir-bytecode"; f_kind = Divergence msg;
+              f_invalid = false } ]
+      | None -> [])
+      @ (match
+           bitwise_divergence ~what:"plan and bytecode tiers" plan byte
+         with
+        | Some msg ->
+            [ { f_pipeline = "dcir-bytecode-vs-plan";
+                f_kind = Divergence msg; f_invalid = false } ]
+        | None -> [])
+
 (** Run [case] through the reference and all five pipelines; the empty
     list means every pipeline agreed with the unoptimized reference.
     [~checked] forwards to {!Pipelines.compile} (snapshot / re-verify /
     rollback around every optimization pass). [~parallel] adds the sixth,
     auto-parallelizing pipeline, whose [~jobs]-domain execution must match
-    its serial execution bit-for-bit. [~limits] caps every compile (fuel)
-    and run (steps, allocations) with a fresh budget; an exhausted budget
-    surfaces as a crash failure naming the exceeded ceiling. *)
+    its serial execution bit-for-bit. The seventh pipeline — the bytecode
+    execution tier on the dcir artifact — always runs, and must match the
+    compiled-plan tier bit-for-bit (outputs, traps, every machine metric).
+    [~limits] caps every compile (fuel) and run (steps, allocations) with
+    a fresh budget; an exhausted budget surfaces as a crash failure naming
+    the exceeded ceiling. *)
 let check ?(checked = false) ?(parallel = false) ?(jobs = 3)
     ?(limits = Budget.default) ?reproducer_dir (case : Gen.case) :
     failure list =
@@ -275,6 +326,14 @@ let check ?(checked = false) ?(parallel = false) ?(jobs = 3)
                   Pipelines.run ~budget:(fresh_budget ()) compiled
                     ~entry:case.entry (case.args ())))
             Pipelines.all_kinds
+          @ Option.to_list
+              (must_trap "dcir-bytecode" (fun () ->
+                   let compiled =
+                     Pipelines.compile ~checked ?reproducer_dir
+                       Pipelines.Dcir ~src:case.src ~entry:case.entry
+                   in
+                   Pipelines.run ~interp_mode:`Bytecode compiled
+                     ~entry:case.entry (case.args ())))
           @
           if parallel then
             Option.to_list
@@ -309,6 +368,7 @@ let check ?(checked = false) ?(parallel = false) ?(jobs = 3)
                       f_invalid = false }
               | None -> None))
         Pipelines.all_kinds
+      @ bytecode_failures ~checked ?reproducer_dir case ref_r
       @
       if parallel then
         autopar_failures ~checked ?reproducer_dir ~jobs case ref_r

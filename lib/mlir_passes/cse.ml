@@ -1,72 +1,91 @@
 (** Common subexpression elimination on pure ops.
 
-    Works scope-wise: a table of available expressions keyed by op signature
-    is threaded down into nested regions (values from enclosing regions
-    dominate the nested ones), and region-local entries are dropped on exit.
+    Never-trapping pure ops work scope-wise: a table of available
+    expressions keyed by op signature is threaded down into nested regions
+    (values from enclosing regions dominate the nested ones), and
+    region-local entries are dropped on exit.
 
-    Trapping-but-pure ops ([arith.divsi]/[arith.remsi]) get a stricter rule:
-    two identical trapping ops may be merged only when the surviving one
-    sits {e in the same region} before the duplicate. Same operands mean
-    both trap together or compute the same value, and the earlier op in the
-    same straight-line region is guaranteed to have executed (trapped or
-    passed) before the duplicate — whereas an entry inherited from an
-    enclosing region proves dominance but would let a later pass treat the
-    merged result as freely placeable, so we keep the conservative
-    same-region rule. *)
+    Trapping-but-pure ops ([arith.divsi]/[arith.remsi]) get a stricter
+    rule, decided on the {!Dataflow} CFG: two identical trapping ops may
+    be merged only when the surviving one's block {e dominates} the
+    duplicate's. Same operands mean both trap together or compute the same
+    value, and dominance guarantees the surviving op executed (trapped or
+    passed) before the duplicate on every path that reaches it. The CFG's
+    zero-trip bypass edges make the rule trap-exact for free: an op inside
+    a possibly-zero-trip loop body does not dominate the code after the
+    loop, and sibling [scf.if] branches never dominate each other — but an
+    op in a {e proven-nonzero-trip} loop body does dominate the block
+    after the loop, a case the old same-region rule could not see. *)
 
 open Dcir_mlir
-
-(* A table entry: canonical results, plus the region the defining op lives
-   in when that op can trap ([None] for never-trapping entries). *)
-type entry = { e_results : Ir.value list; e_trap_region : Ir.region option }
 
 let run_on_func (f : Ir.func) : bool =
   match f.fbody with
   | None -> false
   | Some body ->
       let changed = ref false in
-      (* signature -> entry. The table is scoped with an undo trail per
-         region. *)
-      let table : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+      let g = Dataflow.build_cfg body in
+      let doms = Dataflow.dominators g in
+      let bid_of (o : Ir.op) =
+        Hashtbl.find_opt g.Dataflow.block_of_op o.Ir.oid
+      in
+      (* Never-trapping availability: signature -> canonical results,
+         scoped with an undo trail per region. *)
+      let table : (string, Ir.value list) Hashtbl.t = Hashtbl.create 64 in
+      (* Surviving trapping ops: signature -> (results, block), visited in
+         program order. Deliberately unscoped — dominance, not region
+         nesting, decides whether an occurrence may be reused. *)
+      let traps : (string, (Ir.value list * int) list) Hashtbl.t =
+        Hashtbl.create 8
+      in
       let rec process_region (r : Ir.region) =
         let added = ref [] in
         let keep =
           List.filter
             (fun (o : Ir.op) ->
+              let trapping = Pass_util.is_trapping_pure o in
               let cse_able =
-                (Pass_util.is_pure o || Pass_util.is_trapping_pure o)
-                && o.results <> []
+                (Pass_util.is_pure o || trapping) && o.results <> []
               in
               if cse_able then begin
                 let sg = Pass_util.signature o in
                 let merge_target =
-                  match Hashtbl.find_opt table sg with
-                  | Some e when not (Pass_util.is_trapping_pure o) -> Some e
-                  | Some ({ e_trap_region = Some tr; _ } as e) when tr == r ->
-                      Some e
-                  | _ -> None
+                  if trapping then
+                    match (Hashtbl.find_opt traps sg, bid_of o) with
+                    | Some entries, Some b ->
+                        (* Entries precede [o] in program order, so a
+                           dominating entry in the same block is earlier
+                           in that block. *)
+                        List.find_map
+                          (fun (res, wb) ->
+                            if Dataflow.dominates doms wb b then Some res
+                            else None)
+                          entries
+                    | _ -> None
+                  else Hashtbl.find_opt table sg
                 in
                 match merge_target with
-                | Some e ->
+                | Some results ->
                     (* Replace uses of this op's results everywhere below. *)
                     List.iter2
                       (fun (dup : Ir.value) (orig : Ir.value) ->
                         Ir.replace_uses_in_region body ~from_:dup ~to_:orig)
-                      o.results e.e_results;
+                      o.results results;
                     changed := true;
                     false
                 | None ->
-                    (* Trapping duplicates from an enclosing region shadow
-                       the old entry so the same-region rule sees the
-                       nearest candidate. *)
-                    Hashtbl.add table sg
-                      {
-                        e_results = o.results;
-                        e_trap_region =
-                          (if Pass_util.is_trapping_pure o then Some r
-                           else None);
-                      };
-                    added := sg :: !added;
+                    (if trapping then
+                       match bid_of o with
+                       | Some b ->
+                           Hashtbl.replace traps sg
+                             ((o.results, b)
+                             :: Option.value ~default:[]
+                                  (Hashtbl.find_opt traps sg))
+                       | None -> ()
+                     else begin
+                       Hashtbl.add table sg o.results;
+                       added := sg :: !added
+                     end);
                     List.iter process_region o.regions;
                     true
               end

@@ -7,36 +7,43 @@
     A trap is an observable effect, so an unused [arith.divsi]/[arith.remsi]
     is {e not} dead: deleting it would erase a division-by-zero stop. The
     one exception is an unused trapping op with an identical op (same
-    signature) earlier on every path to it — the dominating occurrence has
-    already trapped or passed with the same operands, so the duplicate's
-    trap is unreachable-or-redundant and it may go. The scoped walk below
-    keeps the first occurrence in every scope chain, which guarantees the
-    dominating witness itself is never deleted by the same rule. *)
+    signature) whose block {e dominates} it on the {!Dataflow} CFG — the
+    dominating occurrence has already trapped or passed with the same
+    operands, so the duplicate's trap is unreachable-or-redundant and it
+    may go. Only unmarked occurrences are recorded as witnesses, which
+    guarantees the dominating witness itself is never deleted by the same
+    rule. *)
 
 open Dcir_mlir
 
-(* Oids of trapping ops with an identical dominating occurrence: the scoped
-   walk threads a signature table into nested regions (an entry from an
-   enclosing region dominates, as does an earlier entry in the same region)
-   and marks every non-first occurrence. *)
+(* Oids of trapping ops with an identical dominating occurrence, decided
+   on the {!Dataflow} CFG. The walk visits ops in program order, so a
+   recorded witness in the same block is earlier in that block; the CFG's
+   zero-trip bypass edges mean an op inside a possibly-zero-trip loop body
+   does not witness for the code after the loop, while one inside a
+   proven-nonzero-trip body does. Sibling [scf.if] branches never dominate
+   each other, so same-signature ops in the two arms stay independent. *)
 let redundant_traps (body : Ir.region) : (int, unit) Hashtbl.t =
   let marked : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-  let table : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let g = Dataflow.build_cfg body in
+  let doms = Dataflow.dominators g in
+  let witnesses : (string, int list) Hashtbl.t = Hashtbl.create 8 in
   let rec go (r : Ir.region) =
-    let added = ref [] in
     List.iter
       (fun (o : Ir.op) ->
-        if Pass_util.is_trapping_pure o then begin
-          let sg = Pass_util.signature o in
-          if Hashtbl.mem table sg then Hashtbl.replace marked o.oid ()
-          else begin
-            Hashtbl.add table sg ();
-            added := sg :: !added
-          end
-        end;
+        (if Pass_util.is_trapping_pure o then
+           match Hashtbl.find_opt g.Dataflow.block_of_op o.Ir.oid with
+           | None -> ()
+           | Some b ->
+               let sg = Pass_util.signature o in
+               let ws =
+                 Option.value ~default:[] (Hashtbl.find_opt witnesses sg)
+               in
+               if List.exists (fun w -> Dataflow.dominates doms w b) ws then
+                 Hashtbl.replace marked o.oid ()
+               else Hashtbl.replace witnesses sg (b :: ws));
         List.iter go o.regions)
-      r.rops;
-    List.iter (fun sg -> Hashtbl.remove table sg) !added
+      r.rops
   in
   go body;
   marked

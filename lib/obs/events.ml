@@ -49,6 +49,8 @@ let catalogue : (string * string) list =
     ("PLAN-MISS", "execution plan cache miss (plan compiled)");
     ("PLAN-EVICT", "execution plan cache eviction (LRU bound)");
     ("EXEC-MODE", "interpreter mode chosen for a run (tree/compiled, jobs)");
+    ("TIER-UP", "adaptive tier: program promoted to the bytecode tier");
+    ("EXEC-TIER", "adaptive tier: execution tier chosen for one run");
     ("CHAOS-INJECT", "chaos harness injected a fault");
     ("CHAOS-CASE", "chaos campaign: generated case summary");
     ("CHAOS-OUTCOME", "chaos campaign: per-case verdict");

@@ -50,6 +50,11 @@ type config = {
   cfg_chaos : (id:string -> attempt:int -> Chaos.plan option) option;
       (** fault plans keyed by (request, attempt) — deterministic and
           position-independent, preserving tenant isolation *)
+  cfg_interp : Pipelines.interp_mode;
+      (** execution tier for run requests; [`Adaptive] journals each
+          tier choice as [EXEC-TIER] events and stays deterministic —
+          the tier-up registry is reset with the artifact stores, so the
+          same request sequence replays byte-identically *)
 }
 
 let default_config : config =
@@ -62,6 +67,7 @@ let default_config : config =
     cfg_retries = 2;
     cfg_deadline = None;
     cfg_chaos = None;
+    cfg_interp = `Compiled;
   }
 
 let config_fields (c : config) : (string * Json.t) list =
@@ -77,6 +83,13 @@ let config_fields (c : config) : (string * Json.t) list =
     ("retries", Json.Int c.cfg_retries);
     ( "deadline",
       match c.cfg_deadline with Some d -> Json.Int d | None -> Json.Null );
+    ( "interp",
+      Json.Str
+        (match c.cfg_interp with
+        | `Tree -> "tree"
+        | `Compiled -> "compiled"
+        | `Bytecode -> "bytecode"
+        | `Adaptive -> "adaptive") );
   ]
 
 type report = {
@@ -419,7 +432,9 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
                               ~size:rq.Request.rq_size
                       in
                       let result =
-                        Pipelines.run ~budget compiled ~entry:entry_name args
+                        Pipelines.run ~budget
+                          ~interp_mode:config.cfg_interp compiled
+                          ~entry:entry_name args
                       in
                       (report, Some result, None))
             with
@@ -433,12 +448,18 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
                 Pipelines.tier_name report.Pipelines.res_landed
               in
               Sjournal.record journal ~code:"SRV-DONE"
-                [
-                  ("id", Json.Str id);
-                  ("tenant", Json.Str tn_name);
-                  ("tier", Json.Str landed);
-                  ("attempts", Json.Int job.jb_attempts);
-                ];
+                ([
+                   ("id", Json.Str id);
+                   ("tenant", Json.Str tn_name);
+                   ("tier", Json.Str landed);
+                   ("attempts", Json.Int job.jb_attempts);
+                 ]
+                @
+                (* Which execution tier actually ran (run requests only) —
+                   under [`Adaptive] this is the journaled tier choice. *)
+                match result with
+                | Some r -> [ ("exec", Json.Str r.Pipelines.exec_tier) ]
+                | None -> []);
               let before, after = Tenant.record_outcome tenant ~ok:true in
               journal_breaker_transition tenant before after;
               (match result with

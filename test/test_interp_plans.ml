@@ -140,7 +140,7 @@ let test_construction_scale () =
 
 let cast_src = "int kernel_cast(double x) {\n  return (int)x;\n}\n"
 let cast_kinds = [ Pipelines.Mlir; Pipelines.Dcir ]
-let modes : Pipelines.interp_mode list = [ `Tree; `Compiled ]
+let modes : Pipelines.interp_mode list = [ `Tree; `Compiled; `Bytecode ]
 
 let run_cast kind mode (x : float) : Pipelines.run_result =
   let compiled =
@@ -325,15 +325,35 @@ let test_float_binops_tasklet_parity () =
     fbin_operands
 
 (* ------------------------------------------------------------------ *)
-(* Plan-vs-tree differential: fuzz corpus and Polybench subset *)
+(* Three-way differential (tree / plan / bytecode): fuzz corpus,
+   Polybench subset, and trap-timing shapes *)
+
+let run_outcome compiled ~entry args (mode : Pipelines.interp_mode) :
+    (Pipelines.run_result, string) result =
+  match Pipelines.run ~interp_mode:mode compiled ~entry args with
+  | r -> Ok r
+  | exception Dcir_sdfg.Interp.Trap m -> Error m
+  | exception Dcir_mlir.Interp.Trap m -> Error m
 
 let check_plan_differential ~label kind ~src ~entry args =
   let compiled = Pipelines.compile kind ~src ~entry in
-  let rt = Pipelines.run ~interp_mode:`Tree compiled ~entry args in
-  let rc = Pipelines.run ~interp_mode:`Compiled compiled ~entry args in
-  if not (results_identical rt rc) then
+  let rt = run_outcome compiled ~entry args `Tree in
+  let rc = run_outcome compiled ~entry args `Compiled in
+  let rb = run_outcome compiled ~entry args `Bytecode in
+  let agree a b =
+    match (a, b) with
+    | Ok x, Ok y -> results_identical x y
+    | Error x, Error y -> String.equal x y
+    | _ -> false
+  in
+  if not (agree rt rc) then
     Alcotest.failf
-      "%s: compiled plan diverged from tree walker (outputs or metrics)" label
+      "%s: compiled plan diverged from tree walker (outputs, trap, or metrics)"
+      label;
+  if not (agree rt rb) then
+    Alcotest.failf
+      "%s: bytecode diverged from tree walker (outputs, trap, or metrics)"
+      label
 
 let test_fuzz_plan_differential () =
   (* Same corpus as the CI fuzz campaign: seed 42, 100 programs. Every
@@ -365,6 +385,48 @@ let test_polybench_plan_differential () =
         [ Pipelines.Dcir; Pipelines.Dace ])
     [ Polybench.gesummv; Polybench.trisolv; Polybench.jacobi_1d ]
 
+(* Trap-timing parity on the shapes from test_trapsafe.ml: all three
+   tiers must trap at the same point (or not at all) with the same
+   message, and agree bit-for-bit when they finish. *)
+let test_bytecode_trap_timing () =
+  let zero_trip =
+    {|
+int f(int n, int d) {
+  int s = 0;
+  for (int i = 0; i < n; i++) { s = s + 100 / d; }
+  return s;
+}
+|}
+  in
+  List.iter
+    (fun (what, args) ->
+      check_plan_differential
+        ~label:("trap-timing " ^ what)
+        Pipelines.Dcir ~src:zero_trip ~entry:"f" args)
+    [
+      ("zero-trip", [ Pipelines.AInt 0; Pipelines.AInt 0 ]);
+      ("nonzero-trip", [ Pipelines.AInt 2; Pipelines.AInt 0 ]);
+      ("benign", [ Pipelines.AInt 5; Pipelines.AInt 3 ]);
+    ];
+  let rem =
+    {|
+int g(int a, int d) {
+  int t = a % d;
+  int u = a / d;
+  return t + u;
+}
+|}
+  in
+  List.iter
+    (fun (what, args) ->
+      check_plan_differential
+        ~label:("trap-timing " ^ what)
+        Pipelines.Dcir ~src:rem ~entry:"g" args)
+    [
+      ("rem-zero", [ Pipelines.AInt 7; Pipelines.AInt 0 ]);
+      ("rem-ok", [ Pipelines.AInt 7; Pipelines.AInt 3 ]);
+    ]
+
 let suite =
   ( "interp-plans",
     [
@@ -381,6 +443,8 @@ let suite =
       Alcotest.test_case "fmod float semantics" `Quick test_float_mod_semantics;
       Alcotest.test_case "BMod/BMin/BMax tasklet tree-vs-plan parity" `Quick
         test_float_binops_tasklet_parity;
+      Alcotest.test_case "bytecode trap-timing parity" `Quick
+        test_bytecode_trap_timing;
       Alcotest.test_case "fuzz corpus plan-vs-tree differential" `Slow
         test_fuzz_plan_differential;
       Alcotest.test_case "polybench plan-vs-tree metric equality" `Slow

@@ -73,7 +73,11 @@ let assert_parity ?(kinds = all_kinds) ~(what : string) ~(src : string)
           let o = run_opt mode kind ~src ~entry args in
           let label =
             Printf.sprintf "%s [%s, %s]" what kname
-              (match mode with `Tree -> "tree" | `Compiled -> "compiled")
+              (match mode with
+              | `Tree -> "tree"
+              | `Compiled -> "compiled"
+              | `Bytecode -> "bytecode"
+              | `Adaptive -> "adaptive")
           in
           match (reference, o) with
           | Trapped, Trapped -> ()
@@ -86,7 +90,7 @@ let assert_parity ?(kinds = all_kinds) ~(what : string) ~(src : string)
               Alcotest.failf "%s: reference %s but pipeline %s" label
                 (outcome_name a) (outcome_name b))
         kinds)
-    [ `Tree; `Compiled ]
+    [ `Tree; `Compiled; `Bytecode; `Adaptive ]
 
 (* A division inside a loop that runs zero times must not trap after
    optimization (pre-fix LICM hoisted it into the preheader). *)
@@ -204,6 +208,85 @@ let test_parity_lcm_hoist () =
   in
   Alcotest.(check int) "division stays in zero-trip loop" 1
     (divsi_inside_loop m0)
+
+(* ------------------------------------------------------------------ *)
+(* Dominance-based trap dedup: CSE and DCE decide trapping-op reuse on
+   the {!Dataflow} CFG rather than region scoping. A division inside a
+   proven-nonzero-trip loop dominates the code after the loop, so an
+   unused duplicate there may go; with a symbolic (possibly-zero) bound
+   the bypass edge breaks dominance and the duplicate must stay; and
+   sibling [scf.if] branches never dominate each other. *)
+
+let src_dom_nonzero =
+  {|
+int wa(int a, int d) {
+  int s = 0;
+  for (int i = 0; i < 4; i++) { s = s + a / d; }
+  int t = a / d;
+  return s;
+}
+|}
+
+let src_dom_zero_trip =
+  {|
+int wb(int a, int d, int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) { s = s + a / d; }
+  int t = a / d;
+  return s;
+}
+|}
+
+let src_dom_siblings =
+  {|
+int wc(int a, int d, int c) {
+  int x = 0;
+  if (c > 0) { x = a / d; } else { x = a / d + 1; }
+  return x;
+}
+|}
+
+let ctl_kinds =
+  [ ("gcc", Core.Gcc); ("clang", Core.Clang); ("mlir", Core.Mlir) ]
+
+let test_dominance_trap_dedup () =
+  (* Proven-nonzero loop: the in-loop division dominates the unused
+     post-loop duplicate, so DCE may delete the duplicate — the witness
+     already trapped or passed with the same operands. *)
+  let m =
+    compile_with
+      [ P.Mem2reg.pass; P.Canonicalize.pass; P.Dce.pass ]
+      src_dom_nonzero
+  in
+  Alcotest.(check int) "post-loop duplicate deleted" 1
+    (count_ops m "arith.divsi");
+  Alcotest.(check int) "surviving division is the in-loop witness" 1
+    (divsi_inside_loop m);
+  assert_parity ~kinds:ctl_kinds ~what:"dom-nonzero" ~src:src_dom_nonzero
+    ~entry:"wa"
+    [ Core.AInt 7; Core.AInt 0 ];
+  (* ...but with a possibly-zero trip count the bypass edge breaks
+     dominance: on the n = 0 path the duplicate's trap is the only one,
+     so neither CSE nor DCE may touch it. *)
+  let m0 =
+    compile_with
+      [ P.Mem2reg.pass; P.Canonicalize.pass; P.Cse.pass; P.Dce.pass ]
+      src_dom_zero_trip
+  in
+  Alcotest.(check int) "zero-trip duplicate survives" 2
+    (count_ops m0 "arith.divsi");
+  assert_parity ~kinds:ctl_kinds ~what:"dom-zero-trip"
+    ~src:src_dom_zero_trip ~entry:"wb"
+    [ Core.AInt 7; Core.AInt 0; Core.AInt 0 ];
+  (* Sibling branches never dominate each other: same-signature divisions
+     in the two arms stay independent. *)
+  let m1 =
+    compile_with
+      [ P.Mem2reg.pass; P.Canonicalize.pass; P.Cse.pass; P.Dce.pass ]
+      src_dom_siblings
+  in
+  Alcotest.(check int) "sibling divisions not merged" 2
+    (count_ops m1 "arith.divsi")
 
 (* ------------------------------------------------------------------ *)
 (* Dataflow framework units *)
@@ -420,6 +503,8 @@ let suite =
         test_parity_cse_pair;
       Alcotest.test_case "parity: LCM hoist-through-loop" `Quick
         test_parity_lcm_hoist;
+      Alcotest.test_case "dominance: trap dedup on the CFG" `Quick
+        test_dominance_trap_dedup;
       Alcotest.test_case "dataflow: diamond fixpoints + dominators" `Quick
         test_dataflow_diamond;
       Alcotest.test_case "dataflow: transfer monotonicity" `Quick
