@@ -89,10 +89,9 @@ let record (report_path : string) (dir : string) : unit =
         ("report", report);
       ]
   in
-  let oc = open_out path in
-  output_string oc (Json.to_string envelope);
-  output_char oc '\n';
-  close_out oc;
+  Dcir_support.Atomic_io.write path (fun oc ->
+      output_string oc (Json.to_string envelope);
+      output_char oc '\n');
   print_endline ("history: recorded " ^ path)
 
 (* ------------------------------------------------------------------ *)

@@ -285,7 +285,23 @@ let check_serve_journal (j : Json.t) : unit =
             match Option.bind (Json.member key row) Json.to_str with
             | Some v when String.trim v <> "" -> ()
             | _ -> fail "entry %d (%s) missing %S" i code key)
-          [ "tenant"; "reason" ])
+          [ "tenant"; "reason" ];
+      (* Every worker incident must name the request and tenant it hit —
+         an unattributable kill would make the crash-isolation story
+         unauditable. *)
+      if
+        List.mem code
+          [
+            "SRV-WORKER-KILL"; "SRV-WORKER-POISON"; "SRV-WORKER-WATCHDOG";
+            "SRV-WORKER-CRASH";
+          ]
+      then
+        List.iter
+          (fun key ->
+            match Option.bind (Json.member key row) Json.to_str with
+            | Some v when String.trim v <> "" -> ()
+            | _ -> fail "entry %d (%s) missing %S" i code key)
+          [ "id"; "tenant" ])
     entries;
   let responses =
     match Option.bind (Json.member "responses" j) Json.to_list with
@@ -413,23 +429,57 @@ let dispatch (path : string) (j : Json.t) : unit =
   | Some s -> fail "unexpected schema %s" (Json.to_string s)
   | None -> fail "missing \"schema\" field"
 
+(* Serving journals record their worker count in the config header; the
+   pool's contract is that nothing else may depend on it. Dropping the
+   field is the only normalization [--same-serve] applies — every other
+   byte must agree. *)
+let strip_workers (j : Json.t) : Json.t =
+  match j with
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match (k, v) with
+             | "config", Json.Obj cfg ->
+                 ("config", Json.Obj (List.remove_assoc "workers" cfg))
+             | _ -> (k, v))
+           fields)
+  | _ -> j
+
+let usage () =
+  fail
+    "usage: validate_report FILE.json [--baseline BASE.json] [--rtol R] \
+     [--same-serve OTHER.json] [--require-code CODE]"
+
 let () =
-  let path, baseline, rtol =
+  let path, opts =
     match Array.to_list Sys.argv with
-    | _ :: path :: rest -> (
-        match rest with
-        | [] -> (path, None, 0.10)
-        | [ "--baseline"; base ] -> (path, Some base, 0.10)
-        | [ "--baseline"; base; "--rtol"; r ] -> (
-            match float_of_string_opt r with
-            | Some f when f >= 0.0 -> (path, Some base, f)
-            | _ -> fail "bad --rtol %s" r)
-        | _ ->
-            fail
-              "usage: validate_report FILE.json [--baseline BASE.json \
-               [--rtol R]]")
-    | _ -> fail "usage: validate_report FILE.json [--baseline BASE.json]"
+    | _ :: path :: rest -> (path, rest)
+    | _ -> usage ()
   in
+  let baseline = ref None
+  and rtol = ref 0.10
+  and same_serve = ref None
+  and require_codes = ref [] in
+  let rec parse_opts = function
+    | [] -> ()
+    | "--baseline" :: base :: rest ->
+        baseline := Some base;
+        parse_opts rest
+    | "--rtol" :: r :: rest ->
+        (match float_of_string_opt r with
+        | Some f when f >= 0.0 -> rtol := f
+        | _ -> fail "bad --rtol %s" r);
+        parse_opts rest
+    | "--same-serve" :: other :: rest ->
+        same_serve := Some other;
+        parse_opts rest
+    | "--require-code" :: code :: rest ->
+        require_codes := code :: !require_codes;
+        parse_opts rest
+    | _ -> usage ()
+  in
+  parse_opts opts;
   let parse path =
     let text =
       try read_file path with Sys_error msg -> fail "cannot read: %s" msg
@@ -440,14 +490,46 @@ let () =
   in
   let j = parse path in
   dispatch path j;
-  (match baseline with
+  (match !baseline with
   | None -> ()
   | Some base -> (
       match
-        Report_compare.regressions ~rtol ~baseline:(parse base) ~report:j ()
+        Report_compare.regressions ~rtol:!rtol ~baseline:(parse base)
+          ~report:j ()
       with
       | [] -> ()
       | regs ->
           List.iter (fun m -> prerr_endline ("validate_report: REGRESSION: " ^ m)) regs;
           exit 1));
+  (match !same_serve with
+  | None -> ()
+  | Some other ->
+      let oj = parse other in
+      List.iter
+        (fun (p, doc) ->
+          match Json.member "schema" doc with
+          | Some (Json.Str "dcir-serve-journal/1") -> ()
+          | _ -> fail "--same-serve: %s is not a serve journal" p)
+        [ (path, j); (other, oj) ];
+      if
+        Json.to_string (strip_workers j) <> Json.to_string (strip_workers oj)
+      then
+        fail
+          "--same-serve: %s and %s differ beyond the recorded worker count"
+          path other);
+  List.iter
+    (fun code ->
+      let entries =
+        Option.value ~default:[]
+          (Option.bind (Json.member "entries" j) Json.to_list)
+      in
+      let hits =
+        List.filter
+          (fun row ->
+            Option.bind (Json.member "code" row) Json.to_str = Some code)
+          entries
+      in
+      if hits = [] then
+        fail "--require-code: no %s entry in %s" code path)
+    !require_codes;
   print_endline ("validate_report: " ^ path ^ " OK")

@@ -575,6 +575,14 @@ let fuzz_cmd =
          & info [ "tenants" ] ~docv:"K"
              ~doc:"With $(b,--serve): number of tenants in the batch")
   in
+  let workers_arg =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"With $(b,--serve): worker domains for the pooled run. \
+                   The campaign replays the batch at 1 worker and at N \
+                   workers and fails unless the journals agree \
+                   byte-for-byte.")
+  in
   let journal_arg =
     Arg.(value & opt (some string) None
          & info [ "journal" ] ~docv:"FILE"
@@ -661,9 +669,9 @@ let fuzz_cmd =
       (String.concat ", " counts);
     if C.ok report then `Ok () else exit 1
   in
-  let run_serve ~count ~seed ~tenants ~journal =
+  let run_serve ~count ~seed ~tenants ~workers ~journal =
     let module S = Dcir_fuzz.Serve_campaign in
-    let report = S.run ~tenants ~count ~seed () in
+    let report = S.run ~tenants ~workers ~count ~seed () in
     (match (journal, report.S.sv_engine) with
     | Some path, Some er -> (
         try
@@ -692,10 +700,10 @@ let fuzz_cmd =
     `Ok ()
   in
   let run count seed checked parallel jobs max_steps max_fuel chaos serve
-      tenants journal coverage events out no_shrink traps verbose timing
-      trace =
+      tenants workers journal coverage events out no_shrink traps verbose
+      timing trace =
     setup_obs ~verbose ~timing ~trace;
-    if serve then run_serve ~count ~seed ~tenants ~journal
+    if serve then run_serve ~count ~seed ~tenants ~workers ~journal
     else if coverage then run_coverage ~count ~seed ~events
     else if chaos then run_chaos ~count ~seed ~journal
     else begin
@@ -739,8 +747,9 @@ let fuzz_cmd =
       ret
         (const run $ count_arg $ seed_arg $ checked_arg $ parallel_arg
        $ jobs_arg $ max_steps_arg $ max_fuel_arg $ chaos_arg $ serve_arg
-       $ tenants_arg $ journal_arg $ coverage_arg $ events_arg $ out_arg
-       $ no_shrink_arg $ traps_arg $ verbose_arg $ timing_arg $ trace_arg))
+       $ tenants_arg $ workers_arg $ journal_arg $ coverage_arg $ events_arg
+       $ out_arg $ no_shrink_arg $ traps_arg $ verbose_arg $ timing_arg
+       $ trace_arg))
 
 let serve_cmd =
   let doc =
@@ -825,8 +834,23 @@ let serve_cmd =
              ~doc:"Default per-request deadline in budget steps, measured \
                    against the tenant's own spend")
   in
+  let workers_arg =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains processing requests in parallel. The \
+                   journal is byte-identical for every worker count. \
+                   $(b,0) (the default) picks \
+                   min(recommended domain count, batch size), clamped to \
+                   at least 1")
+  in
+  let watchdog_arg =
+    Arg.(value & opt (some int) None
+         & info [ "watchdog" ] ~docv:"N"
+             ~doc:"Deterministic watchdog: stop any single attempt after \
+                   N budget steps and journal it as SRV-WORKER-WATCHDOG")
+  in
   let run file journal seed queue plan_cache tenant_steps tenant_fuel
-      trip_after cooldown probation retries deadline interp =
+      trip_after cooldown probation retries deadline workers watchdog interp =
     let text =
       if file = "-" then In_channel.input_all stdin else read_file file
     in
@@ -859,6 +883,14 @@ let serve_cmd =
             cfg_deadline = deadline;
             cfg_chaos = None;
             cfg_interp = interp;
+            cfg_workers =
+              (if workers > 0 then workers
+               else
+                 max 1
+                   (min
+                      (Domain.recommended_domain_count ())
+                      (List.length requests)));
+            cfg_watchdog = watchdog;
           }
         in
         let report = Dcir_serve.Engine.run ~config requests in
@@ -880,7 +912,7 @@ let serve_cmd =
         (const run $ file_arg $ journal_arg $ seed_arg $ queue_arg
        $ plan_cache_arg $ tenant_steps_arg $ tenant_fuel_arg $ trip_after_arg
        $ cooldown_arg $ probation_arg $ retries_arg $ deadline_arg
-       $ interp_arg))
+       $ workers_arg $ watchdog_arg $ interp_arg))
 
 let list_cmd =
   let doc = "List the available workloads." in

@@ -140,11 +140,14 @@ let empty_prog : program = { funcs = [] }
 
 (* Build the opaque tasklet body: a standalone MLIR function computing the
    rewritten expression from scalar parameters. *)
-let body_counter = ref 0
+(* Atomic: concurrent serve-worker compiles must never mint the same
+   serial inside one module; the digest canonicalizer renumbers the
+   serials, so artifact digests stay independent of compile order. *)
+let body_counter = Atomic.make 0
 
 let build_opaque_body (inputs : stmt_inputs) (value_cty : cty) (e : expr) :
     Ir.func =
-  incr body_counter;
+  let body_serial = Atomic.fetch_and_add body_counter 1 + 1 in
   let param_of_cty (t : cty) =
     if is_float_ty t then Types.F64 else Types.Index
   in
@@ -179,14 +182,14 @@ let build_opaque_body (inputs : stmt_inputs) (value_cty : cty) (e : expr) :
   in
   let ops = List.rev pctx.ops @ [ Ir.new_op "func.return" ~operands:[ result ] ] in
   {
-    Ir.fname = Printf.sprintf "c_tasklet_%d" !body_counter;
+    Ir.fname = Printf.sprintf "c_tasklet_%d" body_serial;
     fparams = param_vals;
     fret = [ (if is_float_ty value_cty then Types.F64 else Types.Index) ];
     fbody = Some (Ir.new_region ~args:param_vals ~ops ());
     fattrs = [];
   }
 
-let tasklet_counter = ref 0
+let tasklet_counter = Atomic.make 0
 
 (* Emit one statement-state: an opaque tasklet computing [rhs] (already
    scanned) writing to [target]. *)
@@ -195,12 +198,12 @@ let emit_statement (ctx : fctx) (inputs : stmt_inputs) (value_cty : cty)
     ~(wcr : Sdfg.wcr option) : unit =
   let st = seq_state ctx "stmt" in
   let g = st.s_graph in
-  incr tasklet_counter;
+  let tasklet_serial = Atomic.fetch_and_add tasklet_counter 1 + 1 in
   let elem_conns = List.map (fun (k, _, _, _) -> k) inputs.elems in
   let scalar_conns = List.map (fun (k, _, _) -> k) inputs.scalars in
   let t =
     {
-      Sdfg.tname = Printf.sprintf "c%d" !tasklet_counter;
+      Sdfg.tname = Printf.sprintf "c%d" tasklet_serial;
       t_inputs = elem_conns @ scalar_conns;
       t_outputs = [ "_out" ];
       t_syms = List.map snd inputs.syms;

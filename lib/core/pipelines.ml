@@ -657,69 +657,137 @@ let plan_cache_stats () : (string * Json.t) list =
     ("size", Json.Int (Om.Gauge.value pc_size));
   ]
 
+(* --- Private artifact capture (multi-domain serving) ----------------
+   The plan/bytecode stores and their counters are committed journal
+   state: hits, misses and evictions must be a pure function of request
+   commit order, never of worker scheduling. A serve worker domain
+   therefore runs with capture enabled: {!plan_for}/{!program_for}
+   compile privately (no store lookup, no counters, no events) and log a
+   {!warm} op; at commit time the supervisor calls {!replay_warm} in
+   commit order, which re-enters the normal store path with the
+   precompiled artifact in hand — replicating the exact hit/miss/evict
+   sequence of the sequential engine without recompiling. *)
+
+type warm =
+  | Warm_plan of Sdfg.t * Dcir_sdfg.Interp.plan
+  | Warm_program of Sdfg.t * Dcir_bytecode.Isa.program
+
+let private_capture : warm list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+(** Start capturing store traffic on this domain. *)
+let begin_private_capture () : unit =
+  Domain.DLS.set private_capture (Some (ref []))
+
+(** Stop capturing; returns the warm ops in program order. *)
+let end_private_capture () : warm list =
+  match Domain.DLS.get private_capture with
+  | None -> []
+  | Some acc ->
+      Domain.DLS.set private_capture None;
+      List.rev !acc
+
 (** The compiled plan for [sdfg], through the content-addressed store: a
     hit may return a plan compiled from a {e different} (but
     print-identical) SDFG — callers execute [plan.pl_sdfg], which the
     cached-vs-fresh differential test pins to bit-identical outputs and
-    machine metrics. *)
-let plan_for (sdfg : Sdfg.t) : Dcir_sdfg.Interp.plan =
-  let key = digest_of_sdfg sdfg in
-  match Cstore.find !plan_store key with
-  | Some p ->
-      Om.Counter.incr pc_hits;
-      Events.emit ~code:"PLAN-HIT"
-        [ ("size", Json.Int (Cstore.length !plan_store)) ];
+    machine metrics. [precompiled] (supervisor replay) supplies the
+    artifact to store on a miss instead of compiling. *)
+let plan_for ?(precompiled : Dcir_sdfg.Interp.plan option) (sdfg : Sdfg.t) :
+    Dcir_sdfg.Interp.plan =
+  match Domain.DLS.get private_capture with
+  | Some acc ->
+      let p =
+        match precompiled with
+        | Some p -> p
+        | None -> Dcir_sdfg.Interp.compile_plan sdfg
+      in
+      acc := Warm_plan (sdfg, p) :: !acc;
       p
-  | None ->
-      Om.Counter.incr pc_misses;
-      let p = Dcir_sdfg.Interp.compile_plan sdfg in
-      let evicted = Cstore.add !plan_store key p in
-      List.iter
-        (fun _ ->
-          Om.Counter.incr pc_evictions;
-          Events.emit ~code:"PLAN-EVICT"
-            [ ("size", Json.Int (Cstore.length !plan_store)) ])
-        evicted;
-      Om.Gauge.set pc_size (Cstore.length !plan_store);
-      Events.emit ~code:"PLAN-MISS"
-        [ ("size", Json.Int (Cstore.length !plan_store)) ];
-      p
+  | None -> (
+      let key = digest_of_sdfg sdfg in
+      match Cstore.find !plan_store key with
+      | Some p ->
+          Om.Counter.incr pc_hits;
+          Events.emit ~code:"PLAN-HIT"
+            [ ("size", Json.Int (Cstore.length !plan_store)) ];
+          p
+      | None ->
+          Om.Counter.incr pc_misses;
+          let p =
+            match precompiled with
+            | Some p -> p
+            | None -> Dcir_sdfg.Interp.compile_plan sdfg
+          in
+          let evicted = Cstore.add !plan_store key p in
+          List.iter
+            (fun _ ->
+              Om.Counter.incr pc_evictions;
+              Events.emit ~code:"PLAN-EVICT"
+                [ ("size", Json.Int (Cstore.length !plan_store)) ])
+            evicted;
+          Om.Gauge.set pc_size (Cstore.length !plan_store);
+          Events.emit ~code:"PLAN-MISS"
+            [ ("size", Json.Int (Cstore.length !plan_store)) ];
+          p)
 
 (** The lowered bytecode program for [sdfg], through the second
     content-addressed store — same hit semantics as {!plan_for}: callers
     execute [program.p_sdfg]. *)
-let program_for (sdfg : Sdfg.t) : Dcir_bytecode.Isa.program =
-  let key = digest_of_sdfg sdfg in
-  match Cstore.find !program_store key with
-  | Some p ->
-      Om.Counter.incr bc_hits;
-      Events.emit ~code:"PLAN-HIT"
-        [
-          ("artifact", Json.Str "bytecode");
-          ("size", Json.Int (Cstore.length !program_store));
-        ];
+let program_for ?(precompiled : Dcir_bytecode.Isa.program option)
+    (sdfg : Sdfg.t) : Dcir_bytecode.Isa.program =
+  match Domain.DLS.get private_capture with
+  | Some acc ->
+      let p =
+        match precompiled with
+        | Some p -> p
+        | None -> Dcir_bytecode.Lower.lower sdfg
+      in
+      acc := Warm_program (sdfg, p) :: !acc;
       p
-  | None ->
-      Om.Counter.incr bc_misses;
-      let p = Dcir_bytecode.Lower.lower sdfg in
-      let evicted = Cstore.add !program_store key p in
-      List.iter
-        (fun _ ->
-          Om.Counter.incr bc_evictions;
-          Events.emit ~code:"PLAN-EVICT"
+  | None -> (
+      let key = digest_of_sdfg sdfg in
+      match Cstore.find !program_store key with
+      | Some p ->
+          Om.Counter.incr bc_hits;
+          Events.emit ~code:"PLAN-HIT"
             [
               ("artifact", Json.Str "bytecode");
               ("size", Json.Int (Cstore.length !program_store));
-            ])
-        evicted;
-      Om.Gauge.set bc_size (Cstore.length !program_store);
-      Events.emit ~code:"PLAN-MISS"
-        [
-          ("artifact", Json.Str "bytecode");
-          ("size", Json.Int (Cstore.length !program_store));
-          ("instrs", Json.Int (Dcir_bytecode.Isa.size p));
-        ];
-      p
+            ];
+          p
+      | None ->
+          Om.Counter.incr bc_misses;
+          let p =
+            match precompiled with
+            | Some p -> p
+            | None -> Dcir_bytecode.Lower.lower sdfg
+          in
+          let evicted = Cstore.add !program_store key p in
+          List.iter
+            (fun _ ->
+              Om.Counter.incr bc_evictions;
+              Events.emit ~code:"PLAN-EVICT"
+                [
+                  ("artifact", Json.Str "bytecode");
+                  ("size", Json.Int (Cstore.length !program_store));
+                ])
+            evicted;
+          Om.Gauge.set bc_size (Cstore.length !program_store);
+          Events.emit ~code:"PLAN-MISS"
+            [
+              ("artifact", Json.Str "bytecode");
+              ("size", Json.Int (Cstore.length !program_store));
+              ("instrs", Json.Int (Dcir_bytecode.Isa.size p));
+            ];
+          p)
+
+(** Replay one captured warm op through the normal store path (commit
+    order), reusing the worker's compiled artifact on a miss. *)
+let replay_warm (w : warm) : unit =
+  match w with
+  | Warm_plan (sdfg, p) -> ignore (plan_for ~precompiled:p sdfg)
+  | Warm_program (sdfg, p) -> ignore (program_for ~precompiled:p sdfg)
 
 let run ?(cfg = Cost.default) ?(budget : Budget.t option)
     ?(profile : Obs.Profile.t option)

@@ -45,6 +45,34 @@ let run (sdfg : Sdfg.t) : bool =
             | [ oe ] -> (
                 match oe.e_memlet with
                 | Some om when om.wcr = None -> (
+                    (* The rewrite moves the read of [A[s]] from its own
+                       scheduling point to the write's: the runtime applies
+                       [A[s] = wcr (A[s], value)] when the update commits.
+                       Any other write to [A] in this graph could be ordered
+                       into that window (e.g. [b=a[i]; a[i]=x; a[i]=a[i]+b]
+                       after load forwarding), so the pattern is only an
+                       update when the tasklet's write is the sole write to
+                       the container here. *)
+                    let other_writer =
+                      List.exists
+                        (fun (x : Sdfg.edge) ->
+                          (x != oe) && x.e_memlet <> None
+                          &&
+                          match (Sdfg.node_by_id g x.e_dst).kind with
+                          | Sdfg.Access c -> String.equal c om.data
+                          | _ -> false)
+                        (Sdfg.edges g)
+                      || List.exists
+                           (fun (x : Sdfg.node) ->
+                             match x.kind with
+                             | Sdfg.MapN mn ->
+                                 List.mem om.data
+                                   (Sdfg.written_containers mn.m_body)
+                             | _ -> false)
+                           (Sdfg.nodes g)
+                    in
+                    if other_writer then ()
+                    else
                     (* Find a read of the same container+subset feeding a
                        top-level associative op — either directly, or through
                        one intermediate scalar copy (the converter's

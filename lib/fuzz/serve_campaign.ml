@@ -16,10 +16,18 @@
     - {b tenant isolation}: each tenant's responses are byte-identical
       to a solo run of only that tenant's requests under the same
       config — no quota, breaker, deadline or ordering leakage across
-      tenants.
+      tenants;
+    - {b pool determinism}: replaying the same batch across N worker
+      domains produces a journal byte-identical (modulo the recorded
+      worker count) to the 1-worker run — worker kills, poisoned
+      results and budget watchdogs included, scheduling order never
+      leaks into the journal.
 
-    Every decision derives from the campaign seed, so a failing seed is
-    a complete reproducer. *)
+    Worker faults ([worker-kill], [poison-result]) are armed from a
+    seed derivation keyed only by (request id, attempt) — never by
+    scheduling order — so the same attempt draws the same fate at any
+    worker count. Every decision derives from the campaign seed, so a
+    failing seed is a complete reproducer. *)
 
 module Pipelines = Dcir_core.Pipelines
 module Budget = Dcir_resilience.Budget
@@ -34,16 +42,20 @@ type report = {
   sv_seed : int;
   sv_count : int;  (** requests in the batch *)
   sv_tenants : int;
+  sv_workers : int;  (** worker domains in the pooled replay *)
   sv_poison : int;  (** poison requests included *)
   sv_wrong : (string * string) list;  (** request id -> divergence *)
   sv_escaped : string option;  (** exception escaping the engine *)
   sv_isolation : (string * string) list;  (** tenant -> first mismatch *)
-  sv_engine : Engine.report option;  (** the multi-tenant run *)
+  sv_pool : string option;  (** 1-worker vs N-worker journal divergence *)
+  sv_engine : Engine.report option;  (** the pooled multi-tenant run *)
 }
 
-(** Zero wrong answers, zero escapes, zero cross-tenant leakage. *)
+(** Zero wrong answers, zero escapes, zero cross-tenant leakage, and a
+    pooled journal byte-identical to the sequential one. *)
 let ok (r : report) : bool =
   r.sv_wrong = [] && r.sv_escaped = None && r.sv_isolation = []
+  && r.sv_pool = None
 
 (* Deterministic fold of a request id, for chaos derivation keyed by
    (request, attempt) — position-independent, so a request draws the
@@ -107,7 +119,8 @@ let build_request ~(seed : int) ~(tenants : int) (i : int) : Request.t * tag =
       if op = Request.Run then Run_case (case.Gen.src, case.Gen.entry)
       else Compile_only )
 
-let campaign_config ~(seed : int) ~(count : int) : Engine.config =
+let campaign_config ~(seed : int) ~(count : int) ~(workers : int) :
+    Engine.config =
   {
     Engine.default_config with
     Engine.cfg_seed = seed;
@@ -117,15 +130,58 @@ let campaign_config ~(seed : int) ~(count : int) : Engine.config =
     (* Tight enough that heavy tenants exhaust their quota mid-batch. *)
     cfg_limits =
       { Budget.max_steps = 4_000_000; max_fuel = 6_000; max_allocs = 200_000 };
+    cfg_workers = workers;
     cfg_chaos =
       Some
         (fun ~id ~attempt ->
           let k = Rng.derive (seed lxor 0x5e_c4a0) ((fold_id id * 37) + attempt) in
-          if abs k mod 2 = 0 then Some (Chaos.plan ~seed:k ()) else None);
+          let base =
+            if abs k mod 2 = 0 then Some (Chaos.plan ~seed:k ()) else None
+          in
+          (* Worker faults draw from their own derivation — still keyed
+             only by (id, attempt), so an attempt meets the same fate at
+             any worker count. Roughly one attempt in four is killed
+             (half pre-compile, half post-compile) and one in eleven has
+             its result poisoned. *)
+          let wk =
+            Rng.derive (seed lxor 0x77_0bb5) ((fold_id id * 53) + attempt)
+          in
+          let kill_at =
+            if abs wk mod 4 = 0 then Some (abs wk mod 2) else None
+          in
+          let poison = abs wk mod 11 = 3 in
+          if kill_at = None && not poison then base
+          else
+            let p =
+              match base with
+              | Some p -> p
+              | None -> Chaos.no_faults ~seed:k
+            in
+            Some (Chaos.arm_worker ?kill_at ~poison p));
   }
 
-(** Run the campaign: [count] requests over [tenants] tenants. *)
-let run ?(tenants = 3) ~(count : int) ~(seed : int) () : report =
+(* First divergent byte of two journal renderings, with context, for
+   the reproducer message. *)
+let first_byte_diff (a : string) (b : string) : string =
+  let la = String.length a and lb = String.length b in
+  let n = min la lb in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  let i = go 0 in
+  let ctx s =
+    let lo = max 0 (i - 20) in
+    let hi = min (String.length s) (i + 20) in
+    String.sub s lo (hi - lo)
+  in
+  Printf.sprintf
+    "journals diverge at byte %d (lengths %d vs %d): 1-worker ...%s..., \
+     pooled ...%s..."
+    i la lb (ctx a) (ctx b)
+
+(** Run the campaign: [count] requests over [tenants] tenants, replayed
+    at 1 worker and at [workers] worker domains. *)
+let run ?(tenants = 3) ?(workers = 4) ~(count : int) ~(seed : int) () : report
+    =
+  let workers = max 1 workers in
   let built = List.init count (fun i -> build_request ~seed ~tenants i) in
   let requests = List.map (fun (rq, _) -> Ok rq) built in
   let sources =
@@ -139,17 +195,19 @@ let run ?(tenants = 3) ~(count : int) ~(seed : int) () : report =
   let poison =
     List.length (List.filter (fun (_, tag) -> tag = Poison) built)
   in
-  let config = campaign_config ~seed ~count in
+  let config = campaign_config ~seed ~count ~workers:1 in
   match Engine.run ~config requests with
   | exception e ->
       {
         sv_seed = seed;
         sv_count = count;
         sv_tenants = tenants;
+        sv_workers = workers;
         sv_poison = poison;
         sv_wrong = [];
         sv_escaped = Some (Pipelines.classify_exn e);
         sv_isolation = [];
+        sv_pool = None;
         sv_engine = None;
       }
   | engine_report ->
@@ -216,26 +274,51 @@ let run ?(tenants = 3) ~(count : int) ~(seed : int) () : report =
                     (first_diff 0 multi_view solo_view) ))
           tenant_names
       in
+      (* Pool determinism: the same batch across [workers] domains must
+         render the same journal bytes (the recorded worker count aside,
+         which [Engine.replay_json] normalizes away). *)
+      let final_report, pool =
+        if workers <= 1 then (engine_report, None)
+        else
+          let pooled_config = campaign_config ~seed ~count ~workers in
+          match Engine.run ~config:pooled_config requests with
+          | exception e ->
+              ( engine_report,
+                Some
+                  (Printf.sprintf "pooled run escaped: %s"
+                     (Pipelines.classify_exn e)) )
+          | pooled ->
+              let a = Json.to_string (Engine.replay_json engine_report) in
+              let b = Json.to_string (Engine.replay_json pooled) in
+              if String.equal a b then (pooled, None)
+              else (pooled, Some (first_byte_diff a b))
+      in
       {
         sv_seed = seed;
         sv_count = count;
         sv_tenants = tenants;
+        sv_workers = workers;
         sv_poison = poison;
         sv_wrong = wrong;
         sv_escaped = None;
         sv_isolation = isolation;
-        sv_engine = Some engine_report;
+        sv_pool = pool;
+        sv_engine = Some final_report;
       }
 
 let summary_lines (r : report) : string list =
   let base =
     Printf.sprintf
-      "serve chaos: %d requests, %d tenants, %d poison, campaign seed %d"
-      r.sv_count r.sv_tenants r.sv_poison r.sv_seed
+      "serve chaos: %d requests, %d tenants, %d workers, %d poison, \
+       campaign seed %d"
+      r.sv_count r.sv_tenants r.sv_workers r.sv_poison r.sv_seed
   in
   let verdict =
     if ok r then
-      [ "zero wrong answers, zero escaped exceptions, zero isolation leaks" ]
+      [
+        "zero wrong answers, zero escaped exceptions, zero isolation \
+         leaks, pooled journal byte-identical";
+      ]
     else
       List.map
         (fun (id, msg) -> Printf.sprintf "WRONG ANSWER %s: %s" id msg)
@@ -246,5 +329,8 @@ let summary_lines (r : report) : string list =
       @ List.map
           (fun (tn, msg) -> Printf.sprintf "ISOLATION LEAK %s: %s" tn msg)
           r.sv_isolation
+      @ (match r.sv_pool with
+        | Some msg -> [ Printf.sprintf "POOL DIVERGENCE: %s" msg ]
+        | None -> [])
   in
   base :: verdict

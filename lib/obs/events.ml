@@ -67,6 +67,10 @@ let catalogue : (string * string) list =
     ("SRV-BRK-OPEN", "serve: per-tenant breaker opened");
     ("SRV-BRK-PROBATION", "serve: per-tenant breaker moved to probation");
     ("SRV-BRK-CLOSE", "serve: per-tenant breaker re-closed");
+    ("SRV-WORKER-KILL", "serve: worker killed mid-attempt by a chaos fault");
+    ("SRV-WORKER-POISON", "serve: worker result failed supervisor validation");
+    ("SRV-WORKER-WATCHDOG", "serve: attempt stopped by the budget-step watchdog");
+    ("SRV-WORKER-CRASH", "serve: worker raised outside the attempt path");
   ]
 
 let is_known (code : string) : bool = List.mem_assoc code catalogue
@@ -78,15 +82,20 @@ let record (t : t) ~(code : string) (fields : (string * Json.t) list) : unit =
   t.next_seq <- t.next_seq + 1
 
 (* Ambient stream, [Journal]-style: decision sites emit without plumbing a
-   handle through every signature. *)
-let ambient : t option ref = ref None
+   handle through every signature. Domain-local: a serve worker domain
+   sees no installed stream, so its speculative emissions are dropped and
+   the supervisor replays the decisions it commits — the stream stays a
+   deterministic function of commit order, not of scheduling. *)
+let ambient : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install (t : t) : unit = ambient := Some t
-let clear () : unit = ambient := None
-let active () : bool = Option.is_some !ambient
+let install (t : t) : unit = Domain.DLS.set ambient (Some t)
+let clear () : unit = Domain.DLS.set ambient None
+let active () : bool = Option.is_some (Domain.DLS.get ambient)
 
 let emit ~(code : string) (fields : (string * Json.t) list) : unit =
-  match !ambient with Some t -> record t ~code fields | None -> ()
+  match Domain.DLS.get ambient with
+  | Some t -> record t ~code fields
+  | None -> ()
 
 let event_json (e : event) : Json.t =
   Json.Obj
@@ -107,10 +116,7 @@ let to_json ?(header : (string * Json.t) list = []) (t : t) : Json.t =
 let to_string ?header (t : t) : string = Json.to_string (to_json ?header t)
 
 let write ?header (t : t) (path : string) : unit =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Dcir_support.Atomic_io.write path (fun oc ->
       output_string oc (to_string ?header t);
       output_char oc '\n')
 

@@ -27,8 +27,15 @@ type metric = {
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
 
+(* Registration can race when library code first touches a metric from a
+   worker domain; the lock covers structural table mutation only — field
+   updates on a handle stay lock-free (all journaled values are written
+   from the single supervisor/CLI domain). *)
+let registry_mutex = Mutex.create ()
+
 let find_or_create (name : string) (kind : kind) ~(edges : float array) :
     metric =
+  Mutex.protect registry_mutex @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some m ->
       if m.m_kind <> kind then
@@ -107,6 +114,7 @@ end
 (** Zero every value; registrations (and handles held by callers) stay
     valid. Called by {!Obs.reset}. *)
 let reset_all () : unit =
+  Mutex.protect registry_mutex @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       m.m_value <- 0.0;
@@ -116,8 +124,10 @@ let reset_all () : unit =
     registry
 
 let sorted (kind : kind) : metric list =
-  Hashtbl.fold (fun _ m acc -> if m.m_kind = kind then m :: acc else acc)
-    registry []
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.fold
+        (fun _ m acc -> if m.m_kind = kind then m :: acc else acc)
+        registry [])
   |> List.sort (fun a b -> compare a.m_name b.m_name)
 
 (** Deterministic snapshot: all metrics, grouped by kind, sorted by name. *)

@@ -15,14 +15,25 @@
     past that site, which is precisely the recovery the degradation
     ladder is supposed to deliver. *)
 
-type fault = Pass_crash | Corrupt_rewrite | Fuel_starvation | Alloc_failure
+type fault =
+  | Pass_crash
+  | Corrupt_rewrite
+  | Fuel_starvation
+  | Alloc_failure
+  | Worker_kill  (** kill the serve worker mid-attempt *)
+  | Poison_result  (** worker reports success with a corrupted result *)
 
 let fault_name = function
   | Pass_crash -> "pass-crash"
   | Corrupt_rewrite -> "corrupt-rewrite"
   | Fuel_starvation -> "fuel-starvation"
   | Alloc_failure -> "alloc-failure"
+  | Worker_kill -> "worker-kill"
+  | Poison_result -> "poison-result"
 
+(* The kinds [plan] derives from a seed. Worker faults are armed
+   separately (see {!arm_worker}) so that extending the fault vocabulary
+   never perturbs the RNG draw sequence of existing campaigns. *)
 let all_faults = [ Pass_crash; Corrupt_rewrite; Fuel_starvation; Alloc_failure ]
 
 exception Injected of fault * string
@@ -63,6 +74,11 @@ type plan = {
   starved_fuel : int option;  (** fuel ceiling override *)
   fail_alloc : int option;  (** machine allocation ordinal that faults *)
   pl_checked : bool;  (** exercise checked (rollback) or unchecked (ladder) recovery *)
+  kill_at : int option;
+      (** worker-kill site: [Some 0] kills before the compile, any other
+          value kills after the compile but before the result is
+          reported *)
+  poison : bool;  (** corrupt the reported result of a successful attempt *)
 }
 
 (** Derive a plan from [seed]: one or two armed fault kinds with small
@@ -88,7 +104,34 @@ let plan ~(seed : int) () : plan =
       | Some k -> Some (k + 1) (* allocation ordinals are 1-based *)
       | None -> None);
     pl_checked = Rng.bool rng;
+    kill_at = None;
+    poison = false;
   }
+
+(** A plan that injects nothing — the base for worker-only fault plans. *)
+let no_faults ~(seed : int) : plan =
+  {
+    pl_seed = seed;
+    pl_faults = [];
+    crash_at = None;
+    corrupt_at = None;
+    starved_fuel = None;
+    fail_alloc = None;
+    pl_checked = false;
+    kill_at = None;
+    poison = false;
+  }
+
+(** Arm worker faults on top of an existing plan. Worker faults live in
+    their own plan fields (never in the seeded draw sequence of {!plan}),
+    so campaigns that predate them replay byte-identically. *)
+let arm_worker ?(kill_at : int option) ?(poison = false) (p : plan) : plan =
+  let faults =
+    (if kill_at <> None then [ Worker_kill ] else [])
+    @ (if poison then [ Poison_result ] else [])
+    @ p.pl_faults
+  in
+  { p with pl_faults = faults; kill_at; poison }
 
 (* Ambient installation with per-install site counters. *)
 type armed = {
@@ -98,18 +141,26 @@ type armed = {
   mutable corrupt_fired : bool;
 }
 
-let ambient : armed option ref = ref None
+(* Domain-local, so each serve worker domain arms and consults its own
+   plan: a fault injected into one worker's attempt can never leak into a
+   sibling domain's compile. Single-domain callers see the old ambient
+   semantics unchanged. *)
+let ambient : armed option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let install (p : plan) : unit =
-  ambient := Some { arm_plan = p; pass_tick = 0; crash_fired = false; corrupt_fired = false }
+  Domain.DLS.set ambient
+    (Some { arm_plan = p; pass_tick = 0; crash_fired = false; corrupt_fired = false })
 
-let clear () : unit = ambient := None
-let active () : plan option = Option.map (fun a -> a.arm_plan) !ambient
+let clear () : unit = Domain.DLS.set ambient None
+
+let active () : plan option =
+  Option.map (fun a -> a.arm_plan) (Domain.DLS.get ambient)
 
 (** Consult the plan at a pass-application site. Advances the site
     counter; returns the action the caller must take. *)
 let tick_pass () : [ `Ok | `Crash | `Corrupt ] =
-  match !ambient with
+  match Domain.DLS.get ambient with
   | None -> `Ok
   | Some a ->
       let i = a.pass_tick in
@@ -124,12 +175,24 @@ let tick_pass () : [ `Ok | `Crash | `Corrupt ] =
 
 (** Fuel ceiling for the next compile attempt: starved if armed. *)
 let fuel_limit ~(default : int) : int =
-  match !ambient with
+  match Domain.DLS.get ambient with
   | Some { arm_plan = { starved_fuel = Some f; _ }; _ } -> min f default
   | _ -> default
 
 (** Allocation ordinal (1-based) that must fault, if armed. *)
 let alloc_failure_at () : int option =
-  match !ambient with
+  match Domain.DLS.get ambient with
   | Some { arm_plan = { fail_alloc; _ }; _ } -> fail_alloc
   | None -> None
+
+(** Armed worker-kill site, if any ([Some 0] = before compile). *)
+let worker_kill_at () : int option =
+  match Domain.DLS.get ambient with
+  | Some { arm_plan = { kill_at; _ }; _ } -> kill_at
+  | None -> None
+
+(** Whether the current plan poisons a successful result. *)
+let poison_armed () : bool =
+  match Domain.DLS.get ambient with
+  | Some { arm_plan = { poison; _ }; _ } -> poison
+  | None -> false

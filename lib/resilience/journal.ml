@@ -53,16 +53,18 @@ let record (j : t) ~(kind : string) (fields : (string * Json.t) list) : unit =
 
 let length (j : t) : int = j.next_seq
 
-(* Ambient journal: one per chaos campaign / CLI invocation. *)
-let ambient : t option ref = ref None
-let install (j : t) : unit = ambient := Some j
-let clear () : unit = ambient := None
+(* Ambient journal: one per chaos campaign / CLI invocation. Domain-local
+   so serve worker domains (which run compiles speculatively) never write
+   into the supervisor's journal out of commit order. *)
+let ambient : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let install (j : t) : unit = Domain.DLS.set ambient (Some j)
+let clear () : unit = Domain.DLS.set ambient None
 
 (* Even without an installed journal, notes still reach an installed event
    stream — [dcir explain] sees breaker/rollback incidents without
    arming a journal. *)
 let note ~(kind : string) (fields : (string * Json.t) list) : unit =
-  match !ambient with
+  match Domain.DLS.get ambient with
   | None -> forward kind fields
   | Some j -> record j ~kind fields
 
@@ -90,7 +92,6 @@ let to_json ?(header = []) (j : t) : Json.t =
       ])
 
 let write ?header (j : t) (path : string) : unit =
-  let oc = open_out_bin path in
-  output_string oc (Json.to_string (to_json ?header j));
-  output_char oc '\n';
-  close_out oc
+  Dcir_support.Atomic_io.write path (fun oc ->
+      output_string oc (Json.to_string (to_json ?header j));
+      output_char oc '\n')

@@ -46,8 +46,16 @@ let rec pp_graph ?(indent = "  ") ppf (g : Sdfg.graph) =
               Fmt.pf ppf "%s    %s = %a@." indent out Texpr.pp e)
             assigns
       | Sdfg.TaskletN { code = Opaque f; _ } ->
+          (* Print the full unit body: the printed SDFG is the content
+             store's identity, so two tasklets may look alike only when
+             they compute the same thing — the serial-numbered unit name
+             alone says nothing about semantics. *)
           Fmt.pf ppf "%s%s: <opaque unit @%s>@." indent (node_label n)
-            f.Dcir_mlir.Ir.fname
+            f.Dcir_mlir.Ir.fname;
+          List.iter
+            (fun line -> Fmt.pf ppf "%s    | %s@." indent line)
+            (String.split_on_char '\n'
+               (String.trim (Dcir_mlir.Printer.func_to_string f)))
       | Sdfg.MapN mn ->
           Fmt.pf ppf "%s%s ranges %a:@." indent (node_label n) Range.pp
             mn.m_ranges;

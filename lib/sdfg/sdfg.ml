@@ -308,11 +308,14 @@ let fresh_name (sdfg : t) (prefix : string) : string =
 let new_graph () : graph =
   { g_nodes = []; g_nodes_staged = []; g_edges = []; g_edges_staged = [] }
 
-let node_counter = ref 0
+(* Atomic: serve workers build SDFGs concurrently across domains, and a
+   torn increment could hand two nodes of one graph the same id. Ids stay
+   process-unique; the printer's canonicalization keeps digests
+   independent of allocation history. *)
+let node_counter = Atomic.make 0
 
 let add_node (g : graph) (kind : node_kind) : node =
-  incr node_counter;
-  let n = { nid = !node_counter; kind } in
+  let n = { nid = Atomic.fetch_and_add node_counter 1 + 1; kind } in
   g.g_nodes_staged <- n :: g.g_nodes_staged;
   n
 

@@ -55,6 +55,19 @@ type config = {
           tier choice as [EXEC-TIER] events and stays deterministic —
           the tier-up registry is reset with the artifact stores, so the
           same request sequence replays byte-identically *)
+  cfg_workers : int;
+      (** worker domains; 1 = in-process sequential drain. Any N
+          produces the same journal entries, responses and store
+          telemetry as N = 1 — the worker count itself is recorded in
+          the config header so journals are self-describing.
+          [`Adaptive] interp mode forces the sequential drain (the
+          tier-up registry is commit-order state). *)
+  cfg_watchdog : int option;
+      (** budget-step watchdog: caps any single attempt's step spend
+          below the tenant's remaining quota, so one runaway request
+          cannot monopolize a worker. Deterministic — a step count, not
+          a wall clock; a tripped watchdog journals
+          [SRV-WORKER-WATCHDOG] and re-enters the retry ladder. *)
 }
 
 let default_config : config =
@@ -68,6 +81,8 @@ let default_config : config =
     cfg_deadline = None;
     cfg_chaos = None;
     cfg_interp = `Compiled;
+    cfg_workers = 1;
+    cfg_watchdog = None;
   }
 
 let config_fields (c : config) : (string * Json.t) list =
@@ -90,6 +105,9 @@ let config_fields (c : config) : (string * Json.t) list =
         | `Compiled -> "compiled"
         | `Bytecode -> "bytecode"
         | `Adaptive -> "adaptive") );
+    ("workers", Json.Int c.cfg_workers);
+    ( "watchdog",
+      match c.cfg_watchdog with Some w -> Json.Int w | None -> Json.Null );
   ]
 
 type report = {
@@ -101,10 +119,24 @@ type report = {
       (** request id -> in-memory result for successful [run] requests —
           not serialized; the chaos campaign's correctness oracle *)
   rp_plan_cache : (string * Json.t) list;  (** store telemetry delta *)
+  rp_placements : (string * int * int) list;
+      (** (request id, attempt, worker domain) per pool execution,
+          sorted — not serialized (domain choice is scheduling, not a
+          decision); the crash-isolation tests' retry-placement oracle *)
+  rp_coalesced : int;
+      (** same-digest compilations coalesced by the pool (0 sequential) *)
 }
 
 let to_json (r : report) : Json.t =
   Sjournal.to_json ~seed:r.rp_seed ~config:r.rp_config
+    ~responses:r.rp_responses ~plan_cache:r.rp_plan_cache r.rp_journal
+
+(** [to_json] minus the self-describing ["workers"] config field: the
+    engine's determinism contract is that every worker count produces
+    this document byte-identically. *)
+let replay_json (r : report) : Json.t =
+  Sjournal.to_json ~seed:r.rp_seed
+    ~config:(List.remove_assoc "workers" r.rp_config)
     ~responses:r.rp_responses ~plan_cache:r.rp_plan_cache r.rp_journal
 
 let write (r : report) (path : string) : unit =
@@ -159,6 +191,34 @@ let is_frontend_error : exn -> bool = function
       true
   | _ -> false
 
+(* Everything one dequeue step decides, as data: the journal entries it
+   would record (in order), the response it would return, whether it
+   re-enters the retry queue, and the artifact-store traffic it captured.
+   Computing the step this way lets a worker domain run it speculatively
+   while the supervisor — or the sequential drain, which shares the same
+   commit function — applies the effects in commit order. *)
+type step_fx = {
+  fx_entries : (string * (string * Json.t) list) list;
+  fx_response : Sjournal.response option;
+  fx_result : Pipelines.run_result option;
+  fx_retry : (string * Json.t) list option;
+      (* [SRV-RETRY] fields minus the backoff depth, which only the
+         commit-time queue can compute *)
+  fx_warm : Pipelines.warm list;
+}
+
+(* A compilation shared by same-source requests within one pool batch:
+   the artifact, its resilience report, and the budget spend of the
+   compile — waiters are charged the recorded spend ("as if compiled"),
+   so quotas and deadlines advance exactly as without coalescing. *)
+type coalesced = {
+  co_compiled : Pipelines.compiled;
+  co_report : Pipelines.resilience_report;
+  co_steps : int;
+  co_fuel : int;
+  co_allocs : int;
+}
+
 let run ?(config = default_config) (requests : (Request.t, Request.rejected) result list)
     : report =
   (* A fresh, empty store of the configured capacity: cache hits and
@@ -185,38 +245,26 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
   let respond (r : Sjournal.response) : unit =
     rev_responses := r :: !rev_responses
   in
-  let reject_response ~id ~tenant ~code ~attempts =
-    respond
-      {
-        Sjournal.rs_id = id;
-        rs_tenant = tenant;
-        rs_status = Sjournal.Rejected;
-        rs_code = code;
-        rs_tier = None;
-        rs_attempts = attempts;
-        rs_cycles = None;
-        rs_loads = None;
-        rs_stores = None;
-        rs_return = None;
-        rs_digest = None;
-      }
+  let mk_reject ~id ~tenant ~code ~attempts : Sjournal.response =
+    {
+      Sjournal.rs_id = id;
+      rs_tenant = tenant;
+      rs_status = Sjournal.Rejected;
+      rs_code = code;
+      rs_tier = None;
+      rs_attempts = attempts;
+      rs_cycles = None;
+      rs_loads = None;
+      rs_stores = None;
+      rs_return = None;
+      rs_digest = None;
+    }
   in
-  (* Surface a breaker transition as its SRV-BRK-* journal entry. *)
-  let journal_breaker_transition (tn : Tenant.t) (before : string)
-      (after : string) : unit =
-    if before <> after then
-      let code =
-        match after with
-        | "open" -> "SRV-BRK-OPEN"
-        | "probation" -> "SRV-BRK-PROBATION"
-        | _ -> "SRV-BRK-CLOSE"
-      in
-      Sjournal.record journal ~code
-        [
-          ("tenant", Json.Str tn.Tenant.tn_name);
-          ("from", Json.Str before);
-          ("to", Json.Str after);
-        ]
+  let mk_failed ~id ~tenant ~code ~attempts : Sjournal.response =
+    { (mk_reject ~id ~tenant ~code ~attempts) with rs_status = Sjournal.Failed }
+  in
+  let reject_response ~id ~tenant ~code ~attempts =
+    respond (mk_reject ~id ~tenant ~code ~attempts)
   in
 
   (* ---- admission phase ------------------------------------------- *)
@@ -310,44 +358,141 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
     requests;
 
   (* ---- drain phase ------------------------------------------------ *)
-  let process (entry : job Admission.entry) : unit =
+  (* [`Adaptive] keeps the sequential drain: the tier-up registry is
+     commit-order global state that workers cannot run ahead of. *)
+  let use_pool = config.cfg_workers > 1 && config.cfg_interp <> `Adaptive in
+  let memo_mutex = Mutex.create () in
+  let memo : (string, coalesced) Hashtbl.t = Hashtbl.create 16 in
+  let coalesced_count = Atomic.make 0 in
+  (* The degradation-ladder compile for one attempt; in pool mode,
+     chaos-free compiles of the same (kind, tier, entry, source) are
+     coalesced: the first worker to finish records the artifact and its
+     budget spend, and later attempts whose budget ceilings admit that
+     spend reuse it, charged as if they had compiled it themselves. A
+     recorded compile must be clean (no ladder degradations): a degraded
+     trajectory depends on the ceiling it hit, so it is never shared. *)
+  let compile_attempt ~(coalesce : bool) (job : job) ~(kind : Pipelines.kind)
+      ~(entry_name : string) (budget : Budget.t) :
+      Pipelines.compiled * Pipelines.resilience_report =
+    let plain () =
+      Pipelines.compile_resilient ~tier:job.jb_tier ~floor:job.jb_tier ~budget
+        kind ~src:job.jb_src ~entry:entry_name
+    in
+    if not coalesce then plain ()
+    else begin
+      let key =
+        String.concat "\x00"
+          [
+            Pipelines.kind_name kind;
+            Pipelines.tier_name job.jb_tier;
+            entry_name;
+            job.jb_src;
+          ]
+      in
+      let cached = Mutex.protect memo_mutex (fun () -> Hashtbl.find_opt memo key) in
+      match cached with
+      | Some c
+        when c.co_steps <= budget.Budget.limits.Budget.max_steps
+             && c.co_fuel <= budget.Budget.limits.Budget.max_fuel
+             && c.co_allocs <= budget.Budget.limits.Budget.max_allocs ->
+          Atomic.incr coalesced_count;
+          budget.Budget.steps <- c.co_steps;
+          budget.Budget.fuel <- c.co_fuel;
+          budget.Budget.allocs <- c.co_allocs;
+          (c.co_compiled, c.co_report)
+      | _ ->
+          let compiled, report = plain () in
+          if report.Pipelines.res_degradations = [] then
+            Mutex.protect memo_mutex (fun () ->
+                if not (Hashtbl.mem memo key) then
+                  Hashtbl.replace memo key
+                    {
+                      co_compiled = compiled;
+                      co_report = report;
+                      co_steps = budget.Budget.steps;
+                      co_fuel = budget.Budget.fuel;
+                      co_allocs = budget.Budget.allocs;
+                    });
+          (compiled, report)
+    end
+  in
+  (* One dequeue step as an effect record. Mutates only the entry's job
+     and its tenant — the pool's one-in-flight-per-tenant dispatch rule
+     makes that safe on a worker domain, because every earlier step of
+     the tenant is already committed. [capture] (pool workers) runs the
+     artifact stores in private-capture mode; the supervisor replays the
+     captured traffic in commit order. *)
+  let process_step ~(capture : bool) (entry : job Admission.entry) : step_fx =
     let job = entry.Admission.qe_item in
     let rq = job.jb_rq in
     let id = rq.Request.rq_id and tn_name = rq.Request.rq_tenant in
     let tenant = tenant_of tn_name in
+    let rev_entries : (string * (string * Json.t) list) list ref = ref [] in
+    let add code fields = rev_entries := (code, fields) :: !rev_entries in
+    (* Surface a breaker transition as its SRV-BRK-* journal entry. *)
+    let breaker_transition (before : string) (after : string) : unit =
+      if before <> after then
+        let code =
+          match after with
+          | "open" -> "SRV-BRK-OPEN"
+          | "probation" -> "SRV-BRK-PROBATION"
+          | _ -> "SRV-BRK-CLOSE"
+        in
+        add code
+          [
+            ("tenant", Json.Str tn_name);
+            ("from", Json.Str before);
+            ("to", Json.Str after);
+          ]
+    in
+    let fin ?response ?result ?retry ?(warm = []) () : step_fx =
+      {
+        fx_entries = List.rev !rev_entries;
+        fx_response = response;
+        fx_result = result;
+        fx_retry = retry;
+        fx_warm = warm;
+      }
+    in
     let deadline =
       match rq.Request.rq_deadline with
       | Some d -> Some d
       | None -> config.cfg_deadline
     in
     if not (Tenant.admits tenant) then begin
-      Sjournal.record journal ~code:"SRV-REJECT"
+      add "SRV-REJECT"
         [
           ("id", Json.Str id);
           ("tenant", Json.Str tn_name);
           ("reason", Json.Str "breaker-open");
         ];
-      reject_response ~id ~tenant:tn_name ~code:"breaker-open"
-        ~attempts:job.jb_attempts;
+      let response =
+        mk_reject ~id ~tenant:tn_name ~code:"breaker-open"
+          ~attempts:job.jb_attempts
+      in
       (* Fast rejections still age the breaker, else the tenant never
          reaches probation. *)
       let before, after = Tenant.age tenant in
-      journal_breaker_transition tenant before after
+      breaker_transition before after;
+      fin ~response ()
     end
     else if Tenant.exhausted tenant then begin
-      Sjournal.record journal ~code:"SRV-REJECT"
+      add "SRV-REJECT"
         [
           ("id", Json.Str id);
           ("tenant", Json.Str tn_name);
           ("reason", Json.Str "quota-exhausted");
         ];
-      reject_response ~id ~tenant:tn_name ~code:"quota-exhausted"
-        ~attempts:job.jb_attempts
+      fin
+        ~response:
+          (mk_reject ~id ~tenant:tn_name ~code:"quota-exhausted"
+             ~attempts:job.jb_attempts)
+        ()
     end
     else
       match deadline with
       | Some d when Tenant.spend tenant > d ->
-          Sjournal.record journal ~code:"SRV-DEADLINE"
+          add "SRV-DEADLINE"
             [
               ("id", Json.Str id);
               ("tenant", Json.Str tn_name);
@@ -355,44 +500,48 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
               ("deadline", Json.Int d);
               ("spend", Json.Int (Tenant.spend tenant));
             ];
-          respond
-            {
-              Sjournal.rs_id = id;
-              rs_tenant = tn_name;
-              rs_status = Sjournal.Failed;
-              rs_code = "deadline-expired";
-              rs_tier = None;
-              rs_attempts = job.jb_attempts;
-              rs_cycles = None;
-              rs_loads = None;
-              rs_stores = None;
-              rs_return = None;
-              rs_digest = None;
-            }
+          fin
+            ~response:
+              (mk_failed ~id ~tenant:tn_name ~code:"deadline-expired"
+                 ~attempts:job.jb_attempts)
+            ()
       | _ -> (
           job.jb_attempts <- job.jb_attempts + 1;
-          let armed =
+          let armed_plan =
             match config.cfg_chaos with
-            | None -> false
-            | Some f -> (
-                match f ~id ~attempt:job.jb_attempts with
-                | Some plan ->
-                    Chaos.install plan;
-                    true
-                | None -> false)
+            | None -> None
+            | Some f -> f ~id ~attempt:job.jb_attempts
           in
+          (match armed_plan with Some p -> Chaos.install p | None -> ());
           (* Arm before carving the budget: fuel starvation applies to
-             this attempt's ceiling. *)
+             this attempt's ceiling. The watchdog clamps the step
+             ceiling below the tenant's remaining quota, bounding any
+             single attempt's progress deterministically. *)
           let limits = Tenant.remaining tenant in
           let fuel = Chaos.fuel_limit ~default:limits.Budget.max_fuel in
-          let budget =
-            Budget.create ~limits:{ limits with Budget.max_fuel = fuel } ()
+          let steps_cap, watchdog_bound =
+            match config.cfg_watchdog with
+            | Some w when w < limits.Budget.max_steps -> (w, true)
+            | _ -> (limits.Budget.max_steps, false)
           in
+          let budget =
+            Budget.create
+              ~limits:
+                { Budget.max_steps = steps_cap; max_fuel = fuel;
+                  max_allocs = limits.Budget.max_allocs }
+              ()
+          in
+          if capture then Pipelines.begin_private_capture ();
           let outcome =
             match
               Fun.protect
-                ~finally:(fun () -> if armed then Chaos.clear ())
+                ~finally:(fun () ->
+                  if Option.is_some armed_plan then Chaos.clear ())
                 (fun () ->
+                  (match Chaos.worker_kill_at () with
+                  | Some 0 ->
+                      raise (Chaos.Injected (Chaos.Worker_kill, "pre-compile"))
+                  | _ -> ());
                   let entry_name =
                     match job.jb_entry with
                     | Some e -> e
@@ -409,10 +558,14 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
                                  }))
                   in
                   let compiled, report =
-                    Pipelines.compile_resilient ~tier:job.jb_tier
-                      ~floor:job.jb_tier ~budget rq.Request.rq_kind
-                      ~src:job.jb_src ~entry:entry_name
+                    compile_attempt
+                      ~coalesce:(capture && Option.is_none armed_plan)
+                      job ~kind:rq.Request.rq_kind ~entry_name budget
                   in
+                  (match Chaos.worker_kill_at () with
+                  | Some n when n > 0 ->
+                      raise (Chaos.Injected (Chaos.Worker_kill, "post-compile"))
+                  | _ -> ());
                   match rq.Request.rq_op with
                   | Request.Compile ->
                       (* Warm the plan store: the artifact digest is the
@@ -432,22 +585,38 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
                               ~size:rq.Request.rq_size
                       in
                       let result =
-                        Pipelines.run ~budget
-                          ~interp_mode:config.cfg_interp compiled
-                          ~entry:entry_name args
+                        Pipelines.run ~budget ~interp_mode:config.cfg_interp
+                          compiled ~entry:entry_name args
                       in
                       (report, Some result, None))
             with
             | v -> Ok v
             | exception e -> Error e
           in
+          let warm = if capture then Pipelines.end_private_capture () else [] in
           Tenant.charge tenant budget;
+          (* A poisoned attempt reports success with a corrupted result
+             envelope; the commit path discards it and retries, exactly
+             like a crash. *)
+          let outcome =
+            match outcome with
+            | Ok _
+              when (match armed_plan with
+                   | Some p -> p.Chaos.poison
+                   | None -> false) ->
+                add "SRV-WORKER-POISON"
+                  [
+                    ("id", Json.Str id);
+                    ("tenant", Json.Str tn_name);
+                    ("attempt", Json.Int job.jb_attempts);
+                  ];
+                Error (Chaos.Injected (Chaos.Poison_result, "result-envelope"))
+            | o -> o
+          in
           match outcome with
           | Ok (report, result, digest) ->
-              let landed =
-                Pipelines.tier_name report.Pipelines.res_landed
-              in
-              Sjournal.record journal ~code:"SRV-DONE"
+              let landed = Pipelines.tier_name report.Pipelines.res_landed in
+              add "SRV-DONE"
                 ([
                    ("id", Json.Str id);
                    ("tenant", Json.Str tn_name);
@@ -461,40 +630,60 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
                 | Some r -> [ ("exec", Json.Str r.Pipelines.exec_tier) ]
                 | None -> []);
               let before, after = Tenant.record_outcome tenant ~ok:true in
-              journal_breaker_transition tenant before after;
-              (match result with
-              | Some r -> results := (id, r) :: !results
-              | None -> ());
-              respond
-                {
-                  Sjournal.rs_id = id;
-                  rs_tenant = tn_name;
-                  rs_status = Sjournal.Done;
-                  rs_code = "ok";
-                  rs_tier = Some landed;
-                  rs_attempts = job.jb_attempts;
-                  rs_cycles =
-                    Option.map
-                      (fun (r : Pipelines.run_result) ->
-                        r.Pipelines.metrics.Dcir_machine.Metrics.cycles)
-                      result;
-                  rs_loads =
-                    Option.map
-                      (fun (r : Pipelines.run_result) ->
-                        r.Pipelines.metrics.Dcir_machine.Metrics.loads)
-                      result;
-                  rs_stores =
-                    Option.map
-                      (fun (r : Pipelines.run_result) ->
-                        r.Pipelines.metrics.Dcir_machine.Metrics.stores)
-                      result;
-                  rs_return =
-                    Option.bind result (fun (r : Pipelines.run_result) ->
-                        Option.map Dcir_machine.Value.to_string
-                          r.Pipelines.return_value);
-                  rs_digest = digest;
-                }
+              breaker_transition before after;
+              fin
+                ~response:
+                  {
+                    Sjournal.rs_id = id;
+                    rs_tenant = tn_name;
+                    rs_status = Sjournal.Done;
+                    rs_code = "ok";
+                    rs_tier = Some landed;
+                    rs_attempts = job.jb_attempts;
+                    rs_cycles =
+                      Option.map
+                        (fun (r : Pipelines.run_result) ->
+                          r.Pipelines.metrics.Dcir_machine.Metrics.cycles)
+                        result;
+                    rs_loads =
+                      Option.map
+                        (fun (r : Pipelines.run_result) ->
+                          r.Pipelines.metrics.Dcir_machine.Metrics.loads)
+                        result;
+                    rs_stores =
+                      Option.map
+                        (fun (r : Pipelines.run_result) ->
+                          r.Pipelines.metrics.Dcir_machine.Metrics.stores)
+                        result;
+                    rs_return =
+                      Option.bind result (fun (r : Pipelines.run_result) ->
+                          Option.map Dcir_machine.Value.to_string
+                            r.Pipelines.return_value);
+                    rs_digest = digest;
+                  }
+                ?result ~warm ()
           | Error e ->
+              (* Worker-incident attribution precedes the retry/fail
+                 record, so every injected kill and tripped watchdog is
+                 traceable to its request and attempt. *)
+              (match e with
+              | Chaos.Injected (Chaos.Worker_kill, site) ->
+                  add "SRV-WORKER-KILL"
+                    [
+                      ("id", Json.Str id);
+                      ("tenant", Json.Str tn_name);
+                      ("attempt", Json.Int job.jb_attempts);
+                      ("site", Json.Str site);
+                    ]
+              | Budget.Exhausted (Budget.Steps, _) when watchdog_bound ->
+                  add "SRV-WORKER-WATCHDOG"
+                    [
+                      ("id", Json.Str id);
+                      ("tenant", Json.Str tn_name);
+                      ("attempt", Json.Int job.jb_attempts);
+                      ("limit", Json.Int steps_cap);
+                    ]
+              | _ -> ());
               let code = Pipelines.classify_exn e in
               let retries =
                 match rq.Request.rq_retries with
@@ -509,23 +698,19 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
                   | None -> job.jb_tier
                 in
                 job.jb_tier <- next;
-                let depth =
-                  Admission.reinsert queue entry ~attempt:job.jb_attempts
-                    ~same:(fun (j : job) ->
-                      j.jb_rq.Request.rq_tenant = tn_name)
-                in
-                Sjournal.record journal ~code:"SRV-RETRY"
-                  [
-                    ("id", Json.Str id);
-                    ("tenant", Json.Str tn_name);
-                    ("reason", Json.Str code);
-                    ("tier", Json.Str (Pipelines.tier_name next));
-                    ("attempt", Json.Int job.jb_attempts);
-                    ("depth", Json.Int depth);
-                  ]
+                fin
+                  ~retry:
+                    [
+                      ("id", Json.Str id);
+                      ("tenant", Json.Str tn_name);
+                      ("reason", Json.Str code);
+                      ("tier", Json.Str (Pipelines.tier_name next));
+                      ("attempt", Json.Int job.jb_attempts);
+                    ]
+                  ~warm ()
               end
               else begin
-                Sjournal.record journal ~code:"SRV-FAIL"
+                add "SRV-FAIL"
                   [
                     ("id", Json.Str id);
                     ("tenant", Json.Str tn_name);
@@ -533,31 +718,103 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
                     ("attempts", Json.Int job.jb_attempts);
                   ];
                 let before, after = Tenant.record_outcome tenant ~ok:false in
-                journal_breaker_transition tenant before after;
-                respond
-                  {
-                    Sjournal.rs_id = id;
-                    rs_tenant = tn_name;
-                    rs_status = Sjournal.Failed;
-                    rs_code = code;
-                    rs_tier = None;
-                    rs_attempts = job.jb_attempts;
-                    rs_cycles = None;
-                    rs_loads = None;
-                    rs_stores = None;
-                    rs_return = None;
-                    rs_digest = None;
-                  }
+                breaker_transition before after;
+                fin
+                  ~response:
+                    (mk_failed ~id ~tenant:tn_name ~code
+                       ~attempts:job.jb_attempts)
+                  ~warm ()
               end)
   in
-  let rec drain () =
-    match Admission.pop queue with
-    | None -> ()
-    | Some entry ->
-        process entry;
-        drain ()
+  (* Apply one step's effects: replay captured store traffic, append the
+     journal entries, re-insert on retry (the backoff depth is a
+     function of the committed queue, so only commit can compute it),
+     then the result and response. Both drains share this function — the
+     journal is the same bytes either way. *)
+  let commit (entry : job Admission.entry) (fx : step_fx) : unit =
+    List.iter Pipelines.replay_warm fx.fx_warm;
+    List.iter
+      (fun (code, fields) -> Sjournal.record journal ~code fields)
+      fx.fx_entries;
+    (match fx.fx_retry with
+    | Some fields ->
+        let job = entry.Admission.qe_item in
+        let tn = job.jb_rq.Request.rq_tenant in
+        let depth =
+          Admission.reinsert queue entry ~attempt:job.jb_attempts
+            ~same:(fun (j : job) -> j.jb_rq.Request.rq_tenant = tn)
+        in
+        Sjournal.record journal ~code:"SRV-RETRY"
+          (fields @ [ ("depth", Json.Int depth) ])
+    | None -> ());
+    (match fx.fx_result with
+    | Some r ->
+        results := (entry.Admission.qe_item.jb_rq.Request.rq_id, r) :: !results
+    | None -> ());
+    match fx.fx_response with Some r -> respond r | None -> ()
   in
-  drain ();
+  let placements : (string * int * int) list ref = ref [] in
+  let placements_mutex = Mutex.create () in
+  if use_pool then begin
+    (* Pre-create every tenant on the supervisor: worker domains only
+       read the table. *)
+    List.iter
+      (fun (e : job Admission.entry) ->
+        ignore (tenant_of e.Admission.qe_item.jb_rq.Request.rq_tenant))
+      queue.Admission.entries;
+    Pool.drain ~workers:config.cfg_workers ~queue
+      ~group_of:(fun (j : job) -> j.jb_rq.Request.rq_tenant)
+      ~exec:(fun ~domain entry ->
+        let fx = process_step ~capture:true entry in
+        Mutex.protect placements_mutex (fun () ->
+            placements :=
+              ( entry.Admission.qe_item.jb_rq.Request.rq_id,
+                entry.Admission.qe_item.jb_attempts,
+                domain )
+              :: !placements);
+        fx)
+      ~crash:(fun entry e ->
+        (* Defensive: [process_step] catches attempt failures itself, so
+           this only fires if the step machinery raises. Journal the
+           incident and fail the request terminally rather than losing
+           the batch. *)
+        let job = entry.Admission.qe_item in
+        let id = job.jb_rq.Request.rq_id
+        and tn = job.jb_rq.Request.rq_tenant in
+        let code = Pipelines.classify_exn e in
+        {
+          fx_entries =
+            [
+              ( "SRV-WORKER-CRASH",
+                [
+                  ("id", Json.Str id);
+                  ("tenant", Json.Str tn);
+                  ("attempt", Json.Int job.jb_attempts);
+                  ("reason", Json.Str code);
+                ] );
+            ];
+          fx_response =
+            Some
+              (mk_failed ~id ~tenant:tn ~code:("worker-crash:" ^ code)
+                 ~attempts:job.jb_attempts);
+          fx_result = None;
+          fx_retry = None;
+          fx_warm = [];
+        })
+      ~commit:(fun entry fx ->
+        commit entry fx;
+        Option.is_some fx.fx_retry)
+  end
+  else begin
+    let rec drain () =
+      match Admission.pop queue with
+      | None -> ()
+      | Some entry ->
+          commit entry (process_step ~capture:false entry);
+          drain ()
+    in
+    drain ()
+  end;
   let pc_hits1, pc_misses1, pc_evictions1 = pc_counts () in
   let size =
     match List.assoc_opt "size" (Pipelines.plan_cache_stats ()) with
@@ -577,4 +834,6 @@ let run ?(config = default_config) (requests : (Request.t, Request.rejected) res
         ("evictions", Json.Int (pc_evictions1 - pc_evictions0));
         ("size", size);
       ];
+    rp_placements = List.sort compare !placements;
+    rp_coalesced = Atomic.get coalesced_count;
   }

@@ -124,11 +124,10 @@ let to_json ~(seed : int) ~(config : (string * Json.t) list)
 let to_string ~seed ~config ~responses ~plan_cache (t : t) : string =
   Json.to_string (to_json ~seed ~config ~responses ~plan_cache t)
 
+(* Atomic (temp file + rename): a serve process killed mid-write must
+   never leave a torn journal where a previous good one stood. *)
 let write ~seed ~config ~responses ~plan_cache (t : t) (path : string) : unit =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Dcir_support.Atomic_io.write path (fun oc ->
       output_string oc (to_string ~seed ~config ~responses ~plan_cache t);
       output_char oc '\n')
 

@@ -1,0 +1,24 @@
+(** Crash-safe file writes.
+
+    Journals and bench reports are the durable record of a run; a process
+    killed mid-write (crash, OOM kill, chaos fault) must never leave a
+    torn file where a previous good artifact stood. [write] stages the
+    content in a sibling temp file and moves it into place with
+    [Sys.rename], which is atomic on POSIX filesystems: readers observe
+    either the old complete file or the new complete file, never a
+    prefix. On any exception from the emitter the temp file is removed
+    and the destination is left untouched. *)
+
+(** [write path emit] atomically replaces [path] with the bytes [emit]
+    writes to the channel it is given. *)
+let write (path : string) (emit : out_channel -> unit) : unit =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     emit oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path

@@ -155,6 +155,8 @@ let forced_failure_plans =
         starved_fuel = None;
         fail_alloc = None;
         pl_checked = false;
+        kill_at = None;
+        poison = false;
       } );
     ( "fuel starved to zero",
       {
@@ -165,6 +167,8 @@ let forced_failure_plans =
         starved_fuel = Some 0;
         fail_alloc = None;
         pl_checked = false;
+        kill_at = None;
+        poison = false;
       } );
   ]
 

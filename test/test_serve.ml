@@ -13,6 +13,7 @@ module Cstore = Dcir_support.Cstore
 module Pipelines = Dcir_core.Pipelines
 module Budget = Dcir_resilience.Budget
 module Breaker = Dcir_resilience.Breaker
+module Chaos = Dcir_resilience.Chaos
 module Json = Dcir_obs.Json
 module Request = Dcir_serve.Request
 module Admission = Dcir_serve.Admission
@@ -347,6 +348,224 @@ let test_request_salvage () =
           | Ok _ -> ())
         rejected
 
+(* ------------------------------------------------------------------ *)
+(* The worker pool *)
+
+let replay_string (r : Engine.report) : string =
+  Json.to_string (Engine.replay_json r)
+
+let entries_with (report : Engine.report) (code : string) :
+    (string * Json.t) list list =
+  match Json.member "entries" (Engine.to_json report) with
+  | Some (Json.List rows) ->
+      List.filter_map
+        (function
+          | Json.Obj fields
+            when List.assoc_opt "code" fields = Some (Json.Str code) ->
+              Some fields
+          | _ -> None)
+        rows
+  | _ -> Alcotest.fail "journal missing entries"
+
+(* Adversarial completion order: a slow compile admitted first, quick
+   ones behind it. Workers finish the quick ones while the slow one is
+   still running; the supervisor must still commit — and therefore
+   journal and respond — in admission order, byte-identically to the
+   sequential engine. *)
+let test_pool_commit_order () =
+  let requests =
+    List.map
+      (fun r -> Ok r)
+      [
+        inline ~id:"a1" ~tenant:"A" heavy;
+        inline ~id:"b1" ~tenant:"B" tiny;
+        inline ~id:"c1" ~tenant:"C" tiny;
+        inline ~id:"b2" ~tenant:"B" tiny;
+        inline ~id:"a2" ~tenant:"A" heavy;
+        inline ~id:"c2" ~tenant:"C" ~op:Request.Compile tiny;
+      ]
+  in
+  let run workers =
+    Engine.run
+      ~config:{ Engine.default_config with Engine.cfg_workers = workers }
+      requests
+  in
+  let w1 = run 1 and w4 = run 4 in
+  Alcotest.(check string) "journal bytes agree (worker count aside)"
+    (replay_string w1) (replay_string w4);
+  Alcotest.(check (list string)) "responses in admission order"
+    [ "a1"; "b1"; "c1"; "b2"; "a2"; "c2" ]
+    (List.map
+       (fun (r : Sjournal.response) -> r.Sjournal.rs_id)
+       w4.Engine.rp_responses);
+  Alcotest.(check bool) "pooled run recorded placements" true
+    (w4.Engine.rp_placements <> []);
+  Alcotest.(check bool) "sequential run has none" true
+    (w1.Engine.rp_placements = [])
+
+(* A chaos kill on attempt 1 is caught on the worker, journaled with
+   the request it hit, and the retry lands on a different domain —
+   crash isolation plus attribution. *)
+let test_worker_crash_retry () =
+  let requests = [ Ok (inline ~id:"victim" ~tenant:"T" tiny) ] in
+  let chaos ~id ~attempt =
+    if id = "victim" && attempt = 1 then
+      Some (Chaos.arm_worker ~kill_at:1 (Chaos.no_faults ~seed:1))
+    else None
+  in
+  let config =
+    {
+      Engine.default_config with
+      Engine.cfg_workers = 4;
+      cfg_chaos = Some chaos;
+    }
+  in
+  let report = Engine.run ~config requests in
+  let r = response_of report "victim" in
+  Alcotest.(check string) "eventually ok" "ok"
+    (Sjournal.status_name r.Sjournal.rs_status);
+  Alcotest.(check int) "second attempt won" 2 r.Sjournal.rs_attempts;
+  (match entries_with report "SRV-WORKER-KILL" with
+  | [ fields ] ->
+      Alcotest.(check bool) "kill names its request and tenant" true
+        (List.assoc_opt "id" fields = Some (Json.Str "victim")
+        && List.assoc_opt "tenant" fields = Some (Json.Str "T"))
+  | kills ->
+      Alcotest.fail
+        (Printf.sprintf "expected one SRV-WORKER-KILL, found %d"
+           (List.length kills)));
+  (match
+     List.filter (fun (id, _, _) -> id = "victim") report.Engine.rp_placements
+   with
+  | [ (_, 1, d1); (_, 2, d2) ] ->
+      Alcotest.(check bool) "retry moved to another domain" true (d1 <> d2)
+  | ps ->
+      Alcotest.fail
+        (Printf.sprintf "expected two placements for victim, found %d"
+           (List.length ps)));
+  (* The same batch under the sequential engine renders the same
+     journal: the kill derives from (id, attempt), never from where or
+     when the attempt ran. *)
+  let sequential =
+    Engine.run ~config:{ config with Engine.cfg_workers = 1 } requests
+  in
+  Alcotest.(check string) "kill is scheduling-independent"
+    (replay_string sequential) (replay_string report)
+
+(* Identical compile requests coalesce: the first worker's artifact is
+   fanned to the rest, each charged as if it had compiled it itself.
+   The journal still shows the sequential engine's one PLAN-MISS and k
+   PLAN-HITs, and every response carries the same artifact digest. *)
+let test_pool_coalescing () =
+  let requests =
+    List.map
+      (fun r -> Ok r)
+      (List.init 4 (fun i ->
+           inline
+             ~id:(Printf.sprintf "c%d" i)
+             ~tenant:"T" ~op:Request.Compile tiny))
+  in
+  let run workers =
+    Pipelines.reset_plan_cache ();
+    Engine.run
+      ~config:{ Engine.default_config with Engine.cfg_workers = workers }
+      requests
+  in
+  let w1 = run 1 in
+  let w4 = run 4 in
+  Alcotest.(check string) "journal bytes agree" (replay_string w1)
+    (replay_string w4);
+  Alcotest.(check int) "three of four compiles coalesced" 3
+    w4.Engine.rp_coalesced;
+  let pc key (report : Engine.report) =
+    match
+      Option.bind
+        (Json.member "summary" (Engine.to_json report))
+        (fun s ->
+          Option.bind (Json.member "plan_cache" s) (Json.member key))
+    with
+    | Some (Json.Int n) -> n
+    | _ -> Alcotest.fail ("journal summary missing plan_cache." ^ key)
+  in
+  Alcotest.(check int) "one miss" 1 (pc "misses" w4);
+  Alcotest.(check int) "k hits" 3 (pc "hits" w4);
+  (match w4.Engine.rp_responses with
+  | first :: rest ->
+      Alcotest.(check bool) "digest present" true
+        (first.Sjournal.rs_digest <> None);
+      List.iter
+        (fun (r : Sjournal.response) ->
+          Alcotest.(check bool) "identical artifact digests" true
+            (r.Sjournal.rs_digest = first.Sjournal.rs_digest))
+        rest
+  | [] -> Alcotest.fail "no responses")
+
+(* The noisy-neighbor differential again, this time with four worker
+   domains churning: tenant B's responses must still be byte-identical
+   to a solo run. *)
+let test_pool_tenant_isolation () =
+  let requests =
+    [
+      inline ~id:"a1" ~tenant:"A" heavy;
+      inline ~id:"b1" ~tenant:"B" tiny;
+      inline ~id:"a2" ~tenant:"A" heavy;
+      inline ~id:"b2" ~tenant:"B" tiny;
+      inline ~id:"a3" ~tenant:"A" heavy;
+    ]
+  in
+  let config =
+    {
+      Engine.default_config with
+      Engine.cfg_workers = 4;
+      cfg_limits =
+        { Budget.max_steps = 2_000; max_fuel = 1_000_000; max_allocs = 100_000 };
+      cfg_retries = 0;
+    }
+  in
+  let multi = Engine.run ~config (List.map (fun r -> Ok r) requests) in
+  let solo =
+    Engine.run ~config
+      (List.filter_map
+         (fun (r : Request.t) ->
+           if r.Request.rq_tenant = "B" then Some (Ok r) else None)
+         requests)
+  in
+  Alcotest.(check (list string)) "B's responses identical under the pool"
+    (Sjournal.responses_for_tenant solo.Engine.rp_responses "B")
+    (Sjournal.responses_for_tenant multi.Engine.rp_responses "B")
+
+(* The budget-step watchdog bounds a single attempt deterministically:
+   no wall clock, so the same limit journals the same entry at any
+   worker count. *)
+let test_watchdog () =
+  let requests = [ Ok (inline ~id:"w" ~tenant:"T" heavy) ] in
+  let config =
+    {
+      Engine.default_config with
+      Engine.cfg_watchdog = Some 100;
+      cfg_retries = 0;
+    }
+  in
+  let report = Engine.run ~config requests in
+  let r = response_of report "w" in
+  Alcotest.(check string) "watchdog stops the attempt" "failed"
+    (Sjournal.status_name r.Sjournal.rs_status);
+  (match entries_with report "SRV-WORKER-WATCHDOG" with
+  | [ fields ] ->
+      Alcotest.(check bool) "entry names request, tenant and limit" true
+        (List.assoc_opt "id" fields = Some (Json.Str "w")
+        && List.assoc_opt "tenant" fields = Some (Json.Str "T")
+        && List.assoc_opt "limit" fields = Some (Json.Int 100))
+  | wd ->
+      Alcotest.fail
+        (Printf.sprintf "expected one SRV-WORKER-WATCHDOG, found %d"
+           (List.length wd)));
+  let pooled =
+    Engine.run ~config:{ config with Engine.cfg_workers = 4 } requests
+  in
+  Alcotest.(check string) "watchdog is worker-count-independent"
+    (replay_string report) (replay_string pooled)
+
 let suite =
   ( "serve",
     [
@@ -368,4 +587,12 @@ let suite =
         test_journal_double_run;
       Alcotest.test_case "malformed request salvage" `Quick
         test_request_salvage;
+      Alcotest.test_case "pool commit-order determinism" `Quick
+        test_pool_commit_order;
+      Alcotest.test_case "worker crash retries elsewhere" `Quick
+        test_worker_crash_retry;
+      Alcotest.test_case "same-digest coalescing" `Quick test_pool_coalescing;
+      Alcotest.test_case "tenant isolation under the pool" `Quick
+        test_pool_tenant_isolation;
+      Alcotest.test_case "budget-step watchdog" `Quick test_watchdog;
     ] )

@@ -69,10 +69,32 @@ let prop_rpo_starts_at_root =
       | first :: _ -> first = 0
       | [] -> false)
 
+(* Journal files are replaced, never truncated in place: a write that
+   dies mid-emit must leave the previous bytes intact and no temp file
+   behind, and a successful write must fully replace them. *)
+let test_atomic_write () =
+  let path = Filename.temp_file "dcir_atomic" ".txt" in
+  let read () = In_channel.with_open_bin path In_channel.input_all in
+  Atomic_io.write path (fun oc -> output_string oc "first\n");
+  Alcotest.(check string) "initial write lands" "first\n" (read ());
+  (try
+     Atomic_io.write path (fun oc ->
+         output_string oc "torn";
+         failwith "disk full")
+   with Failure _ -> ());
+  Alcotest.(check string) "old bytes survive a failed write" "first\n"
+    (read ());
+  Alcotest.(check bool) "no temp file left behind" false
+    (Sys.file_exists (path ^ ".tmp"));
+  Atomic_io.write path (fun oc -> output_string oc "second\n");
+  Alcotest.(check string) "successful write replaces" "second\n" (read ());
+  Sys.remove path
+
 let suite =
   ( "support",
     [
       Alcotest.test_case "fresh names" `Quick test_fresh_names;
+      Alcotest.test_case "atomic journal writes" `Quick test_atomic_write;
       Alcotest.test_case "topological sort" `Quick test_topo_sort;
       Alcotest.test_case "reachability" `Quick test_reachability;
       Alcotest.test_case "strongly connected components" `Quick test_scc;
